@@ -1,0 +1,172 @@
+//! Criterion benchmarks covering every experiment group of the paper's
+//! evaluation, at smoke-test sizes so that `cargo bench` completes quickly on
+//! a laptop. The harness binaries in `src/bin/` run the same experiments at
+//! larger, figure-faithful sizes and print the series the paper plots.
+//!
+//! Groups:
+//! * `fig10_path4` / `fig10_star4` / `fig10_cycle4` — #results-over-time
+//!   workloads of Fig. 10 (TTF + top-k + full enumeration per algorithm);
+//! * `fig11_13_sizes` — the size-3/6 variants of Figs. 11–13;
+//! * `fig14_batch_vs_sql` — Batch vs the generic hash-join + sort engine;
+//! * `fig17_nprr_i1` — WCOJ vs any-k TTF on the adversarial instance I1;
+//! * `sec913_rankjoin_i2` — rank-join vs any-k top-1 on instance I2;
+//! * `ablation_successors` — the anyK-part successor-structure ablation.
+
+use anyk_core::AnyKAlgorithm;
+use anyk_datagen::{adversarial, cycles, rng, uniform};
+use anyk_engine::{naive_sql, rankjoin, wcoj, yannakakis, RankedQuery, RankingFunction};
+use anyk_query::QueryBuilder;
+use anyk_storage::Database;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// Enumerate the top `k` (or all, if `None`) answers and return how many were
+/// produced — the quantity every group benchmarks.
+fn run_topk(prepared: &RankedQuery<'_>, algorithm: AnyKAlgorithm, k: Option<usize>) -> usize {
+    match k {
+        Some(k) => prepared.enumerate(algorithm).take(k).count(),
+        None => prepared.enumerate(algorithm).count(),
+    }
+}
+
+fn bench_results_over_time(c: &mut Criterion) {
+    // (label, database, query, top-k or full)
+    let mut r = rng(1);
+    let cases: Vec<(&str, Database, usize, Option<usize>)> = vec![
+        ("fig10_path4_full", uniform::path_or_star_database(4, 100, &mut r), 0, None),
+        ("fig10_path4_top100", uniform::path_or_star_database(4, 2_000, &mut r), 0, Some(100)),
+        ("fig10_star4_top100", uniform::path_or_star_database(4, 2_000, &mut r), 1, Some(100)),
+        ("fig10_cycle4_top100", cycles::worst_case_cycle_database(4, 400, &mut r), 2, Some(100)),
+        ("fig11_path3_top100", uniform::path_or_star_database(3, 2_000, &mut r), 0, Some(100)),
+        ("fig11_path6_top100", uniform::path_or_star_database(6, 1_000, &mut r), 0, Some(100)),
+        ("fig12_star6_top100", uniform::path_or_star_database(6, 1_000, &mut r), 1, Some(100)),
+        ("fig13_cycle6_top100", cycles::worst_case_cycle_database(6, 200, &mut r), 2, Some(100)),
+    ];
+    for (label, db, shape, k) in &cases {
+        let query = match shape {
+            0 => QueryBuilder::path(db.len()).build(),
+            1 => QueryBuilder::star(db.len()).build(),
+            _ => QueryBuilder::cycle(db.len()).build(),
+        };
+        let prepared = RankedQuery::new(db, &query).expect("plan");
+        let mut group = c.benchmark_group(*label);
+        group.sample_size(10);
+        group.warm_up_time(Duration::from_millis(300));
+        group.measurement_time(Duration::from_millis(1500));
+        for algorithm in AnyKAlgorithm::ALL {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(algorithm.name()),
+                &algorithm,
+                |b, &alg| b.iter(|| run_topk(&prepared, alg, *k)),
+            );
+        }
+        group.finish();
+    }
+}
+
+fn bench_fig14_batch_vs_sql(c: &mut Criterion) {
+    let db = uniform::path_or_star_database(4, 800, &mut rng(2));
+    let query = QueryBuilder::path(4).build();
+    let mut group = c.benchmark_group("fig14_batch_vs_sql_path4");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(1500));
+    group.bench_function("Batch(Yannakakis+sort)", |b| {
+        b.iter(|| {
+            yannakakis::batch_sorted(&db, &query, RankingFunction::SumAscending)
+                .unwrap()
+                .len()
+        })
+    });
+    group.bench_function("GenericSQL(hash-join+sort)", |b| {
+        b.iter(|| {
+            naive_sql::join_and_sort(&db, &query, RankingFunction::SumAscending)
+                .unwrap()
+                .len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig17_nprr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig17_nprr_i1");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(1500));
+    for n in [100usize, 200, 400] {
+        let db = adversarial::nprr_i1(n);
+        let query = QueryBuilder::cycle(4).build();
+        group.bench_with_input(BenchmarkId::new("wcoj_full_sorted", n), &n, |b, _| {
+            b.iter(|| {
+                wcoj::generic_join_sorted(&db, &query, RankingFunction::SumAscending)
+                    .unwrap()
+                    .len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("anyk_lazy_ttf", n), &n, |b, _| {
+            b.iter(|| {
+                let prepared = RankedQuery::new(&db, &query).unwrap();
+                let found = prepared.enumerate(AnyKAlgorithm::Lazy).next().is_some();
+                found
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sec913_rankjoin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec913_rankjoin_i2");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(1500));
+    for n in [100usize, 400] {
+        let db = adversarial::rankjoin_i2(n);
+        let query = QueryBuilder::path(3).build();
+        group.bench_with_input(BenchmarkId::new("rank_join_top1", n), &n, |b, _| {
+            b.iter(|| rankjoin::rank_join_top_k(&db, &query, 1).unwrap().0.len())
+        });
+        group.bench_with_input(BenchmarkId::new("anyk_top1", n), &n, |b, _| {
+            b.iter(|| {
+                let prepared = RankedQuery::new(&db, &query).unwrap();
+                let found = prepared.enumerate(AnyKAlgorithm::Lazy).next().is_some();
+                found
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablation_successors(c: &mut Criterion) {
+    // The pure anyK-part successor ablation on a fixed prepared plan:
+    // identical workload, only the successor structure changes.
+    let db = uniform::path_or_star_database(4, 2_000, &mut rng(3));
+    let query = QueryBuilder::path(4).build();
+    let prepared = RankedQuery::new(&db, &query).unwrap();
+    let mut group = c.benchmark_group("ablation_successor_structures_top5000");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(1500));
+    for algorithm in [
+        AnyKAlgorithm::Eager,
+        AnyKAlgorithm::Lazy,
+        AnyKAlgorithm::Take2,
+        AnyKAlgorithm::All,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algorithm.name()),
+            &algorithm,
+            |b, &alg| b.iter(|| run_topk(&prepared, alg, Some(5_000))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = paper;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200));
+    targets = bench_results_over_time,
+        bench_fig14_batch_vs_sql,
+        bench_fig17_nprr,
+        bench_sec913_rankjoin,
+        bench_ablation_successors
+}
+criterion_main!(paper);

@@ -1,0 +1,8 @@
+//! Harness binary: Design-choice ablations (successor structures, equi-join encoding)
+//! Run with: `cargo run --release -p anyk-bench --bin ablations`
+//! Set `ANYK_SCALE=quick|default|paper` to control the input sizes.
+
+fn main() {
+    let scale = anyk_bench::Scale::from_env();
+    anyk_bench::experiments::ablation::run(scale);
+}

@@ -1,0 +1,26 @@
+//! Harness binary: run every experiment of the evaluation back to back.
+//! Run with: `cargo run --release -p anyk-bench --bin all_experiments`
+//! Set `ANYK_SCALE=quick|default|paper` to control the input sizes.
+
+use anyk_bench::experiments;
+
+fn main() {
+    let scale = anyk_bench::Scale::from_env();
+    println!("### anyk experiment suite (scale: {scale:?}) ###\n");
+    experiments::fig05::run(scale);
+    println!();
+    experiments::fig09::run(scale);
+    println!();
+    experiments::results_over_time::fig10(scale);
+    experiments::results_over_time::fig11(scale);
+    experiments::results_over_time::fig12(scale);
+    experiments::results_over_time::fig13(scale);
+    println!();
+    experiments::fig14::run(scale);
+    println!();
+    experiments::fig17::run(scale);
+    println!();
+    experiments::sec913::run(scale);
+    println!();
+    experiments::ablation::run(scale);
+}

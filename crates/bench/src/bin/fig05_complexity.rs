@@ -1,0 +1,8 @@
+//! Harness binary: Fig. 5 measured complexity proxy
+//! Run with: `cargo run --release -p anyk-bench --bin fig05_complexity`
+//! Set `ANYK_SCALE=quick|default|paper` to control the input sizes.
+
+fn main() {
+    let scale = anyk_bench::Scale::from_env();
+    anyk_bench::experiments::fig05::run(scale);
+}

@@ -1,0 +1,8 @@
+//! Harness binary: Fig. 9 dataset statistics
+//! Run with: `cargo run --release -p anyk-bench --bin fig09_datasets`
+//! Set `ANYK_SCALE=quick|default|paper` to control the input sizes.
+
+fn main() {
+    let scale = anyk_bench::Scale::from_env();
+    anyk_bench::experiments::fig09::run(scale);
+}

@@ -1,0 +1,8 @@
+//! Harness binary: Fig. 10: queries of size 4 (path/star/cycle) on all datasets
+//! Run with: `cargo run --release -p anyk-bench --bin fig10_size4`
+//! Set `ANYK_SCALE=quick|default|paper` to control the input sizes.
+
+fn main() {
+    let scale = anyk_bench::Scale::from_env();
+    anyk_bench::experiments::results_over_time::fig10(scale);
+}

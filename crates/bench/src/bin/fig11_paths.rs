@@ -1,0 +1,8 @@
+//! Harness binary: Fig. 11: path queries of sizes 3 and 6
+//! Run with: `cargo run --release -p anyk-bench --bin fig11_paths`
+//! Set `ANYK_SCALE=quick|default|paper` to control the input sizes.
+
+fn main() {
+    let scale = anyk_bench::Scale::from_env();
+    anyk_bench::experiments::results_over_time::fig11(scale);
+}

@@ -1,0 +1,8 @@
+//! Harness binary: Fig. 13: cycle queries of size 6
+//! Run with: `cargo run --release -p anyk-bench --bin fig13_cycles`
+//! Set `ANYK_SCALE=quick|default|paper` to control the input sizes.
+
+fn main() {
+    let scale = anyk_bench::Scale::from_env();
+    anyk_bench::experiments::results_over_time::fig13(scale);
+}

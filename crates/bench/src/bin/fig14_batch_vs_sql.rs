@@ -1,0 +1,8 @@
+//! Harness binary: Fig. 14: Batch vs a generic hash-join+sort engine
+//! Run with: `cargo run --release -p anyk-bench --bin fig14_batch_vs_sql`
+//! Set `ANYK_SCALE=quick|default|paper` to control the input sizes.
+
+fn main() {
+    let scale = anyk_bench::Scale::from_env();
+    anyk_bench::experiments::fig14::run(scale);
+}

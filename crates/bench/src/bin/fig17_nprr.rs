@@ -1,0 +1,8 @@
+//! Harness binary: Fig. 17: WCOJ vs any-k TTF scaling on database I1
+//! Run with: `cargo run --release -p anyk-bench --bin fig17_nprr`
+//! Set `ANYK_SCALE=quick|default|paper` to control the input sizes.
+
+fn main() {
+    let scale = anyk_bench::Scale::from_env();
+    anyk_bench::experiments::fig17::run(scale);
+}

@@ -1,0 +1,8 @@
+//! Harness binary: Sec. 9.1.3: rank-join blow-up on database I2
+//! Run with: `cargo run --release -p anyk-bench --bin sec913_rankjoin`
+//! Set `ANYK_SCALE=quick|default|paper` to control the input sizes.
+
+fn main() {
+    let scale = anyk_bench::Scale::from_env();
+    anyk_bench::experiments::sec913::run(scale);
+}

@@ -1,0 +1,219 @@
+//! # anyk-bench
+//!
+//! The experiment harness reproducing the paper's evaluation (§7, §9.1).
+//!
+//! Every table and figure of the evaluation has a corresponding module in
+//! [`experiments`] and a binary in `src/bin/` that prints the same
+//! rows/series the paper reports (see DESIGN.md for the experiment index and
+//! EXPERIMENTS.md for recorded results). Criterion micro-benchmarks live in
+//! `benches/`.
+//!
+//! Experiment sizes default to laptop-friendly values; set the environment
+//! variable `ANYK_SCALE=paper` for larger runs closer to the paper's sizes,
+//! or `ANYK_SCALE=quick` for the smallest smoke-test sizes.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+
+use anyk_core::metrics::EnumerationTrace;
+use anyk_core::AnyKAlgorithm;
+use anyk_engine::{naive_sql, wcoj, RankedQuery, RankingFunction};
+use anyk_query::ConjunctiveQuery;
+use anyk_storage::Database;
+use std::time::{Duration, Instant};
+
+/// Experiment scale selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny sizes for smoke tests (seconds in total).
+    Quick,
+    /// Default sizes: the shape of every figure is visible within minutes.
+    Default,
+    /// Larger sizes approaching the paper's configuration.
+    Paper,
+}
+
+impl Scale {
+    /// Read the scale from the `ANYK_SCALE` environment variable.
+    pub fn from_env() -> Self {
+        match std::env::var("ANYK_SCALE").unwrap_or_default().as_str() {
+            "quick" => Scale::Quick,
+            "paper" => Scale::Paper,
+            _ => Scale::Default,
+        }
+    }
+
+    /// Pick a size by scale: `(quick, default, paper)`.
+    pub fn pick(self, quick: usize, default: usize, paper: usize) -> usize {
+        match self {
+            Scale::Quick => quick,
+            Scale::Default => default,
+            Scale::Paper => paper,
+        }
+    }
+}
+
+/// Timing results for one algorithm on one workload.
+#[derive(Debug, Clone)]
+pub struct AlgoMeasurement {
+    /// Algorithm name (or baseline label).
+    pub name: String,
+    /// Time to the first result.
+    pub ttf: Option<Duration>,
+    /// Time to each requested checkpoint `k` (same order as requested).
+    pub checkpoints: Vec<(usize, Option<Duration>)>,
+    /// Time to the last produced result.
+    pub ttl: Option<Duration>,
+    /// Number of results produced (may be capped by the `limit`).
+    pub produced: usize,
+}
+
+/// Run the given any-k algorithms on a prepared query, producing at most
+/// `limit` answers each, and record the time to each checkpoint.
+pub fn measure_algorithms(
+    prepared: &RankedQuery<'_>,
+    algorithms: &[AnyKAlgorithm],
+    limit: Option<usize>,
+    checkpoints: &[usize],
+) -> Vec<AlgoMeasurement> {
+    let mut out = Vec::new();
+    for &alg in algorithms {
+        let mut trace = EnumerationTrace::new();
+        let mut produced = 0usize;
+        for _ in prepared.enumerate(alg) {
+            trace.record();
+            produced += 1;
+            if let Some(l) = limit {
+                if produced >= l {
+                    break;
+                }
+            }
+        }
+        out.push(AlgoMeasurement {
+            name: alg.name().to_string(),
+            ttf: trace.ttf(),
+            checkpoints: checkpoints.iter().map(|&k| (k, trace.tt(k))).collect(),
+            ttl: trace.ttl(),
+            produced,
+        });
+    }
+    out
+}
+
+/// Measure the "generic SQL engine" baseline (hash joins + sort, no
+/// semi-join reduction): returns (total time, number of results).
+pub fn measure_naive_sql(
+    db: &Database,
+    query: &ConjunctiveQuery,
+    ranking: RankingFunction,
+) -> (Duration, usize) {
+    let start = Instant::now();
+    let out = naive_sql::join_and_sort(db, query, ranking).expect("naive join");
+    (start.elapsed(), out.len())
+}
+
+/// Measure the WCOJ (Generic-Join) + sort baseline: returns (time to the
+/// full sorted output, time of the join alone, number of results).
+pub fn measure_wcoj(
+    db: &Database,
+    query: &ConjunctiveQuery,
+    ranking: RankingFunction,
+) -> (Duration, Duration, usize) {
+    let start = Instant::now();
+    let unsorted = wcoj::generic_join(db, query, ranking).expect("wcoj join");
+    let join_time = start.elapsed();
+    // Sorting cost is what matters for the comparison; the direction of the
+    // order is immaterial for the measurement.
+    let mut weights: Vec<f64> = unsorted.iter().map(|a| a.weight()).collect();
+    weights.sort_by(f64::total_cmp);
+    (start.elapsed(), join_time, unsorted.len())
+}
+
+/// Format an optional duration for table output.
+pub fn fmt_duration(d: Option<Duration>) -> String {
+    match d {
+        Some(d) => {
+            if d.as_secs_f64() >= 1.0 {
+                format!("{:.3}s", d.as_secs_f64())
+            } else {
+                format!("{:.3}ms", d.as_secs_f64() * 1e3)
+            }
+        }
+        None => "-".to_string(),
+    }
+}
+
+/// Print a measurement table with a header and per-algorithm rows.
+pub fn print_measurements(title: &str, rows: &[AlgoMeasurement]) {
+    println!("\n=== {title} ===");
+    let mut header = format!("{:<11} {:>12}", "algorithm", "TTF");
+    if let Some(first) = rows.first() {
+        for (k, _) in &first.checkpoints {
+            header.push_str(&format!(" {:>12}", format!("TT({k})")));
+        }
+    }
+    header.push_str(&format!(" {:>12} {:>12}", "TTL", "#results"));
+    println!("{header}");
+    for row in rows {
+        let mut line = format!("{:<11} {:>12}", row.name, fmt_duration(row.ttf));
+        for (_, t) in &row.checkpoints {
+            line.push_str(&format!(" {:>12}", fmt_duration(*t)));
+        }
+        line.push_str(&format!(
+            " {:>12} {:>12}",
+            fmt_duration(row.ttl),
+            row.produced
+        ));
+        println!("{line}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyk_datagen::{rng, uniform};
+    use anyk_query::QueryBuilder;
+
+    #[test]
+    fn scale_picks_sizes() {
+        assert_eq!(Scale::Quick.pick(1, 2, 3), 1);
+        assert_eq!(Scale::Default.pick(1, 2, 3), 2);
+        assert_eq!(Scale::Paper.pick(1, 2, 3), 3);
+    }
+
+    #[test]
+    fn measurement_runs_every_algorithm() {
+        let db = uniform::path_or_star_database(3, 200, &mut rng(1));
+        let query = QueryBuilder::path(3).build();
+        let prepared = RankedQuery::new(&db, &query).unwrap();
+        let rows = measure_algorithms(&prepared, &AnyKAlgorithm::ALL, Some(50), &[1, 10]);
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            assert!(row.produced <= 50);
+            if row.produced > 0 {
+                assert!(row.ttf.is_some());
+                assert!(row.ttl.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn baselines_measure_without_panicking() {
+        let db = uniform::path_or_star_database(3, 100, &mut rng(2));
+        let query = QueryBuilder::path(3).build();
+        let (t, n) = measure_naive_sql(&db, &query, RankingFunction::SumAscending);
+        assert!(t.as_nanos() > 0);
+        let (total, join, n2) = measure_wcoj(&db, &query, RankingFunction::SumAscending);
+        assert!(total >= join);
+        assert_eq!(n, n2);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(None), "-");
+        assert!(fmt_duration(Some(Duration::from_millis(2))).ends_with("ms"));
+        assert!(fmt_duration(Some(Duration::from_secs(2))).ends_with('s'));
+    }
+}

@@ -1,0 +1,417 @@
+//! The anyK-part family of ranked-enumeration algorithms (Algorithm 1, §4.1).
+//!
+//! anyK-part follows the Lawler/Hoffman–Pavley "repeated partitioning"
+//! paradigm: a candidate describes the best solution of a *subspace* —
+//! solutions that share a fixed prefix of states (in serial stage order) and
+//! deviate at one stage to a specific non-optimal choice, completing the rest
+//! of the stages optimally. A priority queue `Cand` holds one candidate per
+//! explored subspace; popping the minimum yields the next ranked solution and
+//! spawns the candidates of the newly created subspaces.
+//!
+//! ## Candidate weights on trees without an inverse
+//!
+//! A candidate's priority is the weight of the best solution of its subspace:
+//!
+//! ```text
+//!   prefixWeight(1..j−1) ⊗ w(s) ⊗ π₁(s) ⊗ (pending-branch completions at j)
+//! ```
+//!
+//! where the deviation picks state `s` at serial position `j`. The last
+//! factor covers branches that hang off the prefix but lie outside `s`'s
+//! subtree (they are still completed optimally); for serial (path) problems
+//! it is empty. This formulation needs no `⊗`-inverse (§6.2) and costs
+//! `O(ℓ)` per candidate, which is the paper's no-inverse bound.
+
+mod successor;
+
+pub use successor::SuccessorKind;
+use successor::SuccState;
+
+use crate::dioid::Dioid;
+use crate::solution::Solution;
+use crate::tdp::{NodeId, TdpInstance};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Sentinel for "empty prefix" in the prefix arena.
+const NO_PREFIX: u32 = u32::MAX;
+
+/// One entry of the shared-prefix arena. Prefixes are immutable linked lists
+/// so that candidates reference them in `O(1)` instead of copying `O(ℓ)`
+/// states (§4.3.2).
+#[derive(Debug, Clone)]
+struct PrefixEntry<V> {
+    parent: u32,
+    node: NodeId,
+    /// `⊗`-aggregate of the prefix's state weights up to and including `node`.
+    weight: V,
+}
+
+/// A Lawler candidate: the best solution of one subspace.
+#[derive(Debug, Clone)]
+struct Candidate<V> {
+    /// Weight of the best solution in the subspace (the priority).
+    total: V,
+    /// Arena index of the prefix covering serial positions `0..r−1`
+    /// (`NO_PREFIX` for the empty prefix).
+    prefix: u32,
+    /// Serial position of the deviation.
+    r: u32,
+    /// The deviated-to state at position `r`.
+    last: NodeId,
+}
+
+impl<V: Ord> PartialEq for Candidate<V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl<V: Ord> Eq for Candidate<V> {}
+impl<V: Ord> PartialOrd for Candidate<V> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<V: Ord> Ord for Candidate<V> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.total
+            .cmp(&other.total)
+            .then_with(|| self.r.cmp(&other.r))
+            .then_with(|| self.last.cmp(&other.last))
+            .then_with(|| self.prefix.cmp(&other.prefix))
+    }
+}
+
+/// Ranked enumeration over a T-DP instance with the anyK-part strategy.
+///
+/// Construct with [`AnyKPart::new`] and consume as an [`Iterator`] of
+/// [`Solution`]s in non-decreasing weight order. The choice of
+/// [`SuccessorKind`] selects the `Eager` / `Lazy` / `All` / `Take2` variant.
+#[derive(Debug)]
+pub struct AnyKPart<'a, D: Dioid> {
+    inst: &'a TdpInstance<D>,
+    kind: SuccessorKind,
+    structures: HashMap<(NodeId, u32), SuccState<D>>,
+    cand: BinaryHeap<Reverse<Candidate<D::V>>>,
+    arena: Vec<PrefixEntry<D::V>>,
+    started: bool,
+    finished: bool,
+    /// Emitted count (k so far), exposed for instrumentation.
+    emitted: usize,
+}
+
+impl<'a, D: Dioid> AnyKPart<'a, D> {
+    /// Create an enumerator over `inst` using the given successor structure.
+    pub fn new(inst: &'a TdpInstance<D>, kind: SuccessorKind) -> Self {
+        AnyKPart {
+            inst,
+            kind,
+            structures: HashMap::new(),
+            cand: BinaryHeap::new(),
+            arena: Vec::new(),
+            started: false,
+            finished: false,
+            emitted: 0,
+        }
+    }
+
+    /// Number of solutions emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Current size of the candidate priority queue (for the MEM(k) study).
+    pub fn candidate_count(&self) -> usize {
+        self.cand.len()
+    }
+
+    /// The successor structure for the choice set `(state, slot)`, created on
+    /// first access (§7: lazy initialisation keeps TT(k) small for small k).
+    fn structure(&mut self, node: NodeId, slot: u32) -> &mut SuccState<D> {
+        let inst = self.inst;
+        let kind = self.kind;
+        self.structures.entry((node, slot)).or_insert_with(|| {
+            let choices: Vec<_> = inst.choices(node, slot).collect();
+            SuccState::new(kind, choices)
+        })
+    }
+
+    /// Parent state of serial position `pos`, given the solution states
+    /// chosen so far (`states[0..pos]` filled).
+    fn parent_state(&self, states: &[NodeId], pos: usize) -> NodeId {
+        match self.inst.parent_pos(pos) {
+            None => NodeId::ROOT,
+            Some(p) => states[p],
+        }
+    }
+
+    /// Slot (within the parent stage) of the stage at serial position `pos`.
+    fn slot_of(&self, pos: usize) -> u32 {
+        let sid = self.inst.serial_order()[pos];
+        self.inst.stage(sid).slot_in_parent
+    }
+
+    /// `⊗`-aggregate of the optimal completions of the branches that are
+    /// pending at a deviation at position `pos`, given the prefix states.
+    fn pending_completion(&self, states: &[NodeId], pos: usize) -> D::V {
+        let mut acc = D::one();
+        for &(prefix_pos, slot) in self.inst.pending_branches(pos) {
+            let owner = match prefix_pos {
+                None => NodeId::ROOT,
+                Some(p) => states[p],
+            };
+            acc = D::times(&acc, self.inst.branch_opt(owner, slot));
+        }
+        acc
+    }
+
+    fn initialise(&mut self) {
+        self.started = true;
+        if self.inst.solution_len() == 0 || !self.inst.has_solution() {
+            // Degenerate instances: a zero-length problem has exactly one
+            // (empty) solution of weight 1̄; an unsatisfiable one has none.
+            if self.inst.solution_len() == 0 && self.inst.has_solution() {
+                // handled in next(): emit a single empty solution.
+            } else {
+                self.finished = true;
+            }
+            return;
+        }
+        let slot = self.slot_of(0);
+        let top = self.structure(NodeId::ROOT, slot).top();
+        let total = self.inst.optimum().clone();
+        self.cand.push(Reverse(Candidate {
+            total,
+            prefix: NO_PREFIX,
+            r: 0,
+            last: top,
+        }));
+    }
+
+    /// Reconstruct the prefix states (serial positions `0..len`) referenced
+    /// by an arena index.
+    fn prefix_states(&self, mut idx: u32) -> Vec<NodeId> {
+        let mut rev = Vec::new();
+        while idx != NO_PREFIX {
+            let entry = &self.arena[idx as usize];
+            rev.push(entry.node);
+            idx = entry.parent;
+        }
+        rev.reverse();
+        rev
+    }
+
+    fn expand(&mut self, cand: Candidate<D::V>) -> Solution<D> {
+        let ell = self.inst.solution_len();
+        let r = cand.r as usize;
+        let mut states = self.prefix_states(cand.prefix);
+        debug_assert_eq!(states.len(), r);
+        let mut prefix_weight = if cand.prefix == NO_PREFIX {
+            D::one()
+        } else {
+            self.arena[cand.prefix as usize].weight.clone()
+        };
+        let mut prefix_idx = cand.prefix;
+        let mut current = cand.last;
+        let mut succ_buf: Vec<NodeId> = Vec::new();
+
+        for pos in r..ell {
+            // 1. Generate the new candidates of the subspaces created by
+            //    deviating away from `current` at this position.
+            let tail = self.parent_state(&states, pos);
+            let slot = self.slot_of(pos);
+            succ_buf.clear();
+            self.structure(tail, slot).successors(current, &mut succ_buf);
+            if !succ_buf.is_empty() {
+                let pending = self.pending_completion(&states, pos);
+                for i in 0..succ_buf.len() {
+                    let s = succ_buf[i];
+                    let total = D::times(
+                        &D::times(&prefix_weight, &self.inst.choice_value(s)),
+                        &pending,
+                    );
+                    self.cand.push(Reverse(Candidate {
+                        total,
+                        prefix: prefix_idx,
+                        r: pos as u32,
+                        last: s,
+                    }));
+                }
+            }
+
+            // 2. Append `current` to the prefix.
+            prefix_weight = D::times(&prefix_weight, self.inst.weight(current));
+            self.arena.push(PrefixEntry {
+                parent: prefix_idx,
+                node: current,
+                weight: prefix_weight.clone(),
+            });
+            prefix_idx = (self.arena.len() - 1) as u32;
+            states.push(current);
+
+            // 3. Follow the optimal choice into the next position.
+            if pos + 1 < ell {
+                let tail_next = self.parent_state(&states, pos + 1);
+                let slot_next = self.slot_of(pos + 1);
+                current = self.structure(tail_next, slot_next).top();
+            }
+        }
+
+        Solution::new(cand.total, states)
+    }
+}
+
+impl<D: Dioid> Iterator for AnyKPart<'_, D> {
+    type Item = Solution<D>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.finished {
+            return None;
+        }
+        if !self.started {
+            self.initialise();
+            if self.inst.solution_len() == 0 && self.inst.has_solution() {
+                self.finished = true;
+                self.emitted += 1;
+                return Some(Solution::new(D::one(), Vec::new()));
+            }
+            if self.finished {
+                return None;
+            }
+        }
+        match self.cand.pop() {
+            None => {
+                self.finished = true;
+                None
+            }
+            Some(Reverse(cand)) => {
+                let sol = self.expand(cand);
+                self.emitted += 1;
+                Some(sol)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dioid::{OrderedF64, TropicalMin};
+    use crate::tdp::TdpBuilder;
+
+    /// Example 6/8/9 of the paper: the 3-relation Cartesian product.
+    fn cartesian_3() -> TdpInstance<TropicalMin> {
+        let mut b = TdpBuilder::<TropicalMin>::serial(3);
+        let s1: Vec<_> = [1.0, 2.0, 3.0].iter().map(|&w| b.add_state(1, w.into())).collect();
+        let s2: Vec<_> = [10.0, 20.0, 30.0].iter().map(|&w| b.add_state(2, w.into())).collect();
+        let s3: Vec<_> = [100.0, 200.0, 300.0].iter().map(|&w| b.add_state(3, w.into())).collect();
+        for &a in &s1 {
+            b.connect_root(a);
+        }
+        for &a in &s1 {
+            for &c in &s2 {
+                b.connect(a, c);
+            }
+        }
+        for &a in &s2 {
+            for &c in &s3 {
+                b.connect(a, c);
+            }
+        }
+        b.build()
+    }
+
+    fn run(kind: SuccessorKind, inst: &TdpInstance<TropicalMin>) -> Vec<OrderedF64> {
+        AnyKPart::new(inst, kind).map(|s| s.weight).collect()
+    }
+
+    #[test]
+    fn enumerates_cartesian_product_in_order_with_all_variants() {
+        let inst = cartesian_3();
+        // Brute-force expected weights.
+        let mut expected = Vec::new();
+        for a in [1.0, 2.0, 3.0] {
+            for b in [10.0, 20.0, 30.0] {
+                for c in [100.0, 200.0, 300.0] {
+                    expected.push(OrderedF64::from(a + b + c));
+                }
+            }
+        }
+        expected.sort();
+        for kind in [
+            SuccessorKind::Eager,
+            SuccessorKind::Lazy,
+            SuccessorKind::All,
+            SuccessorKind::Take2,
+        ] {
+            let got = run(kind, &inst);
+            assert_eq!(got, expected, "variant {kind:?}");
+        }
+    }
+
+    #[test]
+    fn example_9_first_two_solutions() {
+        let inst = cartesian_3();
+        let sols: Vec<_> = AnyKPart::new(&inst, SuccessorKind::Eager).take(2).collect();
+        assert_eq!(sols[0].weight, OrderedF64::from(111.0));
+        assert_eq!(sols[1].weight, OrderedF64::from(112.0));
+        // The second solution deviates at the first stage ("2" instead of "1").
+        assert_eq!(*inst.weight(sols[1].states[0]), OrderedF64::from(2.0));
+    }
+
+    #[test]
+    fn tree_instance_is_enumerated_completely() {
+        // A star: center with two leaf branches; 2×2 combinations per center.
+        let mut b = TdpBuilder::<TropicalMin>::new();
+        let center = b.add_stage_under_root("center", true);
+        let left = b.add_stage("left", center, true);
+        let right = b.add_stage("right", center, true);
+        let c1 = b.add_state(center.index(), 1.0.into());
+        let c2 = b.add_state(center.index(), 2.0.into());
+        let l1 = b.add_state(left.index(), 10.0.into());
+        let l2 = b.add_state(left.index(), 20.0.into());
+        let r1 = b.add_state(right.index(), 100.0.into());
+        let r2 = b.add_state(right.index(), 200.0.into());
+        for &c in &[c1, c2] {
+            b.connect_root(c);
+            for &l in &[l1, l2] {
+                b.connect(c, l);
+            }
+            for &r in &[r1, r2] {
+                b.connect(c, r);
+            }
+        }
+        let inst = b.build();
+        let mut expected = Vec::new();
+        for c in [1.0, 2.0] {
+            for l in [10.0, 20.0] {
+                for r in [100.0, 200.0] {
+                    expected.push(OrderedF64::from(c + l + r));
+                }
+            }
+        }
+        expected.sort();
+        for kind in [
+            SuccessorKind::Eager,
+            SuccessorKind::Lazy,
+            SuccessorKind::All,
+            SuccessorKind::Take2,
+        ] {
+            assert_eq!(run(kind, &inst), expected, "variant {kind:?}");
+        }
+    }
+
+    #[test]
+    fn empty_instance_yields_nothing() {
+        let inst = TdpBuilder::<TropicalMin>::serial(2).build();
+        assert_eq!(run(SuccessorKind::Take2, &inst).len(), 0);
+    }
+
+    #[test]
+    fn weights_match_recomputation_from_states() {
+        let inst = cartesian_3();
+        for sol in AnyKPart::new(&inst, SuccessorKind::Take2) {
+            assert_eq!(sol.weight, sol.recompute_weight(&inst));
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! Successor structures for the anyK-part family (§4.1.3).
+//!
+//! Algorithm 1 is parameterised by how the choice set `Choices₁(s)` of a
+//! state is organised and how `Succ(s, y)` — "which choices may follow `y`" —
+//! is answered. The four instantiations studied in the paper are implemented
+//! here:
+//!
+//! * [`SuccessorKind::Eager`]: choice sets are fully sorted (lazily, on first
+//!   access); the successor of a choice is the next one in sort order.
+//! * [`SuccessorKind::Lazy`]: choice sets are binary heaps that are
+//!   incrementally drained into a sorted list (Chang et al.); asymptotically
+//!   cheaper pre-processing than `Eager`.
+//! * [`SuccessorKind::All`]: no pre-processing at all; when the best choice
+//!   is expanded, *all* other choices become candidates at once (Yang et al.).
+//! * [`SuccessorKind::Take2`]: the paper's new structure — the choice set is
+//!   heapified once (linear time) and the "successors" of a choice are its
+//!   two children in the heap's tree order. The heap is never popped; it only
+//!   serves as a partial order that is compatible with the weight order.
+
+use crate::dioid::Dioid;
+use crate::tdp::NodeId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+/// Which successor structure an [`crate::AnyKPart`] enumerator uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SuccessorKind {
+    /// Fully sort every choice set on first access.
+    Eager,
+    /// Incrementally convert a per-choice-set heap into a sorted list.
+    Lazy,
+    /// Return every non-optimal choice as a successor of the optimal one.
+    All,
+    /// Heapify once; successors of a choice are its two heap children.
+    Take2,
+}
+
+/// A single choice: a successor state together with the value
+/// `w(s') ⊗ π₁(s')` of the best solution using it.
+pub(crate) type Choice<V> = (NodeId, V);
+
+/// The per-(state, slot) successor structure. Created lazily by the
+/// enumerator the first time a choice set is touched.
+#[derive(Debug)]
+pub(crate) enum SuccState<D: Dioid> {
+    Eager(EagerChoices<D::V>),
+    Lazy(LazyChoices<D::V>),
+    All(AllChoices<D::V>),
+    Take2(Take2Choices<D::V>),
+}
+
+impl<D: Dioid> SuccState<D> {
+    /// Build the structure for a choice set. `choices` must be non-empty and
+    /// contain only unpruned successors.
+    pub(crate) fn new(kind: SuccessorKind, choices: Vec<Choice<D::V>>) -> Self {
+        debug_assert!(!choices.is_empty());
+        match kind {
+            SuccessorKind::Eager => SuccState::Eager(EagerChoices::new(choices)),
+            SuccessorKind::Lazy => SuccState::Lazy(LazyChoices::new(choices)),
+            SuccessorKind::All => SuccState::All(AllChoices::new(choices)),
+            SuccessorKind::Take2 => SuccState::Take2(Take2Choices::new(choices)),
+        }
+    }
+
+    /// The best choice of the set (the one followed by optimal expansion).
+    pub(crate) fn top(&self) -> NodeId {
+        match self {
+            SuccState::Eager(s) => s.top(),
+            SuccState::Lazy(s) => s.top(),
+            SuccState::All(s) => s.top(),
+            SuccState::Take2(s) => s.top(),
+        }
+    }
+
+    /// Append to `out` the successors of the choice leading to `current`.
+    ///
+    /// The contract (sufficient for the correctness of Algorithm 1) is that
+    /// the true next-best choice after `current` is either appended here or
+    /// was already produced as a successor of an earlier choice of this set
+    /// under the same prefix.
+    pub(crate) fn successors(&mut self, current: NodeId, out: &mut Vec<NodeId>) {
+        match self {
+            SuccState::Eager(s) => s.successors(current, out),
+            SuccState::Lazy(s) => s.successors(current, out),
+            SuccState::All(s) => s.successors(current, out),
+            SuccState::Take2(s) => s.successors(current, out),
+        }
+    }
+}
+
+fn sort_key<V: Ord + Clone>(c: &Choice<V>) -> (V, NodeId) {
+    (c.1.clone(), c.0)
+}
+
+// ---------------------------------------------------------------------------
+// Eager
+// ---------------------------------------------------------------------------
+
+/// Fully sorted choice list with a position index.
+#[derive(Debug)]
+pub(crate) struct EagerChoices<V> {
+    sorted: Vec<Choice<V>>,
+    position: HashMap<NodeId, usize>,
+}
+
+impl<V: Ord + Clone> EagerChoices<V> {
+    fn new(mut choices: Vec<Choice<V>>) -> Self {
+        choices.sort_by_key(sort_key);
+        let position = choices
+            .iter()
+            .enumerate()
+            .map(|(i, (n, _))| (*n, i))
+            .collect();
+        EagerChoices {
+            sorted: choices,
+            position,
+        }
+    }
+
+    fn top(&self) -> NodeId {
+        self.sorted[0].0
+    }
+
+    fn successors(&self, current: NodeId, out: &mut Vec<NodeId>) {
+        let idx = self.position[&current];
+        if let Some((next, _)) = self.sorted.get(idx + 1) {
+            out.push(*next);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lazy
+// ---------------------------------------------------------------------------
+
+/// A binary heap that is drained into a sorted prefix on demand. Following
+/// §4.1.3, the top two choices are materialised eagerly because almost every
+/// successor request asks for the second-best choice.
+#[derive(Debug)]
+pub(crate) struct LazyChoices<V> {
+    sorted: Vec<Choice<V>>,
+    heap: BinaryHeap<Reverse<(V, NodeId)>>,
+    position: HashMap<NodeId, usize>,
+}
+
+impl<V: Ord + Clone> LazyChoices<V> {
+    fn new(choices: Vec<Choice<V>>) -> Self {
+        let heap: BinaryHeap<Reverse<(V, NodeId)>> =
+            choices.into_iter().map(|(n, v)| Reverse((v, n))).collect();
+        let mut lazy = LazyChoices {
+            sorted: Vec::new(),
+            heap,
+            position: HashMap::new(),
+        };
+        // Pop the top two choices up front (§4.1.3): almost every successor
+        // request during result expansion asks for the second-best choice.
+        for _ in 0..2 {
+            if lazy.heap.is_empty() {
+                break;
+            }
+            lazy.pop_into_sorted();
+        }
+        lazy
+    }
+
+    fn pop_into_sorted(&mut self) {
+        if let Some(Reverse((v, n))) = self.heap.pop() {
+            self.position.insert(n, self.sorted.len());
+            self.sorted.push((n, v));
+        }
+    }
+
+    fn top(&self) -> NodeId {
+        self.sorted[0].0
+    }
+
+    fn successors(&mut self, current: NodeId, out: &mut Vec<NodeId>) {
+        let idx = match self.position.get(&current) {
+            Some(&i) => i,
+            None => {
+                // `current` has not been drained yet: drain until it appears.
+                while !self.position.contains_key(&current) {
+                    debug_assert!(!self.heap.is_empty(), "choice not present in set");
+                    self.pop_into_sorted();
+                }
+                self.position[&current]
+            }
+        };
+        while self.sorted.len() <= idx + 1 && !self.heap.is_empty() {
+            self.pop_into_sorted();
+        }
+        if let Some((next, _)) = self.sorted.get(idx + 1) {
+            out.push(*next);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// All
+// ---------------------------------------------------------------------------
+
+/// No pre-processing: only the best choice is identified. When it is
+/// expanded, every other choice is returned as a potential successor; all
+/// other choices have an empty successor set (their true successors were
+/// inserted together with them).
+#[derive(Debug)]
+pub(crate) struct AllChoices<V> {
+    choices: Vec<Choice<V>>,
+    top_idx: usize,
+}
+
+impl<V: Ord + Clone> AllChoices<V> {
+    fn new(choices: Vec<Choice<V>>) -> Self {
+        let top_idx = choices
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| sort_key(c))
+            .map(|(i, _)| i)
+            .expect("non-empty choice set");
+        AllChoices { choices, top_idx }
+    }
+
+    fn top(&self) -> NodeId {
+        self.choices[self.top_idx].0
+    }
+
+    fn successors(&self, current: NodeId, out: &mut Vec<NodeId>) {
+        if current == self.top() {
+            out.extend(
+                self.choices
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != self.top_idx)
+                    .map(|(_, (n, _))| *n),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Take2
+// ---------------------------------------------------------------------------
+
+/// The choice set stored as an array-embedded binary min-heap (built once in
+/// linear time). The heap is never popped: `Succ(s, y)` returns the (at most
+/// two) children of `y` in the heap tree, whose values are ≥ `y`'s value, so
+/// inserting them the moment `y` is expanded never violates rank order, and
+/// every choice is produced exactly once — by its unique heap parent.
+#[derive(Debug)]
+pub(crate) struct Take2Choices<V> {
+    heap: Vec<Choice<V>>,
+    position: HashMap<NodeId, usize>,
+}
+
+impl<V: Ord + Clone> Take2Choices<V> {
+    fn new(mut choices: Vec<Choice<V>>) -> Self {
+        heapify_min(&mut choices);
+        let position = choices
+            .iter()
+            .enumerate()
+            .map(|(i, (n, _))| (*n, i))
+            .collect();
+        Take2Choices {
+            heap: choices,
+            position,
+        }
+    }
+
+    fn top(&self) -> NodeId {
+        self.heap[0].0
+    }
+
+    fn successors(&self, current: NodeId, out: &mut Vec<NodeId>) {
+        let idx = self.position[&current];
+        for child in [2 * idx + 1, 2 * idx + 2] {
+            if let Some((n, _)) = self.heap.get(child) {
+                out.push(*n);
+            }
+        }
+    }
+}
+
+/// Floyd's linear-time bottom-up heap construction for an array-embedded
+/// binary min-heap ordered by `(value, node id)`.
+fn heapify_min<V: Ord + Clone>(v: &mut [Choice<V>]) {
+    let n = v.len();
+    if n <= 1 {
+        return;
+    }
+    for start in (0..n / 2).rev() {
+        sift_down(v, start);
+    }
+}
+
+fn sift_down<V: Ord + Clone>(v: &mut [Choice<V>], mut i: usize) {
+    let n = v.len();
+    loop {
+        let l = 2 * i + 1;
+        let r = 2 * i + 2;
+        let mut smallest = i;
+        if l < n && sort_key(&v[l]) < sort_key(&v[smallest]) {
+            smallest = l;
+        }
+        if r < n && sort_key(&v[r]) < sort_key(&v[smallest]) {
+            smallest = r;
+        }
+        if smallest == i {
+            return;
+        }
+        v.swap(i, smallest);
+        i = smallest;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dioid::{OrderedF64, TropicalMin};
+
+    fn choices(vals: &[f64]) -> Vec<Choice<OrderedF64>> {
+        vals.iter()
+            .enumerate()
+            .map(|(i, &v)| (NodeId(i as u32 + 1), OrderedF64::from(v)))
+            .collect()
+    }
+
+    #[test]
+    fn eager_returns_true_successor() {
+        let mut s = SuccState::<TropicalMin>::new(SuccessorKind::Eager, choices(&[5.0, 1.0, 3.0]));
+        assert_eq!(s.top(), NodeId(2));
+        let mut out = Vec::new();
+        s.successors(NodeId(2), &mut out);
+        assert_eq!(out, vec![NodeId(3)]);
+        out.clear();
+        s.successors(NodeId(3), &mut out);
+        assert_eq!(out, vec![NodeId(1)]);
+        out.clear();
+        s.successors(NodeId(1), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn lazy_drains_incrementally_and_matches_eager() {
+        let vals = [8.0, 2.0, 9.0, 4.0, 6.0];
+        let mut lazy = SuccState::<TropicalMin>::new(SuccessorKind::Lazy, choices(&vals));
+        let mut eager = SuccState::<TropicalMin>::new(SuccessorKind::Eager, choices(&vals));
+        assert_eq!(lazy.top(), eager.top());
+        let mut cur = lazy.top();
+        // Walk the entire chain of true successors through both structures.
+        for _ in 0..vals.len() {
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            lazy.successors(cur, &mut a);
+            eager.successors(cur, &mut b);
+            assert_eq!(a, b);
+            match a.first() {
+                Some(&n) => cur = n,
+                None => break,
+            }
+        }
+    }
+
+    #[test]
+    fn all_returns_everything_for_top_and_nothing_otherwise() {
+        let mut s = SuccState::<TropicalMin>::new(SuccessorKind::All, choices(&[5.0, 1.0, 3.0]));
+        let mut out = Vec::new();
+        s.successors(NodeId(2), &mut out);
+        out.sort();
+        assert_eq!(out, vec![NodeId(1), NodeId(3)]);
+        out.clear();
+        s.successors(NodeId(3), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn take2_heap_children_cover_all_choices_exactly_once() {
+        let vals = [7.0, 3.0, 9.0, 1.0, 5.0, 2.0, 8.0];
+        let mut s = SuccState::<TropicalMin>::new(SuccessorKind::Take2, choices(&vals));
+        // BFS from the top: every choice must be reached exactly once.
+        let mut seen = vec![s.top()];
+        let mut frontier = vec![s.top()];
+        while let Some(cur) = frontier.pop() {
+            let mut out = Vec::new();
+            s.successors(cur, &mut out);
+            for n in out {
+                assert!(!seen.contains(&n), "duplicate successor {n:?}");
+                seen.push(n);
+                frontier.push(n);
+            }
+        }
+        assert_eq!(seen.len(), vals.len());
+    }
+
+    #[test]
+    fn take2_children_are_never_lighter_than_parent() {
+        let vals = [7.0, 3.0, 9.0, 1.0, 5.0, 2.0, 8.0, 4.0, 6.0];
+        let cs = choices(&vals);
+        let lookup: HashMap<NodeId, OrderedF64> = cs.iter().cloned().collect();
+        let mut s = SuccState::<TropicalMin>::new(SuccessorKind::Take2, cs);
+        let mut frontier = vec![s.top()];
+        while let Some(cur) = frontier.pop() {
+            let mut out = Vec::new();
+            s.successors(cur, &mut out);
+            for n in out {
+                assert!(lookup[&n] >= lookup[&cur]);
+                frontier.push(n);
+            }
+        }
+    }
+}

@@ -1,0 +1,574 @@
+//! The anyK-rec algorithm `Recursive` (Algorithm 2, §4.2), generalised to
+//! tree-based DP (§5.1).
+//!
+//! anyK-rec rests on a generalised principle of optimality: if the k-th best
+//! solution from a state `s` continues through child `s'` using `s'`'s
+//! j-th best subtree solution, then the *next* solution from `s` through `s'`
+//! uses `s'`'s (j+1)-st best subtree solution. Every state therefore
+//! maintains a **ranked stream** of its subtree solutions, materialised
+//! lazily and *shared* among all states that can reach it — this reuse of
+//! ranked suffixes is what makes `Recursive` asymptotically faster than
+//! sorting for full-result enumeration on some instances (Theorem 11).
+//!
+//! Following Algorithm 2, the replacement of a popped choice (`next` on the
+//! child) is **deferred** until the following solution is requested ("peek
+//! instead of popping; the pop happens in the following call"), so producing
+//! the top-1 result does not force any deeper rank to be materialised.
+//!
+//! For a state with several child stages, a subtree solution combines one
+//! branch solution per child stage; the combinations are ranked lazily over
+//! the Cartesian product of the per-branch streams using the duplicate-free
+//! "increment at or after the last non-zero coordinate" frontier scheme —
+//! the paper's anyK-part-over-the-product construction specialised to the
+//! case where the per-branch streams are already produced in sorted order.
+
+use crate::dioid::Dioid;
+use crate::solution::Solution;
+use crate::tdp::{NodeId, TdpInstance};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A ranked solution of a single branch `(state, child slot)`: continue into
+/// `child` and use that child's `rank`-th subtree solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct BranchSol<V> {
+    /// `w(child) ⊗ (weight of child's rank-th subtree solution)`.
+    weight: V,
+    child: NodeId,
+    rank: u32,
+}
+
+impl<V: Ord> PartialOrd for BranchSol<V> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<V: Ord> Ord for BranchSol<V> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.weight
+            .cmp(&other.weight)
+            .then_with(|| self.child.cmp(&other.child))
+            .then_with(|| self.rank.cmp(&other.rank))
+    }
+}
+
+/// The lazily ranked stream `Π_j(s, c)` of solutions of one branch.
+#[derive(Debug)]
+struct BranchStream<V> {
+    sorted: Vec<BranchSol<V>>,
+    frontier: BinaryHeap<Reverse<BranchSol<V>>>,
+    /// True if the replacement ("next through the same child") of the most
+    /// recently committed element has not been generated yet.
+    pending: bool,
+}
+
+/// A ranked combination of branch solutions at a multi-child state: one rank
+/// per child slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct MultiSol<V> {
+    weight: V,
+    ranks: Vec<u32>,
+}
+
+impl<V: Ord> PartialOrd for MultiSol<V> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<V: Ord> Ord for MultiSol<V> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.weight
+            .cmp(&other.weight)
+            .then_with(|| self.ranks.cmp(&other.ranks))
+    }
+}
+
+/// The lazily ranked stream of *subtree* solutions of a multi-child state.
+#[derive(Debug)]
+struct MultiStream<V> {
+    sorted: Vec<MultiSol<V>>,
+    frontier: BinaryHeap<Reverse<MultiSol<V>>>,
+    pending: bool,
+}
+
+/// The lazily ranked stream of subtree solutions of a state.
+#[derive(Debug)]
+enum SubtreeStream<V> {
+    /// Leaf stage: exactly one (empty) subtree solution of weight `1̄`.
+    Leaf,
+    /// Exactly one child slot: the subtree stream *is* the branch stream.
+    Single,
+    /// Two or more child slots: ranked Cartesian product of branch streams.
+    Multi(MultiStream<V>),
+}
+
+/// Ranked enumeration with the `Recursive` (REA) strategy.
+///
+/// Construct with [`Recursive::new`] and consume as an [`Iterator`] of
+/// [`Solution`]s in non-decreasing weight order.
+#[derive(Debug)]
+pub struct Recursive<'a, D: Dioid> {
+    inst: &'a TdpInstance<D>,
+    /// Per node, per child slot: the branch stream (lazily initialised).
+    branch: Vec<Vec<Option<BranchStream<D::V>>>>,
+    /// Per node: the subtree stream (lazily initialised).
+    subtree: Vec<Option<SubtreeStream<D::V>>>,
+    next_rank: usize,
+    finished: bool,
+}
+
+impl<'a, D: Dioid> Recursive<'a, D> {
+    /// Create an enumerator over `inst`.
+    pub fn new(inst: &'a TdpInstance<D>) -> Self {
+        let branch = (0..inst.num_nodes())
+            .map(|i| {
+                let stage = inst.node(NodeId(i as u32)).stage;
+                let slots = inst.stage(stage).children.len();
+                (0..slots).map(|_| None).collect::<Vec<_>>()
+            })
+            .collect();
+        Recursive {
+            inst,
+            branch,
+            subtree: (0..inst.num_nodes()).map(|_| None).collect(),
+            next_rank: 0,
+            finished: false,
+        }
+    }
+
+    /// Total number of suffix (branch-stream) elements materialised so far —
+    /// the quantity whose sum drives Recursive's amortised TTL (Theorem 11).
+    pub fn materialised_suffixes(&self) -> usize {
+        self.branch
+            .iter()
+            .flatten()
+            .filter_map(|b| b.as_ref())
+            .map(|b| b.sorted.len())
+            .sum()
+    }
+
+    // -- branch streams ----------------------------------------------------
+
+    fn ensure_branch_init(&mut self, node: NodeId, slot: u32) {
+        if self.branch[node.index()][slot as usize].is_some() {
+            return;
+        }
+        // Choices₁(s): one entry per unpruned successor, at rank 0; the value
+        // w(t) ⊗ π₁(t) was already computed by the bottom-up phase.
+        let frontier: BinaryHeap<Reverse<BranchSol<D::V>>> = self
+            .inst
+            .choices(node, slot)
+            .map(|(child, value)| {
+                Reverse(BranchSol {
+                    weight: value,
+                    child,
+                    rank: 0,
+                })
+            })
+            .collect();
+        self.branch[node.index()][slot as usize] = Some(BranchStream {
+            sorted: Vec::new(),
+            frontier,
+            pending: false,
+        });
+    }
+
+    /// Weight of the `rank`-th solution of branch `(node, slot)`, or `None`
+    /// if the branch has fewer solutions. Materialises lazily.
+    fn branch_weight(&mut self, node: NodeId, slot: u32, rank: usize) -> Option<D::V> {
+        self.ensure_branch_init(node, slot);
+        loop {
+            // Fast path: already materialised.
+            {
+                let stream = self.branch[node.index()][slot as usize].as_ref().unwrap();
+                if let Some(sol) = stream.sorted.get(rank) {
+                    return Some(sol.weight.clone());
+                }
+            }
+            // Deferred replacement of the last committed element (Algorithm 2
+            // line 26–31): generate "next through the same child" before the
+            // next pop.
+            let pending_sol = {
+                let stream = self.branch[node.index()][slot as usize].as_mut().unwrap();
+                if stream.pending {
+                    stream.pending = false;
+                    stream.sorted.last().cloned()
+                } else {
+                    None
+                }
+            };
+            if let Some(last) = pending_sol {
+                let next_rank = last.rank + 1;
+                let replacement = self
+                    .subtree_weight(last.child, next_rank as usize)
+                    .map(|w| BranchSol {
+                        weight: D::times(self.inst.weight(last.child), &w),
+                        child: last.child,
+                        rank: next_rank,
+                    });
+                if let Some(rep) = replacement {
+                    let stream = self.branch[node.index()][slot as usize].as_mut().unwrap();
+                    stream.frontier.push(Reverse(rep));
+                }
+            }
+            // Commit the next-lightest frontier entry.
+            let stream = self.branch[node.index()][slot as usize].as_mut().unwrap();
+            match stream.frontier.pop() {
+                None => return None,
+                Some(Reverse(best)) => {
+                    stream.sorted.push(best);
+                    stream.pending = true;
+                }
+            }
+        }
+    }
+
+    fn branch_sol(&self, node: NodeId, slot: u32, rank: usize) -> &BranchSol<D::V> {
+        self.branch[node.index()][slot as usize]
+            .as_ref()
+            .expect("branch stream initialised")
+            .sorted
+            .get(rank)
+            .expect("branch solution materialised")
+    }
+
+    // -- subtree streams ---------------------------------------------------
+
+    fn ensure_subtree_init(&mut self, node: NodeId) {
+        if self.subtree[node.index()].is_some() {
+            return;
+        }
+        let stage = self.inst.node(node).stage;
+        let slots = self.inst.stage(stage).children.len();
+        let stream = match slots {
+            0 => SubtreeStream::Leaf,
+            1 => SubtreeStream::Single,
+            _ => {
+                // Seed the product frontier with the all-zeros rank vector.
+                let mut weight = D::one();
+                let mut ok = true;
+                for slot in 0..slots {
+                    match self.branch_weight(node, slot as u32, 0) {
+                        Some(w) => weight = D::times(&weight, &w),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                let mut frontier = BinaryHeap::new();
+                if ok {
+                    frontier.push(Reverse(MultiSol {
+                        weight,
+                        ranks: vec![0; slots],
+                    }));
+                }
+                SubtreeStream::Multi(MultiStream {
+                    sorted: Vec::new(),
+                    frontier,
+                    pending: false,
+                })
+            }
+        };
+        self.subtree[node.index()] = Some(stream);
+    }
+
+    /// Weight of the `rank`-th subtree solution of `node`, or `None`.
+    fn subtree_weight(&mut self, node: NodeId, rank: usize) -> Option<D::V> {
+        self.ensure_subtree_init(node);
+        match self.subtree[node.index()].as_ref().unwrap() {
+            SubtreeStream::Leaf => {
+                return if rank == 0 { Some(D::one()) } else { None };
+            }
+            SubtreeStream::Single => {
+                return self.branch_weight(node, 0, rank);
+            }
+            SubtreeStream::Multi(_) => {}
+        }
+        loop {
+            {
+                let SubtreeStream::Multi(m) = self.subtree[node.index()].as_ref().unwrap() else {
+                    unreachable!()
+                };
+                if let Some(sol) = m.sorted.get(rank) {
+                    return Some(sol.weight.clone());
+                }
+            }
+            // Deferred successor generation for the last committed element.
+            let pending_sol = {
+                let SubtreeStream::Multi(m) = self.subtree[node.index()].as_mut().unwrap() else {
+                    unreachable!()
+                };
+                if m.pending {
+                    m.pending = false;
+                    m.sorted.last().cloned()
+                } else {
+                    None
+                }
+            };
+            if let Some(last) = pending_sol {
+                let successors = self.multi_successors(node, &last);
+                let SubtreeStream::Multi(m) = self.subtree[node.index()].as_mut().unwrap() else {
+                    unreachable!()
+                };
+                for s in successors {
+                    m.frontier.push(Reverse(s));
+                }
+            }
+            // Commit the next-lightest combination.
+            let SubtreeStream::Multi(m) = self.subtree[node.index()].as_mut().unwrap() else {
+                unreachable!()
+            };
+            match m.frontier.pop() {
+                None => return None,
+                Some(Reverse(best)) => {
+                    m.sorted.push(best);
+                    m.pending = true;
+                }
+            }
+        }
+    }
+
+    /// Duplicate-free successors of a combination in the ranked Cartesian
+    /// product: increment coordinate `i` only for `i ≥` the last non-zero
+    /// coordinate, so every combination has a unique, lighter predecessor.
+    fn multi_successors(&mut self, node: NodeId, last: &MultiSol<D::V>) -> Vec<MultiSol<D::V>> {
+        let slots = last.ranks.len();
+        let last_nonzero = last.ranks.iter().rposition(|&r| r > 0).unwrap_or(0);
+        let mut successors = Vec::new();
+        for slot in last_nonzero..slots {
+            let mut ranks = last.ranks.clone();
+            ranks[slot] += 1;
+            // Recompute the combination weight from scratch — no ⊗-inverse
+            // required (§6.2), O(number of branches) per successor.
+            let mut weight = D::one();
+            let mut ok = true;
+            for (s, &r) in ranks.iter().enumerate() {
+                match self.branch_weight(node, s as u32, r as usize) {
+                    Some(w) => weight = D::times(&weight, &w),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                successors.push(MultiSol { weight, ranks });
+            }
+        }
+        successors
+    }
+
+    // -- assembly ----------------------------------------------------------
+
+    /// Collect the states of `node`'s `rank`-th subtree solution in serial
+    /// (DFS, slot-ordered) stage order, materialising referenced descendant
+    /// solutions on demand.
+    fn collect_states(&mut self, node: NodeId, rank: usize, out: &mut Vec<NodeId>) {
+        // Ensure the solution (and hence its per-branch references) exists.
+        let ensured = self.subtree_weight(node, rank);
+        debug_assert!(ensured.is_some(), "assembling a non-existent solution");
+        let stage = self.inst.node(node).stage;
+        let slots = self.inst.stage(stage).children.len();
+        if slots == 0 {
+            return;
+        }
+        let ranks: Vec<u32> = if slots == 1 {
+            vec![rank as u32]
+        } else {
+            let SubtreeStream::Multi(m) = self.subtree[node.index()].as_ref().unwrap() else {
+                unreachable!()
+            };
+            m.sorted[rank].ranks.clone()
+        };
+        for (slot, &r) in ranks.iter().enumerate() {
+            // The branch solution is materialised (subtree_weight above
+            // guarantees it), so this lookup cannot fail.
+            let (child, child_rank) = {
+                let sol = self.branch_sol(node, slot as u32, r as usize);
+                (sol.child, sol.rank as usize)
+            };
+            out.push(child);
+            self.collect_states(child, child_rank, out);
+        }
+    }
+}
+
+impl<D: Dioid> Iterator for Recursive<'_, D> {
+    type Item = Solution<D>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.finished {
+            return None;
+        }
+        if !self.inst.has_solution() {
+            self.finished = true;
+            return None;
+        }
+        let rank = self.next_rank;
+        match self.subtree_weight(NodeId::ROOT, rank) {
+            None => {
+                self.finished = true;
+                None
+            }
+            Some(weight) => {
+                self.next_rank += 1;
+                let mut states = Vec::with_capacity(self.inst.solution_len());
+                self.collect_states(NodeId::ROOT, rank, &mut states);
+                debug_assert_eq!(states.len(), self.inst.solution_len());
+                Some(Solution::new(weight, states))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dioid::{OrderedF64, TropicalMin};
+    use crate::tdp::TdpBuilder;
+
+    fn cartesian(per_stage: &[&[f64]]) -> TdpInstance<TropicalMin> {
+        let mut b = TdpBuilder::<TropicalMin>::serial(per_stage.len());
+        let mut ids: Vec<Vec<NodeId>> = Vec::new();
+        for (i, ws) in per_stage.iter().enumerate() {
+            ids.push(ws.iter().map(|&w| b.add_state(i + 1, w.into())).collect());
+        }
+        for &a in &ids[0] {
+            b.connect_root(a);
+        }
+        for i in 0..per_stage.len() - 1 {
+            for &a in &ids[i] {
+                for &c in &ids[i + 1] {
+                    b.connect(a, c);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn matches_brute_force_on_cartesian_product() {
+        let inst = cartesian(&[&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0], &[100.0, 200.0, 300.0]]);
+        let got: Vec<OrderedF64> = Recursive::new(&inst).map(|s| s.weight).collect();
+        let mut expected = Vec::new();
+        for a in [1.0, 2.0, 3.0] {
+            for b in [10.0, 20.0, 30.0] {
+                for c in [100.0, 200.0, 300.0] {
+                    expected.push(OrderedF64::from(a + b + c));
+                }
+            }
+        }
+        expected.sort();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn example_10_first_solutions() {
+        // Figure 4 of the paper: the first few solutions of Example 6.
+        let inst = cartesian(&[&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0], &[100.0, 200.0, 300.0]]);
+        let first: Vec<OrderedF64> = Recursive::new(&inst).take(4).map(|s| s.weight).collect();
+        assert_eq!(
+            first,
+            vec![
+                OrderedF64::from(111.0),
+                OrderedF64::from(112.0),
+                OrderedF64::from(113.0),
+                OrderedF64::from(121.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn top1_does_not_materialise_deep_suffixes() {
+        // Producing only the first result must touch one suffix per stage
+        // (plus none deeper), not force rank-1/2 solutions anywhere.
+        let inst = cartesian(&[&[1.0, 2.0], &[1.0, 2.0], &[1.0, 2.0], &[1.0, 2.0]]);
+        let mut rec = Recursive::new(&inst);
+        let _ = rec.next().unwrap();
+        assert!(
+            rec.materialised_suffixes() <= inst.solution_len() + 1,
+            "top-1 materialised {} suffixes",
+            rec.materialised_suffixes()
+        );
+    }
+
+    #[test]
+    fn star_tree_products_are_ranked_without_duplicates() {
+        let mut b = TdpBuilder::<TropicalMin>::new();
+        let center = b.add_stage_under_root("center", true);
+        let left = b.add_stage("left", center, true);
+        let right = b.add_stage("right", center, true);
+        let c1 = b.add_state(center.index(), 1.0.into());
+        let c2 = b.add_state(center.index(), 5.0.into());
+        let ls: Vec<_> = [10.0, 20.0, 30.0]
+            .iter()
+            .map(|&w| b.add_state(left.index(), w.into()))
+            .collect();
+        let rs: Vec<_> = [100.0, 200.0]
+            .iter()
+            .map(|&w| b.add_state(right.index(), w.into()))
+            .collect();
+        for &c in &[c1, c2] {
+            b.connect_root(c);
+            for &l in &ls {
+                b.connect(c, l);
+            }
+            for &r in &rs {
+                b.connect(c, r);
+            }
+        }
+        let inst = b.build();
+        let sols: Vec<_> = Recursive::new(&inst).collect();
+        assert_eq!(sols.len(), 12);
+        for w in sols.windows(2) {
+            assert!(w[0].weight <= w[1].weight);
+        }
+        let mut witnesses: Vec<Vec<NodeId>> = sols.iter().map(|s| s.states.clone()).collect();
+        witnesses.sort();
+        witnesses.dedup();
+        assert_eq!(witnesses.len(), 12);
+    }
+
+    #[test]
+    fn weights_match_recomputation() {
+        let inst = cartesian(&[&[3.0, 1.0], &[4.0, 2.0], &[9.0, 5.0], &[7.0, 6.0]]);
+        for sol in Recursive::new(&inst) {
+            assert_eq!(sol.weight, sol.recompute_weight(&inst));
+        }
+    }
+
+    #[test]
+    fn empty_instance_yields_nothing() {
+        let inst = TdpBuilder::<TropicalMin>::serial(3).build();
+        assert_eq!(Recursive::new(&inst).count(), 0);
+    }
+
+    #[test]
+    fn suffix_sharing_across_parents() {
+        // Two stage-1 states lead to the same stage-2 state: after full
+        // enumeration the shared suffix stream must have been materialised
+        // only once (2 sorted entries at the shared node's branch, not 4).
+        let mut b = TdpBuilder::<TropicalMin>::serial(3);
+        let a1 = b.add_state(1, 1.0.into());
+        let a2 = b.add_state(1, 2.0.into());
+        let shared = b.add_state(2, 5.0.into());
+        let c1 = b.add_state(3, 7.0.into());
+        let c2 = b.add_state(3, 9.0.into());
+        b.connect_root(a1);
+        b.connect_root(a2);
+        b.connect(a1, shared);
+        b.connect(a2, shared);
+        b.connect(shared, c1);
+        b.connect(shared, c2);
+        let inst = b.build();
+        let mut rec = Recursive::new(&inst);
+        let all: Vec<_> = rec.by_ref().collect();
+        assert_eq!(all.len(), 4);
+        // Branch stream of `shared` holds its two suffixes exactly once.
+        assert_eq!(
+            rec.branch[shared.index()][0].as_ref().unwrap().sorted.len(),
+            2
+        );
+    }
+}

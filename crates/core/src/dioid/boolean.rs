@@ -1,0 +1,72 @@
+//! The Boolean dioid: standard (unranked) query evaluation as a ranking.
+
+use super::Dioid;
+use std::cmp::Ordering;
+
+/// A Boolean "weight" with the inverted order `1 ≤ 0` used in §6.4: `true`
+/// (the answer exists) ranks ahead of `false`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BoolRank(pub bool);
+
+impl PartialOrd for BoolRank {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BoolRank {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // true < false : tuples that exist come first, non-existent ones are 0̄.
+        other.0.cmp(&self.0)
+    }
+}
+
+/// The Boolean semiring `({0,1}, ∨, ∧, 0, 1)` with the order inverted so that
+/// `∨` is selective-minimum (§6.4).
+///
+/// Running any any-k algorithm under this dioid performs standard full-query
+/// evaluation: every answer has weight `true` and is enumerated before the
+/// (absent) `false` ones; priority-queue maintenance degenerates to
+/// constant-time work per element, matching the paper's observation that the
+/// framework then matches the best known Boolean/full evaluation algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BooleanDioid;
+
+impl Dioid for BooleanDioid {
+    type V = BoolRank;
+
+    fn one() -> Self::V {
+        BoolRank(true)
+    }
+
+    fn zero() -> Self::V {
+        BoolRank(false)
+    }
+
+    fn times(a: &Self::V, b: &Self::V) -> Self::V {
+        BoolRank(a.0 && b.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn true_ranks_before_false() {
+        assert!(BoolRank(true) < BoolRank(false));
+        assert_eq!(BooleanDioid::plus(&BoolRank(true), &BoolRank(false)), BoolRank(true));
+    }
+
+    #[test]
+    fn conjunction_is_times_with_absorbing_false() {
+        assert_eq!(
+            BooleanDioid::times(&BoolRank(true), &BoolRank(true)),
+            BoolRank(true)
+        );
+        assert_eq!(
+            BooleanDioid::times(&BooleanDioid::zero(), &BoolRank(true)),
+            BooleanDioid::zero()
+        );
+    }
+}

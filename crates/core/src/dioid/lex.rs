@@ -1,0 +1,229 @@
+//! Lexicographic ranking as a selective dioid (§2.2, "Generality").
+//!
+//! Output tuples are compared first on their `R1` component, then `R2`, and
+//! so on. Each input tuple of relation `R_j` carries a weight vector that is
+//! zero everywhere except at position `j`, `⊗` is element-wise addition, and
+//! `⊕` selects the lexicographically smaller vector.
+
+use super::Dioid;
+use std::cmp::Ordering;
+
+/// A sparse ℓ-dimensional weight vector ordered lexicographically.
+///
+/// The representation stores `(position, value)` pairs sorted by position;
+/// missing positions are implicitly `0`. This keeps single-relation weights
+/// O(1)-sized while `⊗` (vector addition) merges in linear time.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LexVec {
+    /// Sorted `(dimension, value)` pairs; values are integer "local" weights
+    /// as in the paper's construction (a total order per relation).
+    entries: Vec<(u32, i64)>,
+    /// True only for the absorbing 0̄ element.
+    infinite: bool,
+}
+
+impl LexVec {
+    /// The multiplicative identity: the all-zero vector.
+    pub fn identity() -> Self {
+        LexVec::default()
+    }
+
+    /// The absorbing 0̄ element (compares greater than every finite vector).
+    pub fn infinity() -> Self {
+        LexVec {
+            entries: Vec::new(),
+            infinite: true,
+        }
+    }
+
+    /// A unit vector: local weight `value` of an input tuple of relation
+    /// (dimension) `dim`.
+    pub fn unit(dim: u32, value: i64) -> Self {
+        LexVec {
+            entries: if value == 0 { Vec::new() } else { vec![(dim, value)] },
+            infinite: false,
+        }
+    }
+
+    /// The value at dimension `dim` (0 if absent).
+    pub fn component(&self, dim: u32) -> i64 {
+        self.entries
+            .iter()
+            .find(|(d, _)| *d == dim)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// True for the absorbing element.
+    pub fn is_infinite(&self) -> bool {
+        self.infinite
+    }
+
+    /// Element-wise addition of two finite vectors.
+    fn add(&self, other: &Self) -> Self {
+        let mut entries = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() && j < other.entries.len() {
+            let (da, va) = self.entries[i];
+            let (db, vb) = other.entries[j];
+            match da.cmp(&db) {
+                Ordering::Less => {
+                    entries.push((da, va));
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    entries.push((db, vb));
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    if va + vb != 0 {
+                        entries.push((da, va + vb));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        entries.extend_from_slice(&self.entries[i..]);
+        entries.extend_from_slice(&other.entries[j..]);
+        LexVec {
+            entries,
+            infinite: false,
+        }
+    }
+}
+
+impl PartialOrd for LexVec {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for LexVec {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.infinite, other.infinite) {
+            (true, true) => return Ordering::Equal,
+            (true, false) => return Ordering::Greater,
+            (false, true) => return Ordering::Less,
+            (false, false) => {}
+        }
+        // Compare dimension by dimension in increasing dimension order;
+        // missing entries are zero.
+        let (mut i, mut j) = (0, 0);
+        loop {
+            let a = self.entries.get(i);
+            let b = other.entries.get(j);
+            match (a, b) {
+                (None, None) => return Ordering::Equal,
+                (Some(&(_, va)), None) => {
+                    // Remaining dims of self vs implicit zeros of other.
+                    return va.cmp(&0).then_with(|| {
+                        self.entries[i + 1..]
+                            .iter()
+                            .map(|&(_, v)| v.cmp(&0))
+                            .find(|o| *o != Ordering::Equal)
+                            .unwrap_or(Ordering::Equal)
+                    });
+                }
+                (None, Some(&(_, vb))) => {
+                    return 0.cmp(&vb).then_with(|| {
+                        other.entries[j + 1..]
+                            .iter()
+                            .map(|&(_, v)| 0.cmp(&v))
+                            .find(|o| *o != Ordering::Equal)
+                            .unwrap_or(Ordering::Equal)
+                    });
+                }
+                (Some(&(da, va)), Some(&(db, vb))) => match da.cmp(&db) {
+                    Ordering::Less => {
+                        // self has an explicit entry at an earlier dimension,
+                        // other implicitly has zero there.
+                        match va.cmp(&0) {
+                            Ordering::Equal => i += 1,
+                            o => return o,
+                        }
+                    }
+                    Ordering::Greater => match 0.cmp(&vb) {
+                        Ordering::Equal => j += 1,
+                        o => return o,
+                    },
+                    Ordering::Equal => match va.cmp(&vb) {
+                        Ordering::Equal => {
+                            i += 1;
+                            j += 1;
+                        }
+                        o => return o,
+                    },
+                },
+            }
+        }
+    }
+}
+
+/// The lexicographic selective dioid over [`LexVec`] weight vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lexicographic;
+
+impl Dioid for Lexicographic {
+    type V = LexVec;
+
+    fn one() -> Self::V {
+        LexVec::identity()
+    }
+
+    fn zero() -> Self::V {
+        LexVec::infinity()
+    }
+
+    fn times(a: &Self::V, b: &Self::V) -> Self::V {
+        if a.infinite || b.infinite {
+            LexVec::infinity()
+        } else {
+            a.add(b)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_vectors_compare_lexicographically() {
+        // (1, 5) vs (2, 0): first dimension decides.
+        let a = Lexicographic::times(&LexVec::unit(0, 1), &LexVec::unit(1, 5));
+        let b = LexVec::unit(0, 2);
+        assert!(a < b);
+        // Equal first dimension: second decides.
+        let c = Lexicographic::times(&LexVec::unit(0, 1), &LexVec::unit(1, 3));
+        assert!(c < a);
+    }
+
+    #[test]
+    fn addition_merges_dimensions() {
+        let a = Lexicographic::times(&LexVec::unit(0, 2), &LexVec::unit(2, 7));
+        assert_eq!(a.component(0), 2);
+        assert_eq!(a.component(1), 0);
+        assert_eq!(a.component(2), 7);
+        let b = Lexicographic::times(&a, &LexVec::unit(0, -2));
+        assert_eq!(b.component(0), 0);
+    }
+
+    #[test]
+    fn infinity_is_absorbing_and_maximal() {
+        let x = LexVec::unit(3, -100);
+        assert!(LexVec::infinity() > x);
+        assert_eq!(
+            Lexicographic::times(&LexVec::infinity(), &x),
+            LexVec::infinity()
+        );
+    }
+
+    #[test]
+    fn negative_components_rank_before_implicit_zeros() {
+        let neg = LexVec::unit(1, -4);
+        let zero = LexVec::identity();
+        assert!(neg < zero);
+        assert!(LexVec::unit(1, 4) > zero);
+    }
+}

@@ -1,0 +1,93 @@
+//! The max-times dioid used to simulate bag semantics (§6.4).
+
+use super::Dioid;
+use std::cmp::Ordering;
+
+/// A non-negative multiplicity; larger multiplicities rank **earlier**.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Multiplicity(pub f64);
+
+impl Multiplicity {
+    /// Construct from a non-negative count/probability. Negative inputs are
+    /// clamped to zero (the dioid's 0̄).
+    pub fn new(v: f64) -> Self {
+        Multiplicity(if v.is_nan() || v < 0.0 { 0.0 } else { v })
+    }
+
+    /// The numeric multiplicity.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for Multiplicity {}
+
+impl PartialOrd for Multiplicity {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Multiplicity {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Larger multiplicity first.
+        other.0.total_cmp(&self.0)
+    }
+}
+
+/// The dioid `([0,∞), max, ×, 0, 1)` (§6.4).
+///
+/// If every input tuple's weight is its multiplicity in a bag-semantics
+/// relation, the top-ranked answer under `MaxTimes` is the output tuple with
+/// the largest multiplicity, and its weight is that multiplicity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxTimes;
+
+impl Dioid for MaxTimes {
+    type V = Multiplicity;
+
+    fn one() -> Self::V {
+        Multiplicity(1.0)
+    }
+
+    fn zero() -> Self::V {
+        Multiplicity(0.0)
+    }
+
+    fn times(a: &Self::V, b: &Self::V) -> Self::V {
+        Multiplicity(a.0 * b.0)
+    }
+
+    fn try_divide(a: &Self::V, b: &Self::V) -> Option<Self::V> {
+        if b.0 > 0.0 && a.0.is_finite() && b.0.is_finite() {
+            Some(Multiplicity(a.0 / b.0))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn larger_multiplicity_ranks_first() {
+        assert!(Multiplicity::new(5.0) < Multiplicity::new(2.0));
+        assert!(MaxTimes::zero() > Multiplicity::new(0.001));
+    }
+
+    #[test]
+    fn product_and_identities() {
+        let a = Multiplicity::new(3.0);
+        let b = Multiplicity::new(4.0);
+        assert_eq!(MaxTimes::times(&a, &b), Multiplicity::new(12.0));
+        assert_eq!(MaxTimes::times(&MaxTimes::one(), &a), a);
+        assert_eq!(MaxTimes::times(&MaxTimes::zero(), &a), MaxTimes::zero());
+    }
+
+    #[test]
+    fn negative_input_clamped() {
+        assert_eq!(Multiplicity::new(-3.0), MaxTimes::zero());
+    }
+}

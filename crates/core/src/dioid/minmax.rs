@@ -1,0 +1,56 @@
+//! The min-max ("bottleneck") dioid.
+
+use super::{Dioid, OrderedF64};
+
+/// The selective dioid `(ℝ±∞, min, max, +∞, −∞)`: a solution's weight is the
+/// **maximum** of its input-tuple weights and solutions are ranked by
+/// minimising that maximum — the classic bottleneck / minimax objective.
+///
+/// `max` distributes over `min` (`max(min(x,y), z) = min(max(x,z), max(y,z))`),
+/// so Bellman's principle applies and all any-k algorithms work unchanged.
+/// This dioid has no `⊗`-inverse, exercising the no-inverse code paths of
+/// §6.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinMaxDioid;
+
+impl Dioid for MinMaxDioid {
+    type V = OrderedF64;
+
+    fn one() -> Self::V {
+        OrderedF64::NEG_INFINITY
+    }
+
+    fn zero() -> Self::V {
+        OrderedF64::INFINITY
+    }
+
+    fn times(a: &Self::V, b: &Self::V) -> Self::V {
+        *a.max(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn times_is_max_with_identities() {
+        let a = OrderedF64::from(3.0);
+        let b = OrderedF64::from(7.0);
+        assert_eq!(MinMaxDioid::times(&a, &b), b);
+        assert_eq!(MinMaxDioid::times(&MinMaxDioid::one(), &a), a);
+        assert_eq!(
+            MinMaxDioid::times(&MinMaxDioid::zero(), &a),
+            MinMaxDioid::zero()
+        );
+    }
+
+    #[test]
+    fn smaller_bottleneck_ranks_first() {
+        assert!(OrderedF64::from(3.0) < OrderedF64::from(7.0));
+        assert_eq!(
+            MinMaxDioid::plus(&OrderedF64::from(3.0), &OrderedF64::from(7.0)),
+            OrderedF64::from(3.0)
+        );
+    }
+}

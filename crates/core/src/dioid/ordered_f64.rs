@@ -1,0 +1,145 @@
+//! A totally ordered `f64` wrapper used as the carrier of the tropical dioids.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Neg, Sub};
+
+/// An `f64` with a total order (IEEE-754 `totalOrder`, via [`f64::total_cmp`]).
+///
+/// The any-k algorithms keep weights in priority queues and sorted
+/// structures, which require `Ord`. `OrderedF64` provides that order while
+/// staying a plain 8-byte value. `NaN` compares greater than every finite
+/// value and `+∞`, so it behaves like an "even worse than 0̄" weight rather
+/// than poisoning comparisons.
+#[derive(Clone, Copy, Default, PartialEq)]
+pub struct OrderedF64(pub f64);
+
+impl OrderedF64 {
+    /// Positive infinity — the additive identity 0̄ of [`super::TropicalMin`].
+    pub const INFINITY: OrderedF64 = OrderedF64(f64::INFINITY);
+    /// Negative infinity — the additive identity 0̄ of [`super::TropicalMax`]'s carrier.
+    pub const NEG_INFINITY: OrderedF64 = OrderedF64(f64::NEG_INFINITY);
+    /// Zero — the multiplicative identity 1̄ of both tropical dioids.
+    pub const ZERO: OrderedF64 = OrderedF64(0.0);
+
+    /// The wrapped `f64`.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// True iff the value is finite (not ±∞ and not NaN).
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl fmt::Debug for OrderedF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for OrderedF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // total_cmp orders -NaN < -inf < ... < +inf < +NaN; we normalise NaN
+        // to compare above +inf regardless of sign so that a NaN weight never
+        // ranks ahead of a real one.
+        match (self.0.is_nan(), other.0.is_nan()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => self.0.total_cmp(&other.0),
+        }
+    }
+}
+
+impl From<f64> for OrderedF64 {
+    fn from(v: f64) -> Self {
+        OrderedF64(v)
+    }
+}
+
+impl From<OrderedF64> for f64 {
+    fn from(v: OrderedF64) -> Self {
+        v.0
+    }
+}
+
+impl Add for OrderedF64 {
+    type Output = OrderedF64;
+    fn add(self, rhs: Self) -> Self::Output {
+        OrderedF64(self.0 + rhs.0)
+    }
+}
+
+impl Sub for OrderedF64 {
+    type Output = OrderedF64;
+    fn sub(self, rhs: Self) -> Self::Output {
+        OrderedF64(self.0 - rhs.0)
+    }
+}
+
+impl Neg for OrderedF64 {
+    type Output = OrderedF64;
+    fn neg(self) -> Self::Output {
+        OrderedF64(-self.0)
+    }
+}
+
+impl std::hash::Hash for OrderedF64 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total_and_numeric() {
+        let mut v = vec![
+            OrderedF64::from(3.0),
+            OrderedF64::INFINITY,
+            OrderedF64::from(-1.5),
+            OrderedF64::from(f64::NAN),
+            OrderedF64::ZERO,
+            OrderedF64::NEG_INFINITY,
+        ];
+        v.sort();
+        assert_eq!(v[0], OrderedF64::NEG_INFINITY);
+        assert_eq!(v[1], OrderedF64::from(-1.5));
+        assert_eq!(v[2], OrderedF64::ZERO);
+        assert_eq!(v[3], OrderedF64::from(3.0));
+        assert_eq!(v[4], OrderedF64::INFINITY);
+        assert!(v[5].0.is_nan());
+    }
+
+    #[test]
+    fn nan_sorts_last_regardless_of_sign() {
+        assert!(OrderedF64::from(-f64::NAN) > OrderedF64::INFINITY);
+        assert!(OrderedF64::from(f64::NAN) > OrderedF64::INFINITY);
+    }
+
+    #[test]
+    fn arithmetic_passthrough() {
+        let a = OrderedF64::from(2.5) + OrderedF64::from(1.5);
+        assert_eq!(a, OrderedF64::from(4.0));
+        assert_eq!(a - OrderedF64::from(4.0), OrderedF64::ZERO);
+        assert_eq!(-OrderedF64::from(2.0), OrderedF64::from(-2.0));
+    }
+}

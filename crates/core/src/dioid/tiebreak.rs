@@ -1,0 +1,150 @@
+//! Consistent tie-breaking via a product dioid (§6.3).
+//!
+//! When a cyclic query is decomposed into several trees whose outputs are not
+//! disjoint (e.g. PANDA-style decompositions), the UT-DP union enumerator
+//! removes duplicates on the fly — which only works with constant delay if
+//! duplicates of the same output tuple arrive *consecutively*. The paper
+//! guarantees this by extending the ranking function with a second,
+//! lexicographic dimension over witness identifiers so that no two *distinct*
+//! outputs ever compare equal.
+//!
+//! [`TieBreak<D>`] wraps any selective dioid `D` with exactly this
+//! construction: weights become pairs `(w, id)` compared first on `w` and
+//! then on the lexicographic witness id.
+
+use super::Dioid;
+use std::cmp::Ordering;
+use std::marker::PhantomData;
+
+/// A weight of the base dioid paired with a lexicographic witness identifier.
+///
+/// The identifier is a sorted list of `(dimension, tuple id)` pairs; `⊗`
+/// merges the lists, so the id of a full solution is the (canonically
+/// ordered) multiset of its input-tuple identifiers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TieBroken<V> {
+    /// The weight under the base dioid.
+    pub weight: V,
+    /// Sorted `(dimension, identifier)` pairs identifying the witness.
+    pub id: Vec<(u32, u64)>,
+}
+
+impl<V> TieBroken<V> {
+    /// A weight with an empty identifier (used for the dioid identities).
+    pub fn bare(weight: V) -> Self {
+        TieBroken {
+            weight,
+            id: Vec::new(),
+        }
+    }
+
+    /// A weight tagged with a single `(dimension, id)` witness component.
+    pub fn tagged(weight: V, dim: u32, id: u64) -> Self {
+        TieBroken {
+            weight,
+            id: vec![(dim, id)],
+        }
+    }
+}
+
+impl<V: Ord> PartialOrd for TieBroken<V> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<V: Ord> Ord for TieBroken<V> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.weight
+            .cmp(&other.weight)
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+/// The tie-breaking product dioid over a base dioid `D` (§6.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TieBreak<D>(PhantomData<D>);
+
+impl<D: Dioid> Dioid for TieBreak<D> {
+    type V = TieBroken<D::V>;
+
+    fn one() -> Self::V {
+        TieBroken::bare(D::one())
+    }
+
+    fn zero() -> Self::V {
+        TieBroken::bare(D::zero())
+    }
+
+    fn times(a: &Self::V, b: &Self::V) -> Self::V {
+        let weight = D::times(&a.weight, &b.weight);
+        // Keep 0̄ absorbing: once the base weight collapses to the base 0̄,
+        // the witness id no longer matters (the element cannot be part of
+        // any solution), so return the canonical 0̄.
+        if weight == D::zero() {
+            return Self::zero();
+        }
+        // Merge the two sorted id lists.
+        let mut id = Vec::with_capacity(a.id.len() + b.id.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.id.len() && j < b.id.len() {
+            if a.id[i] <= b.id[j] {
+                id.push(a.id[i]);
+                i += 1;
+            } else {
+                id.push(b.id[j]);
+                j += 1;
+            }
+        }
+        id.extend_from_slice(&a.id[i..]);
+        id.extend_from_slice(&b.id[j..]);
+        TieBroken { weight, id }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dioid::{OrderedF64, TropicalMin};
+
+    type T = TieBreak<TropicalMin>;
+
+    #[test]
+    fn base_weight_dominates_comparison() {
+        let a = TieBroken::tagged(OrderedF64::from(1.0), 0, 99);
+        let b = TieBroken::tagged(OrderedF64::from(2.0), 0, 1);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn equal_weights_fall_back_to_witness_id() {
+        let a = TieBroken::tagged(OrderedF64::from(5.0), 0, 1);
+        let b = TieBroken::tagged(OrderedF64::from(5.0), 0, 2);
+        assert!(a < b);
+        let c = T::times(&a, &TieBroken::tagged(OrderedF64::ZERO, 1, 7));
+        let d = T::times(&a, &TieBroken::tagged(OrderedF64::ZERO, 1, 8));
+        assert!(c < d);
+    }
+
+    #[test]
+    fn times_merges_ids_sorted_and_adds_weights() {
+        let a = TieBroken::tagged(OrderedF64::from(1.0), 2, 10);
+        let b = TieBroken::tagged(OrderedF64::from(2.0), 0, 4);
+        let p = T::times(&a, &b);
+        assert_eq!(p.weight, OrderedF64::from(3.0));
+        assert_eq!(p.id, vec![(0, 4), (2, 10)]);
+    }
+
+    #[test]
+    fn identical_witnesses_compare_equal() {
+        let a = T::times(
+            &TieBroken::tagged(OrderedF64::from(1.0), 0, 4),
+            &TieBroken::tagged(OrderedF64::from(2.0), 1, 9),
+        );
+        let b = T::times(
+            &TieBroken::tagged(OrderedF64::from(2.0), 1, 9),
+            &TieBroken::tagged(OrderedF64::from(1.0), 0, 4),
+        );
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,147 @@
+//! The tropical min-plus and max-plus dioids.
+
+use super::{Dioid, OrderedF64};
+use std::cmp::Ordering;
+
+/// The tropical semiring `(ℝ∞, min, +, ∞, 0)` — the paper's default ranking
+/// function (§2.2): a solution's weight is the **sum** of its input-tuple
+/// weights and solutions are enumerated in **ascending** weight order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TropicalMin;
+
+impl Dioid for TropicalMin {
+    type V = OrderedF64;
+
+    fn one() -> Self::V {
+        OrderedF64::ZERO
+    }
+
+    fn zero() -> Self::V {
+        OrderedF64::INFINITY
+    }
+
+    fn times(a: &Self::V, b: &Self::V) -> Self::V {
+        // ∞ is absorbing even against -∞ (which is not in the carrier but can
+        // sneak in through MaxWeight conversions); keep it absorbing to honour
+        // the dioid law rather than producing NaN.
+        if !a.is_finite() && a.0 > 0.0 || !b.is_finite() && b.0 > 0.0 {
+            OrderedF64::INFINITY
+        } else {
+            *a + *b
+        }
+    }
+
+    fn try_divide(a: &Self::V, b: &Self::V) -> Option<Self::V> {
+        if a.is_finite() && b.is_finite() {
+            Some(*a - *b)
+        } else {
+            None
+        }
+    }
+}
+
+/// A weight in the max-plus dioid: larger `f64` values rank **earlier**.
+///
+/// `MaxWeight(x)` compares as the reverse of `x`, so the standard
+/// "smallest-first" machinery of the enumerators automatically yields
+/// heaviest-first enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MaxWeight(pub OrderedF64);
+
+impl MaxWeight {
+    /// Wrap a plain `f64`.
+    pub fn new(v: f64) -> Self {
+        MaxWeight(OrderedF64::from(v))
+    }
+
+    /// The wrapped numeric value.
+    pub fn get(self) -> f64 {
+        self.0.get()
+    }
+}
+
+impl From<f64> for MaxWeight {
+    fn from(v: f64) -> Self {
+        MaxWeight::new(v)
+    }
+}
+
+impl PartialOrd for MaxWeight {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MaxWeight {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.0.cmp(&self.0)
+    }
+}
+
+/// The max-plus dioid `(ℝ∪{−∞}, max, +, −∞, 0)` (§6.4): ranks the heaviest
+/// solutions (e.g. "longest paths") first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TropicalMax;
+
+impl Dioid for TropicalMax {
+    type V = MaxWeight;
+
+    fn one() -> Self::V {
+        MaxWeight(OrderedF64::ZERO)
+    }
+
+    fn zero() -> Self::V {
+        MaxWeight(OrderedF64::NEG_INFINITY)
+    }
+
+    fn times(a: &Self::V, b: &Self::V) -> Self::V {
+        if !a.0.is_finite() && a.0 .0 < 0.0 || !b.0.is_finite() && b.0 .0 < 0.0 {
+            MaxWeight(OrderedF64::NEG_INFINITY)
+        } else {
+            MaxWeight(a.0 + b.0)
+        }
+    }
+
+    fn try_divide(a: &Self::V, b: &Self::V) -> Option<Self::V> {
+        if a.0.is_finite() && b.0.is_finite() {
+            Some(MaxWeight(a.0 - b.0))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tropical_min_identities() {
+        let x = OrderedF64::from(7.0);
+        assert_eq!(TropicalMin::times(&TropicalMin::one(), &x), x);
+        assert_eq!(TropicalMin::times(&TropicalMin::zero(), &x), TropicalMin::zero());
+        assert!(TropicalMin::zero() > x);
+    }
+
+    #[test]
+    fn tropical_min_divide_inverts_times() {
+        let a = OrderedF64::from(10.0);
+        let b = OrderedF64::from(4.0);
+        let prod = TropicalMin::times(&a, &b);
+        assert_eq!(TropicalMin::try_divide(&prod, &b), Some(a));
+        assert_eq!(TropicalMin::try_divide(&prod, &TropicalMin::zero()), None);
+    }
+
+    #[test]
+    fn tropical_max_ranks_heaviest_first() {
+        let light = MaxWeight::new(1.0);
+        let heavy = MaxWeight::new(100.0);
+        assert!(heavy < light, "heavier weight must rank earlier");
+        assert_eq!(TropicalMax::times(&heavy, &light), MaxWeight::new(101.0));
+        assert!(TropicalMax::zero() > heavy);
+        assert_eq!(
+            TropicalMax::times(&TropicalMax::zero(), &heavy),
+            TropicalMax::zero()
+        );
+    }
+}

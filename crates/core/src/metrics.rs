@@ -1,0 +1,136 @@
+//! Lightweight instrumentation used by the experiment harness.
+//!
+//! The paper's evaluation reports time-to-first (TTF), time-to-k-th result
+//! (TT(k)), time-to-last (TTL), and the delay between consecutive results.
+//! [`EnumerationTrace`] records the wall-clock time at which each result was
+//! produced and derives those quantities; it is deliberately minimal so that
+//! recording adds only an `Instant::now()` per result.
+
+use std::time::{Duration, Instant};
+
+/// A recording of one ranked-enumeration run.
+#[derive(Debug, Clone)]
+pub struct EnumerationTrace {
+    start: Instant,
+    /// Elapsed time (since `start`) at which the i-th result was emitted.
+    emit_times: Vec<Duration>,
+}
+
+impl Default for EnumerationTrace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EnumerationTrace {
+    /// Start a new trace; the clock starts immediately.
+    pub fn new() -> Self {
+        EnumerationTrace {
+            start: Instant::now(),
+            emit_times: Vec::new(),
+        }
+    }
+
+    /// Record that one more result has just been produced.
+    pub fn record(&mut self) {
+        self.emit_times.push(self.start.elapsed());
+    }
+
+    /// Number of results recorded.
+    pub fn count(&self) -> usize {
+        self.emit_times.len()
+    }
+
+    /// Time-to-first result, if any result was produced.
+    pub fn ttf(&self) -> Option<Duration> {
+        self.emit_times.first().copied()
+    }
+
+    /// Time to the `k`-th result (1-based), if produced.
+    pub fn tt(&self, k: usize) -> Option<Duration> {
+        if k == 0 {
+            return None;
+        }
+        self.emit_times.get(k - 1).copied()
+    }
+
+    /// Time-to-last result (equals `tt(count())`).
+    pub fn ttl(&self) -> Option<Duration> {
+        self.emit_times.last().copied()
+    }
+
+    /// Maximum delay between consecutive results (including the delay before
+    /// the first one).
+    pub fn max_delay(&self) -> Option<Duration> {
+        if self.emit_times.is_empty() {
+            return None;
+        }
+        let mut max = self.emit_times[0];
+        for w in self.emit_times.windows(2) {
+            max = max.max(w[1] - w[0]);
+        }
+        Some(max)
+    }
+
+    /// Mean delay between results (TTL divided by the number of results).
+    pub fn mean_delay(&self) -> Option<Duration> {
+        let ttl = self.ttl()?;
+        Some(ttl / self.emit_times.len() as u32)
+    }
+
+    /// The full series of `(k, elapsed)` pairs — the exact data behind the
+    /// "#results over time" plots (Figs. 10–13).
+    pub fn series(&self) -> impl Iterator<Item = (usize, Duration)> + '_ {
+        self.emit_times.iter().enumerate().map(|(i, d)| (i + 1, *d))
+    }
+}
+
+/// Convenience: run `iter`, pulling at most `limit` items (or all if `None`),
+/// and return the trace together with the number of items produced.
+pub fn trace_enumeration<I: Iterator>(iter: I, limit: Option<usize>) -> (EnumerationTrace, usize) {
+    let mut trace = EnumerationTrace::new();
+    let mut produced = 0;
+    for _item in iter {
+        trace.record();
+        produced += 1;
+        if let Some(l) = limit {
+            if produced >= l {
+                break;
+            }
+        }
+    }
+    (trace, produced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_records_monotone_times() {
+        let (trace, n) = trace_enumeration(0..100, Some(10));
+        assert_eq!(n, 10);
+        assert_eq!(trace.count(), 10);
+        assert!(trace.ttf().unwrap() <= trace.ttl().unwrap());
+        assert_eq!(trace.tt(10), trace.ttl());
+        assert!(trace.tt(11).is_none());
+        assert!(trace.max_delay().is_some());
+        assert!(trace.mean_delay().unwrap() <= trace.ttl().unwrap());
+    }
+
+    #[test]
+    fn empty_trace_has_no_statistics() {
+        let (trace, n) = trace_enumeration(std::iter::empty::<u8>(), None);
+        assert_eq!(n, 0);
+        assert!(trace.ttf().is_none());
+        assert!(trace.ttl().is_none());
+        assert!(trace.max_delay().is_none());
+    }
+
+    #[test]
+    fn series_is_one_based_and_complete() {
+        let (trace, _) = trace_enumeration(0..5, None);
+        let ks: Vec<usize> = trace.series().map(|(k, _)| k).collect();
+        assert_eq!(ks, vec![1, 2, 3, 4, 5]);
+    }
+}

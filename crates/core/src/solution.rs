@@ -1,0 +1,70 @@
+//! Solutions (ranked answers) produced by the enumeration algorithms.
+
+use crate::dioid::Dioid;
+use crate::tdp::{NodeId, TdpInstance};
+
+/// A single T-DP solution: one state per non-root stage, plus its weight.
+///
+/// The states are listed in the instance's serial stage order
+/// ([`TdpInstance::serial_order`]). Use [`Solution::witness`] to extract the
+/// payloads (input-tuple identifiers) of the output stages, skipping
+/// auxiliary stages such as equi-join value nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Solution<D: Dioid> {
+    /// The solution's weight under the instance's dioid.
+    pub weight: D::V,
+    /// One state per non-root stage, in serial stage order.
+    pub states: Vec<NodeId>,
+}
+
+impl<D: Dioid> Solution<D> {
+    /// Create a solution from its states (serial order) and weight.
+    pub fn new(weight: D::V, states: Vec<NodeId>) -> Self {
+        Solution { weight, states }
+    }
+
+    /// The payloads of the states belonging to *output* stages, in serial
+    /// stage order. This is the witness `(r₁, …, r_ℓ)` of the query answer.
+    pub fn witness(&self, instance: &TdpInstance<D>) -> Vec<u64> {
+        self.states
+            .iter()
+            .zip(instance.serial_order())
+            .filter(|(_, sid)| instance.stage(**sid).is_output)
+            .map(|(nid, _)| instance.payload(*nid))
+            .collect()
+    }
+
+    /// Recompute the solution weight directly as the `⊗`-aggregate of its
+    /// states' weights. Used by tests to validate the weights maintained
+    /// incrementally by the enumeration algorithms.
+    pub fn recompute_weight(&self, instance: &TdpInstance<D>) -> D::V {
+        self.states
+            .iter()
+            .fold(D::one(), |acc, nid| D::times(&acc, instance.weight(*nid)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dioid::{OrderedF64, TropicalMin};
+    use crate::tdp::TdpBuilder;
+
+    #[test]
+    fn witness_skips_non_output_stages() {
+        let mut b = TdpBuilder::<TropicalMin>::new();
+        let s1 = b.add_stage_under_root("r1", true);
+        let v = b.add_stage("join-value", s1, false);
+        let s2 = b.add_stage("r2", v, true);
+        let a = b.add_state_with_payload(s1.index(), 1.0.into(), 10);
+        let j = b.add_state_with_payload(v.index(), 0.0.into(), 999);
+        let c = b.add_state_with_payload(s2.index(), 2.0.into(), 20);
+        b.connect_root(a);
+        b.connect(a, j);
+        b.connect(j, c);
+        let inst = b.build();
+        let sol = Solution::<TropicalMin>::new(OrderedF64::from(3.0), vec![a, j, c]);
+        assert_eq!(sol.witness(&inst), vec![10, 20]);
+        assert_eq!(sol.recompute_weight(&inst), OrderedF64::from(3.0));
+    }
+}

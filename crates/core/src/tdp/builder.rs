@@ -1,0 +1,340 @@
+//! Construction of [`TdpInstance`]s.
+
+use super::{bottom_up, Node, NodeId, Stage, StageId, TdpInstance};
+use crate::dioid::Dioid;
+
+/// Builder for [`TdpInstance`]s.
+///
+/// A builder starts with the artificial root stage (stage `0`) containing the
+/// single start state `s₀`. Stages are added under the root or under other
+/// stages, states are added to stages, and decisions connect states of a
+/// stage to states of one of its child stages. [`TdpBuilder::build`] freezes
+/// the instance and runs the DP bottom-up phase.
+#[derive(Debug, Clone)]
+pub struct TdpBuilder<D: Dioid> {
+    stages: Vec<Stage>,
+    nodes: Vec<Node<D::V>>,
+    edges: Vec<Vec<Vec<NodeId>>>,
+}
+
+impl<D: Dioid> Default for TdpBuilder<D> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<D: Dioid> TdpBuilder<D> {
+    /// A builder with only the artificial root stage and start state `s₀`.
+    pub fn new() -> Self {
+        let root_stage = Stage {
+            parent: None,
+            children: Vec::new(),
+            slot_in_parent: 0,
+            label: "s0".to_string(),
+            is_output: false,
+            nodes: vec![NodeId::ROOT],
+        };
+        let root_node = Node {
+            stage: StageId::ROOT,
+            weight: D::one(),
+            payload: u64::MAX,
+        };
+        TdpBuilder {
+            stages: vec![root_stage],
+            nodes: vec![root_node],
+            edges: vec![vec![]],
+        }
+    }
+
+    /// A builder for a *serial* (path-shaped) problem with `len` stages
+    /// chained under the root: stage `i`'s parent is stage `i − 1`.
+    ///
+    /// This models the path queries of §3/§4; stage indices `1..=len` can be
+    /// passed directly to [`TdpBuilder::add_state`].
+    pub fn serial(len: usize) -> Self {
+        let mut b = Self::new();
+        let mut parent = StageId::ROOT;
+        for i in 1..=len {
+            parent = b.add_stage(&format!("stage{i}"), parent, true);
+        }
+        b
+    }
+
+    /// Add a stage under `parent` and return its id.
+    ///
+    /// `is_output` controls whether the stage's states contribute payloads to
+    /// solution witnesses (auxiliary "value node" stages pass `false`).
+    pub fn add_stage(&mut self, label: &str, parent: StageId, is_output: bool) -> StageId {
+        let id = StageId(self.stages.len() as u32);
+        let slot = self.stages[parent.index()].children.len() as u32;
+        self.stages[parent.index()].children.push(id);
+        self.stages.push(Stage {
+            parent: Some(parent),
+            children: Vec::new(),
+            slot_in_parent: slot,
+            label: label.to_string(),
+            is_output,
+            nodes: Vec::new(),
+        });
+        id
+    }
+
+    /// Add an output stage directly under the artificial root stage.
+    pub fn add_stage_under_root(&mut self, label: &str, is_output: bool) -> StageId {
+        self.add_stage(label, StageId::ROOT, is_output)
+    }
+
+    /// Add a state with the given weight to the stage with index `stage`
+    /// (counting the root stage as `0`) and return its id.
+    ///
+    /// # Panics
+    /// Panics if `stage` does not exist or is the root stage.
+    pub fn add_state(&mut self, stage: usize, weight: D::V) -> NodeId {
+        self.add_state_with_payload(stage, weight, 0)
+    }
+
+    /// Like [`TdpBuilder::add_state`] but with an explicit payload (typically
+    /// an input-tuple identifier).
+    pub fn add_state_with_payload(&mut self, stage: usize, weight: D::V, payload: u64) -> NodeId {
+        assert!(stage > 0 && stage < self.stages.len(), "invalid stage index {stage}");
+        let id = NodeId(self.nodes.len() as u32);
+        let stage_id = StageId(stage as u32);
+        self.nodes.push(Node {
+            stage: stage_id,
+            weight,
+            payload,
+        });
+        let num_slots = self.stages[stage].children.len();
+        self.edges.push(vec![Vec::new(); num_slots]);
+        self.stages[stage].nodes.push(id);
+        id
+    }
+
+    /// Connect two states with a decision. `child`'s stage must be a child of
+    /// `parent`'s stage.
+    ///
+    /// # Panics
+    /// Panics if the stages are not in a parent–child relationship.
+    pub fn connect(&mut self, parent: NodeId, child: NodeId) {
+        let p_stage = self.nodes[parent.index()].stage;
+        let c_stage = self.nodes[child.index()].stage;
+        let slot = self.stages[p_stage.index()]
+            .children
+            .iter()
+            .position(|&s| s == c_stage)
+            .unwrap_or_else(|| {
+                panic!(
+                    "stage {:?} ({}) is not a child of stage {:?} ({})",
+                    c_stage,
+                    self.stages[c_stage.index()].label,
+                    p_stage,
+                    self.stages[p_stage.index()].label
+                )
+            });
+        // Stages (and hence slots) may have been added after this node; grow
+        // its adjacency list on demand.
+        let slots = &mut self.edges[parent.index()];
+        if slots.len() <= slot {
+            slots.resize(slot + 1, Vec::new());
+        }
+        slots[slot].push(child);
+    }
+
+    /// Connect the artificial start state `s₀` to a state whose stage is a
+    /// direct child of the root stage.
+    pub fn connect_root(&mut self, child: NodeId) {
+        self.connect(NodeId::ROOT, child);
+    }
+
+    /// Declare that `node` (in a leaf stage) can terminate a solution.
+    ///
+    /// In this crate's encoding every state of a leaf stage implicitly
+    /// connects to the terminal state with weight `1̄`, so this is a
+    /// validation aid only: it panics if the node's stage is not a leaf,
+    /// catching mis-built instances early.
+    pub fn connect_terminal(&mut self, node: NodeId) {
+        let stage = self.nodes[node.index()].stage;
+        assert!(
+            self.stages[stage.index()].children.is_empty(),
+            "connect_terminal called on node of non-leaf stage {}",
+            self.stages[stage.index()].label
+        );
+    }
+
+    /// Number of states added so far (including `s₀`).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of stages added so far (including the root stage).
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Freeze the instance: normalise adjacency lists, compute the serial
+    /// stage order, and run the DP bottom-up phase (pruning + `π₁`).
+    pub fn build(mut self) -> TdpInstance<D> {
+        // Make sure every node has one adjacency slot per child stage (slots
+        // may be missing if stages were added after the node).
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let num_slots = self.stages[node.stage.index()].children.len();
+            if self.edges[idx].len() < num_slots {
+                self.edges[idx].resize(num_slots, Vec::new());
+            }
+        }
+
+        let serial_order = serialise_stages(&self.stages);
+        let parent_pos = compute_parent_positions(&self.stages, &serial_order);
+        let pending = compute_pending_branches(&self.stages, &serial_order, &parent_pos);
+
+        let mut instance = TdpInstance {
+            stages: self.stages,
+            nodes: self.nodes,
+            edges: self.edges,
+            subtree_opt: Vec::new(),
+            branch_opt: Vec::new(),
+            serial_order,
+            parent_pos,
+            pending,
+        };
+        bottom_up::run(&mut instance);
+        instance
+    }
+}
+
+/// Topologically order the non-root stages so that parents come first
+/// (depth-first, preserving child insertion order).
+fn serialise_stages(stages: &[Stage]) -> Vec<StageId> {
+    let mut order = Vec::with_capacity(stages.len().saturating_sub(1));
+    let mut stack: Vec<StageId> = stages[StageId::ROOT.index()]
+        .children
+        .iter()
+        .rev()
+        .copied()
+        .collect();
+    while let Some(s) = stack.pop() {
+        order.push(s);
+        for &c in stages[s.index()].children.iter().rev() {
+            stack.push(c);
+        }
+    }
+    order
+}
+
+fn compute_parent_positions(stages: &[Stage], serial_order: &[StageId]) -> Vec<Option<usize>> {
+    let mut pos_of_stage = vec![usize::MAX; stages.len()];
+    for (pos, &sid) in serial_order.iter().enumerate() {
+        pos_of_stage[sid.index()] = pos;
+    }
+    serial_order
+        .iter()
+        .map(|&sid| {
+            let parent = stages[sid.index()].parent.expect("non-root stage has a parent");
+            if parent == StageId::ROOT {
+                None
+            } else {
+                Some(pos_of_stage[parent.index()])
+            }
+        })
+        .collect()
+}
+
+/// For each serial position `j` (0-based), the branches `(prefix position,
+/// slot)` that hang off stages strictly before `j` but lead to stages at
+/// positions `> j` outside the subtree of position `j`. These are the
+/// branches whose optimal completion must be added when scoring an anyK-part
+/// candidate that deviates at position `j` (see `anyk_part`).
+fn compute_pending_branches(
+    stages: &[Stage],
+    serial_order: &[StageId],
+    parent_pos: &[Option<usize>],
+) -> Vec<Vec<(Option<usize>, u32)>> {
+    let ell = serial_order.len();
+    let mut pending = vec![Vec::new(); ell];
+    for (child_pos, &sid) in serial_order.iter().enumerate() {
+        let slot = stages[sid.index()].slot_in_parent;
+        let ppos = parent_pos[child_pos];
+        // The branch rooted at `child_pos` (hanging off `ppos`) is pending for
+        // every deviation position j with ppos < j < child_pos — at such j the
+        // branch root has not been expanded yet and is not inside j's subtree
+        // (subtrees are contiguous in the DFS serial order).
+        let lower = ppos.map(|p| p + 1).unwrap_or(0);
+        for j in lower..child_pos {
+            pending[j].push((ppos, slot));
+        }
+    }
+    pending
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dioid::TropicalMin;
+
+    #[test]
+    fn serial_builder_creates_chain() {
+        let b = TdpBuilder::<TropicalMin>::serial(4);
+        assert_eq!(b.num_stages(), 5);
+        let inst = b.build();
+        assert_eq!(inst.solution_len(), 4);
+        for pos in 0..4 {
+            let expected = if pos == 0 { None } else { Some(pos - 1) };
+            assert_eq!(inst.parent_pos(pos), expected);
+        }
+        // A chain has no pending branches anywhere.
+        for pos in 0..4 {
+            assert!(inst.pending_branches(pos).is_empty());
+        }
+    }
+
+    #[test]
+    fn star_tree_has_pending_branches() {
+        // Root stage "center" with three leaf children. Serial order:
+        // center(0), a(1), b(2), c(3). A deviation at position 1 (child `a`)
+        // still owes the optimal completions of branches b and c from the
+        // center, and a deviation at position 2 owes branch c.
+        let mut b = TdpBuilder::<TropicalMin>::new();
+        let center = b.add_stage_under_root("center", true);
+        let _a = b.add_stage("a", center, true);
+        let _bs = b.add_stage("b", center, true);
+        let _c = b.add_stage("c", center, true);
+        let inst = b.build();
+        assert_eq!(inst.solution_len(), 4);
+        assert_eq!(inst.pending_branches(0), &[]);
+        assert_eq!(inst.pending_branches(1), &[(Some(0), 1), (Some(0), 2)]);
+        assert_eq!(inst.pending_branches(2), &[(Some(0), 2)]);
+        assert_eq!(inst.pending_branches(3), &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a child of stage")]
+    fn connecting_unrelated_stages_panics() {
+        let mut b = TdpBuilder::<TropicalMin>::serial(3);
+        let a = b.add_state(1, 1.0.into());
+        let c = b.add_state(3, 1.0.into());
+        b.connect(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-leaf stage")]
+    fn connect_terminal_rejects_inner_stage() {
+        let mut b = TdpBuilder::<TropicalMin>::serial(2);
+        let a = b.add_state(1, 1.0.into());
+        b.connect_terminal(a);
+    }
+
+    #[test]
+    fn deep_tree_serialisation_is_depth_first() {
+        let mut b = TdpBuilder::<TropicalMin>::new();
+        let s1 = b.add_stage_under_root("s1", true);
+        let s2 = b.add_stage("s2", s1, true);
+        let s3 = b.add_stage("s3", s1, true);
+        let s4 = b.add_stage("s4", s2, true);
+        let inst = b.build();
+        assert_eq!(inst.serial_order(), &[s1, s2, s4, s3]);
+        // Deviating at s2 (pos 1) or s4 (pos 2) owes the s3 branch of s1.
+        assert_eq!(inst.pending_branches(1), &[(Some(0), 1)]);
+        assert_eq!(inst.pending_branches(2), &[(Some(0), 1)]);
+        assert_eq!(inst.pending_branches(3), &[]);
+    }
+}

@@ -1,0 +1,359 @@
+//! Tree-based Dynamic Programming (T-DP) instances (§3, §5.1).
+//!
+//! A T-DP instance is a rooted tree of *stages*; each stage holds *states*
+//! (nodes), and a *decision* connects a state of a stage to a state of one of
+//! its child stages. A **solution** picks exactly one state per (non-root)
+//! stage such that every parent–child pair of picked states is connected.
+//!
+//! Serial DP — the path-query case of §3 and §4 — is the special case where
+//! the stage tree is a single chain.
+//!
+//! Weights live on states: following the paper's equi-join encoding (Fig. 3),
+//! the weight of the decision `(s, s')` is the weight of the target state
+//! `s'`, so a solution's weight is the `⊗`-aggregate of the weights of its
+//! states. The artificial root state `s₀` has weight `1̄`.
+//!
+//! The instance is immutable after [`TdpBuilder::build`], which also runs the
+//! standard DP **bottom-up phase** (Eq. 2 / Eq. 7): it computes, for every
+//! state, the weight of its optimal subtree completion and prunes states that
+//! cannot reach a full solution (`π₁ = 0̄`).
+
+mod bottom_up;
+mod builder;
+
+pub use bottom_up::top1_solution;
+pub use builder::TdpBuilder;
+
+use crate::dioid::Dioid;
+
+/// Identifier of a stage within a [`TdpInstance`]. Stage `0` is the
+/// artificial root stage containing only the start state `s₀`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StageId(pub u32);
+
+impl StageId {
+    /// The artificial root stage.
+    pub const ROOT: StageId = StageId(0);
+
+    /// The stage id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a state (node) within a [`TdpInstance`]. Node `0` is the
+/// artificial start state `s₀`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The artificial start state `s₀`.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// The node id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A stage of the T-DP problem.
+#[derive(Debug, Clone)]
+pub struct Stage {
+    /// The parent stage (`None` only for the root stage).
+    pub parent: Option<StageId>,
+    /// Child stages in insertion order; the position of a child in this list
+    /// is its *slot*, used to index per-state adjacency lists.
+    pub children: Vec<StageId>,
+    /// The slot of this stage within its parent's `children` list.
+    pub slot_in_parent: u32,
+    /// Human-readable label (e.g. the relation/atom this stage encodes).
+    pub label: String,
+    /// Whether states of this stage carry payloads that belong to the output
+    /// witness. Auxiliary stages (e.g. equi-join "value nodes") set this to
+    /// `false`.
+    pub is_output: bool,
+    /// States belonging to this stage.
+    pub nodes: Vec<NodeId>,
+}
+
+/// A state of the T-DP problem.
+#[derive(Debug, Clone)]
+pub struct Node<V> {
+    /// The stage this state belongs to.
+    pub stage: StageId,
+    /// The weight of every decision *into* this state (Fig. 3 encoding).
+    pub weight: V,
+    /// Opaque user payload, typically an input-tuple identifier; carried
+    /// through to [`crate::Solution`] witnesses.
+    pub payload: u64,
+}
+
+/// An immutable T-DP instance, ready for ranked enumeration.
+///
+/// Construct one with [`TdpBuilder`].
+#[derive(Debug, Clone)]
+pub struct TdpInstance<D: Dioid> {
+    pub(crate) stages: Vec<Stage>,
+    pub(crate) nodes: Vec<Node<D::V>>,
+    /// `edges[node][slot]` = successor states in the `slot`-th child stage of
+    /// the node's stage.
+    pub(crate) edges: Vec<Vec<Vec<NodeId>>>,
+    /// `π₁(s)`: weight of the optimal subtree completion rooted at `s`
+    /// (excluding `s`'s own weight). `0̄` for pruned states.
+    pub(crate) subtree_opt: Vec<D::V>,
+    /// `branch_opt[node][slot]`: optimal completion restricted to one branch,
+    /// i.e. `min over successors t of (w(t) ⊗ π₁(t))`.
+    pub(crate) branch_opt: Vec<Vec<D::V>>,
+    /// Non-root stages serialised so that every parent precedes its children
+    /// (§5.1 "tree order"). Position `j` (0-based) of this list is the
+    /// "serial position `j+1`" of the paper.
+    pub(crate) serial_order: Vec<StageId>,
+    /// For each serial position (0-based, aligned with `serial_order`): the
+    /// serial position of the parent stage, or `None` if the parent is the
+    /// root stage.
+    pub(crate) parent_pos: Vec<Option<usize>>,
+    /// For each serial position `j`: the "pending branches" used to complete
+    /// a prefix of positions `< j` optimally — pairs `(prefix position,
+    /// slot)` of branches that hang off the prefix but are not covered by the
+    /// subtree of the stage at position `j` (see `anyk_part`).
+    pub(crate) pending: Vec<Vec<(Option<usize>, u32)>>,
+}
+
+impl<D: Dioid> TdpInstance<D> {
+    /// Number of stages, including the artificial root stage.
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Number of states, including the artificial start state `s₀`.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of decisions (edges) in the instance.
+    pub fn num_edges(&self) -> usize {
+        self.edges
+            .iter()
+            .map(|slots| slots.iter().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
+    /// The number of non-root stages, i.e. the length ℓ of a solution.
+    pub fn solution_len(&self) -> usize {
+        self.serial_order.len()
+    }
+
+    /// Stage metadata.
+    pub fn stage(&self, id: StageId) -> &Stage {
+        &self.stages[id.index()]
+    }
+
+    /// State metadata.
+    pub fn node(&self, id: NodeId) -> &Node<D::V> {
+        &self.nodes[id.index()]
+    }
+
+    /// The weight of (every decision into) state `id`.
+    pub fn weight(&self, id: NodeId) -> &D::V {
+        &self.nodes[id.index()].weight
+    }
+
+    /// The payload of state `id`.
+    pub fn payload(&self, id: NodeId) -> u64 {
+        self.nodes[id.index()].payload
+    }
+
+    /// `π₁(s)`: the weight of the best completion of the subtree below `s`
+    /// (not including `s`'s own weight). Equals `0̄` iff `s` was pruned by the
+    /// bottom-up phase, i.e. cannot be part of any solution.
+    pub fn subtree_opt(&self, id: NodeId) -> &D::V {
+        &self.subtree_opt[id.index()]
+    }
+
+    /// The optimal completion of the branch `slot` of state `id`.
+    pub fn branch_opt(&self, id: NodeId, slot: u32) -> &D::V {
+        &self.branch_opt[id.index()][slot as usize]
+    }
+
+    /// Successor states of `id` in the `slot`-th child stage of its stage.
+    pub fn successors(&self, id: NodeId, slot: u32) -> &[NodeId] {
+        &self.edges[id.index()][slot as usize]
+    }
+
+    /// The stages in serial (parents-first) order, excluding the root stage.
+    pub fn serial_order(&self) -> &[StageId] {
+        &self.serial_order
+    }
+
+    /// For serial position `pos` (0-based), the serial position of the parent
+    /// stage, or `None` if the parent is the root stage.
+    pub fn parent_pos(&self, pos: usize) -> Option<usize> {
+        self.parent_pos[pos]
+    }
+
+    /// The weight of the overall optimal solution, or `0̄` if the instance has
+    /// no solution.
+    pub fn optimum(&self) -> &D::V {
+        self.subtree_opt(NodeId::ROOT)
+    }
+
+    /// True iff the instance has at least one solution.
+    pub fn has_solution(&self) -> bool {
+        *self.optimum() != D::zero()
+    }
+
+    /// The value of the choice `(s → t)`: `w(t) ⊗ π₁(t)` (the best solution
+    /// weight of the branch through `t`). `0̄` if `t` is pruned.
+    pub fn choice_value(&self, target: NodeId) -> D::V {
+        D::times(self.weight(target), self.subtree_opt(target))
+    }
+
+    /// Iterate over the `(successor, choice value)` pairs of the choice set
+    /// `Choices(s, slot)`, skipping pruned successors.
+    pub fn choices(&self, id: NodeId, slot: u32) -> impl Iterator<Item = (NodeId, D::V)> + '_ {
+        self.successors(id, slot)
+            .iter()
+            .filter(|t| self.subtree_opt(**t) != &D::zero())
+            .map(move |&t| (t, self.choice_value(t)))
+    }
+
+    /// Count the total number of solutions by stage-wise suffix counting
+    /// (exact, without enumerating them). Saturates at `u128::MAX`.
+    ///
+    /// This is the quantity `Π*(1)` used in the proof of Theorem 11.
+    pub fn count_solutions(&self) -> u128 {
+        let mut counts: Vec<u128> = vec![0; self.nodes.len()];
+        // Process stages children-first (reverse serial order).
+        for &sid in self.serial_order.iter().rev() {
+            for &nid in &self.stages[sid.index()].nodes {
+                if self.subtree_opt(nid) == &D::zero() {
+                    continue;
+                }
+                let mut total: u128 = 1;
+                for slot in 0..self.stages[sid.index()].children.len() {
+                    let branch: u128 = self
+                        .successors(nid, slot as u32)
+                        .iter()
+                        .filter(|t| self.subtree_opt(**t) != &D::zero())
+                        .map(|t| counts[t.index()])
+                        .fold(0u128, |a, b| a.saturating_add(b));
+                    total = total.saturating_mul(branch);
+                }
+                counts[nid.index()] = total;
+            }
+        }
+        let root_stage = &self.stages[StageId::ROOT.index()];
+        let mut total: u128 = 1;
+        for slot in 0..root_stage.children.len() {
+            let branch: u128 = self
+                .successors(NodeId::ROOT, slot as u32)
+                .iter()
+                .filter(|t| self.subtree_opt(**t) != &D::zero())
+                .map(|t| counts[t.index()])
+                .fold(0u128, |a, b| a.saturating_add(b));
+            total = total.saturating_mul(branch);
+        }
+        if self.has_solution() {
+            total
+        } else {
+            0
+        }
+    }
+
+    /// The "pending branches" of serial position `pos` (see the module docs
+    /// of [`crate::anyk_part`]).
+    pub(crate) fn pending_branches(&self, pos: usize) -> &[(Option<usize>, u32)] {
+        &self.pending[pos]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dioid::{OrderedF64, TropicalMin};
+
+    fn cartesian_3() -> TdpInstance<TropicalMin> {
+        let mut b = TdpBuilder::<TropicalMin>::serial(3);
+        let s1: Vec<_> = [1.0, 2.0, 3.0]
+            .iter()
+            .map(|&w| b.add_state(1, w.into()))
+            .collect();
+        let s2: Vec<_> = [10.0, 20.0, 30.0]
+            .iter()
+            .map(|&w| b.add_state(2, w.into()))
+            .collect();
+        let s3: Vec<_> = [100.0, 200.0, 300.0]
+            .iter()
+            .map(|&w| b.add_state(3, w.into()))
+            .collect();
+        for &a in &s1 {
+            b.connect_root(a);
+        }
+        for &a in &s1 {
+            for &c in &s2 {
+                b.connect(a, c);
+            }
+        }
+        for &a in &s2 {
+            for &c in &s3 {
+                b.connect(a, c);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn cartesian_product_bottom_up_optimum() {
+        let inst = cartesian_3();
+        assert_eq!(inst.solution_len(), 3);
+        assert!(inst.has_solution());
+        assert_eq!(*inst.optimum(), OrderedF64::from(111.0));
+        assert_eq!(inst.count_solutions(), 27);
+    }
+
+    #[test]
+    fn pruning_removes_dead_states() {
+        // Stage 2 state "dead" has no successors in stage 3 → must be pruned.
+        let mut b = TdpBuilder::<TropicalMin>::serial(3);
+        let a = b.add_state(1, 1.0.into());
+        let good = b.add_state(2, 5.0.into());
+        let dead = b.add_state(2, 0.5.into());
+        let z = b.add_state(3, 7.0.into());
+        b.connect_root(a);
+        b.connect(a, good);
+        b.connect(a, dead);
+        b.connect(good, z);
+        let inst = b.build();
+        assert_eq!(*inst.subtree_opt(dead), TropicalMin::zero());
+        assert_eq!(*inst.optimum(), OrderedF64::from(13.0));
+        assert_eq!(inst.count_solutions(), 1);
+    }
+
+    #[test]
+    fn star_tree_optimum_multiplies_branches() {
+        // Root stage 1 with two child stages 2 and 3 (a "star").
+        let mut b = TdpBuilder::<TropicalMin>::new();
+        let s1 = b.add_stage_under_root("center", true);
+        let s2 = b.add_stage("left", s1, true);
+        let s3 = b.add_stage("right", s1, true);
+        let c = b.add_state(s1.index(), 1.0.into());
+        let l1 = b.add_state(s2.index(), 10.0.into());
+        let l2 = b.add_state(s2.index(), 20.0.into());
+        let r1 = b.add_state(s3.index(), 100.0.into());
+        b.connect_root(c);
+        b.connect(c, l1);
+        b.connect(c, l2);
+        b.connect(c, r1);
+        let inst = b.build();
+        assert_eq!(*inst.optimum(), OrderedF64::from(111.0));
+        assert_eq!(inst.count_solutions(), 2);
+    }
+
+    #[test]
+    fn empty_instance_has_no_solution() {
+        let b = TdpBuilder::<TropicalMin>::serial(2);
+        let inst = b.build();
+        assert!(!inst.has_solution());
+        assert_eq!(inst.count_solutions(), 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Adversarial instances from the paper's comparisons with other paradigms.
+//!
+//! * [`nprr_i1`] — database `I1` of Fig. 16 (§9.1.1): a 4-cycle instance on
+//!   which a worst-case optimal join algorithm needs `Θ(n²)` before it can
+//!   report the top-ranked answer, while the any-k approach needs only
+//!   `O(n)` (this instance has a single heavy value per relation).
+//! * [`rankjoin_i2`] — database `I2` of Fig. 19 (§9.1.3), mirrored for
+//!   ascending ranking: the top answer combines tuples accessed *last* under
+//!   sorted access, while all early tuples join with each other, forcing
+//!   middleware-style rank joins to materialise `Ω((n−1)^{ℓ−1})` partial
+//!   combinations.
+
+use anyk_storage::{Database, Relation};
+
+/// Database `I1` (Fig. 16) for the 4-cycle query `QC4` over `R1..R4`.
+///
+/// Each relation holds `2n` tuples: `(a_i, b_0)` for `i ∈ 1..=n` and
+/// `(a_0, b_j)` for `j ∈ 1..=n` (encoded as integers; `x_0` is value `0` and
+/// `x_i` is value `i`). Weights grow linearly with the index so that ranked
+/// order is non-trivial.
+pub fn nprr_i1(n: usize) -> Database {
+    let mut db = Database::new();
+    for r_idx in 1..=4 {
+        let mut r = Relation::new(format!("R{r_idx}"), 2);
+        for i in 1..=n as u64 {
+            // (a_i, b_0)
+            r.push_edge(i, 0, i as f64 + r_idx as f64);
+            // (a_0, b_j)
+            r.push_edge(0, i, i as f64 * 2.0 + r_idx as f64);
+        }
+        db.add(r);
+    }
+    db
+}
+
+/// The number of 4-cycle answers of [`nprr_i1`]: `2n²` (every pair of
+/// "spoke" choices on opposite sides closes a cycle through the hubs).
+pub fn nprr_i1_output_size(n: usize) -> u128 {
+    2 * (n as u128) * (n as u128)
+}
+
+/// Database `I2` (Fig. 19) for the 3-path query, mirrored for ascending
+/// ranking (see `anyk-engine::rankjoin` for the corresponding analysis).
+///
+/// * `R1`: `n−1` light tuples `(100+i, 1)` plus one heavy tuple `(100, 0)`;
+/// * `R2`: `n−1` light tuples `(1, 200+i)` plus one heavy tuple `(0, 200)`;
+/// * `R3`: `n−1` very heavy tuples `(200+i, 300)` plus one light `(200, 300)`.
+///
+/// The top-ranked (minimum-sum) answer is the chain through the heavy `R1`,
+/// `R2` tuples and the light `R3` tuple; every other combination is far
+/// heavier but is discovered first by sorted-access operators.
+pub fn rankjoin_i2(n: usize) -> Database {
+    let n = n.max(2) as u64;
+    let mut db = Database::new();
+    let mut r1 = Relation::new("R1", 2);
+    let mut r2 = Relation::new("R2", 2);
+    let mut r3 = Relation::new("R3", 2);
+    for i in 1..n {
+        r1.push_edge(100 + i, 1, 1.0 + i as f64);
+        r2.push_edge(1, 200 + i, 10.0 + i as f64);
+        r3.push_edge(200 + i, 300, 100_000.0);
+    }
+    r1.push_edge(100, 0, 1_000.0);
+    r2.push_edge(0, 200, 2_000.0);
+    r3.push_edge(200, 300, 1.0);
+    db.add(r1);
+    db.add(r2);
+    db.add(r3);
+    db
+}
+
+/// The weight of the top-ranked answer of [`rankjoin_i2`].
+pub const RANKJOIN_I2_TOP_WEIGHT: f64 = 3_001.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i1_shape_and_output_size() {
+        let n = 5;
+        let db = nprr_i1(n);
+        assert_eq!(db.len(), 4);
+        for r in db.relations() {
+            assert_eq!(r.len(), 2 * n);
+        }
+        // Brute-force the 4-cycle count.
+        let rels: Vec<_> = (1..=4).map(|i| db.expect(&format!("R{i}"))).collect();
+        let mut count = 0u128;
+        for (_, t1) in rels[0].iter() {
+            for (_, t2) in rels[1].iter() {
+                if t1.value(1) != t2.value(0) {
+                    continue;
+                }
+                for (_, t3) in rels[2].iter() {
+                    if t2.value(1) != t3.value(0) {
+                        continue;
+                    }
+                    for (_, t4) in rels[3].iter() {
+                        if t3.value(1) == t4.value(0) && t4.value(1) == t1.value(0) {
+                            count += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(count, nprr_i1_output_size(n));
+    }
+
+    #[test]
+    fn i2_shape() {
+        let db = rankjoin_i2(10);
+        assert_eq!(db.expect("R1").len(), 10);
+        assert_eq!(db.expect("R2").len(), 10);
+        assert_eq!(db.expect("R3").len(), 10);
+        // The intended top answer exists: (100,0) ⋈ (0,200) ⋈ (200,300).
+        let w = 1_000.0 + 2_000.0 + 1.0;
+        assert_eq!(w, RANKJOIN_I2_TOP_WEIGHT);
+    }
+}

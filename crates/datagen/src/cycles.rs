@@ -1,0 +1,88 @@
+//! The worst-case cycle construction used for the cycle experiments (§7).
+//!
+//! "For cycles, we follow a construction by [NPRR] that creates a worst-case
+//! output: every relation consists of n/2 tuples of the form (0, i) and n/2
+//! of the form (i, 0) where i takes all the values in `N_1^{n/2}`."
+//! The single value `0` is a heavy hub in every relation, so the instance
+//! exercises both the heavy and the light partitions of the simple-cycle
+//! decomposition (§5.3.1) and has `Θ((n/2)²)` output tuples for the 4-cycle.
+
+use anyk_storage::{Database, Relation};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// The weight range used throughout the synthetic experiments.
+pub const WEIGHT_RANGE: f64 = 10_000.0;
+
+/// Worst-case database for the ℓ-cycle query: relations `R1..Rℓ`, each with
+/// `n/2` tuples `(0, i)` and `n/2` tuples `(i, 0)`, weights uniform.
+pub fn worst_case_cycle_database(ell: usize, n: usize, rng: &mut SmallRng) -> Database {
+    let half = (n / 2).max(1) as u64;
+    let mut db = Database::new();
+    for r_idx in 1..=ell {
+        let mut r = Relation::new(format!("R{r_idx}"), 2);
+        for i in 1..=half {
+            r.push_edge(0, i, rng.gen_range(0.0..WEIGHT_RANGE));
+            r.push_edge(i, 0, rng.gen_range(0.0..WEIGHT_RANGE));
+        }
+        db.add(r);
+    }
+    db
+}
+
+/// The exact number of ℓ-cycle answers of [`worst_case_cycle_database`]:
+/// every answer alternates between the hub `0` and a non-hub value, so for
+/// even ℓ there are `2 · (n/2)^{ℓ/2}` of them... computed here by the closed
+/// form used to size the experiments.
+pub fn worst_case_output_size(ell: usize, n: usize) -> u128 {
+    let half = (n / 2).max(1) as u128;
+    if ell % 2 == 0 {
+        2 * half.pow((ell / 2) as u32)
+    } else {
+        // Odd cycles on this instance have no answers (the hub must alternate).
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    #[test]
+    fn construction_shape() {
+        let db = worst_case_cycle_database(4, 10, &mut rng(1));
+        assert_eq!(db.len(), 4);
+        for r in db.relations() {
+            assert_eq!(r.len(), 10);
+            assert!(r.tuples().all(|t| t.value(0) == 0 || t.value(1) == 0));
+        }
+    }
+
+    #[test]
+    fn output_size_formula_matches_brute_force() {
+        // Brute-force the 4-cycle output on a small instance and compare.
+        let n = 6;
+        let db = worst_case_cycle_database(4, n, &mut rng(2));
+        let rels: Vec<_> = (1..=4).map(|i| db.expect(&format!("R{i}"))).collect();
+        let mut count = 0u128;
+        for (_, t1) in rels[0].iter() {
+            for (_, t2) in rels[1].iter() {
+                if t1.value(1) != t2.value(0) {
+                    continue;
+                }
+                for (_, t3) in rels[2].iter() {
+                    if t2.value(1) != t3.value(0) {
+                        continue;
+                    }
+                    for (_, t4) in rels[3].iter() {
+                        if t3.value(1) == t4.value(0) && t4.value(1) == t1.value(0) {
+                            count += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(count, worst_case_output_size(4, n));
+    }
+}

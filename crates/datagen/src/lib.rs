@@ -1,0 +1,59 @@
+//! # anyk-datagen
+//!
+//! Workload generators for the paper's evaluation (§7, §9.1):
+//!
+//! * [`uniform`] — the synthetic path/star inputs of §7 (values drawn
+//!   uniformly from a domain of size `n/10`, weights uniform in
+//!   `[0, 10000)`);
+//! * [`cycles`] — the worst-case cycle construction of [NPRR] used for the
+//!   cycle experiments (`(0, i)` and `(i, 0)` tuples);
+//! * [`adversarial`] — database `I1` (Fig. 16, NPRR sub-optimality for
+//!   ranked enumeration) and database `I2` (Fig. 19, Rank-Join/J*
+//!   sub-optimality);
+//! * [`social`] — a deterministic preferential-attachment graph generator
+//!   standing in for the Bitcoin-OTC and Twitter datasets of Fig. 9 (the
+//!   experiments depend on the skewed degree distribution and weight spread,
+//!   not the identity of the graphs — see DESIGN.md for the substitution
+//!   rationale).
+//!
+//! All generators are deterministic given a seed, so experiments are
+//! reproducible.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adversarial;
+pub mod cycles;
+pub mod social;
+pub mod uniform;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The default seed used by the experiment harness.
+pub const DEFAULT_SEED: u64 = 0x5EED_0A17;
+
+/// A deterministic RNG for the generators.
+pub fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Shorthand: the default deterministic RNG.
+pub fn default_rng() -> SmallRng {
+    rng(DEFAULT_SEED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = rng(42);
+        let mut b = rng(42);
+        for _ in 0..10 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Scale-free social-graph generator — the stand-in for the Bitcoin-OTC and
+//! Twitter datasets of Fig. 9.
+//!
+//! The paper's real-data experiments run path/star/cycle queries over the
+//! edge relation of two social networks whose relevant characteristics are a
+//! heavily skewed (power-law) degree distribution — a few hub users with
+//! thousands of edges — and edge weights that are either explicit trust
+//! scores (Bitcoin-OTC) or derived from the endpoints' PageRank (Twitter).
+//! Since the actual datasets cannot be shipped, this module generates
+//! directed multigraph edge relations with a preferential-attachment process
+//! that reproduces exactly those characteristics, parameterised to the
+//! node/edge counts reported in Fig. 9 (and scalable down for quick runs).
+
+use anyk_storage::stats::{graph_stats, GraphStats};
+use anyk_storage::{Database, Relation};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// How edge weights are assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightModel {
+    /// Integer-valued trust scores in `[-10, 10]`, like Bitcoin-OTC.
+    Trust,
+    /// Degree-proportional weights mimicking "sum of endpoint PageRanks",
+    /// like the Twitter experiments.
+    PageRank,
+}
+
+/// Parameters of the generated graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SocialGraphConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Average out-degree (edges ≈ nodes × avg_degree).
+    pub avg_degree: usize,
+    /// Weight model.
+    pub weights: WeightModel,
+}
+
+impl SocialGraphConfig {
+    /// A Bitcoin-OTC–sized graph (Fig. 9: 5 881 nodes, 35 592 edges).
+    pub fn bitcoin_like() -> Self {
+        SocialGraphConfig {
+            nodes: 5_881,
+            avg_degree: 6,
+            weights: WeightModel::Trust,
+        }
+    }
+
+    /// A TwitterS-sized graph (Fig. 9: 8 000 nodes, 87 687 edges).
+    pub fn twitter_s() -> Self {
+        SocialGraphConfig {
+            nodes: 8_000,
+            avg_degree: 11,
+            weights: WeightModel::PageRank,
+        }
+    }
+
+    /// A TwitterL-sized graph (Fig. 9: 80 000 nodes, 2 250 298 edges).
+    pub fn twitter_l() -> Self {
+        SocialGraphConfig {
+            nodes: 80_000,
+            avg_degree: 28,
+            weights: WeightModel::PageRank,
+        }
+    }
+
+    /// The same configuration scaled down by `factor` (≥ 1), keeping the
+    /// degree structure; used to keep laptop-scale experiments fast.
+    pub fn scaled_down(mut self, factor: usize) -> Self {
+        self.nodes = (self.nodes / factor.max(1)).max(10);
+        self
+    }
+}
+
+/// Generate the edge relation of a scale-free directed graph.
+///
+/// Preferential attachment: node `v` (for `v = 1..nodes`) adds `avg_degree`
+/// out-edges whose targets are sampled from the endpoints of existing edges
+/// (with probability ~ degree) or uniformly at random (10% of the time, and
+/// always while the graph is still tiny).
+pub fn scale_free_edges(config: SocialGraphConfig, rng: &mut SmallRng) -> Relation {
+    let mut edges = Relation::new("EDGES", 2);
+    // Endpoint pool: every occurrence of a node biases future sampling
+    // towards it (classic Barabási–Albert trick).
+    let mut pool: Vec<u64> = vec![0];
+    let mut degree = vec![0usize; config.nodes];
+    let mut raw: Vec<(u64, u64)> = Vec::new();
+    for v in 1..config.nodes as u64 {
+        for _ in 0..config.avg_degree {
+            let target = if pool.len() < 2 || rng.gen_bool(0.1) {
+                rng.gen_range(0..v)
+            } else {
+                pool[rng.gen_range(0..pool.len())]
+            };
+            if target == v {
+                continue;
+            }
+            // Orient the edge randomly so that hubs accumulate both high
+            // in-degree and high out-degree, as in real follower graphs.
+            if rng.gen_bool(0.5) {
+                raw.push((v, target));
+            } else {
+                raw.push((target, v));
+            }
+            degree[v as usize] += 1;
+            degree[target as usize] += 1;
+            pool.push(target);
+            pool.push(v);
+        }
+    }
+    // Assign weights once degrees are final.
+    let total_degree: usize = degree.iter().sum::<usize>().max(1);
+    for (from, to) in raw {
+        let weight = match config.weights {
+            WeightModel::Trust => rng.gen_range(-10i32..=10) as f64,
+            WeightModel::PageRank => {
+                let pr = |v: u64| degree[v as usize] as f64 / total_degree as f64;
+                (pr(from) + pr(to)) * 1_000.0
+            }
+        };
+        edges.push_edge(from, to, weight);
+    }
+    edges
+}
+
+/// A database holding `ell` copies of the same edge relation (`R1..Rℓ`), the
+/// layout the paper uses for running path/star/cycle queries over a graph.
+pub fn social_database(ell: usize, config: SocialGraphConfig, rng: &mut SmallRng) -> Database {
+    let edges = scale_free_edges(config, rng);
+    let mut db = Database::new();
+    for i in 1..=ell {
+        let mut r = Relation::new(format!("R{i}"), 2);
+        for (_, t) in edges.iter() {
+            r.push(t.clone());
+        }
+        db.add(r);
+    }
+    db
+}
+
+/// Summary statistics of a generated edge relation (the Fig. 9 columns).
+pub fn summarize(edges: &Relation) -> GraphStats {
+    graph_stats(edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let config = SocialGraphConfig {
+            nodes: 2_000,
+            avg_degree: 6,
+            weights: WeightModel::PageRank,
+        };
+        let edges = scale_free_edges(config, &mut rng(7));
+        let stats = summarize(&edges);
+        assert!(stats.edges > 5 * stats.nodes, "enough edges");
+        // Hubs: the max degree should far exceed the average (power-law tail).
+        assert!(
+            stats.max_degree as f64 > 5.0 * stats.avg_degree,
+            "max {} vs avg {}",
+            stats.max_degree,
+            stats.avg_degree
+        );
+    }
+
+    #[test]
+    fn trust_weights_are_bounded() {
+        let config = SocialGraphConfig {
+            nodes: 500,
+            avg_degree: 4,
+            weights: WeightModel::Trust,
+        };
+        let edges = scale_free_edges(config, &mut rng(9));
+        for t in edges.tuples() {
+            assert!(t.weight() >= -10.0 && t.weight() <= 10.0);
+        }
+    }
+
+    #[test]
+    fn social_database_replicates_edges_per_relation() {
+        let config = SocialGraphConfig {
+            nodes: 200,
+            avg_degree: 3,
+            weights: WeightModel::Trust,
+        };
+        let db = social_database(4, config, &mut rng(11));
+        assert_eq!(db.len(), 4);
+        let n = db.expect("R1").len();
+        assert!(n > 100);
+        for i in 2..=4 {
+            assert_eq!(db.expect(&format!("R{i}")).len(), n);
+        }
+    }
+
+    #[test]
+    fn presets_match_figure_9_scale() {
+        assert_eq!(SocialGraphConfig::bitcoin_like().nodes, 5_881);
+        assert_eq!(SocialGraphConfig::twitter_s().nodes, 8_000);
+        assert_eq!(SocialGraphConfig::twitter_l().nodes, 80_000);
+        let scaled = SocialGraphConfig::twitter_l().scaled_down(100);
+        assert_eq!(scaled.nodes, 800);
+    }
+}

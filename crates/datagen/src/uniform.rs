@@ -1,0 +1,90 @@
+//! The synthetic path/star inputs of §7.
+//!
+//! "For path and star queries, we create tuples with values uniformly
+//! sampled from the domain `N_{1}^{n/10}`. That way, tuples join with 10
+//! others in the next relation, on average. Tuple weights are real numbers
+//! uniformly drawn from `[0, 10000]`."
+
+use anyk_storage::{Database, Relation};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// The weight range used throughout the synthetic experiments.
+pub const WEIGHT_RANGE: f64 = 10_000.0;
+
+/// A database of `ell` binary relations `R1..Rℓ`, each with `n` tuples whose
+/// values are uniform in `1..=max(1, n/domain_divisor)`. The paper uses
+/// `domain_divisor = 10` so that each tuple joins with ~10 tuples of the
+/// next relation.
+pub fn uniform_database(
+    ell: usize,
+    n: usize,
+    domain_divisor: usize,
+    rng: &mut SmallRng,
+) -> Database {
+    let domain = (n / domain_divisor.max(1)).max(1) as u64;
+    let mut db = Database::new();
+    for i in 1..=ell {
+        let mut r = Relation::new(format!("R{i}"), 2);
+        for _ in 0..n {
+            let a = rng.gen_range(1..=domain);
+            let b = rng.gen_range(1..=domain);
+            let w = rng.gen_range(0.0..WEIGHT_RANGE);
+            r.push_edge(a, b, w);
+        }
+        db.add(r);
+    }
+    db
+}
+
+/// The standard synthetic input for the ℓ-path and ℓ-star experiments
+/// (`domain_divisor = 10`).
+pub fn path_or_star_database(ell: usize, n: usize, rng: &mut SmallRng) -> Database {
+    uniform_database(ell, n, 10, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+    use anyk_storage::stats::ColumnStats;
+
+    #[test]
+    fn relations_have_requested_cardinality_and_domain() {
+        let db = path_or_star_database(4, 1000, &mut rng(1));
+        assert_eq!(db.len(), 4);
+        for r in db.relations() {
+            assert_eq!(r.len(), 1000);
+            for t in r.tuples() {
+                assert!(t.value(0) >= 1 && t.value(0) <= 100);
+                assert!(t.weight() >= 0.0 && t.weight() < WEIGHT_RANGE);
+            }
+        }
+    }
+
+    #[test]
+    fn average_join_fanout_is_roughly_ten() {
+        let db = path_or_star_database(2, 5000, &mut rng(2));
+        let s = ColumnStats::compute(db.expect("R2"), 0);
+        let avg = s.avg_degree();
+        assert!(avg > 5.0 && avg < 20.0, "average degree {avg}");
+    }
+
+    #[test]
+    fn tiny_inputs_do_not_panic() {
+        let db = uniform_database(2, 3, 10, &mut rng(3));
+        assert_eq!(db.expect("R1").len(), 3);
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let a = path_or_star_database(3, 50, &mut rng(7));
+        let b = path_or_star_database(3, 50, &mut rng(7));
+        for (ra, rb) in a.relations().zip(b.relations()) {
+            for ((_, ta), (_, tb)) in ra.iter().zip(rb.iter()) {
+                assert_eq!(ta.values(), tb.values());
+                assert_eq!(ta.weight(), tb.weight());
+            }
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Query answers.
+
+use anyk_storage::{TupleId, Value};
+
+/// One ranked answer of a conjunctive query.
+///
+/// An answer is an assignment of the query's head variables to values, its
+/// weight under the chosen [`crate::RankingFunction`], and (where available)
+/// the witness — the input tuples that joined to produce it (§2.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Answer {
+    weight: f64,
+    values: Vec<Value>,
+    witness: Vec<(usize, TupleId)>,
+}
+
+impl Answer {
+    /// Create an answer. `values` must be aligned with the query's head
+    /// variables; `witness` holds `(atom index, tuple id)` pairs and may be
+    /// empty when the answer was produced through a decomposition whose
+    /// derived relations do not correspond to single input tuples.
+    pub fn new(weight: f64, values: Vec<Value>, witness: Vec<(usize, TupleId)>) -> Self {
+        Answer {
+            weight,
+            values,
+            witness,
+        }
+    }
+
+    /// The answer's weight under the query's ranking function.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// The head-variable values, aligned with
+    /// [`anyk_query::ConjunctiveQuery::head_variables`].
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// The value bound to head variable position `idx`.
+    pub fn value(&self, idx: usize) -> Value {
+        self.values[idx]
+    }
+
+    /// The witness `(atom index, tuple id)` pairs, if available.
+    pub fn witness(&self) -> &[(usize, TupleId)] {
+        &self.witness
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let a = Answer::new(4.5, vec![1, 2, 3], vec![(0, 7), (1, 9)]);
+        assert_eq!(a.weight(), 4.5);
+        assert_eq!(a.values(), &[1, 2, 3]);
+        assert_eq!(a.value(2), 3);
+        assert_eq!(a.witness(), &[(0, 7), (1, 9)]);
+    }
+}

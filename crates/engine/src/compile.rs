@@ -1,0 +1,402 @@
+//! Compilation of acyclic full conjunctive queries into T-DP instances
+//! (§3, §5.1) using the `O(ℓn)` equi-join encoding of Fig. 3.
+//!
+//! Every atom of the query becomes one *output* stage whose states are the
+//! tuples of the referenced relation (payload = tuple id, weight = the
+//! tuple's encoded weight). Between a child atom's stage and its parent's
+//! stage sits an auxiliary **value-node** stage with one state per distinct
+//! join-key value: parent tuples connect to the value node of their key with
+//! weight `1̄`, and the value node connects to every child tuple with that
+//! key. This keeps the number of decisions linear in the input instead of
+//! quadratic, and — crucially for `Recursive` — lets all parent tuples with
+//! the same key *share* the ranked stream of suffixes below the value node.
+
+use crate::answer::Answer;
+use crate::error::EngineError;
+use anyk_core::dioid::{Dioid, OrderedF64};
+use anyk_core::solution::Solution;
+use anyk_core::tdp::{NodeId, StageId, TdpBuilder, TdpInstance};
+use anyk_query::{gyo, ConjunctiveQuery, JoinTree};
+use anyk_storage::{Database, Tuple, Value};
+use std::collections::HashMap;
+
+/// A compiled acyclic query: the T-DP instance plus the metadata needed to
+/// turn its [`Solution`]s back into query [`Answer`]s.
+#[derive(Debug, Clone)]
+pub struct Compiled<D: Dioid> {
+    /// The T-DP instance (bottom-up phase already run).
+    pub instance: TdpInstance<D>,
+    /// For each output stage (in the instance's serial order): the index of
+    /// the query atom it encodes.
+    output_atoms: Vec<usize>,
+    /// Relation name per atom.
+    atom_relations: Vec<String>,
+    /// The query's head variables.
+    head_vars: Vec<String>,
+    /// For each head variable: (position within `output_atoms`, column of
+    /// that atom's relation holding the variable's value).
+    var_sources: Vec<(usize, usize)>,
+}
+
+/// Validate that every atom references an existing relation of matching arity.
+pub fn validate(db: &Database, query: &ConjunctiveQuery) -> Result<(), EngineError> {
+    for atom in query.atoms() {
+        let rel = db
+            .get(&atom.relation)
+            .ok_or_else(|| EngineError::UnknownRelation(atom.relation.clone()))?;
+        if rel.arity() != atom.arity() {
+            return Err(EngineError::ArityMismatch {
+                relation: atom.relation.clone(),
+                atom_arity: atom.arity(),
+                relation_arity: rel.arity(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Compile an acyclic full CQ into a T-DP instance over the dioid `D`,
+/// weighting each input tuple with `weight_fn`.
+///
+/// Returns [`EngineError::UnsupportedCyclicQuery`] if the query has no join
+/// tree (use [`crate::cycle`] or [`crate::wcoj`] for cyclic queries).
+pub fn compile_with<D, F>(
+    db: &Database,
+    query: &ConjunctiveQuery,
+    weight_fn: F,
+) -> Result<Compiled<D>, EngineError>
+where
+    D: Dioid<V = OrderedF64>,
+    F: Fn(&Tuple) -> f64,
+{
+    validate(db, query)?;
+    let join_tree = gyo::join_tree(query.atoms())
+        .ok_or_else(|| EngineError::UnsupportedCyclicQuery(query.to_string()))?;
+    Ok(compile_over_tree(db, query, &join_tree, weight_fn))
+}
+
+/// Compile an acyclic full CQ over an explicitly provided join tree (used by
+/// the projection machinery, which picks a particular root).
+pub fn compile_over_tree<D, F>(
+    db: &Database,
+    query: &ConjunctiveQuery,
+    join_tree: &JoinTree,
+    weight_fn: F,
+) -> Compiled<D>
+where
+    D: Dioid<V = OrderedF64>,
+    F: Fn(&Tuple) -> f64,
+{
+    let atoms = query.atoms();
+    let order = join_tree.traversal_order();
+    let mut builder = TdpBuilder::<D>::new();
+
+    // Stage id of each atom's (output) stage, indexed by atom index.
+    let mut stage_of_atom: Vec<Option<StageId>> = vec![None; atoms.len()];
+    // T-DP states of each atom's tuples, indexed by atom index then tuple id.
+    // `None` for tuples that were not materialised (child tuples whose join
+    // key never occurs on the parent side).
+    let mut states_of_atom: Vec<Vec<Option<NodeId>>> = vec![Vec::new(); atoms.len()];
+
+    for (visit_idx, &atom_idx) in order.iter().enumerate() {
+        let atom = &atoms[atom_idx];
+        let relation = db.expect(&atom.relation);
+        if visit_idx == 0 {
+            // Root atom: its stage hangs directly under the T-DP root and
+            // every tuple connects to s₀.
+            let stage = builder.add_stage_under_root(&atom.relation, true);
+            stage_of_atom[atom_idx] = Some(stage);
+            let mut states = vec![None; relation.len()];
+            for (tid, tuple) in relation.iter() {
+                let s = builder.add_state_with_payload(
+                    stage.index(),
+                    OrderedF64::from(weight_fn(tuple)),
+                    tid as u64,
+                );
+                builder.connect_root(s);
+                states[tid] = Some(s);
+            }
+            states_of_atom[atom_idx] = states;
+            continue;
+        }
+
+        let parent_idx = join_tree
+            .parent(atom_idx)
+            .expect("non-root atom has a parent in the join tree");
+        let parent_atom = &atoms[parent_idx];
+        let parent_stage = stage_of_atom[parent_idx].expect("parent visited before child");
+
+        // Join key: the variables shared between parent and child atoms
+        // (possibly empty — a cross product — which yields a single value node).
+        let key_vars = parent_atom.shared_variables(atom);
+        let parent_positions = parent_atom.positions_of(&key_vars);
+        let child_positions = atom.positions_of(&key_vars);
+
+        let value_stage = builder.add_stage(
+            &format!("{}⋈{}", parent_atom.relation, atom.relation),
+            parent_stage,
+            false,
+        );
+        let atom_stage = builder.add_stage(&atom.relation, value_stage, true);
+        stage_of_atom[atom_idx] = Some(atom_stage);
+
+        // One value node per distinct join-key value occurring on the parent
+        // side; parent tuples connect to their key's value node.
+        let mut value_nodes: HashMap<Vec<Value>, NodeId> = HashMap::new();
+        let parent_relation = db.expect(&parent_atom.relation);
+        for (ptid, ptuple) in parent_relation.iter() {
+            let Some(pstate) = states_of_atom[parent_idx][ptid] else {
+                continue;
+            };
+            let key: Vec<Value> = parent_positions.iter().map(|&c| ptuple.value(c)).collect();
+            let vnode = *value_nodes.entry(key).or_insert_with(|| {
+                builder.add_state_with_payload(value_stage.index(), D::one(), u64::MAX)
+            });
+            builder.connect(pstate, vnode);
+        }
+
+        // Child tuples connect below the value node of their key (tuples with
+        // keys that never occur on the parent side are dropped here — the
+        // "semi-join" part of the encoding).
+        let mut states = vec![None; relation.len()];
+        for (tid, tuple) in relation.iter() {
+            let key: Vec<Value> = child_positions.iter().map(|&c| tuple.value(c)).collect();
+            if let Some(&vnode) = value_nodes.get(&key) {
+                let s = builder.add_state_with_payload(
+                    atom_stage.index(),
+                    OrderedF64::from(weight_fn(tuple)),
+                    tid as u64,
+                );
+                builder.connect(vnode, s);
+                states[tid] = Some(s);
+            }
+        }
+        states_of_atom[atom_idx] = states;
+    }
+
+    let instance = builder.build();
+
+    // Map serial output stages back to atom indices.
+    let stage_to_atom: HashMap<StageId, usize> = stage_of_atom
+        .iter()
+        .enumerate()
+        .filter_map(|(a, s)| s.map(|s| (s, a)))
+        .collect();
+    let output_atoms: Vec<usize> = instance
+        .serial_order()
+        .iter()
+        .filter(|sid| instance.stage(**sid).is_output)
+        .map(|sid| stage_to_atom[sid])
+        .collect();
+
+    // Where does each head variable come from?
+    let head_vars = query.head_variables();
+    let var_sources = head_vars
+        .iter()
+        .map(|v| {
+            output_atoms
+                .iter()
+                .enumerate()
+                .find_map(|(pos, &a)| {
+                    atoms[a]
+                        .variables
+                        .iter()
+                        .position(|x| x == v)
+                        .map(|col| (pos, col))
+                })
+                .expect("every head variable occurs in some atom")
+        })
+        .collect();
+
+    Compiled {
+        instance,
+        output_atoms,
+        atom_relations: atoms.iter().map(|a| a.relation.clone()).collect(),
+        head_vars,
+        var_sources,
+    }
+}
+
+impl<D: Dioid<V = OrderedF64>> Compiled<D> {
+    /// The atoms encoded by the instance's output stages, in serial order.
+    pub fn output_atoms(&self) -> &[usize] {
+        &self.output_atoms
+    }
+
+    /// The query's head variables.
+    pub fn head_vars(&self) -> &[String] {
+        &self.head_vars
+    }
+
+    /// Turn a T-DP solution into a query answer. `decode` maps the internal
+    /// weight back to the user-facing weight (e.g. un-negating for
+    /// descending rankings).
+    pub fn assemble(
+        &self,
+        db: &Database,
+        solution: &Solution<D>,
+        decode: impl Fn(f64) -> f64,
+    ) -> Answer {
+        let witness: Vec<(usize, usize)> = solution
+            .states
+            .iter()
+            .zip(self.instance.serial_order())
+            .filter(|(_, sid)| self.instance.stage(**sid).is_output)
+            .enumerate()
+            .map(|(pos, (nid, _))| {
+                (
+                    self.output_atoms[pos],
+                    self.instance.payload(*nid) as usize,
+                )
+            })
+            .collect();
+        let values: Vec<Value> = self
+            .var_sources
+            .iter()
+            .map(|&(pos, col)| {
+                let (atom_idx, tid) = witness[pos];
+                db.expect(&self.atom_relations[atom_idx]).tuple(tid).value(col)
+            })
+            .collect();
+        Answer::new(decode(solution.weight.get()), values, witness)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyk_core::dioid::TropicalMin;
+    use anyk_core::{ranked_enumerate, AnyKAlgorithm};
+    use anyk_query::QueryBuilder;
+    use anyk_storage::Relation;
+
+    fn two_path_db() -> Database {
+        let mut db = Database::new();
+        let mut r1 = Relation::new("R1", 2);
+        r1.push_edge(1, 10, 1.0);
+        r1.push_edge(2, 20, 5.0);
+        r1.push_edge(3, 30, 2.0); // dangling: 30 has no continuation
+        let mut r2 = Relation::new("R2", 2);
+        r2.push_edge(10, 100, 2.0);
+        r2.push_edge(10, 200, 7.0);
+        r2.push_edge(20, 300, 1.0);
+        db.add(r1);
+        db.add(r2);
+        db
+    }
+
+    #[test]
+    fn compiles_path_query_with_value_nodes() {
+        let db = two_path_db();
+        let q = QueryBuilder::path(2).build();
+        let c = compile_with::<TropicalMin, _>(&db, &q, Tuple::weight).unwrap();
+        // 2 output stages + 1 value stage (+ root).
+        assert_eq!(c.instance.num_stages(), 4);
+        assert!(c.instance.has_solution());
+        // Minimum weight path: (1,10) + (10,100) = 3.
+        assert_eq!(*c.instance.optimum(), OrderedF64::from(3.0));
+        // 3 joining combinations in total.
+        assert_eq!(c.instance.count_solutions(), 3);
+    }
+
+    #[test]
+    fn answers_carry_values_and_witnesses() {
+        let db = two_path_db();
+        let q = QueryBuilder::path(2).build();
+        let c = compile_with::<TropicalMin, _>(&db, &q, Tuple::weight).unwrap();
+        let answers: Vec<Answer> = ranked_enumerate(&c.instance, AnyKAlgorithm::Take2)
+            .map(|s| c.assemble(&db, &s, |w| w))
+            .collect();
+        assert_eq!(answers.len(), 3);
+        assert_eq!(answers[0].weight(), 3.0);
+        // Head vars of the 2-path are x1, x2, x3.
+        assert_eq!(answers[0].values(), &[1, 10, 100]);
+        assert_eq!(answers[1].weight(), 6.0);
+        assert_eq!(answers[1].values(), &[2, 20, 300]);
+        assert_eq!(answers[2].weight(), 8.0);
+        assert_eq!(answers[2].values(), &[1, 10, 200]);
+        // Witnesses reference the originating tuples.
+        assert_eq!(answers[0].witness().len(), 2);
+    }
+
+    #[test]
+    fn cyclic_query_is_rejected() {
+        let mut db = Database::new();
+        for i in 1..=4 {
+            let mut r = Relation::new(format!("R{i}"), 2);
+            r.push_edge(1, 2, 1.0);
+            db.add(r);
+        }
+        let q = QueryBuilder::cycle(4).build();
+        assert!(matches!(
+            compile_with::<TropicalMin, _>(&db, &q, Tuple::weight),
+            Err(EngineError::UnsupportedCyclicQuery(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_relation_is_rejected() {
+        let db = two_path_db();
+        let q = QueryBuilder::new().atom("Nope", &["x", "y"]).build();
+        assert!(matches!(
+            compile_with::<TropicalMin, _>(&db, &q, Tuple::weight),
+            Err(EngineError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let db = two_path_db();
+        let q = QueryBuilder::new().atom("R1", &["x", "y", "z"]).build();
+        assert!(matches!(
+            compile_with::<TropicalMin, _>(&db, &q, Tuple::weight),
+            Err(EngineError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn star_query_compiles_to_tree_instance() {
+        let mut db = Database::new();
+        for name in ["R1", "R2", "R3"] {
+            let mut r = Relation::new(name, 2);
+            r.push_edge(1, 10, 1.0);
+            r.push_edge(1, 20, 2.0);
+            r.push_edge(2, 30, 4.0);
+            db.add(r);
+        }
+        let q = QueryBuilder::star(3).build();
+        let c = compile_with::<TropicalMin, _>(&db, &q, Tuple::weight).unwrap();
+        // Hub value 1: 2×2×2 = 8 combinations; hub value 2: 1 combination.
+        assert_eq!(c.instance.count_solutions(), 9);
+        let answers: Vec<Answer> = ranked_enumerate(&c.instance, AnyKAlgorithm::Lazy)
+            .map(|s| c.assemble(&db, &s, |w| w))
+            .collect();
+        assert_eq!(answers.len(), 9);
+        assert_eq!(answers[0].weight(), 3.0);
+        for w in answers.windows(2) {
+            assert!(w[0].weight() <= w[1].weight());
+        }
+    }
+
+    #[test]
+    fn self_join_uses_same_relation_twice() {
+        let mut db = Database::new();
+        let mut e = Relation::new("E", 2);
+        e.push_edge(1, 2, 1.0);
+        e.push_edge(2, 3, 2.0);
+        e.push_edge(3, 4, 4.0);
+        db.add(e);
+        let q = QueryBuilder::new()
+            .atom("E", &["x", "y"])
+            .atom("E", &["y", "z"])
+            .build();
+        let c = compile_with::<TropicalMin, _>(&db, &q, Tuple::weight).unwrap();
+        let answers: Vec<Answer> = ranked_enumerate(&c.instance, AnyKAlgorithm::Recursive)
+            .map(|s| c.assemble(&db, &s, |w| w))
+            .collect();
+        // Paths of length 2: (1,2,3) and (2,3,4).
+        assert_eq!(answers.len(), 2);
+        assert_eq!(answers[0].values(), &[1, 2, 3]);
+        assert_eq!(answers[1].values(), &[2, 3, 4]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Engine errors.
+
+use std::fmt;
+
+/// Errors raised when preparing a query for ranked enumeration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// An atom references a relation that is not in the database.
+    UnknownRelation(String),
+    /// An atom's arity differs from the stored relation's arity.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Arity declared by the atom.
+        atom_arity: usize,
+        /// Arity of the stored relation.
+        relation_arity: usize,
+    },
+    /// The query is cyclic but not a simple cycle; only acyclic queries and
+    /// simple ℓ-cycles (ℓ ≥ 4) are supported with optimality guarantees.
+    /// Such queries can still be answered through [`crate::wcoj`] + sorting.
+    UnsupportedCyclicQuery(String),
+    /// Ranked enumeration with projections was requested for a query outside
+    /// the supported (free-connex) class.
+    NotFreeConnex(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownRelation(r) => write!(f, "relation `{r}` not found in database"),
+            EngineError::ArityMismatch {
+                relation,
+                atom_arity,
+                relation_arity,
+            } => write!(
+                f,
+                "atom over `{relation}` has arity {atom_arity} but the relation has arity {relation_arity}"
+            ),
+            EngineError::UnsupportedCyclicQuery(q) => write!(
+                f,
+                "query `{q}` is cyclic but not a simple cycle; use the WCOJ batch fallback"
+            ),
+            EngineError::NotFreeConnex(q) => write!(
+                f,
+                "query `{q}` is not acyclic free-connex; min-weight projection guarantees do not apply"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = EngineError::UnknownRelation("R9".into());
+        assert!(e.to_string().contains("R9"));
+        let e = EngineError::ArityMismatch {
+            relation: "R".into(),
+            atom_arity: 2,
+            relation_arity: 3,
+        };
+        assert!(e.to_string().contains("arity 2"));
+        assert!(e.to_string().contains("arity 3"));
+    }
+}

@@ -1,0 +1,41 @@
+//! # anyk-engine
+//!
+//! Compiles full conjunctive queries over weighted relations into (unions of)
+//! T-DP problems and runs the any-k ranked-enumeration algorithms of
+//! [`anyk_core`] over them.
+//!
+//! * [`compile`] — acyclic CQ + join tree → T-DP instance with the `O(ℓn)`
+//!   equi-join "value node" encoding of Fig. 3;
+//! * [`cycle`] — the simple-cycle decomposition of §5.3.1 (heavy/light
+//!   partitioning into ℓ + 1 trees), turning an ℓ-cycle query into a UT-DP
+//!   problem with `TTF = O(n^{2−2/ℓ})`;
+//! * [`RankedQuery`] — the user-facing API: ranked enumeration of any full
+//!   CQ (acyclic or simple-cycle) under a [`RankingFunction`];
+//! * baselines used by the paper's evaluation: [`yannakakis`] (Batch),
+//!   [`naive_sql`] (a generic hash-join + sort engine standing in for the
+//!   PostgreSQL comparison of Fig. 14), [`wcoj`] (a Generic-Join–style
+//!   worst-case optimal join, §9.1.1 / Fig. 17), and [`rankjoin`]
+//!   (an HRJN-style middleware top-k operator, §9.1.3);
+//! * [`projection`] — join queries with projections under all-weight and
+//!   min-weight semantics (§8.1).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod answer;
+pub mod compile;
+pub mod cycle;
+mod error;
+pub mod naive_sql;
+pub mod projection;
+mod ranked;
+mod ranking;
+pub mod rankjoin;
+pub mod wcoj;
+pub mod yannakakis;
+
+pub use answer::Answer;
+pub use compile::Compiled;
+pub use error::EngineError;
+pub use ranked::RankedQuery;
+pub use ranking::RankingFunction;

@@ -1,0 +1,382 @@
+//! The user-facing ranked-enumeration API.
+
+use crate::answer::Answer;
+use crate::compile::{compile_with, Compiled};
+use crate::cycle;
+use crate::error::EngineError;
+use crate::ranking::RankingFunction;
+use anyk_core::dioid::{Dioid, MinMaxDioid, OrderedF64, TropicalMin};
+use anyk_core::{ranked_enumerate, AnyKAlgorithm, UnionEnumerator};
+use anyk_query::ConjunctiveQuery;
+use anyk_storage::{Database, Tuple, Value};
+
+/// A full conjunctive query prepared for ranked enumeration.
+///
+/// * Acyclic queries are compiled into a single T-DP instance (§5.1) with
+///   `TTF = O(n)` pre-processing.
+/// * Simple ℓ-cycle queries (ℓ ≥ 4) are decomposed into ℓ + 1 acyclic trees
+///   (§5.3.1) whose ranked streams are merged by a UT-DP union (§5.2); the
+///   pre-processing is `O(n^{2−2/ℓ})`, matching the best known bound for the
+///   Boolean version of the query.
+/// * Other cyclic queries are rejected with
+///   [`EngineError::UnsupportedCyclicQuery`]; they can still be evaluated
+///   through [`crate::wcoj`] followed by sorting (without the any-k
+///   guarantees).
+///
+/// ```
+/// use anyk_engine::{RankedQuery, RankingFunction};
+/// use anyk_core::AnyKAlgorithm;
+/// use anyk_query::QueryBuilder;
+/// use anyk_storage::{Database, Relation};
+///
+/// let mut db = Database::new();
+/// let mut r1 = Relation::new("R1", 2);
+/// r1.push_edge(1, 10, 1.0);
+/// r1.push_edge(2, 20, 4.0);
+/// let mut r2 = Relation::new("R2", 2);
+/// r2.push_edge(10, 5, 2.0);
+/// r2.push_edge(20, 6, 1.0);
+/// db.add(r1);
+/// db.add(r2);
+///
+/// let query = QueryBuilder::path(2).build();
+/// let prepared = RankedQuery::new(&db, &query).unwrap();
+/// let top: Vec<_> = prepared.enumerate(AnyKAlgorithm::Take2).collect();
+/// assert_eq!(top[0].weight(), 3.0);
+/// assert_eq!(top[0].values(), &[1, 10, 5]);
+/// ```
+pub struct RankedQuery<'a> {
+    db: &'a Database,
+    query: &'a ConjunctiveQuery,
+    ranking: RankingFunction,
+    plan: Plan,
+}
+
+/// One tree of a cycle decomposition, compiled and ready to enumerate.
+struct CycleTreePlan<D: Dioid<V = OrderedF64>> {
+    /// The materialised bag relations (owned by the plan).
+    database: Database,
+    compiled: Compiled<D>,
+    /// `head_perm[i]` = position of the i-th *original* head variable within
+    /// the tree query's head variables.
+    head_perm: Vec<usize>,
+    /// Partition label (useful for diagnostics and the experiment harness).
+    #[allow(dead_code)]
+    label: String,
+}
+
+enum Plan {
+    AcyclicSum(Compiled<TropicalMin>),
+    AcyclicBottleneck(Compiled<MinMaxDioid>),
+    CycleSum(Vec<CycleTreePlan<TropicalMin>>),
+    CycleBottleneck(Vec<CycleTreePlan<MinMaxDioid>>),
+}
+
+impl<'a> RankedQuery<'a> {
+    /// Prepare `query` over `db` with the default ranking
+    /// ([`RankingFunction::SumAscending`]).
+    pub fn new(db: &'a Database, query: &'a ConjunctiveQuery) -> Result<Self, EngineError> {
+        Self::with_ranking(db, query, RankingFunction::SumAscending)
+    }
+
+    /// Prepare `query` over `db` with an explicit ranking function.
+    pub fn with_ranking(
+        db: &'a Database,
+        query: &'a ConjunctiveQuery,
+        ranking: RankingFunction,
+    ) -> Result<Self, EngineError> {
+        crate::compile::validate(db, query)?;
+        let plan = if query.is_acyclic() {
+            if ranking.is_bottleneck() {
+                Plan::AcyclicBottleneck(compile_with::<MinMaxDioid, _>(db, query, |t| {
+                    ranking.encode(t.weight())
+                })?)
+            } else {
+                Plan::AcyclicSum(compile_with::<TropicalMin, _>(db, query, |t| {
+                    ranking.encode(t.weight())
+                })?)
+            }
+        } else {
+            let combine = ranking.combine_fn();
+            let trees = cycle::decompose(db, query, |w| ranking.encode(w), combine)?;
+            let original_head = query.head_variables();
+            if ranking.is_bottleneck() {
+                Plan::CycleBottleneck(Self::compile_trees::<MinMaxDioid>(trees, &original_head)?)
+            } else {
+                Plan::CycleSum(Self::compile_trees::<TropicalMin>(trees, &original_head)?)
+            }
+        };
+        Ok(RankedQuery {
+            db,
+            query,
+            ranking,
+            plan,
+        })
+    }
+
+    fn compile_trees<D: Dioid<V = OrderedF64>>(
+        trees: Vec<cycle::DecomposedTree>,
+        original_head: &[String],
+    ) -> Result<Vec<CycleTreePlan<D>>, EngineError> {
+        trees
+            .into_iter()
+            .map(|tree| {
+                // Bag weights are already encoded by the decomposition.
+                let compiled = compile_with::<D, _>(&tree.database, &tree.query, Tuple::weight)?;
+                let tree_head = tree.query.head_variables();
+                let head_perm = original_head
+                    .iter()
+                    .map(|v| {
+                        tree_head
+                            .iter()
+                            .position(|x| x == v)
+                            .expect("decomposition preserves the query variables")
+                    })
+                    .collect();
+                Ok(CycleTreePlan {
+                    database: tree.database,
+                    compiled,
+                    head_perm,
+                    label: tree.label,
+                })
+            })
+            .collect()
+    }
+
+    /// The query this plan answers.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        self.query
+    }
+
+    /// The ranking function in effect.
+    pub fn ranking(&self) -> RankingFunction {
+        self.ranking
+    }
+
+    /// Whether the plan uses the cycle decomposition (as opposed to a single
+    /// acyclic T-DP instance).
+    pub fn is_decomposed(&self) -> bool {
+        matches!(self.plan, Plan::CycleSum(_) | Plan::CycleBottleneck(_))
+    }
+
+    /// The exact number of answers, computed without enumerating them
+    /// (stage-wise counting over the compiled instances).
+    pub fn count_answers(&self) -> u128 {
+        match &self.plan {
+            Plan::AcyclicSum(c) => c.instance.count_solutions(),
+            Plan::AcyclicBottleneck(c) => c.instance.count_solutions(),
+            Plan::CycleSum(trees) => trees
+                .iter()
+                .map(|t| t.compiled.instance.count_solutions())
+                .sum(),
+            Plan::CycleBottleneck(trees) => trees
+                .iter()
+                .map(|t| t.compiled.instance.count_solutions())
+                .sum(),
+        }
+    }
+
+    /// Enumerate every answer exactly once, in rank order, with the chosen
+    /// any-k algorithm.
+    pub fn enumerate(&self, algorithm: AnyKAlgorithm) -> Box<dyn Iterator<Item = Answer> + '_> {
+        let ranking = self.ranking;
+        match &self.plan {
+            Plan::AcyclicSum(c) => self.enumerate_acyclic(c, algorithm, ranking),
+            Plan::AcyclicBottleneck(c) => self.enumerate_acyclic(c, algorithm, ranking),
+            Plan::CycleSum(trees) => Self::enumerate_cycle(trees, algorithm, ranking),
+            Plan::CycleBottleneck(trees) => Self::enumerate_cycle(trees, algorithm, ranking),
+        }
+    }
+
+    /// Convenience: the top `k` answers as a vector.
+    pub fn top_k(&self, algorithm: AnyKAlgorithm, k: usize) -> Vec<Answer> {
+        self.enumerate(algorithm).take(k).collect()
+    }
+
+    fn enumerate_acyclic<'s, D: Dioid<V = OrderedF64>>(
+        &'s self,
+        compiled: &'s Compiled<D>,
+        algorithm: AnyKAlgorithm,
+        ranking: RankingFunction,
+    ) -> Box<dyn Iterator<Item = Answer> + 's> {
+        let db = self.db;
+        Box::new(
+            ranked_enumerate(&compiled.instance, algorithm)
+                .map(move |sol| compiled.assemble(db, &sol, |w| ranking.decode(w))),
+        )
+    }
+
+    fn enumerate_cycle<'s, D: Dioid<V = OrderedF64>>(
+        trees: &'s [CycleTreePlan<D>],
+        algorithm: AnyKAlgorithm,
+        ranking: RankingFunction,
+    ) -> Box<dyn Iterator<Item = Answer> + 's> {
+        // One ranked source per decomposition tree; the partitions are
+        // disjoint (§5.3.1), so the union needs no duplicate elimination.
+        let sources: Vec<Box<dyn Iterator<Item = (OrderedF64, Answer)> + 's>> = trees
+            .iter()
+            .map(|tree| {
+                let iter = ranked_enumerate(&tree.compiled.instance, algorithm).map(move |sol| {
+                    let encoded = sol.weight;
+                    let raw = tree
+                        .compiled
+                        .assemble(&tree.database, &sol, |w| ranking.decode(w));
+                    // Reorder the tree's head values into the original
+                    // query's head-variable order. Witnesses reference bag
+                    // tuples, not original input tuples, so they are dropped.
+                    let values: Vec<Value> =
+                        tree.head_perm.iter().map(|&p| raw.value(p)).collect();
+                    (encoded, Answer::new(raw.weight(), values, Vec::new()))
+                });
+                Box::new(iter) as Box<dyn Iterator<Item = (OrderedF64, Answer)> + 's>
+            })
+            .collect();
+        Box::new(UnionEnumerator::new(sources).map(|(_, ans)| ans))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyk_query::QueryBuilder;
+    use anyk_storage::Relation;
+
+    fn path_db() -> Database {
+        let mut db = Database::new();
+        let mut r1 = Relation::new("R1", 2);
+        r1.push_edge(1, 10, 1.0);
+        r1.push_edge(2, 20, 4.0);
+        r1.push_edge(3, 10, 9.0);
+        let mut r2 = Relation::new("R2", 2);
+        r2.push_edge(10, 5, 2.0);
+        r2.push_edge(20, 6, 1.0);
+        db.add(r1);
+        db.add(r2);
+        db
+    }
+
+    /// Worst-case 4-cycle construction of §7: (0, i) and (i, 0) tuples.
+    fn cycle_db(n: u64) -> Database {
+        let mut db = Database::new();
+        for i in 1..=4 {
+            let mut r = Relation::new(format!("R{i}"), 2);
+            for j in 1..=n / 2 {
+                r.push_edge(0, j, (i as f64) + (j as f64) / 10.0);
+                r.push_edge(j, 0, (i as f64) * 2.0 + (j as f64) / 10.0);
+            }
+            db.add(r);
+        }
+        db
+    }
+
+    #[test]
+    fn acyclic_enumeration_in_ascending_order() {
+        let db = path_db();
+        let q = QueryBuilder::path(2).build();
+        let rq = RankedQuery::new(&db, &q).unwrap();
+        assert!(!rq.is_decomposed());
+        assert_eq!(rq.count_answers(), 3);
+        let all: Vec<Answer> = rq.enumerate(AnyKAlgorithm::Take2).collect();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].weight(), 3.0);
+        assert_eq!(all[0].values(), &[1, 10, 5]);
+        for w in all.windows(2) {
+            assert!(w[0].weight() <= w[1].weight());
+        }
+    }
+
+    #[test]
+    fn descending_ranking_reverses_order() {
+        let db = path_db();
+        let q = QueryBuilder::path(2).build();
+        let asc = RankedQuery::new(&db, &q).unwrap();
+        let desc = RankedQuery::with_ranking(&db, &q, RankingFunction::SumDescending).unwrap();
+        let a: Vec<f64> = asc
+            .enumerate(AnyKAlgorithm::Lazy)
+            .map(|x| x.weight())
+            .collect();
+        let d: Vec<f64> = desc
+            .enumerate(AnyKAlgorithm::Lazy)
+            .map(|x| x.weight())
+            .collect();
+        let mut a_rev = a.clone();
+        a_rev.reverse();
+        assert_eq!(a_rev, d);
+    }
+
+    #[test]
+    fn bottleneck_ranking_minimises_maximum_tuple_weight() {
+        let db = path_db();
+        let q = QueryBuilder::path(2).build();
+        let rq =
+            RankedQuery::with_ranking(&db, &q, RankingFunction::BottleneckAscending).unwrap();
+        let all: Vec<Answer> = rq.enumerate(AnyKAlgorithm::Take2).collect();
+        // Bottlenecks: (1,10)+(10,5): max(1,2)=2; (2,20)+(20,6): max(4,1)=4;
+        // (3,10)+(10,5): max(9,2)=9.
+        assert_eq!(
+            all.iter().map(Answer::weight).collect::<Vec<_>>(),
+            vec![2.0, 4.0, 9.0]
+        );
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_acyclic_queries() {
+        let db = path_db();
+        let q = QueryBuilder::path(2).build();
+        let rq = RankedQuery::new(&db, &q).unwrap();
+        let reference: Vec<Vec<Value>> = rq
+            .enumerate(AnyKAlgorithm::Batch)
+            .map(|a| a.values().to_vec())
+            .collect();
+        for alg in AnyKAlgorithm::ALL {
+            let got: Vec<Vec<Value>> = rq
+                .enumerate(alg)
+                .map(|a| a.values().to_vec())
+                .collect();
+            assert_eq!(got, reference, "algorithm {alg}");
+        }
+    }
+
+    #[test]
+    fn four_cycle_is_decomposed_and_ranked() {
+        let db = cycle_db(8);
+        let q = QueryBuilder::cycle(4).build();
+        let rq = RankedQuery::new(&db, &q).unwrap();
+        assert!(rq.is_decomposed());
+        let answers: Vec<Answer> = rq.enumerate(AnyKAlgorithm::Take2).collect();
+        assert!(!answers.is_empty());
+        // Ranked order.
+        for w in answers.windows(2) {
+            assert!(w[0].weight() <= w[1].weight() + 1e-9);
+        }
+        // Same multiset of answers from every algorithm.
+        let mut reference: Vec<(Vec<Value>, i64)> = answers
+            .iter()
+            .map(|a| (a.values().to_vec(), (a.weight() * 1000.0).round() as i64))
+            .collect();
+        reference.sort();
+        for alg in AnyKAlgorithm::ALL {
+            let mut got: Vec<(Vec<Value>, i64)> = rq
+                .enumerate(alg)
+                .map(|a| (a.values().to_vec(), (a.weight() * 1000.0).round() as i64))
+                .collect();
+            got.sort();
+            assert_eq!(got, reference, "algorithm {alg}");
+        }
+    }
+
+    #[test]
+    fn triangle_query_is_rejected() {
+        let mut db = Database::new();
+        for i in 1..=3 {
+            let mut r = Relation::new(format!("R{i}"), 2);
+            r.push_edge(1, 2, 1.0);
+            db.add(r);
+        }
+        let q = QueryBuilder::cycle(3).build();
+        assert!(matches!(
+            RankedQuery::new(&db, &q),
+            Err(EngineError::UnsupportedCyclicQuery(_))
+        ));
+    }
+}

@@ -1,0 +1,79 @@
+//! Ranking functions exposed by the query-level API.
+//!
+//! The core algorithms are generic over any selective dioid (§2.2, §6.4); the
+//! query-level API exposes the rankings used in the paper's evaluation and
+//! examples with plain `f64` weights. Descending (max-plus) ranking is
+//! realised by compiling with negated weights over the tropical min-plus
+//! dioid — the two dioids are isomorphic under negation — so a single
+//! instance type serves both directions. Advanced users can call
+//! [`crate::compile::compile_with`] directly with any dioid.
+
+/// How query answers are ranked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RankingFunction {
+    /// Ascending by the sum of the witness tuples' weights (the paper's
+    /// default, tropical min-plus dioid).
+    #[default]
+    SumAscending,
+    /// Descending by the sum of the witness tuples' weights ("heaviest
+    /// first", max-plus dioid).
+    SumDescending,
+    /// Ascending by the *maximum* tuple weight in the witness (min-max
+    /// bottleneck ranking; also a selective dioid).
+    BottleneckAscending,
+}
+
+impl RankingFunction {
+    /// Transform an input tuple weight into the internal (min-plus) weight.
+    pub(crate) fn encode(self, w: f64) -> f64 {
+        match self {
+            RankingFunction::SumAscending | RankingFunction::BottleneckAscending => w,
+            RankingFunction::SumDescending => -w,
+        }
+    }
+
+    /// Transform an internal solution weight back into a user-facing weight.
+    pub(crate) fn decode(self, w: f64) -> f64 {
+        match self {
+            RankingFunction::SumAscending | RankingFunction::BottleneckAscending => w,
+            RankingFunction::SumDescending => -w,
+        }
+    }
+
+    /// Whether this ranking aggregates with `max` instead of `+`.
+    pub(crate) fn is_bottleneck(self) -> bool {
+        matches!(self, RankingFunction::BottleneckAscending)
+    }
+
+    /// The aggregation used when pre-combining weights outside the dioid
+    /// machinery (bag materialisation in the cycle decomposition, baseline
+    /// joins): `+` for the sum rankings, `max` for the bottleneck ranking.
+    pub(crate) fn combine_fn(self) -> fn(f64, f64) -> f64 {
+        if self.is_bottleneck() {
+            f64::max
+        } else {
+            |a, b| a + b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descending_round_trips_through_negation() {
+        let r = RankingFunction::SumDescending;
+        assert_eq!(r.decode(r.encode(3.5)), 3.5);
+        assert_eq!(r.encode(2.0), -2.0);
+    }
+
+    #[test]
+    fn ascending_is_identity() {
+        let r = RankingFunction::SumAscending;
+        assert_eq!(r.encode(7.0), 7.0);
+        assert_eq!(r.decode(7.0), 7.0);
+        assert!(!r.is_bottleneck());
+        assert!(RankingFunction::BottleneckAscending.is_bottleneck());
+    }
+}

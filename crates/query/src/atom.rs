@@ -1,0 +1,94 @@
+//! Atoms of a conjunctive query.
+
+/// An atom `g(x₁, …, x_a)`: a reference to a stored relation together with
+/// the query variables bound to its columns.
+///
+/// Different atoms may reference the same physical relation (self-joins), and
+/// the same variable may appear in several atoms (equi-join conditions) —
+/// both exactly as in §2.1 of the paper. Repeated variables *within* one atom
+/// are not supported directly; as the paper notes, such selections can be
+/// applied to a copied relation in a linear-time preprocessing step.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// Name of the physical relation this atom scans.
+    pub relation: String,
+    /// Variable names, one per column of the relation.
+    pub variables: Vec<String>,
+}
+
+impl Atom {
+    /// Create an atom.
+    pub fn new(relation: impl Into<String>, variables: &[&str]) -> Self {
+        Atom {
+            relation: relation.into(),
+            variables: variables.iter().map(|v| v.to_string()).collect(),
+        }
+    }
+
+    /// The atom's arity.
+    pub fn arity(&self) -> usize {
+        self.variables.len()
+    }
+
+    /// Whether the atom binds the given variable.
+    pub fn binds(&self, variable: &str) -> bool {
+        self.variables.iter().any(|v| v == variable)
+    }
+
+    /// Column positions of the given variables within this atom (in the
+    /// order given). Panics if a variable is not bound by the atom.
+    pub fn positions_of(&self, variables: &[String]) -> Vec<usize> {
+        variables
+            .iter()
+            .map(|v| {
+                self.variables
+                    .iter()
+                    .position(|x| x == v)
+                    .unwrap_or_else(|| panic!("variable {v} not bound by atom {}", self.relation))
+            })
+            .collect()
+    }
+
+    /// The variables shared with another atom (in this atom's order).
+    pub fn shared_variables(&self, other: &Atom) -> Vec<String> {
+        self.variables
+            .iter()
+            .filter(|v| other.binds(v))
+            .cloned()
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Atom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}({})", self.relation, self.variables.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_bindings() {
+        let a = Atom::new("R", &["x", "y"]);
+        assert_eq!(a.arity(), 2);
+        assert!(a.binds("x"));
+        assert!(!a.binds("z"));
+        assert_eq!(a.to_string(), "R(x, y)");
+    }
+
+    #[test]
+    fn shared_variables_and_positions() {
+        let a = Atom::new("R", &["x", "y", "z"]);
+        let b = Atom::new("S", &["z", "x"]);
+        assert_eq!(a.shared_variables(&b), vec!["x", "z"]);
+        assert_eq!(a.positions_of(&["z".to_string(), "x".to_string()]), vec![2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not bound")]
+    fn positions_of_unbound_variable_panics() {
+        Atom::new("R", &["x"]).positions_of(&["q".to_string()]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Convenience constructors for the query shapes used in the paper's
+//! evaluation (§7, Appendix B) and a small fluent builder for custom queries.
+
+use crate::atom::Atom;
+use crate::cq::ConjunctiveQuery;
+
+/// Fluent builder for conjunctive queries.
+///
+/// ```
+/// use anyk_query::QueryBuilder;
+/// // A custom 2-atom query Q(x,y,z) :- R(x,y), S(y,z)
+/// let q = QueryBuilder::new()
+///     .atom("R", &["x", "y"])
+///     .atom("S", &["y", "z"])
+///     .build();
+/// assert!(q.is_acyclic());
+/// // The 4-path query of Example 1 / Appendix B.
+/// let p4 = QueryBuilder::path(4).build();
+/// assert_eq!(p4.num_atoms(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QueryBuilder {
+    atoms: Vec<Atom>,
+    free: Option<Vec<String>>,
+}
+
+impl QueryBuilder {
+    /// Start an empty builder.
+    pub fn new() -> Self {
+        QueryBuilder::default()
+    }
+
+    /// Add an atom over relation `relation` with the given variables.
+    pub fn atom(mut self, relation: &str, variables: &[&str]) -> Self {
+        self.atoms.push(Atom::new(relation, variables));
+        self
+    }
+
+    /// Project the query onto the given head variables (making it non-full).
+    pub fn project(mut self, variables: &[&str]) -> Self {
+        self.free = Some(variables.iter().map(|v| v.to_string()).collect());
+        self
+    }
+
+    /// Finish building.
+    ///
+    /// # Panics
+    /// Panics if no atom was added, or if a projected variable is unknown.
+    pub fn build(self) -> ConjunctiveQuery {
+        match self.free {
+            None => ConjunctiveQuery::full(self.atoms),
+            Some(f) => ConjunctiveQuery::with_projection(self.atoms, f),
+        }
+    }
+
+    /// The ℓ-path query `QPℓ(x) :- R1(x1,x2), R2(x2,x3), …, Rℓ(xℓ,xℓ₊₁)`
+    /// (Example 2). Relation names are `R1..Rℓ`.
+    pub fn path(ell: usize) -> Self {
+        assert!(ell >= 1);
+        let mut b = QueryBuilder::new();
+        for i in 1..=ell {
+            let rel = format!("R{i}");
+            let v1 = format!("x{i}");
+            let v2 = format!("x{}", i + 1);
+            b.atoms.push(Atom::new(rel, &[v1.as_str(), v2.as_str()]));
+        }
+        b
+    }
+
+    /// The ℓ-star query: all relations join on their first attribute
+    /// (`R1.A1 = R2.A1 = … = Rℓ.A1`, Appendix B). Relation names are `R1..Rℓ`.
+    pub fn star(ell: usize) -> Self {
+        assert!(ell >= 1);
+        let mut b = QueryBuilder::new();
+        for i in 1..=ell {
+            let rel = format!("R{i}");
+            let leaf = format!("y{i}");
+            b.atoms.push(Atom::new(rel, &["x0", leaf.as_str()]));
+        }
+        b
+    }
+
+    /// The ℓ-cycle query `QCℓ(x) :- R1(x1,x2), …, Rℓ(xℓ,x1)` (Example 2).
+    /// Relation names are `R1..Rℓ`.
+    pub fn cycle(ell: usize) -> Self {
+        assert!(ell >= 3, "a cycle needs at least 3 atoms");
+        let mut b = QueryBuilder::new();
+        for i in 1..=ell {
+            let rel = format!("R{i}");
+            let v1 = format!("x{i}");
+            let v2 = if i == ell {
+                "x1".to_string()
+            } else {
+                format!("x{}", i + 1)
+            };
+            b.atoms.push(Atom::new(rel, &[v1.as_str(), v2.as_str()]));
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let q = QueryBuilder::path(4).build();
+        assert_eq!(q.num_atoms(), 4);
+        assert_eq!(q.atoms()[0].to_string(), "R1(x1, x2)");
+        assert_eq!(q.atoms()[3].to_string(), "R4(x4, x5)");
+        assert!(q.is_acyclic());
+    }
+
+    #[test]
+    fn star_shape() {
+        let q = QueryBuilder::star(3).build();
+        assert_eq!(q.num_atoms(), 3);
+        for a in q.atoms() {
+            assert_eq!(a.variables[0], "x0");
+        }
+        assert!(q.is_acyclic());
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let q = QueryBuilder::cycle(6).build();
+        assert_eq!(q.num_atoms(), 6);
+        assert_eq!(q.atoms()[5].to_string(), "R6(x6, x1)");
+        assert!(!q.is_acyclic());
+    }
+
+    #[test]
+    fn custom_builder_with_projection() {
+        let q = QueryBuilder::new()
+            .atom("R", &["x", "y"])
+            .atom("S", &["y", "z"])
+            .project(&["x", "y"])
+            .build();
+        assert!(!q.is_full());
+        assert_eq!(q.head_variables(), vec!["x", "y"]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn cycle_shorter_than_three_panics() {
+        let _ = QueryBuilder::cycle(2);
+    }
+}

@@ -1,0 +1,88 @@
+//! Free-connex acyclic queries (§8.1).
+//!
+//! A conjunctive query with projections admits ranked enumeration under
+//! min-weight projection semantics with `TTF = O(n)` and
+//! `Delay(k) = O(log k)` iff it is acyclic **and free-connex**
+//! (Theorem 20 / Corollary 22). One convenient characterisation (Brault-Baron)
+//! is used here: the query is free-connex iff the hypergraph obtained by
+//! adding an extra hyperedge containing exactly the free variables is
+//! alpha-acyclic.
+
+use crate::cq::ConjunctiveQuery;
+use crate::gyo::gyo_reduce_edges;
+use std::collections::BTreeSet;
+
+/// Whether `query` is acyclic and free-connex.
+///
+/// Full queries are free-connex iff they are acyclic (the added hyperedge
+/// covers every variable, which never hurts alpha-acyclicity of an acyclic
+/// hypergraph).
+pub fn is_free_connex(query: &ConjunctiveQuery) -> bool {
+    if !query.is_acyclic() {
+        return false;
+    }
+    let mut edges: Vec<BTreeSet<String>> = query
+        .atoms()
+        .iter()
+        .map(|a| a.variables.iter().cloned().collect())
+        .collect();
+    edges.push(query.head_variables().into_iter().collect());
+    gyo_reduce_edges(edges).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::builders::QueryBuilder;
+
+    #[test]
+    fn full_acyclic_queries_are_free_connex() {
+        assert!(QueryBuilder::path(3).build().is_free_connex());
+        assert!(QueryBuilder::star(4).build().is_free_connex());
+    }
+
+    #[test]
+    fn cyclic_queries_are_not_free_connex() {
+        assert!(!QueryBuilder::cycle(4).build().is_free_connex());
+    }
+
+    #[test]
+    fn classic_non_free_connex_example() {
+        // Q(x, z) :- R(x, y), S(y, z) — the textbook acyclic query that is
+        // *not* free-connex (its answers encode a Boolean matrix product).
+        let q = ConjunctiveQuery::with_projection(
+            vec![Atom::new("R", &["x", "y"]), Atom::new("S", &["y", "z"])],
+            vec!["x".to_string(), "z".to_string()],
+        );
+        assert!(q.is_acyclic());
+        assert!(!is_free_connex(&q));
+    }
+
+    #[test]
+    fn projection_onto_connected_prefix_is_free_connex() {
+        // Q(x, y) :- R(x, y), S(y, z): the free variables are covered by R,
+        // so the query is free-connex.
+        let q = ConjunctiveQuery::with_projection(
+            vec![Atom::new("R", &["x", "y"]), Atom::new("S", &["y", "z"])],
+            vec!["x".to_string(), "y".to_string()],
+        );
+        assert!(is_free_connex(&q));
+    }
+
+    #[test]
+    fn example_19_query_is_free_connex() {
+        // Q(y1,y2,y3,y4) :- R1(y1,y2), R2(y2,y3), R3(x1,y1,y4), R4(x2,y3)
+        let q = ConjunctiveQuery::with_projection(
+            vec![
+                Atom::new("R1", &["y1", "y2"]),
+                Atom::new("R2", &["y2", "y3"]),
+                Atom::new("R3", &["x1", "y1", "y4"]),
+                Atom::new("R4", &["x2", "y3"]),
+            ],
+            vec!["y1", "y2", "y3", "y4"].into_iter().map(String::from).collect(),
+        );
+        assert!(q.is_acyclic());
+        assert!(is_free_connex(&q));
+    }
+}

@@ -1,0 +1,29 @@
+//! # anyk-query
+//!
+//! Conjunctive-query representation and structural analysis:
+//!
+//! * [`Atom`] / [`ConjunctiveQuery`] — full (and non-full) CQs in the
+//!   Datalog-style notation of §2.1;
+//! * [`hypergraph::Hypergraph`] — the query hypergraph (variables as nodes,
+//!   atoms as hyperedges);
+//! * [`JoinTree`] and the GYO reduction ([`gyo`]) — alpha-acyclicity testing
+//!   and join-tree construction in `O(|Q|)` data-independent time;
+//! * [`free_connex`] — the free-connex test used for ranked enumeration
+//!   under min-weight projection semantics (§8.1);
+//! * [`QueryBuilder`] — convenience constructors for the path, star and
+//!   cycle queries used throughout the paper's evaluation (§7, Appendix B).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod atom;
+mod builders;
+mod cq;
+pub mod free_connex;
+pub mod gyo;
+pub mod hypergraph;
+
+pub use atom::Atom;
+pub use builders::QueryBuilder;
+pub use cq::ConjunctiveQuery;
+pub use gyo::JoinTree;

@@ -1,0 +1,112 @@
+//! Databases: catalogs of named relations.
+
+use crate::relation::Relation;
+use std::collections::HashMap;
+
+/// An in-memory database: an ordered catalog of relations addressed by name.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    relations: Vec<Relation>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Add a relation. If a relation with the same name exists it is
+    /// replaced (and its slot reused), mirroring `CREATE OR REPLACE TABLE`.
+    pub fn add(&mut self, relation: Relation) {
+        match self.by_name.get(relation.name()) {
+            Some(&idx) => self.relations[idx] = relation,
+            None => {
+                self.by_name
+                    .insert(relation.name().to_string(), self.relations.len());
+                self.relations.push(relation);
+            }
+        }
+    }
+
+    /// Look up a relation by name.
+    pub fn get(&self, name: &str) -> Option<&Relation> {
+        self.by_name.get(name).map(|&i| &self.relations[i])
+    }
+
+    /// Look up a relation by name, panicking with a clear message if absent.
+    pub fn expect(&self, name: &str) -> &Relation {
+        self.get(name)
+            .unwrap_or_else(|| panic!("relation `{name}` not found in database"))
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True if the database has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Iterate over all relations in insertion order.
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> {
+        self.relations.iter()
+    }
+
+    /// The maximum relation cardinality `n` (the paper's input-size
+    /// parameter), or 0 for an empty database.
+    pub fn max_cardinality(&self) -> usize {
+        self.relations.iter().map(Relation::len).max().unwrap_or(0)
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+
+    #[test]
+    fn add_get_and_replace() {
+        let mut db = Database::new();
+        let mut r = Relation::new("R", 1);
+        r.push(Tuple::unweighted(vec![1]));
+        db.add(r);
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.expect("R").len(), 1);
+
+        let mut r2 = Relation::new("R", 1);
+        r2.push(Tuple::unweighted(vec![1]));
+        r2.push(Tuple::unweighted(vec![2]));
+        db.add(r2);
+        assert_eq!(db.len(), 1, "replacement keeps a single slot");
+        assert_eq!(db.expect("R").len(), 2);
+        assert!(db.get("S").is_none());
+    }
+
+    #[test]
+    fn cardinality_statistics() {
+        let mut db = Database::new();
+        for (name, n) in [("A", 3), ("B", 7)] {
+            let mut r = Relation::new(name, 1);
+            for i in 0..n {
+                r.push(Tuple::unweighted(vec![i]));
+            }
+            db.add(r);
+        }
+        assert_eq!(db.max_cardinality(), 7);
+        assert_eq!(db.total_tuples(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "not found")]
+    fn expect_missing_panics() {
+        Database::new().expect("nope");
+    }
+}

@@ -1,0 +1,115 @@
+//! Hash indexes for constant-time equi-join lookups.
+//!
+//! The cost model of §2.3 assumes "a data structure that can be built in
+//! linear time to support tuple lookups in constant time" — in practice a
+//! hash table. [`HashIndex`] groups the tuple ids of a relation by the values
+//! of a chosen key (one or more columns).
+
+use crate::relation::Relation;
+use crate::tuple::{TupleId, Value};
+use std::collections::HashMap;
+
+/// A hash index over one or more columns of a relation.
+#[derive(Debug, Clone)]
+pub struct HashIndex {
+    key_columns: Vec<usize>,
+    buckets: HashMap<Vec<Value>, Vec<TupleId>>,
+}
+
+impl HashIndex {
+    /// Build an index over `key_columns` of `relation` in a single pass.
+    ///
+    /// # Panics
+    /// Panics if any key column is out of range for the relation's arity.
+    pub fn build(relation: &Relation, key_columns: &[usize]) -> Self {
+        for &c in key_columns {
+            assert!(
+                c < relation.arity(),
+                "key column {c} out of range for relation {} (arity {})",
+                relation.name(),
+                relation.arity()
+            );
+        }
+        let mut buckets: HashMap<Vec<Value>, Vec<TupleId>> = HashMap::new();
+        for (id, tuple) in relation.iter() {
+            let key: Vec<Value> = key_columns.iter().map(|&c| tuple.value(c)).collect();
+            buckets.entry(key).or_default().push(id);
+        }
+        HashIndex {
+            key_columns: key_columns.to_vec(),
+            buckets,
+        }
+    }
+
+    /// The columns this index is keyed on.
+    pub fn key_columns(&self) -> &[usize] {
+        &self.key_columns
+    }
+
+    /// Tuple ids whose key equals `key` (empty slice if none).
+    pub fn lookup(&self, key: &[Value]) -> &[TupleId] {
+        self.buckets.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether any tuple has the given key.
+    pub fn contains(&self, key: &[Value]) -> bool {
+        self.buckets.contains_key(key)
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Iterate over `(key, tuple ids)` groups.
+    pub fn groups(&self) -> impl Iterator<Item = (&Vec<Value>, &Vec<TupleId>)> {
+        self.buckets.iter()
+    }
+
+    /// The largest bucket size — the maximum "degree" of a key value, used by
+    /// the heavy/light threshold analysis of §5.3.1.
+    pub fn max_bucket(&self) -> usize {
+        self.buckets.values().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+
+    fn sample() -> Relation {
+        let mut r = Relation::new("E", 2);
+        r.push(Tuple::new(vec![1, 10], 0.0));
+        r.push(Tuple::new(vec![1, 20], 0.0));
+        r.push(Tuple::new(vec![2, 10], 0.0));
+        r
+    }
+
+    #[test]
+    fn single_column_lookup() {
+        let r = sample();
+        let idx = HashIndex::build(&r, &[0]);
+        assert_eq!(idx.lookup(&[1]), &[0, 1]);
+        assert_eq!(idx.lookup(&[2]), &[2]);
+        assert!(idx.lookup(&[3]).is_empty());
+        assert_eq!(idx.distinct_keys(), 2);
+        assert_eq!(idx.max_bucket(), 2);
+    }
+
+    #[test]
+    fn multi_column_lookup() {
+        let r = sample();
+        let idx = HashIndex::build(&r, &[0, 1]);
+        assert_eq!(idx.lookup(&[1, 20]), &[1]);
+        assert!(idx.contains(&[2, 10]));
+        assert!(!idx.contains(&[2, 20]));
+        assert_eq!(idx.distinct_keys(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_column_panics() {
+        HashIndex::build(&sample(), &[5]);
+    }
+}

@@ -1,0 +1,29 @@
+//! # anyk-storage
+//!
+//! In-memory weighted relational storage substrate for the any-k engine.
+//!
+//! The paper's algorithms operate over full conjunctive queries on relations
+//! whose tuples carry real-valued weights (§2.1–§2.3). This crate provides
+//! exactly that substrate:
+//!
+//! * [`Tuple`] — a fixed-arity row of `u64` attribute values plus a weight;
+//! * [`Relation`] — a named bag of equal-arity tuples;
+//! * [`Database`] — a catalog of relations addressed by name;
+//! * [`HashIndex`] — the linear-time-buildable, constant-time-lookup join
+//!   index assumed by the cost model of §2.3;
+//! * [`stats`] — per-column degree statistics (used by the heavy/light
+//!   partitioning of §5.3.1 and the dataset summaries of Fig. 9).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod database;
+mod index;
+mod relation;
+pub mod stats;
+mod tuple;
+
+pub use database::Database;
+pub use index::HashIndex;
+pub use relation::Relation;
+pub use tuple::{Tuple, TupleId, Value};

@@ -1,0 +1,153 @@
+//! Relations: named collections of equal-arity weighted tuples.
+
+use crate::tuple::{Tuple, TupleId, Value};
+
+/// A named relation with a fixed arity. Tuples are stored in insertion order
+/// and addressed by their [`TupleId`] (their index), which the engine uses as
+/// the payload carried through T-DP states.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    name: String,
+    arity: usize,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Create an empty relation with the given name and arity.
+    pub fn new(name: impl Into<String>, arity: usize) -> Self {
+        Relation {
+            name: name.into(),
+            arity,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Create a relation directly from a list of tuples.
+    ///
+    /// # Panics
+    /// Panics if any tuple's arity differs from `arity`.
+    pub fn from_tuples(name: impl Into<String>, arity: usize, tuples: Vec<Tuple>) -> Self {
+        let mut r = Relation::new(name, arity);
+        for t in tuples {
+            r.push(t);
+        }
+        r
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The relation's arity (number of attributes).
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Append a tuple.
+    ///
+    /// # Panics
+    /// Panics if the tuple's arity does not match the relation's.
+    pub fn push(&mut self, tuple: Tuple) -> TupleId {
+        assert_eq!(
+            tuple.arity(),
+            self.arity,
+            "tuple arity {} does not match relation {} arity {}",
+            tuple.arity(),
+            self.name,
+            self.arity
+        );
+        self.tuples.push(tuple);
+        self.tuples.len() - 1
+    }
+
+    /// Convenience: append a binary edge tuple `(from, to)` with a weight.
+    ///
+    /// # Panics
+    /// Panics unless the relation is binary.
+    pub fn push_edge(&mut self, from: Value, to: Value, weight: f64) -> TupleId {
+        assert_eq!(self.arity, 2, "push_edge requires a binary relation");
+        self.push(Tuple::new(vec![from, to], weight))
+    }
+
+    /// The tuple with the given id.
+    pub fn tuple(&self, id: TupleId) -> &Tuple {
+        &self.tuples[id]
+    }
+
+    /// Iterate over `(id, tuple)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TupleId, &Tuple)> {
+        self.tuples.iter().enumerate()
+    }
+
+    /// Iterate over tuples only.
+    pub fn tuples(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// A copy of this relation containing only tuples satisfying `pred`,
+    /// under a new name. Used for the heavy/light partitioning of §5.3.1.
+    pub fn filter(&self, name: impl Into<String>, mut pred: impl FnMut(&Tuple) -> bool) -> Relation {
+        Relation {
+            name: name.into(),
+            arity: self.arity,
+            tuples: self.tuples.iter().filter(|t| pred(t)).cloned().collect(),
+        }
+    }
+
+    /// Total weight of all tuples (handy for sanity checks in tests).
+    pub fn total_weight(&self) -> f64 {
+        self.tuples.iter().map(Tuple::weight).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_lookup() {
+        let mut r = Relation::new("R", 2);
+        let id = r.push(Tuple::new(vec![1, 2], 0.5));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.tuple(id).values(), &[1, 2]);
+        assert!(!r.is_empty());
+        assert_eq!(r.name(), "R");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut r = Relation::new("R", 2);
+        r.push(Tuple::new(vec![1, 2, 3], 0.0));
+    }
+
+    #[test]
+    fn filter_creates_partition() {
+        let mut r = Relation::new("R", 2);
+        for i in 0..10 {
+            r.push_edge(i, i + 1, i as f64);
+        }
+        let heavy = r.filter("R_heavy", |t| t.value(0) >= 5);
+        assert_eq!(heavy.len(), 5);
+        assert_eq!(heavy.name(), "R_heavy");
+        assert_eq!(r.len(), 10, "original is untouched");
+    }
+
+    #[test]
+    fn edge_helper_requires_binary() {
+        let mut r = Relation::new("E", 2);
+        r.push_edge(1, 2, 3.0);
+        assert_eq!(r.total_weight(), 3.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Per-column degree statistics.
+//!
+//! Two uses in the paper: (i) the dataset summaries of Fig. 9 (max/average
+//! degree of the graph datasets) and (ii) the heavy/light value partitioning
+//! of the simple-cycle decomposition (§5.3.1), which classifies a tuple as
+//! *heavy* iff its join-attribute value occurs at least `n^{2/ℓ}` times in
+//! that column.
+
+use crate::relation::Relation;
+use crate::tuple::Value;
+use std::collections::HashMap;
+
+/// Occurrence counts of the values of one column of a relation.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    counts: HashMap<Value, usize>,
+    total: usize,
+}
+
+impl ColumnStats {
+    /// Compute the statistics of `column` of `relation` in one pass.
+    pub fn compute(relation: &Relation, column: usize) -> Self {
+        let mut counts: HashMap<Value, usize> = HashMap::new();
+        for (_, t) in relation.iter() {
+            *counts.entry(t.value(column)).or_insert(0) += 1;
+        }
+        ColumnStats {
+            total: relation.len(),
+            counts,
+        }
+    }
+
+    /// Number of occurrences of `value` in the column.
+    pub fn degree(&self, value: Value) -> usize {
+        self.counts.get(&value).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct values.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Largest occurrence count.
+    pub fn max_degree(&self) -> usize {
+        self.counts.values().copied().max().unwrap_or(0)
+    }
+
+    /// Average occurrence count (0.0 for an empty column).
+    pub fn avg_degree(&self) -> f64 {
+        if self.counts.is_empty() {
+            0.0
+        } else {
+            self.total as f64 / self.counts.len() as f64
+        }
+    }
+
+    /// Values whose degree is at least `threshold` — the *heavy* values of
+    /// §5.3.1 when `threshold = n^{2/ℓ}`.
+    pub fn heavy_values(&self, threshold: usize) -> Vec<Value> {
+        let mut v: Vec<Value> = self
+            .counts
+            .iter()
+            .filter(|(_, &c)| c >= threshold)
+            .map(|(&val, _)| val)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Whether `value` is heavy for the given threshold.
+    pub fn is_heavy(&self, value: Value, threshold: usize) -> bool {
+        self.degree(value) >= threshold
+    }
+}
+
+/// The heavy/light threshold `n^{2/ℓ}` of the ℓ-cycle decomposition (§5.3.1),
+/// computed from the maximum relation cardinality `n`.
+pub fn heavy_threshold(n: usize, ell: usize) -> usize {
+    if n == 0 {
+        return 1;
+    }
+    let t = (n as f64).powf(2.0 / ell as f64);
+    // At least 1 so that a degree-0 value is never "heavy".
+    t.ceil().max(1.0) as usize
+}
+
+/// Summary statistics of a binary edge relation, as reported in Fig. 9.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of distinct node identifiers (union of both endpoints).
+    pub nodes: usize,
+    /// Number of edges (tuples).
+    pub edges: usize,
+    /// Maximum out-degree (occurrences of a value in the source column).
+    pub max_degree: usize,
+    /// Average out-degree.
+    pub avg_degree: f64,
+}
+
+/// Compute [`GraphStats`] for a binary edge relation.
+///
+/// # Panics
+/// Panics if the relation is not binary.
+pub fn graph_stats(relation: &Relation) -> GraphStats {
+    assert_eq!(relation.arity(), 2, "graph_stats requires a binary relation");
+    let mut nodes: HashMap<Value, ()> = HashMap::new();
+    for (_, t) in relation.iter() {
+        nodes.insert(t.value(0), ());
+        nodes.insert(t.value(1), ());
+    }
+    let out = ColumnStats::compute(relation, 0);
+    GraphStats {
+        nodes: nodes.len(),
+        edges: relation.len(),
+        max_degree: out.max_degree(),
+        avg_degree: if nodes.is_empty() {
+            0.0
+        } else {
+            relation.len() as f64 / out.distinct() as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+
+    fn skewed() -> Relation {
+        let mut r = Relation::new("E", 2);
+        for i in 0..6 {
+            r.push(Tuple::new(vec![0, i], 0.0)); // hub node 0
+        }
+        r.push(Tuple::new(vec![1, 2], 0.0));
+        r.push(Tuple::new(vec![2, 3], 0.0));
+        r
+    }
+
+    #[test]
+    fn degrees_and_heavy_values() {
+        let r = skewed();
+        let s = ColumnStats::compute(&r, 0);
+        assert_eq!(s.degree(0), 6);
+        assert_eq!(s.degree(1), 1);
+        assert_eq!(s.degree(42), 0);
+        assert_eq!(s.distinct(), 3);
+        assert_eq!(s.max_degree(), 6);
+        assert_eq!(s.heavy_values(3), vec![0]);
+        assert!(s.is_heavy(0, 3));
+        assert!(!s.is_heavy(1, 3));
+    }
+
+    #[test]
+    fn heavy_threshold_matches_paper_examples() {
+        // 6-cycle: threshold n^{2/6} = n^{1/3}; the paper's example uses n=1000 → 10.
+        assert_eq!(heavy_threshold(1000, 6), 10);
+        // 4-cycle: n^{1/2}.
+        assert_eq!(heavy_threshold(10_000, 4), 100);
+        assert_eq!(heavy_threshold(0, 4), 1);
+    }
+
+    #[test]
+    fn graph_statistics() {
+        let r = skewed();
+        let g = graph_stats(&r);
+        assert_eq!(g.edges, 8);
+        assert_eq!(g.nodes, 6); // node ids 0..=5 appear as sources or targets
+        assert_eq!(g.max_degree, 6);
+        assert!(g.avg_degree > 1.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Tuples: weighted rows of attribute values.
+
+/// An attribute value. The paper's experiments join on integer-encoded node
+/// identifiers; string dictionaries can be layered on top by the caller.
+pub type Value = u64;
+
+/// Index of a tuple within its relation.
+pub type TupleId = usize;
+
+/// A weighted tuple: a fixed-arity vector of attribute values plus the weight
+/// `w(r)` used by the ranking function (Definition 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tuple {
+    values: Vec<Value>,
+    weight: f64,
+}
+
+impl Tuple {
+    /// Create a tuple from its attribute values and weight.
+    pub fn new(values: Vec<Value>, weight: f64) -> Self {
+        Tuple { values, weight }
+    }
+
+    /// Create an unweighted tuple (weight `0.0`, the `⊗`-identity of the
+    /// tropical dioid), e.g. for Boolean evaluation.
+    pub fn unweighted(values: Vec<Value>) -> Self {
+        Tuple::new(values, 0.0)
+    }
+
+    /// The number of attributes.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// All attribute values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// The value of attribute `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx >= arity()`.
+    pub fn value(&self, idx: usize) -> Value {
+        self.values[idx]
+    }
+
+    /// The tuple's weight.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Replace the tuple's weight (used when deriving bag tuples whose weight
+    /// must aggregate several input weights, §5.3).
+    pub fn set_weight(&mut self, weight: f64) {
+        self.weight = weight;
+    }
+
+    /// Project the tuple onto the given attribute positions (weight is kept).
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple::new(positions.iter().map(|&p| self.values[p]).collect(), self.weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_roundtrip() {
+        let t = Tuple::new(vec![3, 7, 9], 2.5);
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.value(1), 7);
+        assert_eq!(t.values(), &[3, 7, 9]);
+        assert_eq!(t.weight(), 2.5);
+    }
+
+    #[test]
+    fn unweighted_has_zero_weight() {
+        assert_eq!(Tuple::unweighted(vec![1]).weight(), 0.0);
+    }
+
+    #[test]
+    fn projection_selects_and_keeps_weight() {
+        let t = Tuple::new(vec![3, 7, 9], 1.5);
+        let p = t.project(&[2, 0]);
+        assert_eq!(p.values(), &[9, 3]);
+        assert_eq!(p.weight(), 1.5);
+    }
+}

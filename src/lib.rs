@@ -1,0 +1,42 @@
+//! # anyk — ranked enumeration of answers to full conjunctive queries
+//!
+//! Facade crate re-exporting the workspace members. Most users only need
+//! [`engine`] (the query-level API) and [`core`] (the algorithm-level API).
+//!
+//! ```
+//! use anyk::prelude::*;
+//!
+//! // Two relations R1(A,B), R2(B,C), ranked by the sum of tuple weights.
+//! let mut db = Database::new();
+//! let mut r1 = Relation::new("R1", 2);
+//! r1.push(Tuple::new(vec![1, 10], 1.0));
+//! r1.push(Tuple::new(vec![2, 20], 5.0));
+//! let mut r2 = Relation::new("R2", 2);
+//! r2.push(Tuple::new(vec![10, 7], 2.0));
+//! r2.push(Tuple::new(vec![20, 8], 1.0));
+//! db.add(r1);
+//! db.add(r2);
+//!
+//! // QP2(x1,x2,x3) :- R1(x1,x2), R2(x2,x3)  (Example 2 of the paper).
+//! let query = QueryBuilder::path(2).build();
+//! let answers: Vec<_> = RankedQuery::new(&db, &query)
+//!     .unwrap()
+//!     .enumerate(Algorithm::Take2)
+//!     .collect();
+//! assert_eq!(answers.len(), 2);
+//! assert_eq!(answers[0].weight(), 3.0); // (1,10) ⋈ (10,7)
+//! ```
+
+pub use anyk_core as core;
+pub use anyk_datagen as datagen;
+pub use anyk_engine as engine;
+pub use anyk_query as query;
+pub use anyk_storage as storage;
+
+/// Commonly used items for application code.
+pub mod prelude {
+    pub use anyk_core::AnyKAlgorithm as Algorithm;
+    pub use anyk_engine::{Answer, RankedQuery, RankingFunction};
+    pub use anyk_query::{ConjunctiveQuery, QueryBuilder};
+    pub use anyk_storage::{Database, Relation, Tuple};
+}
