@@ -33,14 +33,54 @@ fn bench_results_over_time(c: &mut Criterion) {
     // (label, database, query, top-k or full)
     let mut r = rng(1);
     let cases: Vec<(&str, Database, usize, Option<usize>)> = vec![
-        ("fig10_path4_full", uniform::path_or_star_database(4, 100, &mut r), 0, None),
-        ("fig10_path4_top100", uniform::path_or_star_database(4, 2_000, &mut r), 0, Some(100)),
-        ("fig10_star4_top100", uniform::path_or_star_database(4, 2_000, &mut r), 1, Some(100)),
-        ("fig10_cycle4_top100", cycles::worst_case_cycle_database(4, 400, &mut r), 2, Some(100)),
-        ("fig11_path3_top100", uniform::path_or_star_database(3, 2_000, &mut r), 0, Some(100)),
-        ("fig11_path6_top100", uniform::path_or_star_database(6, 1_000, &mut r), 0, Some(100)),
-        ("fig12_star6_top100", uniform::path_or_star_database(6, 1_000, &mut r), 1, Some(100)),
-        ("fig13_cycle6_top100", cycles::worst_case_cycle_database(6, 200, &mut r), 2, Some(100)),
+        (
+            "fig10_path4_full",
+            uniform::path_or_star_database(4, 100, &mut r),
+            0,
+            None,
+        ),
+        (
+            "fig10_path4_top100",
+            uniform::path_or_star_database(4, 2_000, &mut r),
+            0,
+            Some(100),
+        ),
+        (
+            "fig10_star4_top100",
+            uniform::path_or_star_database(4, 2_000, &mut r),
+            1,
+            Some(100),
+        ),
+        (
+            "fig10_cycle4_top100",
+            cycles::worst_case_cycle_database(4, 400, &mut r),
+            2,
+            Some(100),
+        ),
+        (
+            "fig11_path3_top100",
+            uniform::path_or_star_database(3, 2_000, &mut r),
+            0,
+            Some(100),
+        ),
+        (
+            "fig11_path6_top100",
+            uniform::path_or_star_database(6, 1_000, &mut r),
+            0,
+            Some(100),
+        ),
+        (
+            "fig12_star6_top100",
+            uniform::path_or_star_database(6, 1_000, &mut r),
+            1,
+            Some(100),
+        ),
+        (
+            "fig13_cycle6_top100",
+            cycles::worst_case_cycle_database(6, 200, &mut r),
+            2,
+            Some(100),
+        ),
     ];
     for (label, db, shape, k) in &cases {
         let query = match shape {

@@ -1,0 +1,176 @@
+//! Hot-path microbenchmark for the CSR T-DP layout work: TTF / TT(k) for the
+//! three workload shapes whose candidate-expansion loops dominate wall-clock
+//! (path-4, star-3, cycle-6), across every any-k algorithm.
+//!
+//! Writes `BENCH_hotpath.json` (override with `ANYK_HOTPATH_OUT`) so the
+//! perf trajectory of the enumeration hot loops is recorded in-repo. If
+//! `ANYK_HOTPATH_BASELINE` names an existing JSON file (a previous run, e.g.
+//! measured on the pre-refactor tree), its contents are embedded verbatim
+//! under the `"baseline"` key for side-by-side comparison.
+//!
+//! Run with `ANYK_SCALE=quick` for a CI smoke pass (sub-second inputs).
+
+use anyk_bench::Scale;
+use anyk_core::metrics::EnumerationTrace;
+use anyk_core::AnyKAlgorithm;
+use anyk_datagen::{cycles, rng, uniform};
+use anyk_engine::RankedQuery;
+use anyk_query::QueryBuilder;
+use anyk_storage::Database;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Ranks at which TT(k) is reported.
+const CHECKPOINTS: [usize; 4] = [1, 10, 100, 1000];
+/// Enumeration is cut off after this many results: the hot loops are fully
+/// exercised by then and full enumeration would dominate the run time.
+const LIMIT: usize = 1000;
+/// Timed repetitions per (workload, algorithm); the best run is reported
+/// (standard practice for cache-sensitivity microbenchmarks).
+const REPEATS: usize = 3;
+
+/// The algorithms whose hot loops this benchmark tracks. `Batch` is excluded:
+/// its time is all materialisation + sort (minutes on the worst-case cycle
+/// input), not the candidate-expansion loops this file measures.
+const ALGORITHMS: [AnyKAlgorithm; 5] = [
+    AnyKAlgorithm::Recursive,
+    AnyKAlgorithm::Take2,
+    AnyKAlgorithm::Lazy,
+    AnyKAlgorithm::Eager,
+    AnyKAlgorithm::All,
+];
+
+struct Workload {
+    name: &'static str,
+    db: Database,
+    query: anyk_query::ConjunctiveQuery,
+}
+
+fn workloads(scale: Scale) -> Vec<Workload> {
+    let path_n = scale.pick(400, 50_000, 200_000);
+    let star_n = scale.pick(400, 50_000, 200_000);
+    let cycle_n = scale.pick(60, 1_000, 4_000);
+    vec![
+        Workload {
+            name: "path4",
+            db: uniform::path_or_star_database(4, path_n, &mut rng(11)),
+            query: QueryBuilder::path(4).build(),
+        },
+        Workload {
+            name: "star3",
+            db: uniform::path_or_star_database(3, star_n, &mut rng(12)),
+            query: QueryBuilder::star(3).build(),
+        },
+        Workload {
+            name: "cycle6",
+            db: cycles::worst_case_cycle_database(6, cycle_n, &mut rng(13)),
+            query: QueryBuilder::cycle(6).build(),
+        },
+    ]
+}
+
+fn ms(d: Option<Duration>) -> String {
+    match d {
+        Some(d) => format!("{:.4}", d.as_secs_f64() * 1e3),
+        None => "null".to_string(),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"scale\": \"{scale:?}\",");
+    let _ = writeln!(json, "  \"limit\": {LIMIT},");
+    let _ = writeln!(json, "  \"repeats\": {REPEATS},");
+    json.push_str("  \"workloads\": [\n");
+
+    for (wi, w) in workloads(scale).iter().enumerate() {
+        let tuples: usize = w
+            .query
+            .atoms()
+            .iter()
+            .map(|a| w.db.expect(&a.relation).len())
+            .sum();
+        println!("== {} ({} input tuples) ==", w.name, tuples);
+
+        // Pre-processing (compile + bottom-up) is timed separately from
+        // enumeration: the paper's TTF includes it, the TT(k) deltas do not.
+        let prep_start = Instant::now();
+        let prepared = RankedQuery::new(&w.db, &w.query).expect("plan");
+        let prep = prep_start.elapsed();
+
+        if wi > 0 {
+            json.push_str(",\n");
+        }
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{}\",", w.name);
+        let _ = writeln!(json, "      \"input_tuples\": {tuples},");
+        let _ = writeln!(json, "      \"prep_ms\": {:.4},", prep.as_secs_f64() * 1e3);
+        json.push_str("      \"algorithms\": [\n");
+
+        for (ai, &alg) in ALGORITHMS.iter().enumerate() {
+            let mut best: Option<EnumerationTrace> = None;
+            let mut produced = 0usize;
+            for _ in 0..REPEATS {
+                let mut trace = EnumerationTrace::new();
+                produced = 0;
+                for _ in prepared.enumerate(alg) {
+                    trace.record();
+                    produced += 1;
+                    if produced >= LIMIT {
+                        break;
+                    }
+                }
+                let better = match &best {
+                    None => true,
+                    Some(b) => trace.ttl() < b.ttl(),
+                };
+                if better {
+                    best = Some(trace);
+                }
+            }
+            let trace = best.expect("at least one repeat");
+            println!(
+                "  {:<10} ttf {:>12} tt(1000) {:>12} produced {}",
+                alg.name(),
+                ms(trace.ttf()),
+                ms(trace.tt(1000)),
+                produced
+            );
+            if ai > 0 {
+                json.push_str(",\n");
+            }
+            let _ = write!(
+                json,
+                "        {{\"name\": \"{}\", \"ttf_ms\": {}, ",
+                alg.name(),
+                ms(trace.ttf())
+            );
+            let tt: Vec<String> = CHECKPOINTS
+                .iter()
+                .map(|&k| format!("\"{}\": {}", k, ms(trace.tt(k))))
+                .collect();
+            let _ = write!(
+                json,
+                "\"tt_ms\": {{{}}}, \"produced\": {}}}",
+                tt.join(", "),
+                produced
+            );
+        }
+        json.push_str("\n      ]\n    }");
+    }
+    json.push_str("\n  ]");
+
+    if let Ok(path) = std::env::var("ANYK_HOTPATH_BASELINE") {
+        if let Ok(baseline) = std::fs::read_to_string(&path) {
+            json.push_str(",\n  \"baseline\": ");
+            // Indent the embedded document so the output stays readable.
+            json.push_str(&baseline.trim_end().replace('\n', "\n  "));
+        }
+    }
+    json.push_str("\n}\n");
+
+    let out = std::env::var("ANYK_HOTPATH_OUT").unwrap_or_else(|_| "BENCH_hotpath.json".into());
+    std::fs::write(&out, &json).expect("write bench output");
+    println!("wrote {out}");
+}

@@ -3,8 +3,7 @@
 //! thin wrappers around these functions.
 
 use crate::{
-    measure_algorithms, measure_naive_sql, measure_wcoj, print_measurements, AlgoMeasurement,
-    Scale,
+    measure_algorithms, measure_naive_sql, measure_wcoj, print_measurements, AlgoMeasurement, Scale,
 };
 use anyk_core::AnyKAlgorithm;
 use anyk_datagen::social::{scale_free_edges, social_database, SocialGraphConfig};
@@ -75,15 +74,27 @@ impl Dataset {
             },
             Dataset::BitcoinLike => {
                 let factor = scale.pick(32, 8, 1);
-                social_database(ell, SocialGraphConfig::bitcoin_like().scaled_down(factor), &mut r)
+                social_database(
+                    ell,
+                    SocialGraphConfig::bitcoin_like().scaled_down(factor),
+                    &mut r,
+                )
             }
             Dataset::TwitterSLike => {
                 let factor = scale.pick(64, 16, 1);
-                social_database(ell, SocialGraphConfig::twitter_s().scaled_down(factor), &mut r)
+                social_database(
+                    ell,
+                    SocialGraphConfig::twitter_s().scaled_down(factor),
+                    &mut r,
+                )
             }
             Dataset::TwitterLLike => {
                 let factor = scale.pick(256, 64, 4);
-                social_database(ell, SocialGraphConfig::twitter_l().scaled_down(factor), &mut r)
+                social_database(
+                    ell,
+                    SocialGraphConfig::twitter_l().scaled_down(factor),
+                    &mut r,
+                )
             }
         }
     }
@@ -163,9 +174,21 @@ pub mod fig09 {
             "dataset", "nodes", "edges", "max degree", "avg degree"
         );
         let configs = [
-            ("Bitcoin-like", SocialGraphConfig::bitcoin_like(), scale.pick(16, 4, 1)),
-            ("TwitterS-like", SocialGraphConfig::twitter_s(), scale.pick(32, 8, 1)),
-            ("TwitterL-like", SocialGraphConfig::twitter_l(), scale.pick(128, 32, 1)),
+            (
+                "Bitcoin-like",
+                SocialGraphConfig::bitcoin_like(),
+                scale.pick(16, 4, 1),
+            ),
+            (
+                "TwitterS-like",
+                SocialGraphConfig::twitter_s(),
+                scale.pick(32, 8, 1),
+            ),
+            (
+                "TwitterL-like",
+                SocialGraphConfig::twitter_l(),
+                scale.pick(128, 32, 1),
+            ),
         ];
         for (name, config, factor) in configs {
             let edges = scale_free_edges(config.scaled_down(factor), &mut rng(42));
@@ -448,12 +471,12 @@ pub mod ablation {
         // (O(ℓn²) edges) on a skewed 2-path instance.
         let n2 = scale.pick(200, 1_000, 4_000);
         println!("\nAblation B: equi-join encoding, 2-path with a single join value, n={n2}");
-        for (label, shared_value_node) in [("value-node (Fig. 3)", true), ("naive bipartite", false)] {
+        for (label, shared_value_node) in
+            [("value-node (Fig. 3)", true), ("naive bipartite", false)]
+        {
             let start = Instant::now();
             let mut b = TdpBuilder::<TropicalMin>::serial(2);
-            let left: Vec<_> = (0..n2)
-                .map(|i| b.add_state(1, (i as f64).into()))
-                .collect();
+            let left: Vec<_> = (0..n2).map(|i| b.add_state(1, (i as f64).into())).collect();
             let right: Vec<_> = (0..n2)
                 .map(|i| b.add_state(2, (i as f64 * 0.5).into()))
                 .collect();
@@ -467,7 +490,9 @@ pub mod ablation {
                 let s1 = b3.add_stage_under_root("R1", true);
                 let v = b3.add_stage("v", s1, false);
                 let s2 = b3.add_stage("R2", v, true);
-                let l3: Vec<_> = (0..n2).map(|i| b3.add_state(s1.index(), (i as f64).into())).collect();
+                let l3: Vec<_> = (0..n2)
+                    .map(|i| b3.add_state(s1.index(), (i as f64).into()))
+                    .collect();
                 let vn = b3.add_state(v.index(), 0.0.into());
                 let r3: Vec<_> = (0..n2)
                     .map(|i| b3.add_state(s2.index(), (i as f64 * 0.5).into()))
@@ -480,7 +505,9 @@ pub mod ablation {
                     b3.connect(vn, r);
                 }
                 let inst = b3.build();
-                let produced = ranked_enumerate(&inst, AnyKAlgorithm::Take2).take(n2).count();
+                let produced = ranked_enumerate(&inst, AnyKAlgorithm::Take2)
+                    .take(n2)
+                    .count();
                 println!(
                     "  {label:<22} edges={:>10}  build+top-{produced}: {}",
                     inst.num_edges(),
@@ -493,7 +520,9 @@ pub mod ablation {
                     }
                 }
                 let inst = b.build();
-                let produced = ranked_enumerate(&inst, AnyKAlgorithm::Take2).take(n2).count();
+                let produced = ranked_enumerate(&inst, AnyKAlgorithm::Take2)
+                    .take(n2)
+                    .count();
                 println!(
                     "  {label:<22} edges={:>10}  build+top-{produced}: {}",
                     inst.num_edges(),

@@ -21,17 +21,27 @@
 //! subtree (they are still completed optimally); for serial (path) problems
 //! it is empty. This formulation needs no `⊗`-inverse (§6.2) and costs
 //! `O(ℓ)` per candidate, which is the paper's no-inverse bound.
+//!
+//! ## Hot-loop layout
+//!
+//! The expansion loop is allocation- and hash-free: successor structures live
+//! in a dense table keyed by the instance's [slot id](TdpInstance::slot_id)
+//! (one `Vec` indexing operation instead of a `HashMap<(NodeId, u32), _>`
+//! probe), choices inside a structure are addressed by dense index (see
+//! [`successor`]), the sibling scratch buffer is reused across expansions,
+//! and prefixes are shared through an append-only arena. The only per-result
+//! allocation is the output [`Solution`]'s own state vector.
 
 mod successor;
 
-pub use successor::SuccessorKind;
 use successor::SuccState;
+pub use successor::SuccessorKind;
 
 use crate::dioid::Dioid;
 use crate::solution::Solution;
 use crate::tdp::{NodeId, TdpInstance};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// Sentinel for "empty prefix" in the prefix arena.
 const NO_PREFIX: u32 = u32::MAX;
@@ -59,6 +69,9 @@ struct Candidate<V> {
     r: u32,
     /// The deviated-to state at position `r`.
     last: NodeId,
+    /// Index of `last` within the successor structure of its choice set
+    /// (resolves `Succ` queries by array arithmetic, without a lookup).
+    last_idx: u32,
 }
 
 impl<V: Ord> PartialEq for Candidate<V> {
@@ -91,9 +104,14 @@ impl<V: Ord> Ord for Candidate<V> {
 pub struct AnyKPart<'a, D: Dioid> {
     inst: &'a TdpInstance<D>,
     kind: SuccessorKind,
-    structures: HashMap<(NodeId, u32), SuccState<D>>,
+    /// Successor structures, keyed by dense slot id; entries are initialised
+    /// on first access (§7: lazy initialisation keeps TT(k) small for small
+    /// k). The table itself is allocated once, up front.
+    structures: Vec<Option<SuccState<D>>>,
     cand: BinaryHeap<Reverse<Candidate<D::V>>>,
     arena: Vec<PrefixEntry<D::V>>,
+    /// Reused scratch for sibling choice indices during expansion.
+    succ_buf: Vec<u32>,
     started: bool,
     finished: bool,
     /// Emitted count (k so far), exposed for instrumentation.
@@ -103,12 +121,19 @@ pub struct AnyKPart<'a, D: Dioid> {
 impl<'a, D: Dioid> AnyKPart<'a, D> {
     /// Create an enumerator over `inst` using the given successor structure.
     pub fn new(inst: &'a TdpInstance<D>, kind: SuccessorKind) -> Self {
+        let ell = inst.solution_len();
+        let mut structures = Vec::new();
+        structures.resize_with(inst.num_slot_ids(), || None);
         AnyKPart {
             inst,
             kind,
-            structures: HashMap::new(),
-            cand: BinaryHeap::new(),
-            arena: Vec::new(),
+            structures,
+            // Each emitted result pushes O(ℓ) new candidates and arena
+            // entries; pre-size for a handful of results so short top-k runs
+            // never reallocate.
+            cand: BinaryHeap::with_capacity(4 * ell + 16),
+            arena: Vec::with_capacity(8 * ell + 16),
+            succ_buf: Vec::new(),
             started: false,
             finished: false,
             emitted: 0,
@@ -126,14 +151,14 @@ impl<'a, D: Dioid> AnyKPart<'a, D> {
     }
 
     /// The successor structure for the choice set `(state, slot)`, created on
-    /// first access (§7: lazy initialisation keeps TT(k) small for small k).
-    fn structure(&mut self, node: NodeId, slot: u32) -> &mut SuccState<D> {
-        let inst = self.inst;
-        let kind = self.kind;
-        self.structures.entry((node, slot)).or_insert_with(|| {
-            let choices: Vec<_> = inst.choices(node, slot).collect();
-            SuccState::new(kind, choices)
-        })
+    /// first access.
+    fn structure(&mut self, node: NodeId, slot: u32) -> (usize, &mut SuccState<D>) {
+        let d = self.inst.slot_id(node, slot) as usize;
+        if self.structures[d].is_none() {
+            let choices: Vec<_> = self.inst.choices(node, slot).collect();
+            self.structures[d] = Some(SuccState::new(self.kind, choices));
+        }
+        (d, self.structures[d].as_mut().expect("just initialised"))
     }
 
     /// Parent state of serial position `pos`, given the solution states
@@ -178,34 +203,36 @@ impl<'a, D: Dioid> AnyKPart<'a, D> {
             return;
         }
         let slot = self.slot_of(0);
-        let top = self.structure(NodeId::ROOT, slot).top();
+        let (_, st) = self.structure(NodeId::ROOT, slot);
+        let top_idx = st.top();
+        let top = st.choice(top_idx).0;
         let total = self.inst.optimum().clone();
         self.cand.push(Reverse(Candidate {
             total,
             prefix: NO_PREFIX,
             r: 0,
             last: top,
+            last_idx: top_idx,
         }));
-    }
-
-    /// Reconstruct the prefix states (serial positions `0..len`) referenced
-    /// by an arena index.
-    fn prefix_states(&self, mut idx: u32) -> Vec<NodeId> {
-        let mut rev = Vec::new();
-        while idx != NO_PREFIX {
-            let entry = &self.arena[idx as usize];
-            rev.push(entry.node);
-            idx = entry.parent;
-        }
-        rev.reverse();
-        rev
     }
 
     fn expand(&mut self, cand: Candidate<D::V>) -> Solution<D> {
         let ell = self.inst.solution_len();
         let r = cand.r as usize;
-        let mut states = self.prefix_states(cand.prefix);
+
+        // Reconstruct the prefix states (serial positions 0..r) directly into
+        // the output vector; it is handed to the Solution at the end, so this
+        // is the expansion's only allocation.
+        let mut states: Vec<NodeId> = Vec::with_capacity(ell);
+        let mut idx = cand.prefix;
+        while idx != NO_PREFIX {
+            let entry = &self.arena[idx as usize];
+            states.push(entry.node);
+            idx = entry.parent;
+        }
+        states.reverse();
         debug_assert_eq!(states.len(), r);
+
         let mut prefix_weight = if cand.prefix == NO_PREFIX {
             D::one()
         } else {
@@ -213,7 +240,8 @@ impl<'a, D: Dioid> AnyKPart<'a, D> {
         };
         let mut prefix_idx = cand.prefix;
         let mut current = cand.last;
-        let mut succ_buf: Vec<NodeId> = Vec::new();
+        let mut current_idx = cand.last_idx;
+        let mut succ_buf = std::mem::take(&mut self.succ_buf);
 
         for pos in r..ell {
             // 1. Generate the new candidates of the subspaces created by
@@ -221,20 +249,20 @@ impl<'a, D: Dioid> AnyKPart<'a, D> {
             let tail = self.parent_state(&states, pos);
             let slot = self.slot_of(pos);
             succ_buf.clear();
-            self.structure(tail, slot).successors(current, &mut succ_buf);
+            let (d, st) = self.structure(tail, slot);
+            st.successors(current_idx, &mut succ_buf);
             if !succ_buf.is_empty() {
                 let pending = self.pending_completion(&states, pos);
-                for i in 0..succ_buf.len() {
-                    let s = succ_buf[i];
-                    let total = D::times(
-                        &D::times(&prefix_weight, &self.inst.choice_value(s)),
-                        &pending,
-                    );
+                let st = self.structures[d].as_ref().expect("initialised above");
+                for &sibling_idx in &succ_buf {
+                    let (s, value) = st.choice(sibling_idx);
+                    let total = D::times(&D::times(&prefix_weight, value), &pending);
                     self.cand.push(Reverse(Candidate {
                         total,
                         prefix: prefix_idx,
                         r: pos as u32,
-                        last: s,
+                        last: *s,
+                        last_idx: sibling_idx,
                     }));
                 }
             }
@@ -253,10 +281,13 @@ impl<'a, D: Dioid> AnyKPart<'a, D> {
             if pos + 1 < ell {
                 let tail_next = self.parent_state(&states, pos + 1);
                 let slot_next = self.slot_of(pos + 1);
-                current = self.structure(tail_next, slot_next).top();
+                let (_, st) = self.structure(tail_next, slot_next);
+                current_idx = st.top();
+                current = st.choice(current_idx).0;
             }
         }
 
+        self.succ_buf = succ_buf;
         Solution::new(cand.total, states)
     }
 }
@@ -302,9 +333,18 @@ mod tests {
     /// Example 6/8/9 of the paper: the 3-relation Cartesian product.
     fn cartesian_3() -> TdpInstance<TropicalMin> {
         let mut b = TdpBuilder::<TropicalMin>::serial(3);
-        let s1: Vec<_> = [1.0, 2.0, 3.0].iter().map(|&w| b.add_state(1, w.into())).collect();
-        let s2: Vec<_> = [10.0, 20.0, 30.0].iter().map(|&w| b.add_state(2, w.into())).collect();
-        let s3: Vec<_> = [100.0, 200.0, 300.0].iter().map(|&w| b.add_state(3, w.into())).collect();
+        let s1: Vec<_> = [1.0, 2.0, 3.0]
+            .iter()
+            .map(|&w| b.add_state(1, w.into()))
+            .collect();
+        let s2: Vec<_> = [10.0, 20.0, 30.0]
+            .iter()
+            .map(|&w| b.add_state(2, w.into()))
+            .collect();
+        let s3: Vec<_> = [100.0, 200.0, 300.0]
+            .iter()
+            .map(|&w| b.add_state(3, w.into()))
+            .collect();
         for &a in &s1 {
             b.connect_root(a);
         }

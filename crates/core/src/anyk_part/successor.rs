@@ -16,12 +16,20 @@
 //!   heapified once (linear time) and the "successors" of a choice are its
 //!   two children in the heap's tree order. The heap is never popped; it only
 //!   serves as a partial order that is compatible with the weight order.
+//!
+//! ## Index-based addressing
+//!
+//! Choices are addressed by their **dense index** within the structure
+//! (position in the sorted order for `Eager`/`Lazy`, position in the original
+//! choice array for `All`, position in the array-embedded heap for `Take2`).
+//! The enumerator carries the index of the choice it followed alongside the
+//! chosen state, so `Succ` resolves successors by pure array arithmetic — no
+//! `NodeId → position` hash lookup anywhere in the expansion hot loop.
 
 use crate::dioid::Dioid;
 use crate::tdp::NodeId;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::collections::HashMap;
 
 /// Which successor structure an [`crate::AnyKPart`] enumerator uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -41,7 +49,8 @@ pub enum SuccessorKind {
 pub(crate) type Choice<V> = (NodeId, V);
 
 /// The per-(state, slot) successor structure. Created lazily by the
-/// enumerator the first time a choice set is touched.
+/// enumerator the first time a choice set is touched, and stored in a dense
+/// table keyed by the instance's slot id.
 #[derive(Debug)]
 pub(crate) enum SuccState<D: Dioid> {
     Eager(EagerChoices<D::V>),
@@ -63,28 +72,38 @@ impl<D: Dioid> SuccState<D> {
         }
     }
 
-    /// The best choice of the set (the one followed by optimal expansion).
-    pub(crate) fn top(&self) -> NodeId {
+    /// The index of the best choice (the one followed by optimal expansion).
+    pub(crate) fn top(&self) -> u32 {
         match self {
-            SuccState::Eager(s) => s.top(),
-            SuccState::Lazy(s) => s.top(),
-            SuccState::All(s) => s.top(),
-            SuccState::Take2(s) => s.top(),
+            SuccState::Eager(_) | SuccState::Lazy(_) | SuccState::Take2(_) => 0,
+            SuccState::All(s) => s.top_idx as u32,
         }
     }
 
-    /// Append to `out` the successors of the choice leading to `current`.
+    /// The `(state, value)` of the choice at `idx`. Only indices previously
+    /// handed out by [`Self::top`] or [`Self::successors`] are valid.
+    #[inline]
+    pub(crate) fn choice(&self, idx: u32) -> &Choice<D::V> {
+        match self {
+            SuccState::Eager(s) => &s.sorted[idx as usize],
+            SuccState::Lazy(s) => &s.sorted[idx as usize],
+            SuccState::All(s) => &s.choices[idx as usize],
+            SuccState::Take2(s) => &s.heap[idx as usize],
+        }
+    }
+
+    /// Append to `out` the indices of the successors of the choice at `idx`.
     ///
     /// The contract (sufficient for the correctness of Algorithm 1) is that
-    /// the true next-best choice after `current` is either appended here or
-    /// was already produced as a successor of an earlier choice of this set
-    /// under the same prefix.
-    pub(crate) fn successors(&mut self, current: NodeId, out: &mut Vec<NodeId>) {
+    /// the true next-best choice after `idx` is either appended here or was
+    /// already produced as a successor of an earlier choice of this set under
+    /// the same prefix.
+    pub(crate) fn successors(&mut self, idx: u32, out: &mut Vec<u32>) {
         match self {
-            SuccState::Eager(s) => s.successors(current, out),
-            SuccState::Lazy(s) => s.successors(current, out),
-            SuccState::All(s) => s.successors(current, out),
-            SuccState::Take2(s) => s.successors(current, out),
+            SuccState::Eager(s) => s.successors(idx, out),
+            SuccState::Lazy(s) => s.successors(idx, out),
+            SuccState::All(s) => s.successors(idx, out),
+            SuccState::Take2(s) => s.successors(idx, out),
         }
     }
 }
@@ -97,35 +116,22 @@ fn sort_key<V: Ord + Clone>(c: &Choice<V>) -> (V, NodeId) {
 // Eager
 // ---------------------------------------------------------------------------
 
-/// Fully sorted choice list with a position index.
+/// Fully sorted choice list; a choice's index is its rank, so its successor
+/// is simply the next index.
 #[derive(Debug)]
 pub(crate) struct EagerChoices<V> {
     sorted: Vec<Choice<V>>,
-    position: HashMap<NodeId, usize>,
 }
 
 impl<V: Ord + Clone> EagerChoices<V> {
     fn new(mut choices: Vec<Choice<V>>) -> Self {
         choices.sort_by_key(sort_key);
-        let position = choices
-            .iter()
-            .enumerate()
-            .map(|(i, (n, _))| (*n, i))
-            .collect();
-        EagerChoices {
-            sorted: choices,
-            position,
-        }
+        EagerChoices { sorted: choices }
     }
 
-    fn top(&self) -> NodeId {
-        self.sorted[0].0
-    }
-
-    fn successors(&self, current: NodeId, out: &mut Vec<NodeId>) {
-        let idx = self.position[&current];
-        if let Some((next, _)) = self.sorted.get(idx + 1) {
-            out.push(*next);
+    fn successors(&self, idx: u32, out: &mut Vec<u32>) {
+        if (idx as usize + 1) < self.sorted.len() {
+            out.push(idx + 1);
         }
     }
 }
@@ -134,14 +140,15 @@ impl<V: Ord + Clone> EagerChoices<V> {
 // Lazy
 // ---------------------------------------------------------------------------
 
-/// A binary heap that is drained into a sorted prefix on demand. Following
-/// §4.1.3, the top two choices are materialised eagerly because almost every
-/// successor request asks for the second-best choice.
+/// A binary heap that is drained into a sorted prefix on demand; indices
+/// refer to positions in the sorted prefix, which is stable once
+/// materialised. Following §4.1.3, the top two choices are materialised
+/// eagerly because almost every successor request asks for the second-best
+/// choice.
 #[derive(Debug)]
 pub(crate) struct LazyChoices<V> {
     sorted: Vec<Choice<V>>,
     heap: BinaryHeap<Reverse<(V, NodeId)>>,
-    position: HashMap<NodeId, usize>,
 }
 
 impl<V: Ord + Clone> LazyChoices<V> {
@@ -151,14 +158,10 @@ impl<V: Ord + Clone> LazyChoices<V> {
         let mut lazy = LazyChoices {
             sorted: Vec::new(),
             heap,
-            position: HashMap::new(),
         };
         // Pop the top two choices up front (§4.1.3): almost every successor
         // request during result expansion asks for the second-best choice.
         for _ in 0..2 {
-            if lazy.heap.is_empty() {
-                break;
-            }
             lazy.pop_into_sorted();
         }
         lazy
@@ -166,32 +169,19 @@ impl<V: Ord + Clone> LazyChoices<V> {
 
     fn pop_into_sorted(&mut self) {
         if let Some(Reverse((v, n))) = self.heap.pop() {
-            self.position.insert(n, self.sorted.len());
             self.sorted.push((n, v));
         }
     }
 
-    fn top(&self) -> NodeId {
-        self.sorted[0].0
-    }
-
-    fn successors(&mut self, current: NodeId, out: &mut Vec<NodeId>) {
-        let idx = match self.position.get(&current) {
-            Some(&i) => i,
-            None => {
-                // `current` has not been drained yet: drain until it appears.
-                while !self.position.contains_key(&current) {
-                    debug_assert!(!self.heap.is_empty(), "choice not present in set");
-                    self.pop_into_sorted();
-                }
-                self.position[&current]
-            }
-        };
-        while self.sorted.len() <= idx + 1 && !self.heap.is_empty() {
+    fn successors(&mut self, idx: u32, out: &mut Vec<u32>) {
+        // Indices are only handed out for materialised choices, so at most
+        // one drain step is needed to expose the next-ranked choice.
+        let next = idx as usize + 1;
+        while self.sorted.len() <= next && !self.heap.is_empty() {
             self.pop_into_sorted();
         }
-        if let Some((next, _)) = self.sorted.get(idx + 1) {
-            out.push(*next);
+        if next < self.sorted.len() {
+            out.push(next as u32);
         }
     }
 }
@@ -221,19 +211,9 @@ impl<V: Ord + Clone> AllChoices<V> {
         AllChoices { choices, top_idx }
     }
 
-    fn top(&self) -> NodeId {
-        self.choices[self.top_idx].0
-    }
-
-    fn successors(&self, current: NodeId, out: &mut Vec<NodeId>) {
-        if current == self.top() {
-            out.extend(
-                self.choices
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, _)| *i != self.top_idx)
-                    .map(|(_, (n, _))| *n),
-            );
+    fn successors(&self, idx: u32, out: &mut Vec<u32>) {
+        if idx as usize == self.top_idx {
+            out.extend((0..self.choices.len() as u32).filter(|&i| i != idx));
         }
     }
 }
@@ -250,33 +230,22 @@ impl<V: Ord + Clone> AllChoices<V> {
 #[derive(Debug)]
 pub(crate) struct Take2Choices<V> {
     heap: Vec<Choice<V>>,
-    position: HashMap<NodeId, usize>,
 }
 
 impl<V: Ord + Clone> Take2Choices<V> {
     fn new(mut choices: Vec<Choice<V>>) -> Self {
         heapify_min(&mut choices);
-        let position = choices
-            .iter()
-            .enumerate()
-            .map(|(i, (n, _))| (*n, i))
-            .collect();
-        Take2Choices {
-            heap: choices,
-            position,
+        Take2Choices { heap: choices }
+    }
+
+    fn successors(&self, idx: u32, out: &mut Vec<u32>) {
+        let len = self.heap.len() as u32;
+        let left = 2 * idx + 1;
+        if left < len {
+            out.push(left);
         }
-    }
-
-    fn top(&self) -> NodeId {
-        self.heap[0].0
-    }
-
-    fn successors(&self, current: NodeId, out: &mut Vec<NodeId>) {
-        let idx = self.position[&current];
-        for child in [2 * idx + 1, 2 * idx + 2] {
-            if let Some((n, _)) = self.heap.get(child) {
-                out.push(*n);
-            }
+        if left + 1 < len {
+            out.push(left + 1);
         }
     }
 }
@@ -317,6 +286,7 @@ fn sift_down<V: Ord + Clone>(v: &mut [Choice<V>], mut i: usize) {
 mod tests {
     use super::*;
     use crate::dioid::{OrderedF64, TropicalMin};
+    use std::collections::HashMap;
 
     fn choices(vals: &[f64]) -> Vec<Choice<OrderedF64>> {
         vals.iter()
@@ -325,18 +295,31 @@ mod tests {
             .collect()
     }
 
+    fn node_at(s: &SuccState<TropicalMin>, idx: u32) -> NodeId {
+        s.choice(idx).0
+    }
+
     #[test]
     fn eager_returns_true_successor() {
         let mut s = SuccState::<TropicalMin>::new(SuccessorKind::Eager, choices(&[5.0, 1.0, 3.0]));
-        assert_eq!(s.top(), NodeId(2));
+        let top = s.top();
+        assert_eq!(node_at(&s, top), NodeId(2));
         let mut out = Vec::new();
-        s.successors(NodeId(2), &mut out);
-        assert_eq!(out, vec![NodeId(3)]);
+        s.successors(top, &mut out);
+        assert_eq!(
+            out.iter().map(|&i| node_at(&s, i)).collect::<Vec<_>>(),
+            vec![NodeId(3)]
+        );
+        let second = out[0];
         out.clear();
-        s.successors(NodeId(3), &mut out);
-        assert_eq!(out, vec![NodeId(1)]);
+        s.successors(second, &mut out);
+        assert_eq!(
+            out.iter().map(|&i| node_at(&s, i)).collect::<Vec<_>>(),
+            vec![NodeId(1)]
+        );
+        let third = out[0];
         out.clear();
-        s.successors(NodeId(1), &mut out);
+        s.successors(third, &mut out);
         assert!(out.is_empty());
     }
 
@@ -345,14 +328,18 @@ mod tests {
         let vals = [8.0, 2.0, 9.0, 4.0, 6.0];
         let mut lazy = SuccState::<TropicalMin>::new(SuccessorKind::Lazy, choices(&vals));
         let mut eager = SuccState::<TropicalMin>::new(SuccessorKind::Eager, choices(&vals));
-        assert_eq!(lazy.top(), eager.top());
+        assert_eq!(node_at(&lazy, lazy.top()), node_at(&eager, eager.top()));
         let mut cur = lazy.top();
-        // Walk the entire chain of true successors through both structures.
+        // Walk the entire chain of true successors through both structures:
+        // both address by rank, so the indices coincide.
         for _ in 0..vals.len() {
             let (mut a, mut b) = (Vec::new(), Vec::new());
             lazy.successors(cur, &mut a);
             eager.successors(cur, &mut b);
             assert_eq!(a, b);
+            let nodes_a: Vec<_> = a.iter().map(|&i| node_at(&lazy, i)).collect();
+            let nodes_b: Vec<_> = b.iter().map(|&i| node_at(&eager, i)).collect();
+            assert_eq!(nodes_a, nodes_b);
             match a.first() {
                 Some(&n) => cur = n,
                 None => break,
@@ -364,11 +351,14 @@ mod tests {
     fn all_returns_everything_for_top_and_nothing_otherwise() {
         let mut s = SuccState::<TropicalMin>::new(SuccessorKind::All, choices(&[5.0, 1.0, 3.0]));
         let mut out = Vec::new();
-        s.successors(NodeId(2), &mut out);
-        out.sort();
-        assert_eq!(out, vec![NodeId(1), NodeId(3)]);
+        let top = s.top();
+        s.successors(top, &mut out);
+        let mut nodes: Vec<_> = out.iter().map(|&i| node_at(&s, i)).collect();
+        nodes.sort();
+        assert_eq!(nodes, vec![NodeId(1), NodeId(3)]);
+        let non_top = out[0];
         out.clear();
-        s.successors(NodeId(3), &mut out);
+        s.successors(non_top, &mut out);
         assert!(out.is_empty());
     }
 
@@ -382,10 +372,10 @@ mod tests {
         while let Some(cur) = frontier.pop() {
             let mut out = Vec::new();
             s.successors(cur, &mut out);
-            for n in out {
-                assert!(!seen.contains(&n), "duplicate successor {n:?}");
-                seen.push(n);
-                frontier.push(n);
+            for i in out {
+                assert!(!seen.contains(&i), "duplicate successor index {i}");
+                seen.push(i);
+                frontier.push(i);
             }
         }
         assert_eq!(seen.len(), vals.len());
@@ -401,9 +391,9 @@ mod tests {
         while let Some(cur) = frontier.pop() {
             let mut out = Vec::new();
             s.successors(cur, &mut out);
-            for n in out {
-                assert!(lookup[&n] >= lookup[&cur]);
-                frontier.push(n);
+            for i in out {
+                assert!(lookup[&node_at(&s, i)] >= lookup[&node_at(&s, cur)]);
+                frontier.push(i);
             }
         }
     }

@@ -109,8 +109,9 @@ enum SubtreeStream<V> {
 #[derive(Debug)]
 pub struct Recursive<'a, D: Dioid> {
     inst: &'a TdpInstance<D>,
-    /// Per node, per child slot: the branch stream (lazily initialised).
-    branch: Vec<Vec<Option<BranchStream<D::V>>>>,
+    /// Branch streams, keyed by the instance's dense slot id (lazily
+    /// initialised, one flat table instead of per-node vectors).
+    branch: Vec<Option<BranchStream<D::V>>>,
     /// Per node: the subtree stream (lazily initialised).
     subtree: Vec<Option<SubtreeStream<D::V>>>,
     next_rank: usize,
@@ -120,13 +121,8 @@ pub struct Recursive<'a, D: Dioid> {
 impl<'a, D: Dioid> Recursive<'a, D> {
     /// Create an enumerator over `inst`.
     pub fn new(inst: &'a TdpInstance<D>) -> Self {
-        let branch = (0..inst.num_nodes())
-            .map(|i| {
-                let stage = inst.node(NodeId(i as u32)).stage;
-                let slots = inst.stage(stage).children.len();
-                (0..slots).map(|_| None).collect::<Vec<_>>()
-            })
-            .collect();
+        let mut branch = Vec::new();
+        branch.resize_with(inst.num_slot_ids(), || None);
         Recursive {
             inst,
             branch,
@@ -141,7 +137,6 @@ impl<'a, D: Dioid> Recursive<'a, D> {
     pub fn materialised_suffixes(&self) -> usize {
         self.branch
             .iter()
-            .flatten()
             .filter_map(|b| b.as_ref())
             .map(|b| b.sorted.len())
             .sum()
@@ -149,9 +144,10 @@ impl<'a, D: Dioid> Recursive<'a, D> {
 
     // -- branch streams ----------------------------------------------------
 
-    fn ensure_branch_init(&mut self, node: NodeId, slot: u32) {
-        if self.branch[node.index()][slot as usize].is_some() {
-            return;
+    fn ensure_branch_init(&mut self, node: NodeId, slot: u32) -> usize {
+        let d = self.inst.slot_id(node, slot) as usize;
+        if self.branch[d].is_some() {
+            return d;
         }
         // Choices₁(s): one entry per unpruned successor, at rank 0; the value
         // w(t) ⊗ π₁(t) was already computed by the bottom-up phase.
@@ -166,21 +162,22 @@ impl<'a, D: Dioid> Recursive<'a, D> {
                 })
             })
             .collect();
-        self.branch[node.index()][slot as usize] = Some(BranchStream {
+        self.branch[d] = Some(BranchStream {
             sorted: Vec::new(),
             frontier,
             pending: false,
         });
+        d
     }
 
     /// Weight of the `rank`-th solution of branch `(node, slot)`, or `None`
     /// if the branch has fewer solutions. Materialises lazily.
     fn branch_weight(&mut self, node: NodeId, slot: u32, rank: usize) -> Option<D::V> {
-        self.ensure_branch_init(node, slot);
+        let d = self.ensure_branch_init(node, slot);
         loop {
             // Fast path: already materialised.
             {
-                let stream = self.branch[node.index()][slot as usize].as_ref().unwrap();
+                let stream = self.branch[d].as_ref().unwrap();
                 if let Some(sol) = stream.sorted.get(rank) {
                     return Some(sol.weight.clone());
                 }
@@ -189,7 +186,7 @@ impl<'a, D: Dioid> Recursive<'a, D> {
             // line 26–31): generate "next through the same child" before the
             // next pop.
             let pending_sol = {
-                let stream = self.branch[node.index()][slot as usize].as_mut().unwrap();
+                let stream = self.branch[d].as_mut().unwrap();
                 if stream.pending {
                     stream.pending = false;
                     stream.sorted.last().cloned()
@@ -207,12 +204,12 @@ impl<'a, D: Dioid> Recursive<'a, D> {
                         rank: next_rank,
                     });
                 if let Some(rep) = replacement {
-                    let stream = self.branch[node.index()][slot as usize].as_mut().unwrap();
+                    let stream = self.branch[d].as_mut().unwrap();
                     stream.frontier.push(Reverse(rep));
                 }
             }
             // Commit the next-lightest frontier entry.
-            let stream = self.branch[node.index()][slot as usize].as_mut().unwrap();
+            let stream = self.branch[d].as_mut().unwrap();
             match stream.frontier.pop() {
                 None => return None,
                 Some(Reverse(best)) => {
@@ -224,7 +221,7 @@ impl<'a, D: Dioid> Recursive<'a, D> {
     }
 
     fn branch_sol(&self, node: NodeId, slot: u32, rank: usize) -> &BranchSol<D::V> {
-        self.branch[node.index()][slot as usize]
+        self.branch[self.inst.slot_id(node, slot) as usize]
             .as_ref()
             .expect("branch stream initialised")
             .sorted
@@ -449,7 +446,11 @@ mod tests {
 
     #[test]
     fn matches_brute_force_on_cartesian_product() {
-        let inst = cartesian(&[&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0], &[100.0, 200.0, 300.0]]);
+        let inst = cartesian(&[
+            &[1.0, 2.0, 3.0],
+            &[10.0, 20.0, 30.0],
+            &[100.0, 200.0, 300.0],
+        ]);
         let got: Vec<OrderedF64> = Recursive::new(&inst).map(|s| s.weight).collect();
         let mut expected = Vec::new();
         for a in [1.0, 2.0, 3.0] {
@@ -466,7 +467,11 @@ mod tests {
     #[test]
     fn example_10_first_solutions() {
         // Figure 4 of the paper: the first few solutions of Example 6.
-        let inst = cartesian(&[&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0], &[100.0, 200.0, 300.0]]);
+        let inst = cartesian(&[
+            &[1.0, 2.0, 3.0],
+            &[10.0, 20.0, 30.0],
+            &[100.0, 200.0, 300.0],
+        ]);
         let first: Vec<OrderedF64> = Recursive::new(&inst).take(4).map(|s| s.weight).collect();
         assert_eq!(
             first,
@@ -567,7 +572,11 @@ mod tests {
         assert_eq!(all.len(), 4);
         // Branch stream of `shared` holds its two suffixes exactly once.
         assert_eq!(
-            rec.branch[shared.index()][0].as_ref().unwrap().sorted.len(),
+            rec.branch[inst.slot_id(shared, 0) as usize]
+                .as_ref()
+                .unwrap()
+                .sorted
+                .len(),
             2
         );
     }

@@ -54,18 +54,11 @@ impl<'a, D: Dioid> Batch<'a, D> {
             let sid = inst.serial_order()[pos];
             let slot = inst.stage(sid).slot_in_parent;
             let succs = inst.successors(parent_state, slot);
-            // Advance to the next unpruned successor at this position.
-            let mut idx = choice_idx[pos];
-            let mut found = None;
-            while idx < succs.len() {
-                let cand = succs[idx];
-                idx += 1;
-                if inst.subtree_opt(cand) != &D::zero() {
-                    found = Some(cand);
-                    break;
-                }
-            }
-            choice_idx[pos] = idx;
+            // Successor lists are compacted at build time, so every entry is
+            // a live choice; just advance the per-position cursor.
+            let idx = choice_idx[pos];
+            let found = succs.get(idx).copied();
+            choice_idx[pos] = idx + 1;
             match found {
                 Some(next_state) => {
                     let w_prev = weights.last().cloned().unwrap_or_else(D::one);
@@ -97,7 +90,11 @@ impl<'a, D: Dioid> Batch<'a, D> {
 
     fn materialise(&mut self) {
         let mut all = Self::enumerate_unranked(self.inst);
-        all.sort_by(|a, b| a.weight.cmp(&b.weight).then_with(|| a.states.cmp(&b.states)));
+        all.sort_by(|a, b| {
+            a.weight
+                .cmp(&b.weight)
+                .then_with(|| a.states.cmp(&b.states))
+        });
         self.sorted = Some(all.into_iter());
     }
 }
@@ -178,7 +175,10 @@ mod tests {
         b.connect(c, r1);
         let inst = b.build();
         let weights: Vec<OrderedF64> = Batch::new(&inst).map(|s| s.weight).collect();
-        assert_eq!(weights, vec![OrderedF64::from(11.0), OrderedF64::from(12.0)]);
+        assert_eq!(
+            weights,
+            vec![OrderedF64::from(11.0), OrderedF64::from(12.0)]
+        );
     }
 
     #[test]

@@ -55,7 +55,10 @@ mod tests {
     #[test]
     fn true_ranks_before_false() {
         assert!(BoolRank(true) < BoolRank(false));
-        assert_eq!(BooleanDioid::plus(&BoolRank(true), &BoolRank(false)), BoolRank(true));
+        assert_eq!(
+            BooleanDioid::plus(&BoolRank(true), &BoolRank(false)),
+            BoolRank(true)
+        );
     }
 
     #[test]

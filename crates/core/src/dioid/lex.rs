@@ -40,7 +40,11 @@ impl LexVec {
     /// (dimension) `dim`.
     pub fn unit(dim: u32, value: i64) -> Self {
         LexVec {
-            entries: if value == 0 { Vec::new() } else { vec![(dim, value)] },
+            entries: if value == 0 {
+                Vec::new()
+            } else {
+                vec![(dim, value)]
+            },
             infinite: false,
         }
     }

@@ -30,7 +30,7 @@ mod ordered_f64;
 mod tiebreak;
 mod tropical;
 
-pub use boolean::{BooleanDioid, BoolRank};
+pub use boolean::{BoolRank, BooleanDioid};
 pub use lex::{LexVec, Lexicographic};
 pub use maxtimes::{MaxTimes, Multiplicity};
 pub use minmax::MinMaxDioid;

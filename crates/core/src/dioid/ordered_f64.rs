@@ -112,7 +112,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_numeric() {
-        let mut v = vec![
+        let mut v = [
             OrderedF64::from(3.0),
             OrderedF64::INFINITY,
             OrderedF64::from(-1.5),

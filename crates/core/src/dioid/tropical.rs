@@ -119,7 +119,10 @@ mod tests {
     fn tropical_min_identities() {
         let x = OrderedF64::from(7.0);
         assert_eq!(TropicalMin::times(&TropicalMin::one(), &x), x);
-        assert_eq!(TropicalMin::times(&TropicalMin::zero(), &x), TropicalMin::zero());
+        assert_eq!(
+            TropicalMin::times(&TropicalMin::zero(), &x),
+            TropicalMin::zero()
+        );
         assert!(TropicalMin::zero() > x);
     }
 

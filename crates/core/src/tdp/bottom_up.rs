@@ -15,18 +15,13 @@
 use super::{NodeId, StageId, TdpInstance};
 use crate::dioid::Dioid;
 
-/// Run the bottom-up phase in place, filling `subtree_opt` and `branch_opt`.
+/// Run the bottom-up phase in place, filling `subtree_opt` and `branch_opt`
+/// (the latter keyed by dense slot id, matching the successor CSR).
 pub(crate) fn run<D: Dioid>(instance: &mut TdpInstance<D>) {
     let num_nodes = instance.nodes.len();
+    let zero = D::zero();
     let mut subtree_opt = vec![D::zero(); num_nodes];
-    let mut branch_opt: Vec<Vec<D::V>> = instance
-        .nodes
-        .iter()
-        .map(|n| {
-            let slots = instance.stages[n.stage.index()].children.len();
-            vec![D::zero(); slots]
-        })
-        .collect();
+    let mut branch_opt: Vec<D::V> = vec![D::zero(); instance.num_slot_ids()];
 
     // Children-first traversal: reverse serial order, then the root stage.
     let stage_order: Vec<StageId> = instance
@@ -42,18 +37,23 @@ pub(crate) fn run<D: Dioid>(instance: &mut TdpInstance<D>) {
         let num_slots = stage.children.len();
         for &nid in &stage.nodes {
             let mut total = D::one();
-            for slot in 0..num_slots {
+            let first_slot = instance.slot_offsets[nid.index()] as usize;
+            let node_branches = &mut branch_opt[first_slot..first_slot + num_slots];
+            for (off, branch_best) in node_branches.iter_mut().enumerate() {
+                let d = first_slot + off;
+                let start = instance.succ_offsets[d] as usize;
+                let end = instance.succ_offsets[d + 1] as usize;
                 let mut best = D::zero();
-                for &t in &instance.edges[nid.index()][slot] {
+                for &t in &instance.succ_data[start..end] {
                     let sub = &subtree_opt[t.index()];
-                    if *sub == D::zero() {
+                    if *sub == zero {
                         continue;
                     }
                     let value = D::times(&instance.nodes[t.index()].weight, sub);
                     best = D::plus(&best, &value);
                 }
-                branch_opt[nid.index()][slot] = best.clone();
                 total = D::times(&total, &best);
+                *branch_best = best;
             }
             subtree_opt[nid.index()] = total;
         }
@@ -106,8 +106,15 @@ mod tests {
         // the tuple labels; the optimum is 1 + 10 + 100 = 111.
         let mut b = TdpBuilder::<TropicalMin>::serial(3);
         let mut per_stage = Vec::new();
-        for (stage, weights) in [(1usize, [1.0, 2.0, 3.0]), (2, [10.0, 20.0, 30.0]), (3, [100.0, 200.0, 300.0])] {
-            let ids: Vec<_> = weights.iter().map(|&w| b.add_state(stage, w.into())).collect();
+        for (stage, weights) in [
+            (1usize, [1.0, 2.0, 3.0]),
+            (2, [10.0, 20.0, 30.0]),
+            (3, [100.0, 200.0, 300.0]),
+        ] {
+            let ids: Vec<_> = weights
+                .iter()
+                .map(|&w| b.add_state(stage, w.into()))
+                .collect();
             per_stage.push(ids);
         }
         for &a in &per_stage[0] {

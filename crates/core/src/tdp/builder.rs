@@ -96,7 +96,10 @@ impl<D: Dioid> TdpBuilder<D> {
     /// Like [`TdpBuilder::add_state`] but with an explicit payload (typically
     /// an input-tuple identifier).
     pub fn add_state_with_payload(&mut self, stage: usize, weight: D::V, payload: u64) -> NodeId {
-        assert!(stage > 0 && stage < self.stages.len(), "invalid stage index {stage}");
+        assert!(
+            stage > 0 && stage < self.stages.len(),
+            "invalid stage index {stage}"
+        );
         let id = NodeId(self.nodes.len() as u32);
         let stage_id = StageId(stage as u32);
         self.nodes.push(Node {
@@ -171,26 +174,59 @@ impl<D: Dioid> TdpBuilder<D> {
         self.stages.len()
     }
 
-    /// Freeze the instance: normalise adjacency lists, compute the serial
-    /// stage order, and run the DP bottom-up phase (pruning + `π₁`).
-    pub fn build(mut self) -> TdpInstance<D> {
-        // Make sure every node has one adjacency slot per child stage (slots
-        // may be missing if stages were added after the node).
-        for (idx, node) in self.nodes.iter().enumerate() {
-            let num_slots = self.stages[node.stage.index()].children.len();
-            if self.edges[idx].len() < num_slots {
-                self.edges[idx].resize(num_slots, Vec::new());
-            }
-        }
-
+    /// Freeze the instance: flatten the adjacency into CSR, compute the
+    /// serial stage order, run the DP bottom-up phase (pruning + `π₁`), and
+    /// compact pruned states out of every successor list.
+    pub fn build(self) -> TdpInstance<D> {
         let serial_order = serialise_stages(&self.stages);
         let parent_pos = compute_parent_positions(&self.stages, &serial_order);
         let pending = compute_pending_branches(&self.stages, &serial_order, &parent_pos);
 
+        // Flatten the builder's nested adjacency into CSR. Nodes may have
+        // fewer recorded slot lists than their stage has children (stages
+        // added after the node); the CSR always reserves one slot id per
+        // child stage, with an empty successor list for the missing ones.
+        let num_nodes = self.nodes.len();
+        let mut slot_offsets: Vec<u32> = Vec::with_capacity(num_nodes + 1);
+        let mut total_slots = 0usize;
+        for node in &self.nodes {
+            slot_offsets.push(total_slots as u32);
+            total_slots += self.stages[node.stage.index()].children.len();
+        }
+        assert!(
+            total_slots <= u32::MAX as usize,
+            "T-DP instance exceeds u32 slot-id space ({total_slots} (node, slot) pairs)"
+        );
+        slot_offsets.push(total_slots as u32);
+
+        let total_edges: usize = self
+            .edges
+            .iter()
+            .map(|slots| slots.iter().map(Vec::len).sum::<usize>())
+            .sum();
+        assert!(
+            total_edges <= u32::MAX as usize,
+            "T-DP instance exceeds u32 successor-offset space ({total_edges} decisions)"
+        );
+        let mut succ_offsets: Vec<u32> = Vec::with_capacity(total_slots + 1);
+        let mut succ_data: Vec<NodeId> = Vec::with_capacity(total_edges);
+        succ_offsets.push(0);
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let num_slots = self.stages[node.stage.index()].children.len();
+            for slot in 0..num_slots {
+                if let Some(list) = self.edges[idx].get(slot) {
+                    succ_data.extend_from_slice(list);
+                }
+                succ_offsets.push(succ_data.len() as u32);
+            }
+        }
+
         let mut instance = TdpInstance {
             stages: self.stages,
             nodes: self.nodes,
-            edges: self.edges,
+            slot_offsets,
+            succ_offsets,
+            succ_data,
             subtree_opt: Vec::new(),
             branch_opt: Vec::new(),
             serial_order,
@@ -198,8 +234,45 @@ impl<D: Dioid> TdpBuilder<D> {
             pending,
         };
         bottom_up::run(&mut instance);
+        compact_pruned(&mut instance);
         instance
     }
+}
+
+/// Drop every decision into a pruned state (`π₁ = 0̄`), and the entire
+/// successor lists of pruned states, rewriting the successor CSR in place.
+/// Afterwards [`TdpInstance::choices`] needs no per-iteration filter.
+fn compact_pruned<D: Dioid>(instance: &mut TdpInstance<D>) {
+    let zero = D::zero();
+    let mut write = 0usize;
+    let num_nodes = instance.nodes.len();
+    // Slot ids are assigned in node order, so walking nodes outer and slots
+    // inner visits succ_data strictly left-to-right; `write` never overtakes
+    // the read cursor.
+    let mut new_offsets: Vec<u32> = Vec::with_capacity(instance.succ_offsets.len());
+    new_offsets.push(0);
+    for n in 0..num_nodes {
+        let keep_owner = instance.subtree_opt[n] != zero;
+        let first_slot = instance.slot_offsets[n] as usize;
+        let last_slot = instance.slot_offsets[n + 1] as usize;
+        for d in first_slot..last_slot {
+            if keep_owner {
+                let start = instance.succ_offsets[d] as usize;
+                let end = instance.succ_offsets[d + 1] as usize;
+                for i in start..end {
+                    let t = instance.succ_data[i];
+                    if instance.subtree_opt[t.index()] != zero {
+                        instance.succ_data[write] = t;
+                        write += 1;
+                    }
+                }
+            }
+            new_offsets.push(write as u32);
+        }
+    }
+    instance.succ_data.truncate(write);
+    instance.succ_data.shrink_to_fit();
+    instance.succ_offsets = new_offsets;
 }
 
 /// Topologically order the non-root stages so that parents come first
@@ -229,7 +302,9 @@ fn compute_parent_positions(stages: &[Stage], serial_order: &[StageId]) -> Vec<O
     serial_order
         .iter()
         .map(|&sid| {
-            let parent = stages[sid.index()].parent.expect("non-root stage has a parent");
+            let parent = stages[sid.index()]
+                .parent
+                .expect("non-root stage has a parent");
             if parent == StageId::ROOT {
                 None
             } else {
@@ -259,8 +334,8 @@ fn compute_pending_branches(
         // branch root has not been expanded yet and is not inside j's subtree
         // (subtrees are contiguous in the DFS serial order).
         let lower = ppos.map(|p| p + 1).unwrap_or(0);
-        for j in lower..child_pos {
-            pending[j].push((ppos, slot));
+        for entry in &mut pending[lower..child_pos] {
+            entry.push((ppos, slot));
         }
     }
     pending

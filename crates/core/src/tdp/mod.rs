@@ -17,6 +17,30 @@
 //! standard DP **bottom-up phase** (Eq. 2 / Eq. 7): it computes, for every
 //! state, the weight of its optimal subtree completion and prunes states that
 //! cannot reach a full solution (`π₁ = 0̄`).
+//!
+//! ## Memory layout: CSR with dense slot ids
+//!
+//! The any-k guarantees bound the *per-result* delay, so the constant factor
+//! of every choice-set access dominates real wall-clock. All per-(state,
+//! branch) data therefore lives in flat CSR (compressed sparse row) arrays
+//! instead of nested vectors:
+//!
+//! * Every pair `(node, slot)` — a state together with one child stage of its
+//!   stage — is assigned a dense **slot id**: `slot_offsets[n]` is the first
+//!   slot id of node `n` (one consecutive id per child stage), so
+//!   `slot_id(n, s) = slot_offsets[n] + s` and `slot_offsets` has
+//!   `num_nodes + 1` entries. Slot ids index both the successor CSR and
+//!   `branch_opt`, and give downstream consumers (e.g. the `anyk_part`
+//!   successor-structure table) a perfect, hash-free key.
+//! * All successor lists live contiguously in one `succ_data: Vec<NodeId>`;
+//!   the list of slot id `d` is `succ_data[succ_offsets[d]..succ_offsets[d+1]]`.
+//! * `branch_opt: Vec<V>` is keyed by slot id; `subtree_opt: Vec<V>` by node.
+//!
+//! [`TdpBuilder::build`] additionally **compacts pruned states out of every
+//! successor list** after the bottom-up phase: a surviving list contains only
+//! states with `π₁ ≠ 0̄` (and pruned states keep empty lists), so
+//! [`TdpInstance::choices`] iterates a plain slice — no per-iteration
+//! pruning filter, no branch mispredictions in the enumeration hot loops.
 
 mod bottom_up;
 mod builder;
@@ -90,20 +114,28 @@ pub struct Node<V> {
 
 /// An immutable T-DP instance, ready for ranked enumeration.
 ///
-/// Construct one with [`TdpBuilder`].
+/// Construct one with [`TdpBuilder`]. See the module docs for the flat CSR
+/// memory layout.
 #[derive(Debug, Clone)]
 pub struct TdpInstance<D: Dioid> {
     pub(crate) stages: Vec<Stage>,
     pub(crate) nodes: Vec<Node<D::V>>,
-    /// `edges[node][slot]` = successor states in the `slot`-th child stage of
-    /// the node's stage.
-    pub(crate) edges: Vec<Vec<Vec<NodeId>>>,
+    /// Dense slot-id base per node: node `n`'s slots occupy ids
+    /// `slot_offsets[n]..slot_offsets[n + 1]` (one per child stage of its
+    /// stage). Length `num_nodes + 1`.
+    pub(crate) slot_offsets: Vec<u32>,
+    /// CSR row offsets into `succ_data`, keyed by slot id. Length
+    /// `num_slot_ids + 1`.
+    pub(crate) succ_offsets: Vec<u32>,
+    /// All successor lists, contiguous. After [`TdpBuilder::build`] these
+    /// contain only unpruned states (and pruned states own empty lists).
+    pub(crate) succ_data: Vec<NodeId>,
     /// `π₁(s)`: weight of the optimal subtree completion rooted at `s`
-    /// (excluding `s`'s own weight). `0̄` for pruned states.
+    /// (excluding `s`'s own weight). `0̄` for pruned states. Keyed by node.
     pub(crate) subtree_opt: Vec<D::V>,
-    /// `branch_opt[node][slot]`: optimal completion restricted to one branch,
-    /// i.e. `min over successors t of (w(t) ⊗ π₁(t))`.
-    pub(crate) branch_opt: Vec<Vec<D::V>>,
+    /// `branch_opt[slot_id]`: optimal completion restricted to one branch,
+    /// i.e. `min over successors t of (w(t) ⊗ π₁(t))`. Keyed by slot id.
+    pub(crate) branch_opt: Vec<D::V>,
     /// Non-root stages serialised so that every parent precedes its children
     /// (§5.1 "tree order"). Position `j` (0-based) of this list is the
     /// "serial position `j+1`" of the paper.
@@ -130,17 +162,29 @@ impl<D: Dioid> TdpInstance<D> {
         self.nodes.len()
     }
 
-    /// Number of decisions (edges) in the instance.
+    /// Number of decisions (edges) in the pruned instance: decisions into
+    /// pruned states are compacted away by [`TdpBuilder::build`] and not
+    /// counted.
     pub fn num_edges(&self) -> usize {
-        self.edges
-            .iter()
-            .map(|slots| slots.iter().map(Vec::len).sum::<usize>())
-            .sum()
+        self.succ_data.len()
     }
 
     /// The number of non-root stages, i.e. the length ℓ of a solution.
     pub fn solution_len(&self) -> usize {
         self.serial_order.len()
+    }
+
+    /// The dense slot id of `(node, slot)` — the key into [`Self::branch_opt`]
+    /// and the successor CSR, and a perfect hash for per-choice-set tables.
+    #[inline]
+    pub fn slot_id(&self, id: NodeId, slot: u32) -> u32 {
+        self.slot_offsets[id.index()] + slot
+    }
+
+    /// Total number of `(node, slot)` pairs, i.e. the exclusive upper bound
+    /// of [`Self::slot_id`].
+    pub fn num_slot_ids(&self) -> usize {
+        *self.slot_offsets.last().expect("slot_offsets is non-empty") as usize
     }
 
     /// Stage metadata.
@@ -154,6 +198,7 @@ impl<D: Dioid> TdpInstance<D> {
     }
 
     /// The weight of (every decision into) state `id`.
+    #[inline]
     pub fn weight(&self, id: NodeId) -> &D::V {
         &self.nodes[id.index()].weight
     }
@@ -166,18 +211,25 @@ impl<D: Dioid> TdpInstance<D> {
     /// `π₁(s)`: the weight of the best completion of the subtree below `s`
     /// (not including `s`'s own weight). Equals `0̄` iff `s` was pruned by the
     /// bottom-up phase, i.e. cannot be part of any solution.
+    #[inline]
     pub fn subtree_opt(&self, id: NodeId) -> &D::V {
         &self.subtree_opt[id.index()]
     }
 
     /// The optimal completion of the branch `slot` of state `id`.
+    #[inline]
     pub fn branch_opt(&self, id: NodeId, slot: u32) -> &D::V {
-        &self.branch_opt[id.index()][slot as usize]
+        &self.branch_opt[self.slot_id(id, slot) as usize]
     }
 
     /// Successor states of `id` in the `slot`-th child stage of its stage.
+    ///
+    /// After [`TdpBuilder::build`] the returned slice contains only unpruned
+    /// states; pruned states have empty successor lists.
+    #[inline]
     pub fn successors(&self, id: NodeId, slot: u32) -> &[NodeId] {
-        &self.edges[id.index()][slot as usize]
+        let d = self.slot_id(id, slot) as usize;
+        &self.succ_data[self.succ_offsets[d] as usize..self.succ_offsets[d + 1] as usize]
     }
 
     /// The stages in serial (parents-first) order, excluding the root stage.
@@ -204,16 +256,17 @@ impl<D: Dioid> TdpInstance<D> {
 
     /// The value of the choice `(s → t)`: `w(t) ⊗ π₁(t)` (the best solution
     /// weight of the branch through `t`). `0̄` if `t` is pruned.
+    #[inline]
     pub fn choice_value(&self, target: NodeId) -> D::V {
         D::times(self.weight(target), self.subtree_opt(target))
     }
 
     /// Iterate over the `(successor, choice value)` pairs of the choice set
-    /// `Choices(s, slot)`, skipping pruned successors.
+    /// `Choices(s, slot)`. Successor lists are compacted at build time, so no
+    /// per-iteration pruning filter is needed.
     pub fn choices(&self, id: NodeId, slot: u32) -> impl Iterator<Item = (NodeId, D::V)> + '_ {
         self.successors(id, slot)
             .iter()
-            .filter(|t| self.subtree_opt(**t) != &D::zero())
             .map(move |&t| (t, self.choice_value(t)))
     }
 
@@ -223,18 +276,23 @@ impl<D: Dioid> TdpInstance<D> {
     /// This is the quantity `Π*(1)` used in the proof of Theorem 11.
     pub fn count_solutions(&self) -> u128 {
         let mut counts: Vec<u128> = vec![0; self.nodes.len()];
-        // Process stages children-first (reverse serial order).
-        for &sid in self.serial_order.iter().rev() {
-            for &nid in &self.stages[sid.index()].nodes {
-                if self.subtree_opt(nid) == &D::zero() {
-                    continue;
-                }
+        // Process stages children-first (reverse serial order), ending with
+        // the root stage; compacted successor lists make pruned branches
+        // contribute 0 without any explicit filtering.
+        for &sid in self
+            .serial_order
+            .iter()
+            .rev()
+            .chain(std::iter::once(&StageId::ROOT))
+        {
+            let stage = &self.stages[sid.index()];
+            let num_slots = stage.children.len();
+            for &nid in &stage.nodes {
                 let mut total: u128 = 1;
-                for slot in 0..self.stages[sid.index()].children.len() {
+                for slot in 0..num_slots {
                     let branch: u128 = self
                         .successors(nid, slot as u32)
                         .iter()
-                        .filter(|t| self.subtree_opt(**t) != &D::zero())
                         .map(|t| counts[t.index()])
                         .fold(0u128, |a, b| a.saturating_add(b));
                     total = total.saturating_mul(branch);
@@ -242,22 +300,7 @@ impl<D: Dioid> TdpInstance<D> {
                 counts[nid.index()] = total;
             }
         }
-        let root_stage = &self.stages[StageId::ROOT.index()];
-        let mut total: u128 = 1;
-        for slot in 0..root_stage.children.len() {
-            let branch: u128 = self
-                .successors(NodeId::ROOT, slot as u32)
-                .iter()
-                .filter(|t| self.subtree_opt(**t) != &D::zero())
-                .map(|t| counts[t.index()])
-                .fold(0u128, |a, b| a.saturating_add(b));
-            total = total.saturating_mul(branch);
-        }
-        if self.has_solution() {
-            total
-        } else {
-            0
-        }
+        counts[NodeId::ROOT.index()]
     }
 
     /// The "pending branches" of serial position `pos` (see the module docs
@@ -327,6 +370,9 @@ mod tests {
         assert_eq!(*inst.subtree_opt(dead), TropicalMin::zero());
         assert_eq!(*inst.optimum(), OrderedF64::from(13.0));
         assert_eq!(inst.count_solutions(), 1);
+        // Compaction removed the decision into `dead` and emptied its lists.
+        assert_eq!(inst.successors(a, 0), &[good]);
+        assert_eq!(inst.num_edges(), 3);
     }
 
     #[test]
@@ -355,5 +401,25 @@ mod tests {
         let inst = b.build();
         assert!(!inst.has_solution());
         assert_eq!(inst.count_solutions(), 0);
+    }
+
+    #[test]
+    fn slot_ids_are_dense_and_per_node_contiguous() {
+        let mut b = TdpBuilder::<TropicalMin>::new();
+        let center = b.add_stage_under_root("center", true);
+        let _left = b.add_stage("left", center, true);
+        let _right = b.add_stage("right", center, true);
+        let c1 = b.add_state(center.index(), 1.0.into());
+        let c2 = b.add_state(center.index(), 2.0.into());
+        b.connect_root(c1);
+        b.connect_root(c2);
+        let inst = b.build();
+        // Root has one slot (id 0); each center state has two.
+        assert_eq!(inst.slot_id(NodeId::ROOT, 0), 0);
+        assert_eq!(inst.slot_id(c1, 0), 1);
+        assert_eq!(inst.slot_id(c1, 1), 2);
+        assert_eq!(inst.slot_id(c2, 0), 3);
+        assert_eq!(inst.slot_id(c2, 1), 4);
+        assert_eq!(inst.num_slot_ids(), 5);
     }
 }

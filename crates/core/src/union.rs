@@ -179,7 +179,12 @@ mod tests {
     #[test]
     fn ordering_is_stable_across_many_sources() {
         let sources: Vec<std::vec::IntoIter<(i32, usize)>> = (0..5)
-            .map(|i| (0..10).map(|k| (k * 5 + i, i as usize)).collect::<Vec<_>>().into_iter())
+            .map(|i| {
+                (0..10)
+                    .map(|k| (k * 5 + i, i as usize))
+                    .collect::<Vec<_>>()
+                    .into_iter()
+            })
             .collect();
         let merged: Vec<i32> = UnionEnumerator::new(sources).map(|(k, _)| k).collect();
         let mut expected = merged.clone();

@@ -3,9 +3,9 @@
 //! in non-decreasing weight order, and the optimum agrees with the DP
 //! bottom-up phase and with brute force.
 
-use anyk_core::dioid::{OrderedF64, TropicalMin};
+use anyk_core::dioid::{Dioid, OrderedF64, TropicalMin};
 use anyk_core::tdp::{top1_solution, NodeId, TdpBuilder, TdpInstance};
-use anyk_core::{ranked_enumerate, AnyKAlgorithm, Solution};
+use anyk_core::{ranked_enumerate, AnyKAlgorithm, AnyKPart, Recursive, Solution, SuccessorKind};
 use proptest::prelude::*;
 
 /// Description of a random serial instance: per-stage state weights and an
@@ -19,10 +19,8 @@ struct SerialSpec {
 
 fn serial_spec(max_stages: usize, max_states: usize) -> impl Strategy<Value = SerialSpec> {
     (2..=max_stages, 1..=max_states).prop_flat_map(move |(stages, states)| {
-        let weights = proptest::collection::vec(
-            proptest::collection::vec(0u16..1000, 1..=states),
-            stages,
-        );
+        let weights =
+            proptest::collection::vec(proptest::collection::vec(0u16..1000, 1..=states), stages);
         weights.prop_flat_map(move |stage_weights| {
             let sizes: Vec<usize> = stage_weights.iter().map(Vec::len).collect();
             let mut edge_strategies = Vec::new();
@@ -32,11 +30,10 @@ fn serial_spec(max_stages: usize, max_states: usize) -> impl Strategy<Value = Se
                     sizes[i],
                 ));
             }
-            (Just(stage_weights), edge_strategies)
-                .prop_map(|(stage_weights, edges)| SerialSpec {
-                    stage_weights,
-                    edges,
-                })
+            (Just(stage_weights), edge_strategies).prop_map(|(stage_weights, edges)| SerialSpec {
+                stage_weights,
+                edges,
+            })
         })
     })
 }
@@ -175,6 +172,163 @@ proptest! {
                 prop_assert!(w[0] <= w[1] + 1e-9);
             }
         }
+    }
+}
+
+/// Build a random star-shaped instance: one center stage under the root with
+/// `branch_specs.len()` leaf branches hanging off it.
+fn build_star(
+    center_weights: &[u16],
+    branch_specs: &[(Vec<u16>, Vec<bool>)],
+) -> TdpInstance<TropicalMin> {
+    let mut b = TdpBuilder::<TropicalMin>::new();
+    let center_stage = b.add_stage_under_root("center", true);
+    let centers: Vec<NodeId> = center_weights
+        .iter()
+        .map(|&w| b.add_state(center_stage.index(), OrderedF64::from(w as f64)))
+        .collect();
+    for &c in &centers {
+        b.connect_root(c);
+    }
+    for (i, (leaf_weights, adjacency)) in branch_specs.iter().enumerate() {
+        let stage = b.add_stage(&format!("leaf{i}"), center_stage, true);
+        let leaves: Vec<NodeId> = leaf_weights
+            .iter()
+            .map(|&w| b.add_state(stage.index(), OrderedF64::from(w as f64)))
+            .collect();
+        for (j, &c) in centers.iter().enumerate() {
+            for (k, &l) in leaves.iter().enumerate() {
+                if adjacency[(j * leaves.len() + k) % adjacency.len()] {
+                    b.connect(c, l);
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Per-variant weight sequences from the `anyk_part` family plus `anyk_rec`,
+/// asserted identical (same multiset, same order) and non-decreasing.
+fn assert_variants_agree(inst: &TdpInstance<TropicalMin>, label: &str) {
+    let reference: Vec<OrderedF64> = Recursive::new(inst).map(|s| s.weight).collect();
+    for w in reference.windows(2) {
+        assert!(w[0] <= w[1], "{label}: Recursive not sorted");
+    }
+    for kind in [
+        SuccessorKind::Eager,
+        SuccessorKind::Lazy,
+        SuccessorKind::All,
+        SuccessorKind::Take2,
+    ] {
+        let got: Vec<OrderedF64> = AnyKPart::new(inst, kind).map(|s| s.weight).collect();
+        assert_eq!(got, reference, "{label}: {kind:?} disagrees with Recursive");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Satellite check for the CSR layout: all four `SuccessorKind` variants
+    /// and `anyk_rec` emit identical non-decreasing weight sequences on
+    /// randomized **star** instances (multi-branch trees — pending-branch
+    /// completions in play) and on the chain shape of **cycle-6 workloads**
+    /// (the simple-cycle decomposition of §5.3.1 compiles an ℓ-cycle into
+    /// path-shaped trees of ℓ stages).
+    #[test]
+    fn successor_variants_and_rec_agree_on_star_and_cycle_shapes(
+        center_weights in proptest::collection::vec(0u16..200, 1..4),
+        branch_specs in proptest::collection::vec(
+            (proptest::collection::vec(0u16..200, 1..4), proptest::collection::vec(any::<bool>(), 1..16)),
+            2..4
+        ),
+        chain in serial_spec(6, 3)
+    ) {
+        let star = build_star(&center_weights, &branch_specs);
+        assert_variants_agree(&star, "star");
+        let cycle_chain = build_serial(&chain);
+        assert_variants_agree(&cycle_chain, "cycle-chain");
+    }
+
+    /// The flat CSR accessors agree with a hand-built nested-vec oracle on
+    /// random serial instances: successor lists are exactly the adjacency
+    /// rows restricted to states that can still complete a solution
+    /// (build-time pruning compaction), `subtree_opt = 0̄` exactly for the
+    /// pruned states, and `branch_opt` (keyed by dense slot id) equals the
+    /// minimum choice value of the compacted list.
+    #[test]
+    fn csr_accessors_agree_with_nested_vec_oracle(spec in serial_spec(5, 5)) {
+        let stages = spec.stage_weights.len();
+        let sizes: Vec<usize> = spec.stage_weights.iter().map(Vec::len).collect();
+
+        // Oracle pruning for TropicalMin: a state is alive iff some suffix
+        // path reaches the last stage (backwards reachability).
+        let mut alive: Vec<Vec<bool>> = sizes.iter().map(|&n| vec![false; n]).collect();
+        alive[stages - 1] = vec![true; sizes[stages - 1]];
+        for i in (0..stages - 1).rev() {
+            for a in 0..sizes[i] {
+                alive[i][a] = spec.edges[i][a]
+                    .iter()
+                    .enumerate()
+                    .any(|(b, &connected)| connected && alive[i + 1][b]);
+            }
+        }
+
+        let inst = build_serial(&spec);
+        // Recover the NodeIds per stage in insertion order (states were added
+        // stage-major in build_serial, after the root node 0).
+        let mut next_id = 1u32;
+        let ids: Vec<Vec<NodeId>> = sizes
+            .iter()
+            .map(|&n| (0..n).map(|_| { let id = NodeId(next_id); next_id += 1; id }).collect())
+            .collect();
+
+        // Hand-built nested-vec oracle of the *compacted* adjacency.
+        for i in 0..stages {
+            for a in 0..sizes[i] {
+                let nid = ids[i][a];
+                prop_assert_eq!(
+                    *inst.subtree_opt(nid) != TropicalMin::zero(),
+                    alive[i][a],
+                    "aliveness of stage {} state {}", i, a
+                );
+                if i + 1 == stages {
+                    continue;
+                }
+                let oracle: Vec<NodeId> = if alive[i][a] {
+                    spec.edges[i][a]
+                        .iter()
+                        .enumerate()
+                        .filter(|&(b, &connected)| connected && alive[i + 1][b])
+                        .map(|(b, _)| ids[i + 1][b])
+                        .collect()
+                } else {
+                    Vec::new() // pruned states own empty compacted lists
+                };
+                prop_assert_eq!(
+                    inst.successors(nid, 0),
+                    oracle.as_slice(),
+                    "successors of stage {} state {}", i, a
+                );
+                // branch_opt (slot-id keyed) is the min choice value of the
+                // compacted list.
+                let expected_branch = inst
+                    .choices(nid, 0)
+                    .map(|(_, v)| v)
+                    .min()
+                    .unwrap_or_else(TropicalMin::zero);
+                prop_assert_eq!(
+                    inst.branch_opt(nid, 0).clone(),
+                    expected_branch,
+                    "branch_opt of stage {} state {}", i, a
+                );
+            }
+        }
+        // Root successors: exactly the alive first-stage states.
+        let root_oracle: Vec<NodeId> = (0..sizes[0]).filter(|&a| alive[0][a]).map(|a| ids[0][a]).collect();
+        prop_assert_eq!(inst.successors(NodeId::ROOT, 0), root_oracle.as_slice());
+        // Dense slot ids: exactly one per non-leaf state (incl. root), in order.
+        let non_leaf_states = 1 + sizes[..stages - 1].iter().sum::<usize>();
+        prop_assert_eq!(inst.num_slot_ids(), non_leaf_states);
     }
 }
 

@@ -110,5 +110,8 @@ proptest! {
 fn plus_of_equal_elements_is_idempotent() {
     let x = OrderedF64::from(5.0);
     assert_eq!(TropicalMin::plus(&x, &x), x);
-    assert_eq!(BooleanDioid::plus(&BoolRank(true), &BoolRank(true)), BoolRank(true));
+    assert_eq!(
+        BooleanDioid::plus(&BoolRank(true), &BoolRank(true)),
+        BoolRank(true)
+    );
 }

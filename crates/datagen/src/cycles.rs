@@ -36,7 +36,7 @@ pub fn worst_case_cycle_database(ell: usize, n: usize, rng: &mut SmallRng) -> Da
 /// form used to size the experiments.
 pub fn worst_case_output_size(ell: usize, n: usize) -> u128 {
     let half = (n / 2).max(1) as u128;
-    if ell % 2 == 0 {
+    if ell.is_multiple_of(2) {
         2 * half.pow((ell / 2) as u32)
     } else {
         // Odd cycles on this instance have no answers (the hub must alternate).

@@ -17,7 +17,7 @@ use anyk_core::dioid::{Dioid, OrderedF64};
 use anyk_core::solution::Solution;
 use anyk_core::tdp::{NodeId, StageId, TdpBuilder, TdpInstance};
 use anyk_query::{gyo, ConjunctiveQuery, JoinTree};
-use anyk_storage::{Database, Tuple, Value};
+use anyk_storage::{Database, HashIndex, Tuple, Value};
 use std::collections::HashMap;
 
 /// A compiled acyclic query: the T-DP instance plus the metadata needed to
@@ -131,6 +131,7 @@ where
         let key_vars = parent_atom.shared_variables(atom);
         let parent_positions = parent_atom.positions_of(&key_vars);
         let child_positions = atom.positions_of(&key_vars);
+        let single_column = child_positions.len() == 1;
 
         let value_stage = builder.add_stage(
             &format!("{}⋈{}", parent_atom.relation, atom.relation),
@@ -141,15 +142,21 @@ where
         stage_of_atom[atom_idx] = Some(atom_stage);
 
         // One value node per distinct join-key value occurring on the parent
-        // side; parent tuples connect to their key's value node.
-        let mut value_nodes: HashMap<Vec<Value>, NodeId> = HashMap::new();
+        // side; parent tuples connect to their key's value node. The grouped
+        // hash index makes every per-tuple probe allocation-free (the key is
+        // hashed directly from the tuple row), and the group id doubles as a
+        // dense key for the value-node table.
         let parent_relation = db.expect(&parent_atom.relation);
+        let parent_index = HashIndex::build(parent_relation, &parent_positions);
+        let mut vnode_of_group: Vec<Option<NodeId>> = vec![None; parent_index.num_groups()];
         for (ptid, ptuple) in parent_relation.iter() {
             let Some(pstate) = states_of_atom[parent_idx][ptid] else {
                 continue;
             };
-            let key: Vec<Value> = parent_positions.iter().map(|&c| ptuple.value(c)).collect();
-            let vnode = *value_nodes.entry(key).or_insert_with(|| {
+            let g = parent_index
+                .group_of_row(ptuple.values())
+                .expect("every indexed tuple belongs to a group");
+            let vnode = *vnode_of_group[g].get_or_insert_with(|| {
                 builder.add_state_with_payload(value_stage.index(), D::one(), u64::MAX)
             });
             builder.connect(pstate, vnode);
@@ -157,11 +164,17 @@ where
 
         // Child tuples connect below the value node of their key (tuples with
         // keys that never occur on the parent side are dropped here — the
-        // "semi-join" part of the encoding).
+        // "semi-join" part of the encoding). Probing uses the single-column
+        // fast path when the join key is one variable (the common case for
+        // the paper's path/star/cycle queries).
         let mut states = vec![None; relation.len()];
         for (tid, tuple) in relation.iter() {
-            let key: Vec<Value> = child_positions.iter().map(|&c| tuple.value(c)).collect();
-            if let Some(&vnode) = value_nodes.get(&key) {
+            let g = if single_column {
+                parent_index.group_of1(tuple.value(child_positions[0]))
+            } else {
+                parent_index.group_of_cols(tuple.values(), &child_positions)
+            };
+            if let Some(vnode) = g.and_then(|g| vnode_of_group[g]) {
                 let s = builder.add_state_with_payload(
                     atom_stage.index(),
                     OrderedF64::from(weight_fn(tuple)),
@@ -243,19 +256,16 @@ impl<D: Dioid<V = OrderedF64>> Compiled<D> {
             .zip(self.instance.serial_order())
             .filter(|(_, sid)| self.instance.stage(**sid).is_output)
             .enumerate()
-            .map(|(pos, (nid, _))| {
-                (
-                    self.output_atoms[pos],
-                    self.instance.payload(*nid) as usize,
-                )
-            })
+            .map(|(pos, (nid, _))| (self.output_atoms[pos], self.instance.payload(*nid) as usize))
             .collect();
         let values: Vec<Value> = self
             .var_sources
             .iter()
             .map(|&(pos, col)| {
                 let (atom_idx, tid) = witness[pos];
-                db.expect(&self.atom_relations[atom_idx]).tuple(tid).value(col)
+                db.expect(&self.atom_relations[atom_idx])
+                    .tuple(tid)
+                    .value(col)
             })
             .collect();
         Answer::new(decode(solution.weight.get()), values, witness)

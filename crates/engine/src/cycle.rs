@@ -237,7 +237,7 @@ fn build_heavy_tree<'a>(
             let s1 = rel(1);
             let idx = HashIndex::build(s1, &[0]);
             for (_, t0) in rel(0).iter() {
-                for &tid in idx.lookup(&[t0.value(1)]) {
+                for &tid in idx.lookup1(t0.value(1)) {
                     let t1 = s1.tuple(tid);
                     bag.push(Tuple::new(
                         vec![t0.value(0), t0.value(1), t1.value(1)],
@@ -274,11 +274,7 @@ fn build_heavy_tree<'a>(
         }
         atoms.push(Atom::new(
             bag_name.clone(),
-            &[
-                var(0).as_str(),
-                var(m + 1).as_str(),
-                var(m + 2).as_str(),
-            ],
+            &[var(0).as_str(), var(m + 1).as_str(), var(m + 2).as_str()],
         ));
         database.add(bag);
     }
@@ -355,7 +351,7 @@ fn chain_join(
         let mut next = Vec::new();
         for t in &acc {
             let join_val = *t.values().last().expect("non-empty chain tuple");
-            for &tid in idx.lookup(&[join_val]) {
+            for &tid in idx.lookup1(join_val) {
                 let ext = rel.tuple(tid);
                 let mut values = t.values().to_vec();
                 values.push(ext.value(1));

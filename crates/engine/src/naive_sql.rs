@@ -16,6 +16,10 @@ use anyk_query::ConjunctiveQuery;
 use anyk_storage::{Database, HashIndex, Value};
 use std::collections::HashMap;
 
+/// An intermediate pipeline row: bound-variable values, accumulated weight,
+/// and the witness tuples collected so far.
+type Row = (Vec<Value>, f64, Vec<(usize, usize)>);
+
 /// Evaluate a full CQ with a left-deep hash-join pipeline (atom order as
 /// written) and return the result sorted by `ranking`.
 ///
@@ -50,7 +54,7 @@ pub fn join_unsorted(
     // Intermediate rows: values of the variables bound so far (in `bound`
     // order) plus the accumulated weight and witness.
     let mut bound: Vec<String> = Vec::new();
-    let mut rows: Vec<(Vec<Value>, f64, Vec<(usize, usize)>)> = vec![(Vec::new(), 0.0, Vec::new())];
+    let mut rows: Vec<Row> = vec![(Vec::new(), 0.0, Vec::new())];
     let mut first = true;
 
     for (atom_idx, atom) in atoms.iter().enumerate() {
@@ -78,8 +82,9 @@ pub fn join_unsorted(
         let index = HashIndex::build(relation, &key_cols);
         let mut next_rows = Vec::new();
         for (values, weight, witness) in &rows {
-            let key: Vec<Value> = key_bound_pos.iter().map(|&p| values[p]).collect();
-            for &tid in index.lookup(&key) {
+            // Allocation-free probe: the key is hashed straight out of the
+            // intermediate row via its bound-variable positions.
+            for &tid in index.lookup_cols(values, &key_bound_pos) {
                 let t = relation.tuple(tid);
                 let mut v = values.clone();
                 v.extend(new_cols.iter().map(|&c| t.value(c)));
@@ -104,7 +109,8 @@ pub fn join_unsorted(
         .iter()
         .map(|v| bound.iter().position(|b| b == v).unwrap())
         .collect();
-    let positions: HashMap<usize, usize> = head_pos.iter().enumerate().map(|(i, &p)| (i, p)).collect();
+    let positions: HashMap<usize, usize> =
+        head_pos.iter().enumerate().map(|(i, &p)| (i, p)).collect();
     Ok(rows
         .into_iter()
         .map(|(values, weight, witness)| {

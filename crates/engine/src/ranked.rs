@@ -224,8 +224,7 @@ impl<'a> RankedQuery<'a> {
                     // Reorder the tree's head values into the original
                     // query's head-variable order. Witnesses reference bag
                     // tuples, not original input tuples, so they are dropped.
-                    let values: Vec<Value> =
-                        tree.head_perm.iter().map(|&p| raw.value(p)).collect();
+                    let values: Vec<Value> = tree.head_perm.iter().map(|&p| raw.value(p)).collect();
                     (encoded, Answer::new(raw.weight(), values, Vec::new()))
                 });
                 Box::new(iter) as Box<dyn Iterator<Item = (OrderedF64, Answer)> + 's>
@@ -308,8 +307,7 @@ mod tests {
     fn bottleneck_ranking_minimises_maximum_tuple_weight() {
         let db = path_db();
         let q = QueryBuilder::path(2).build();
-        let rq =
-            RankedQuery::with_ranking(&db, &q, RankingFunction::BottleneckAscending).unwrap();
+        let rq = RankedQuery::with_ranking(&db, &q, RankingFunction::BottleneckAscending).unwrap();
         let all: Vec<Answer> = rq.enumerate(AnyKAlgorithm::Take2).collect();
         // Bottlenecks: (1,10)+(10,5): max(1,2)=2; (2,20)+(20,6): max(4,1)=4;
         // (3,10)+(10,5): max(9,2)=9.
@@ -329,10 +327,7 @@ mod tests {
             .map(|a| a.values().to_vec())
             .collect();
         for alg in AnyKAlgorithm::ALL {
-            let got: Vec<Vec<Value>> = rq
-                .enumerate(alg)
-                .map(|a| a.values().to_vec())
-                .collect();
+            let got: Vec<Vec<Value>> = rq.enumerate(alg).map(|a| a.values().to_vec()).collect();
             assert_eq!(got, reference, "algorithm {alg}");
         }
     }

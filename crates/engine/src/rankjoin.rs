@@ -49,8 +49,7 @@ pub fn rank_join_top_k(
     // right one.
     let chain_ok = atoms.iter().all(|a| a.arity() == 2)
         && atoms.windows(2).all(|w| {
-            w[0].variables[1] == w[1].variables[0]
-                && w[0].shared_variables(&w[1]).len() == 1
+            w[0].variables[1] == w[1].variables[0] && w[0].shared_variables(&w[1]).len() == 1
         });
     if !chain_ok {
         return Err(EngineError::UnsupportedCyclicQuery(format!(
@@ -157,7 +156,10 @@ pub fn rank_join_top_k(
             for j in rel + 1..ell {
                 let mut next = Vec::new();
                 for p in &partials {
-                    let rightmost = db.expect(&atoms[j - 1].relation).tuple(*p.last().unwrap()).value(1);
+                    let rightmost = db
+                        .expect(&atoms[j - 1].relation)
+                        .tuple(*p.last().unwrap())
+                        .value(1);
                     if let Some(ids) = seen_by_left[j].get(&rightmost) {
                         for &id in ids {
                             let mut q = p.clone();
@@ -187,8 +189,14 @@ pub fn rank_join_top_k(
 
         // Register the accessed tuple as seen.
         seen[rel].push(tid);
-        seen_by_left[rel].entry(tuple.value(0)).or_default().push(tid);
-        seen_by_right[rel].entry(tuple.value(1)).or_default().push(tid);
+        seen_by_left[rel]
+            .entry(tuple.value(0))
+            .or_default()
+            .push(tid);
+        seen_by_right[rel]
+            .entry(tuple.value(1))
+            .or_default()
+            .push(tid);
     }
 
     // Drain any remaining guaranteed results.
@@ -205,7 +213,12 @@ fn all_exhausted(cursor: &[usize], sorted: &[Vec<(TupleId, f64)>]) -> bool {
     cursor.iter().zip(sorted).all(|(c, s)| *c >= s.len())
 }
 
-fn make_answer(db: &Database, query: &ConjunctiveQuery, witness: &[TupleId], weight: f64) -> Answer {
+fn make_answer(
+    db: &Database,
+    query: &ConjunctiveQuery,
+    witness: &[TupleId],
+    weight: f64,
+) -> Answer {
     let atoms = query.atoms();
     // Head values for the path x1 .. x_{ℓ+1}: first columns of every tuple
     // plus the last column of the final tuple.
@@ -250,7 +263,11 @@ mod tests {
         for (name, seed) in [("R1", 1u64), ("R2", 3), ("R3", 5)] {
             let mut r = Relation::new(name, 2);
             for i in 0..12u64 {
-                r.push_edge((i * seed) % 4, (i * seed + 1) % 4, ((i * 7 + seed) % 11) as f64);
+                r.push_edge(
+                    (i * seed) % 4,
+                    (i * seed + 1) % 4,
+                    ((i * 7 + seed) % 11) as f64,
+                );
             }
             db.add(r);
         }

@@ -142,7 +142,16 @@ fn expand(
 ) {
     let depth = assignment.len();
     if depth == order.len() {
-        emit_answers(db, query, ranking, order, var_pos, full_indexes, assignment, answers);
+        emit_answers(
+            db,
+            query,
+            ranking,
+            order,
+            var_pos,
+            full_indexes,
+            assignment,
+            answers,
+        );
         return;
     }
     // Intersect the candidate sets of every atom constraining this variable,
@@ -214,10 +223,15 @@ fn emit_answers(
         }
     }
     let head = query.head_variables();
-    let head_values: Vec<Value> = head.iter().map(|v| assignment[var_pos[v.as_str()]]).collect();
+    let head_values: Vec<Value> = head
+        .iter()
+        .map(|v| assignment[var_pos[v.as_str()]])
+        .collect();
 
     // Cross product of witnesses.
-    let mut stack: Vec<(usize, Vec<(usize, usize)>, f64)> = vec![(0, Vec::new(), f64::NAN)];
+    // (next atom index, witness so far, accumulated weight)
+    type WitnessFrame = (usize, Vec<(usize, usize)>, f64);
+    let mut stack: Vec<WitnessFrame> = vec![(0, Vec::new(), f64::NAN)];
     while let Some((aidx, wit, weight)) = stack.pop() {
         if aidx == atoms.len() {
             answers.push(Answer::new(

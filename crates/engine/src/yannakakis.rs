@@ -78,10 +78,7 @@ mod tests {
         let unranked = full_join(&db, &q).unwrap();
         let rq = crate::RankedQuery::new(&db, &q).unwrap();
         assert_eq!(unranked.len() as u128, rq.count_answers());
-        assert_eq!(
-            unranked.len(),
-            rq.enumerate(AnyKAlgorithm::Take2).count()
-        );
+        assert_eq!(unranked.len(), rq.enumerate(AnyKAlgorithm::Take2).count());
     }
 
     #[test]

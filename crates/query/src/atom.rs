@@ -83,7 +83,10 @@ mod tests {
         let a = Atom::new("R", &["x", "y", "z"]);
         let b = Atom::new("S", &["z", "x"]);
         assert_eq!(a.shared_variables(&b), vec!["x", "z"]);
-        assert_eq!(a.positions_of(&["z".to_string(), "x".to_string()]), vec![2, 0]);
+        assert_eq!(
+            a.positions_of(&["z".to_string(), "x".to_string()]),
+            vec![2, 0]
+        );
     }
 
     #[test]

@@ -19,7 +19,10 @@ pub struct ConjunctiveQuery {
 impl ConjunctiveQuery {
     /// A full conjunctive query over the given atoms.
     pub fn full(atoms: Vec<Atom>) -> Self {
-        assert!(!atoms.is_empty(), "a conjunctive query needs at least one atom");
+        assert!(
+            !atoms.is_empty(),
+            "a conjunctive query needs at least one atom"
+        );
         ConjunctiveQuery { atoms, free: None }
     }
 
@@ -34,7 +37,10 @@ impl ConjunctiveQuery {
                 "free variable {v} does not occur in the body"
             );
         }
-        assert!(!atoms.is_empty(), "a conjunctive query needs at least one atom");
+        assert!(
+            !atoms.is_empty(),
+            "a conjunctive query needs at least one atom"
+        );
         ConjunctiveQuery {
             atoms,
             free: Some(free),

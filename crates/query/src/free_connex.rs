@@ -80,7 +80,10 @@ mod tests {
                 Atom::new("R3", &["x1", "y1", "y4"]),
                 Atom::new("R4", &["x2", "y3"]),
             ],
-            vec!["y1", "y2", "y3", "y4"].into_iter().map(String::from).collect(),
+            vec!["y1", "y2", "y3", "y4"]
+                .into_iter()
+                .map(String::from)
+                .collect(),
         );
         assert!(q.is_acyclic());
         assert!(is_free_connex(&q));

@@ -165,9 +165,7 @@ pub fn gyo_reduce_edges(edges: Vec<BTreeSet<String>>) -> Option<Vec<(usize, Opti
             // Variables of e shared with some other alive edge.
             let shared: BTreeSet<&String> = edges[e]
                 .iter()
-                .filter(|v| {
-                    (0..n).any(|o| o != e && alive[o] && edges[o].contains(v.as_str()))
-                })
+                .filter(|v| (0..n).any(|o| o != e && alive[o] && edges[o].contains(v.as_str())))
                 .collect();
             if shared.is_empty() {
                 alive[e] = false;

@@ -1,19 +1,82 @@
 //! Hash indexes for constant-time equi-join lookups.
 //!
 //! The cost model of §2.3 assumes "a data structure that can be built in
-//! linear time to support tuple lookups in constant time" — in practice a
-//! hash table. [`HashIndex`] groups the tuple ids of a relation by the values
-//! of a chosen key (one or more columns).
+//! linear time to support tuple lookups in constant time". [`HashIndex`]
+//! groups the tuple ids of a relation by the values of a chosen key (one or
+//! more columns).
+//!
+//! ## Layout and allocation-free probing
+//!
+//! The index is fully flat (CSR-style), in line with the cache-conscious
+//! layout used by the T-DP core:
+//!
+//! * `table` — an open-addressing (linear-probing) table of group ids,
+//!   power-of-two sized;
+//! * `group_keys` — all distinct keys, flattened: group `g`'s key occupies
+//!   `group_keys[g·k .. (g+1)·k]` where `k` is the key arity;
+//! * `group_offsets` / `group_tids` — the tuple ids of each group,
+//!   contiguous, in relation insertion order.
+//!
+//! Every probe path hashes the key columns directly from borrowed data — a
+//! caller-provided key slice ([`HashIndex::lookup`]), a full tuple row whose
+//! key columns the index extracts itself ([`HashIndex::lookup_row`],
+//! [`HashIndex::group_of_cols`]), or a single value for single-column keys
+//! ([`HashIndex::lookup1`], the fast path used by the engine's equi-join
+//! compilation). No probe allocates.
 
 use crate::relation::Relation;
 use crate::tuple::{TupleId, Value};
-use std::collections::HashMap;
+
+/// Marker for an empty open-addressing bucket.
+const EMPTY: u32 = u32::MAX;
+
+/// Multiplier of the FxHash/wyhash family; one multiply per key column gives
+/// a well-mixed 64-bit hash for the integer join keys used here.
+const HASH_K: u64 = 0x9E37_79B9_7F4A_7C15;
+
+#[inline]
+fn mix(h: u64, v: Value) -> u64 {
+    (h ^ v).wrapping_mul(HASH_K).rotate_left(23)
+}
+
+#[inline]
+fn finish(h: u64) -> u64 {
+    let h = h ^ (h >> 31);
+    h.wrapping_mul(HASH_K)
+}
+
+/// Hash a single-column key.
+#[inline]
+fn hash1(v: Value) -> u64 {
+    finish(mix(!0, v))
+}
+
+/// Hash a multi-column key given by an iterator over its values.
+#[inline]
+fn hash_key(values: impl Iterator<Item = Value>) -> u64 {
+    let mut h = !0u64;
+    for v in values {
+        h = mix(h, v);
+    }
+    finish(h)
+}
 
 /// A hash index over one or more columns of a relation.
 #[derive(Debug, Clone)]
 pub struct HashIndex {
     key_columns: Vec<usize>,
-    buckets: HashMap<Vec<Value>, Vec<TupleId>>,
+    /// Open-addressing table of group ids (`EMPTY` = free bucket).
+    table: Vec<u32>,
+    /// `table.len() - 1`; the table is power-of-two sized.
+    mask: usize,
+    /// Flattened distinct keys, `key_columns.len()` values per group.
+    group_keys: Vec<Value>,
+    /// CSR offsets into `group_tids`, one entry per group plus a sentinel.
+    group_offsets: Vec<u32>,
+    /// Tuple ids, grouped by key, in relation insertion order.
+    group_tids: Vec<TupleId>,
+    /// Cached maximum group size.
+    max_bucket: usize,
 }
 
 impl HashIndex {
@@ -30,15 +93,81 @@ impl HashIndex {
                 relation.arity()
             );
         }
-        let mut buckets: HashMap<Vec<Value>, Vec<TupleId>> = HashMap::new();
-        for (id, tuple) in relation.iter() {
-            let key: Vec<Value> = key_columns.iter().map(|&c| tuple.value(c)).collect();
-            buckets.entry(key).or_default().push(id);
-        }
-        HashIndex {
+        let k = key_columns.len();
+        let n = relation.len();
+        // Group ids and CSR offsets are u32; groups ≤ tuples, so bounding the
+        // tuple count keeps every narrowing cast below exact.
+        assert!(
+            n < u32::MAX as usize,
+            "relation {} exceeds u32 index space ({n} tuples)",
+            relation.name()
+        );
+        let capacity = (n * 2).next_power_of_two().max(4);
+        let mut index = HashIndex {
             key_columns: key_columns.to_vec(),
-            buckets,
+            table: vec![EMPTY; capacity],
+            mask: capacity - 1,
+            group_keys: Vec::new(),
+            group_offsets: Vec::new(),
+            group_tids: Vec::with_capacity(n),
+            max_bucket: 0,
+        };
+
+        // Pass 1: assign a group id to every tuple, discovering distinct
+        // keys; count group sizes.
+        let mut group_of_tuple: Vec<u32> = Vec::with_capacity(n);
+        let mut group_sizes: Vec<u32> = Vec::new();
+        for (_tid, tuple) in relation.iter() {
+            let row = tuple.values();
+            let hash = hash_key(index.key_columns.iter().map(|&c| row[c]));
+            let mut bucket = hash as usize & index.mask;
+            let g = loop {
+                match index.table[bucket] {
+                    EMPTY => {
+                        let g = group_sizes.len() as u32;
+                        index.table[bucket] = g;
+                        index
+                            .group_keys
+                            .extend(index.key_columns.iter().map(|&c| row[c]));
+                        group_sizes.push(0);
+                        break g;
+                    }
+                    g => {
+                        let key = &index.group_keys[g as usize * k..(g as usize + 1) * k];
+                        if index
+                            .key_columns
+                            .iter()
+                            .zip(key)
+                            .all(|(&c, &kv)| row[c] == kv)
+                        {
+                            break g;
+                        }
+                        bucket = (bucket + 1) & index.mask;
+                    }
+                }
+            };
+            group_sizes[g as usize] += 1;
+            group_of_tuple.push(g);
         }
+
+        // Pass 2: prefix-sum the sizes and scatter tuple ids; scattering in
+        // tuple order keeps each group in relation insertion order.
+        let num_groups = group_sizes.len();
+        index.group_offsets = Vec::with_capacity(num_groups + 1);
+        let mut acc = 0u32;
+        for &size in &group_sizes {
+            index.group_offsets.push(acc);
+            acc += size;
+            index.max_bucket = index.max_bucket.max(size as usize);
+        }
+        index.group_offsets.push(acc);
+        index.group_tids.resize(acc as usize, 0);
+        let mut cursor: Vec<u32> = index.group_offsets[..num_groups].to_vec();
+        for (tid, &g) in group_of_tuple.iter().enumerate() {
+            index.group_tids[cursor[g as usize] as usize] = tid;
+            cursor[g as usize] += 1;
+        }
+        index
     }
 
     /// The columns this index is keyed on.
@@ -46,30 +175,136 @@ impl HashIndex {
         &self.key_columns
     }
 
+    /// Number of distinct keys (groups).
+    pub fn num_groups(&self) -> usize {
+        self.group_offsets.len().saturating_sub(1)
+    }
+
+    /// Probe the table with a precomputed hash; `matches` checks a candidate
+    /// group id against the probed key.
+    #[inline]
+    fn probe(&self, hash: u64, matches: impl Fn(usize) -> bool) -> Option<usize> {
+        let mut bucket = hash as usize & self.mask;
+        loop {
+            match self.table[bucket] {
+                EMPTY => return None,
+                g => {
+                    if matches(g as usize) {
+                        return Some(g as usize);
+                    }
+                    bucket = (bucket + 1) & self.mask;
+                }
+            }
+        }
+    }
+
+    /// The group whose key equals `key`, if any. Allocation-free.
+    pub fn group_of(&self, key: &[Value]) -> Option<usize> {
+        debug_assert_eq!(key.len(), self.key_columns.len());
+        let k = key.len();
+        self.probe(hash_key(key.iter().copied()), |g| {
+            &self.group_keys[g * k..(g + 1) * k] == key
+        })
+    }
+
+    /// The group matching the key columns `cols` of the full row `row`
+    /// (allocation-free: the key is never materialised). `cols` must have the
+    /// index's key arity but may name different columns — this is the
+    /// equi-join probe, where the child side's key positions differ from the
+    /// indexed parent side's.
+    pub fn group_of_cols(&self, row: &[Value], cols: &[usize]) -> Option<usize> {
+        debug_assert_eq!(cols.len(), self.key_columns.len());
+        let k = cols.len();
+        self.probe(hash_key(cols.iter().map(|&c| row[c])), |g| {
+            self.group_keys[g * k..(g + 1) * k]
+                .iter()
+                .zip(cols)
+                .all(|(&kv, &c)| kv == row[c])
+        })
+    }
+
+    /// The group matching the index's own key columns of the full row `row`.
+    pub fn group_of_row(&self, row: &[Value]) -> Option<usize> {
+        self.group_of_cols(row, &self.key_columns)
+    }
+
+    /// Single-column fast path: the group whose one-column key equals `v`.
+    ///
+    /// # Panics
+    /// Debug-asserts that the index is keyed on exactly one column.
+    #[inline]
+    pub fn group_of1(&self, v: Value) -> Option<usize> {
+        debug_assert_eq!(self.key_columns.len(), 1);
+        self.probe(hash1(v), |g| self.group_keys[g] == v)
+    }
+
+    /// The key and tuple ids of group `g`.
+    pub fn group(&self, g: usize) -> (&[Value], &[TupleId]) {
+        let k = self.key_columns.len();
+        (
+            &self.group_keys[g * k..(g + 1) * k],
+            &self.group_tids[self.group_offsets[g] as usize..self.group_offsets[g + 1] as usize],
+        )
+    }
+
+    /// The tuple ids of group `g`.
+    #[inline]
+    pub fn group_tuples(&self, g: usize) -> &[TupleId] {
+        &self.group_tids[self.group_offsets[g] as usize..self.group_offsets[g + 1] as usize]
+    }
+
     /// Tuple ids whose key equals `key` (empty slice if none).
     pub fn lookup(&self, key: &[Value]) -> &[TupleId] {
-        self.buckets.get(key).map(Vec::as_slice).unwrap_or(&[])
+        match self.group_of(key) {
+            Some(g) => self.group_tuples(g),
+            None => &[],
+        }
+    }
+
+    /// Tuple ids matching the key columns `cols` of the full row `row`.
+    pub fn lookup_cols(&self, row: &[Value], cols: &[usize]) -> &[TupleId] {
+        match self.group_of_cols(row, cols) {
+            Some(g) => self.group_tuples(g),
+            None => &[],
+        }
+    }
+
+    /// Tuple ids whose key (the index's own key columns) matches `row`.
+    pub fn lookup_row(&self, row: &[Value]) -> &[TupleId] {
+        match self.group_of_row(row) {
+            Some(g) => self.group_tuples(g),
+            None => &[],
+        }
+    }
+
+    /// Single-column fast path of [`HashIndex::lookup`].
+    #[inline]
+    pub fn lookup1(&self, v: Value) -> &[TupleId] {
+        match self.group_of1(v) {
+            Some(g) => self.group_tuples(g),
+            None => &[],
+        }
     }
 
     /// Whether any tuple has the given key.
     pub fn contains(&self, key: &[Value]) -> bool {
-        self.buckets.contains_key(key)
+        self.group_of(key).is_some()
     }
 
     /// Number of distinct keys.
     pub fn distinct_keys(&self) -> usize {
-        self.buckets.len()
+        self.num_groups()
     }
 
     /// Iterate over `(key, tuple ids)` groups.
-    pub fn groups(&self) -> impl Iterator<Item = (&Vec<Value>, &Vec<TupleId>)> {
-        self.buckets.iter()
+    pub fn groups(&self) -> impl Iterator<Item = (&[Value], &[TupleId])> {
+        (0..self.num_groups()).map(|g| self.group(g))
     }
 
     /// The largest bucket size — the maximum "degree" of a key value, used by
     /// the heavy/light threshold analysis of §5.3.1.
     pub fn max_bucket(&self) -> usize {
-        self.buckets.values().map(Vec::len).max().unwrap_or(0)
+        self.max_bucket
     }
 }
 
@@ -95,6 +330,10 @@ mod tests {
         assert!(idx.lookup(&[3]).is_empty());
         assert_eq!(idx.distinct_keys(), 2);
         assert_eq!(idx.max_bucket(), 2);
+        // The single-column fast path agrees.
+        assert_eq!(idx.lookup1(1), &[0, 1]);
+        assert_eq!(idx.lookup1(2), &[2]);
+        assert!(idx.lookup1(7).is_empty());
     }
 
     #[test]
@@ -105,6 +344,62 @@ mod tests {
         assert!(idx.contains(&[2, 10]));
         assert!(!idx.contains(&[2, 20]));
         assert_eq!(idx.distinct_keys(), 3);
+    }
+
+    #[test]
+    fn row_and_column_probes_agree_with_key_probes() {
+        let r = sample();
+        let idx = HashIndex::build(&r, &[1]);
+        // lookup_row extracts the index's key columns from a full row.
+        assert_eq!(idx.lookup_row(&[9, 10]), idx.lookup(&[10]));
+        // lookup_cols probes via caller-chosen columns of the row.
+        assert_eq!(idx.lookup_cols(&[20, 99], &[0]), idx.lookup(&[20]));
+        assert!(idx.lookup_cols(&[99, 0], &[0]).is_empty());
+    }
+
+    #[test]
+    fn groups_cover_every_tuple_in_insertion_order() {
+        let r = sample();
+        let idx = HashIndex::build(&r, &[0]);
+        let mut seen: Vec<TupleId> = Vec::new();
+        for (key, tids) in idx.groups() {
+            assert_eq!(key.len(), 1);
+            assert!(tids.windows(2).all(|w| w[0] < w[1]), "insertion order");
+            seen.extend_from_slice(tids);
+        }
+        seen.sort();
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_key_groups_everything_together() {
+        let r = sample();
+        let idx = HashIndex::build(&r, &[]);
+        assert_eq!(idx.num_groups(), 1);
+        assert_eq!(idx.lookup(&[]), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_relation_has_no_groups() {
+        let r = Relation::new("E", 2);
+        let idx = HashIndex::build(&r, &[0]);
+        assert_eq!(idx.num_groups(), 0);
+        assert!(idx.lookup(&[1]).is_empty());
+    }
+
+    #[test]
+    fn collisions_are_resolved_by_key_comparison() {
+        // Enough keys to force open-addressing collisions in a small table.
+        let mut r = Relation::new("big", 1);
+        for v in 0..1000u64 {
+            r.push(Tuple::new(vec![v * 7919], 0.0));
+        }
+        let idx = HashIndex::build(&r, &[0]);
+        assert_eq!(idx.distinct_keys(), 1000);
+        for v in 0..1000u64 {
+            assert_eq!(idx.lookup1(v * 7919), &[v as usize]);
+            assert!(idx.lookup1(v * 7919 + 1).is_empty());
+        }
     }
 
     #[test]

@@ -97,7 +97,11 @@ impl Relation {
 
     /// A copy of this relation containing only tuples satisfying `pred`,
     /// under a new name. Used for the heavy/light partitioning of §5.3.1.
-    pub fn filter(&self, name: impl Into<String>, mut pred: impl FnMut(&Tuple) -> bool) -> Relation {
+    pub fn filter(
+        &self,
+        name: impl Into<String>,
+        mut pred: impl FnMut(&Tuple) -> bool,
+    ) -> Relation {
         Relation {
             name: name.into(),
             arity: self.arity,

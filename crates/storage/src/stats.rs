@@ -102,7 +102,11 @@ pub struct GraphStats {
 /// # Panics
 /// Panics if the relation is not binary.
 pub fn graph_stats(relation: &Relation) -> GraphStats {
-    assert_eq!(relation.arity(), 2, "graph_stats requires a binary relation");
+    assert_eq!(
+        relation.arity(),
+        2,
+        "graph_stats requires a binary relation"
+    );
     let mut nodes: HashMap<Value, ()> = HashMap::new();
     for (_, t) in relation.iter() {
         nodes.insert(t.value(0), ());

@@ -58,7 +58,10 @@ impl Tuple {
 
     /// Project the tuple onto the given attribute positions (weight is kept).
     pub fn project(&self, positions: &[usize]) -> Tuple {
-        Tuple::new(positions.iter().map(|&p| self.values[p]).collect(), self.weight)
+        Tuple::new(
+            positions.iter().map(|&p| self.values[p]).collect(),
+            self.weight,
+        )
     }
 }
 

@@ -59,6 +59,10 @@ fn main() {
         .collect();
     println!("\nnext 5 plans (ranks 6-10):");
     for answer in &next_batch {
-        println!("  order {:>5}  total cost {:>7.2}", answer.value(0), answer.weight());
+        println!(
+            "  order {:>5}  total cost {:>7.2}",
+            answer.value(0),
+            answer.weight()
+        );
     }
 }

@@ -10,8 +10,8 @@
 //!
 //! Run with: `cargo run --release --example graph_top_cycles`
 
-use anyk::datagen::social::{social_database, SocialGraphConfig};
 use anyk::datagen::rng;
+use anyk::datagen::social::{social_database, SocialGraphConfig};
 use anyk::prelude::*;
 use anyk_engine::RankingFunction;
 use std::time::Instant;
@@ -22,7 +22,10 @@ fn main() {
     let config = SocialGraphConfig::bitcoin_like().scaled_down(8);
     let db = social_database(4, config, &mut rng(1));
     let n = db.expect("R1").len();
-    println!("trust graph: {} nodes (configured), {} edges per relation", config.nodes, n);
+    println!(
+        "trust graph: {} nodes (configured), {} edges per relation",
+        config.nodes, n
+    );
 
     let query = QueryBuilder::cycle(4).build();
     println!("query: {query} (ranked by descending total trust)");

@@ -37,7 +37,10 @@ fn main() {
     println!("query: {query}");
 
     let prepared = RankedQuery::new(&db, &query).expect("acyclic full query");
-    println!("total itineraries (computed without enumeration): {}", prepared.count_answers());
+    println!(
+        "total itineraries (computed without enumeration): {}",
+        prepared.count_answers()
+    );
 
     println!("\ntop 5 cheapest 3-leg itineraries (Take2):");
     for (rank, answer) in prepared.top_k(Algorithm::Take2, 5).iter().enumerate() {
@@ -61,5 +64,8 @@ fn main() {
         .map(|a| a.weight())
         .collect();
     assert_eq!(take2.len(), recursive.len());
-    println!("\nall {} answers enumerated identically by Take2 and Recursive", take2.len());
+    println!(
+        "\nall {} answers enumerated identically by Take2 and Recursive",
+        take2.len()
+    );
 }

@@ -36,9 +36,18 @@ fn main() {
     let query = QueryBuilder::path(2).build();
 
     for (label, ranking) in [
-        ("ascending total time (tropical min-plus)", RankingFunction::SumAscending),
-        ("descending total time (max-plus)", RankingFunction::SumDescending),
-        ("bottleneck: minimise the slowest leg (min-max)", RankingFunction::BottleneckAscending),
+        (
+            "ascending total time (tropical min-plus)",
+            RankingFunction::SumAscending,
+        ),
+        (
+            "descending total time (max-plus)",
+            RankingFunction::SumDescending,
+        ),
+        (
+            "bottleneck: minimise the slowest leg (min-max)",
+            RankingFunction::BottleneckAscending,
+        ),
     ] {
         let prepared = RankedQuery::with_ranking(&db, &query, ranking).unwrap();
         let top: Vec<Answer> = prepared.top_k(Algorithm::Take2, 3);

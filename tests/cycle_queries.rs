@@ -94,7 +94,10 @@ fn nprr_adversarial_instance_top_answer_matches_wcoj() {
     let query = QueryBuilder::cycle(4).build();
 
     let prepared = RankedQuery::new(&db, &query).unwrap();
-    assert_eq!(prepared.count_answers(), adversarial::nprr_i1_output_size(n));
+    assert_eq!(
+        prepared.count_answers(),
+        adversarial::nprr_i1_output_size(n)
+    );
     let top = prepared
         .enumerate(AnyKAlgorithm::Lazy)
         .next()
@@ -117,7 +120,8 @@ fn bottleneck_ranking_works_through_the_decomposition() {
         .collect();
     // Verify against brute force over the naive join: bottleneck = max weight
     // among the four witness tuples.
-    let naive = naive_sql::join_and_sort(&db, &query, RankingFunction::BottleneckAscending).unwrap();
+    let naive =
+        naive_sql::join_and_sort(&db, &query, RankingFunction::BottleneckAscending).unwrap();
     assert_eq!(answers.len(), naive.len());
     for (g, e) in answers.iter().zip(naive.iter().map(|a| a.weight())) {
         assert!((g - e).abs() < 1e-9);
