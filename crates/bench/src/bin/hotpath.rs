@@ -1,6 +1,9 @@
 //! Hot-path microbenchmark for the CSR T-DP layout work: TTF / TT(k) for the
 //! three workload shapes whose candidate-expansion loops dominate wall-clock
-//! (path-4, star-3, cycle-6), across every any-k algorithm.
+//! (path-4, star-3, cycle-6), across every any-k algorithm, plus `prep_ms`
+//! (compile + bottom-up — the phase targeted by the columnar/parallel
+//! preprocessing pipeline) and a MEM(k) snapshot per anyK-part variant
+//! (candidate queue, shared-prefix arena, successor-structure table).
 //!
 //! Writes `BENCH_hotpath.json` (override with `ANYK_HOTPATH_OUT`) so the
 //! perf trajectory of the enumeration hot loops is recorded in-repo. If
@@ -8,7 +11,8 @@
 //! measured on the pre-refactor tree), its contents are embedded verbatim
 //! under the `"baseline"` key for side-by-side comparison.
 //!
-//! Run with `ANYK_SCALE=quick` for a CI smoke pass (sub-second inputs).
+//! Run with `ANYK_SCALE=quick` for a CI smoke pass (sub-second inputs); set
+//! `ANYK_THREADS` to pin the bottom-up worker count (1 = serial sweep).
 
 use anyk_bench::Scale;
 use anyk_core::metrics::EnumerationTrace;
@@ -82,6 +86,10 @@ fn main() {
     let _ = writeln!(json, "  \"scale\": \"{scale:?}\",");
     let _ = writeln!(json, "  \"limit\": {LIMIT},");
     let _ = writeln!(json, "  \"repeats\": {REPEATS},");
+    // Record the worker count actually used by the bottom-up sweep — the
+    // core's own resolution, as a number, never raw env text.
+    let threads = anyk_core::tdp::default_bottom_up_threads();
+    let _ = writeln!(json, "  \"anyk_threads\": {threads},");
     json.push_str("  \"workloads\": [\n");
 
     for (wi, w) in workloads(scale).iter().enumerate() {
@@ -150,12 +158,28 @@ fn main() {
                 .iter()
                 .map(|&k| format!("\"{}\": {}", k, ms(trace.tt(k))))
                 .collect();
-            let _ = write!(
-                json,
-                "\"tt_ms\": {{{}}}, \"produced\": {}}}",
-                tt.join(", "),
-                produced
-            );
+            let _ = write!(json, "\"tt_ms\": {{{}}}, ", tt.join(", "));
+            // MEM(k) snapshot after LIMIT results: successor-structure table
+            // and prefix-arena sizes (null for non-anyK-part algorithms).
+            match prepared.mem_profile(alg, LIMIT) {
+                Some(m) => {
+                    let _ = write!(
+                        json,
+                        "\"mem\": {{\"candidates\": {}, \"prefix_arena\": {}, \
+                         \"succ_structures\": {}, \"succ_table_slots\": {}, \
+                         \"succ_choices\": {}}}, ",
+                        m.candidates,
+                        m.prefix_arena_entries,
+                        m.structures_allocated,
+                        m.structure_table_slots,
+                        m.structure_choices
+                    );
+                }
+                None => {
+                    let _ = write!(json, "\"mem\": null, ");
+                }
+            }
+            let _ = write!(json, "\"produced\": {produced}}}");
         }
         json.push_str("\n      ]\n    }");
     }

@@ -46,6 +46,42 @@ use std::collections::BinaryHeap;
 /// Sentinel for "empty prefix" in the prefix arena.
 const NO_PREFIX: u32 = u32::MAX;
 
+/// A MEM(k) snapshot of one [`AnyKPart`] enumerator — the quantities behind
+/// the paper's memory study (§7): how much state the algorithm holds after
+/// emitting `emitted` results. Obtain via [`AnyKPart::memory_stats`];
+/// aggregate across the instances of a UT-DP union with
+/// [`MemoryStats::absorb`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Results emitted when the snapshot was taken (the `k` of MEM(k)).
+    pub emitted: usize,
+    /// Candidates currently in the priority queue.
+    pub candidates: usize,
+    /// Entries in the shared-prefix arena (each is one state reference).
+    pub prefix_arena_entries: usize,
+    /// Size of the dense successor-structure table (one slot per
+    /// (state, branch) pair of the instance).
+    pub structure_table_slots: usize,
+    /// Successor structures materialised so far (lazy initialisation touches
+    /// only the choice sets the enumeration actually visited).
+    pub structures_allocated: usize,
+    /// Total choices held across all materialised successor structures.
+    pub structure_choices: usize,
+}
+
+impl MemoryStats {
+    /// Accumulate another snapshot into this one (summing every field), for
+    /// aggregating across the trees of a union plan.
+    pub fn absorb(&mut self, other: &MemoryStats) {
+        self.emitted += other.emitted;
+        self.candidates += other.candidates;
+        self.prefix_arena_entries += other.prefix_arena_entries;
+        self.structure_table_slots += other.structure_table_slots;
+        self.structures_allocated += other.structures_allocated;
+        self.structure_choices += other.structure_choices;
+    }
+}
+
 /// One entry of the shared-prefix arena. Prefixes are immutable linked lists
 /// so that candidates reference them in `O(1)` instead of copying `O(ℓ)`
 /// states (§4.3.2).
@@ -148,6 +184,27 @@ impl<'a, D: Dioid> AnyKPart<'a, D> {
     /// Current size of the candidate priority queue (for the MEM(k) study).
     pub fn candidate_count(&self) -> usize {
         self.cand.len()
+    }
+
+    /// A MEM(k) snapshot of the enumerator's data-structure footprint after
+    /// `emitted()` results: candidate queue, shared-prefix arena, and the
+    /// successor-structure table (how many of its slots were materialised and
+    /// how many choices they hold in total).
+    pub fn memory_stats(&self) -> MemoryStats {
+        let mut structures_allocated = 0usize;
+        let mut structure_choices = 0usize;
+        for s in self.structures.iter().flatten() {
+            structures_allocated += 1;
+            structure_choices += s.len();
+        }
+        MemoryStats {
+            emitted: self.emitted,
+            candidates: self.cand.len(),
+            prefix_arena_entries: self.arena.len(),
+            structure_table_slots: self.structures.len(),
+            structures_allocated,
+            structure_choices,
+        }
     }
 
     /// The successor structure for the choice set `(state, slot)`, created on

@@ -92,6 +92,17 @@ impl<D: Dioid> SuccState<D> {
         }
     }
 
+    /// Number of choices held by the structure (sorted prefix + residual
+    /// heap for `Lazy`) — the per-structure term of the MEM(k) accounting.
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            SuccState::Eager(s) => s.sorted.len(),
+            SuccState::Lazy(s) => s.sorted.len() + s.heap.len(),
+            SuccState::All(s) => s.choices.len(),
+            SuccState::Take2(s) => s.heap.len(),
+        }
+    }
+
     /// Append to `out` the indices of the successors of the choice at `idx`.
     ///
     /// The contract (sufficient for the correctness of Algorithm 1) is that

@@ -62,8 +62,10 @@ use std::fmt::Debug;
 /// `crates/core/tests/dioid_laws.rs`.
 pub trait Dioid: Clone + Debug + 'static {
     /// The carrier set `W`. Its `Ord` implementation must be the total order
-    /// induced by the selective `⊕` (smallest = best ranked).
-    type V: Clone + Ord + Debug;
+    /// induced by the selective `⊕` (smallest = best ranked). Values must be
+    /// `Send + Sync` so the bottom-up phase can sweep stages with scoped
+    /// worker threads (all provided carriers are plain data).
+    type V: Clone + Ord + Debug + Send + Sync;
 
     /// The multiplicative identity `1̄` (the weight of an empty combination).
     fn one() -> Self::V;

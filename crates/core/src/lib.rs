@@ -64,7 +64,7 @@ pub mod solution;
 pub mod tdp;
 pub mod union;
 
-pub use anyk_part::{AnyKPart, SuccessorKind};
+pub use anyk_part::{AnyKPart, MemoryStats, SuccessorKind};
 pub use anyk_rec::Recursive;
 pub use batch::Batch;
 pub use dioid::{Dioid, OrderedF64, TropicalMin};

@@ -11,17 +11,114 @@
 //! treated as pruned by all enumeration algorithms (they are skipped by
 //! [`TdpInstance::choices`]). This is the semi-join–style reduction that the
 //! paper identifies with Yannakakis' algorithm on the Boolean semiring (§3).
+//!
+//! ## Parallel sweep
+//!
+//! Within one stage the per-state computations are independent: state `s`
+//! reads only `π₁` of states in **child** stages (finalised in an earlier
+//! pass) and writes only its own `subtree_opt[s]` and `branch_opt` slots
+//! (disjoint per state, because slot ids partition by node). The sweep of a
+//! large stage is therefore chunked across a scoped worker pool
+//! (`std::thread::scope`, no external dependencies). The result is
+//! **bit-identical** to the serial sweep: each state's value is computed by
+//! the same arithmetic over the same operands regardless of which worker runs
+//! it. The pool size defaults to the machine's available parallelism and can
+//! be overridden with the `ANYK_THREADS` environment variable (or per call
+//! via [`crate::tdp::TdpBuilder::build_with_threads`]).
 
 use super::{NodeId, StageId, TdpInstance};
 use crate::dioid::Dioid;
 
-/// Run the bottom-up phase in place, filling `subtree_opt` and `branch_opt`
-/// (the latter keyed by dense slot id, matching the successor CSR).
-pub(crate) fn run<D: Dioid>(instance: &mut TdpInstance<D>) {
-    let num_nodes = instance.nodes.len();
+/// Stages smaller than this are swept serially even when a worker pool is
+/// available: below it, thread spawn/join overhead dominates the sweep.
+const PAR_MIN_STAGE: usize = 4096;
+
+/// The bottom-up worker count: `ANYK_THREADS` if set (values < 1 clamp to 1),
+/// else the machine's available parallelism.
+pub(crate) fn threads_from_env() -> usize {
+    threads_from_value(std::env::var("ANYK_THREADS").ok().as_deref())
+}
+
+/// Resolve a worker count from an `ANYK_THREADS`-style setting (split out of
+/// [`threads_from_env`] so the clamp itself is unit-testable).
+pub(crate) fn threads_from_value(setting: Option<&str>) -> usize {
+    match setting.and_then(|s| s.trim().parse::<usize>().ok()) {
+        Some(n) => n.max(1),
+        None => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
+/// Raw shared view of the two output buffers, passed to worker threads.
+///
+/// Safety contract (upheld by [`run_with_threads`]): workers of one stage
+/// write disjoint node/slot ranges (each node belongs to exactly one chunk;
+/// slot ids are contiguous per node) and read only entries written in
+/// *previous* stage passes, after all of that pass's workers joined.
+struct Outputs<V> {
+    subtree: *mut V,
+    branch: *mut V,
+}
+
+impl<V> Clone for Outputs<V> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<V> Copy for Outputs<V> {}
+
+// The raw pointers alias a buffer that is only accessed per the disjointness
+// contract above; V: Send + Sync is guaranteed by the `Dioid::V` bounds.
+unsafe impl<V: Send + Sync> Send for Outputs<V> {}
+unsafe impl<V: Send + Sync> Sync for Outputs<V> {}
+
+/// Compute `subtree_opt[nid]` and the `branch_opt` slots of `nid`.
+///
+/// # Safety
+/// `out` must point to buffers of `num_nodes` / `num_slot_ids` initialised
+/// values; no other thread may concurrently access `nid`'s entries, and the
+/// `subtree` entries of `nid`'s successors must already be finalised.
+unsafe fn eval_node<D: Dioid>(
+    instance: &TdpInstance<D>,
+    out: Outputs<D::V>,
+    nid: NodeId,
+    num_slots: usize,
+) {
     let zero = D::zero();
+    let mut total = D::one();
+    let first_slot = instance.slot_offsets[nid.index()] as usize;
+    for off in 0..num_slots {
+        let d = first_slot + off;
+        let start = instance.succ_offsets[d] as usize;
+        let end = instance.succ_offsets[d + 1] as usize;
+        let mut best = D::zero();
+        for &t in &instance.succ_data[start..end] {
+            let sub = &*out.subtree.add(t.index());
+            if *sub == zero {
+                continue;
+            }
+            let value = D::times(&instance.nodes[t.index()].weight, sub);
+            best = D::plus(&best, &value);
+        }
+        total = D::times(&total, &best);
+        *out.branch.add(d) = best;
+    }
+    *out.subtree.add(nid.index()) = total;
+}
+
+/// Run the bottom-up phase in place, filling `subtree_opt` and `branch_opt`
+/// (the latter keyed by dense slot id, matching the successor CSR), with an
+/// explicit worker count (`threads <= 1` means a plain serial sweep). Output
+/// is bit-identical for every count.
+pub(crate) fn run_with_threads<D: Dioid>(instance: &mut TdpInstance<D>, threads: usize) {
+    let num_nodes = instance.nodes.len();
     let mut subtree_opt = vec![D::zero(); num_nodes];
     let mut branch_opt: Vec<D::V> = vec![D::zero(); instance.num_slot_ids()];
+    let out = Outputs {
+        subtree: subtree_opt.as_mut_ptr(),
+        branch: branch_opt.as_mut_ptr(),
+    };
 
     // Children-first traversal: reverse serial order, then the root stage.
     let stage_order: Vec<StageId> = instance
@@ -34,28 +131,31 @@ pub(crate) fn run<D: Dioid>(instance: &mut TdpInstance<D>) {
 
     for sid in stage_order {
         let stage = &instance.stages[sid.index()];
+        let nodes = &stage.nodes;
         let num_slots = stage.children.len();
-        for &nid in &stage.nodes {
-            let mut total = D::one();
-            let first_slot = instance.slot_offsets[nid.index()] as usize;
-            let node_branches = &mut branch_opt[first_slot..first_slot + num_slots];
-            for (off, branch_best) in node_branches.iter_mut().enumerate() {
-                let d = first_slot + off;
-                let start = instance.succ_offsets[d] as usize;
-                let end = instance.succ_offsets[d + 1] as usize;
-                let mut best = D::zero();
-                for &t in &instance.succ_data[start..end] {
-                    let sub = &subtree_opt[t.index()];
-                    if *sub == zero {
-                        continue;
-                    }
-                    let value = D::times(&instance.nodes[t.index()].weight, sub);
-                    best = D::plus(&best, &value);
-                }
-                total = D::times(&total, &best);
-                *branch_best = best;
+        let workers = threads.min(nodes.len() / PAR_MIN_STAGE + 1);
+        if workers <= 1 {
+            for &nid in nodes {
+                // SAFETY: single-threaded sweep; successors live in child
+                // stages, finalised by an earlier loop iteration.
+                unsafe { eval_node(instance, out, nid, num_slots) };
             }
-            subtree_opt[nid.index()] = total;
+        } else {
+            let chunk_len = nodes.len().div_ceil(workers);
+            // SAFETY: chunks partition `stage.nodes`, every node belongs to
+            // exactly one stage, and slot ids are contiguous per node — so
+            // workers write disjoint entries; reads target child-stage
+            // entries finalised before this scope started.
+            std::thread::scope(|scope| {
+                for chunk in nodes.chunks(chunk_len) {
+                    let inst = &*instance;
+                    scope.spawn(move || {
+                        for &nid in chunk {
+                            unsafe { eval_node(inst, out, nid, num_slots) };
+                        }
+                    });
+                }
+            });
         }
     }
 
@@ -171,5 +271,17 @@ mod tests {
         assert_eq!(*inst.branch_opt(c, 1), OrderedF64::from(5.0));
         assert_eq!(*inst.subtree_opt(c), OrderedF64::from(6.0));
         assert_eq!(*inst.optimum(), OrderedF64::from(6.0));
+    }
+
+    #[test]
+    fn threads_setting_parses_and_clamps() {
+        // The clamp itself: 0 must never yield 0 workers.
+        assert_eq!(threads_from_value(Some("0")), 1);
+        assert_eq!(threads_from_value(Some("1")), 1);
+        assert_eq!(threads_from_value(Some("8")), 8);
+        assert_eq!(threads_from_value(Some(" 3 ")), 3, "whitespace trimmed");
+        // Garbage and absence both fall back to available parallelism (>= 1).
+        assert!(threads_from_value(Some("lots")) >= 1);
+        assert!(threads_from_value(None) >= 1);
     }
 }

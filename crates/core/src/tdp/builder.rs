@@ -10,11 +10,18 @@ use crate::dioid::Dioid;
 /// stages, states are added to stages, and decisions connect states of a
 /// stage to states of one of its child stages. [`TdpBuilder::build`] freezes
 /// the instance and runs the DP bottom-up phase.
+///
+/// Decisions are accumulated in one flat `(parent, slot, child)` list — no
+/// per-state adjacency vectors — and scattered into the successor CSR by a
+/// counting sort at [`TdpBuilder::build`] time. Adding a state and adding a
+/// decision are therefore both amortised `O(1)` pushes into flat memory,
+/// which keeps the `O(ℓn)` equi-join compilation allocation-light.
 #[derive(Debug, Clone)]
 pub struct TdpBuilder<D: Dioid> {
     stages: Vec<Stage>,
     nodes: Vec<Node<D::V>>,
-    edges: Vec<Vec<Vec<NodeId>>>,
+    /// All decisions in insertion order: `(parent node, slot, child node)`.
+    edges: Vec<(NodeId, u32, NodeId)>,
 }
 
 impl<D: Dioid> Default for TdpBuilder<D> {
@@ -42,7 +49,7 @@ impl<D: Dioid> TdpBuilder<D> {
         TdpBuilder {
             stages: vec![root_stage],
             nodes: vec![root_node],
-            edges: vec![vec![]],
+            edges: Vec::new(),
         }
     }
 
@@ -107,8 +114,6 @@ impl<D: Dioid> TdpBuilder<D> {
             weight,
             payload,
         });
-        let num_slots = self.stages[stage].children.len();
-        self.edges.push(vec![Vec::new(); num_slots]);
         self.stages[stage].nodes.push(id);
         id
     }
@@ -134,13 +139,7 @@ impl<D: Dioid> TdpBuilder<D> {
                     self.stages[p_stage.index()].label
                 )
             });
-        // Stages (and hence slots) may have been added after this node; grow
-        // its adjacency list on demand.
-        let slots = &mut self.edges[parent.index()];
-        if slots.len() <= slot {
-            slots.resize(slot + 1, Vec::new());
-        }
-        slots[slot].push(child);
+        self.edges.push((parent, slot as u32, child));
     }
 
     /// Connect the artificial start state `s₀` to a state whose stage is a
@@ -177,15 +176,26 @@ impl<D: Dioid> TdpBuilder<D> {
     /// Freeze the instance: flatten the adjacency into CSR, compute the
     /// serial stage order, run the DP bottom-up phase (pruning + `π₁`), and
     /// compact pruned states out of every successor list.
+    ///
+    /// The bottom-up phase sweeps large stages with a scoped worker pool
+    /// sized by the `ANYK_THREADS` environment variable (default: available
+    /// parallelism); see [`TdpBuilder::build_with_threads`] for an explicit
+    /// count. The result is bit-identical for every worker count.
     pub fn build(self) -> TdpInstance<D> {
+        self.build_with_threads(bottom_up::threads_from_env())
+    }
+
+    /// Like [`TdpBuilder::build`] with an explicit bottom-up worker count
+    /// (`threads <= 1` forces the serial sweep), independent of the
+    /// environment. Useful for deterministic testing of the parallel sweep.
+    pub fn build_with_threads(self, threads: usize) -> TdpInstance<D> {
         let serial_order = serialise_stages(&self.stages);
         let parent_pos = compute_parent_positions(&self.stages, &serial_order);
         let pending = compute_pending_branches(&self.stages, &serial_order, &parent_pos);
 
-        // Flatten the builder's nested adjacency into CSR. Nodes may have
-        // fewer recorded slot lists than their stage has children (stages
-        // added after the node); the CSR always reserves one slot id per
-        // child stage, with an empty successor list for the missing ones.
+        // Assign dense slot ids: one consecutive id per (node, child stage of
+        // its stage) pair. The CSR always reserves one slot id per child
+        // stage, including slots no decision ever targeted.
         let num_nodes = self.nodes.len();
         let mut slot_offsets: Vec<u32> = Vec::with_capacity(num_nodes + 1);
         let mut total_slots = 0usize;
@@ -199,27 +209,30 @@ impl<D: Dioid> TdpBuilder<D> {
         );
         slot_offsets.push(total_slots as u32);
 
-        let total_edges: usize = self
-            .edges
-            .iter()
-            .map(|slots| slots.iter().map(Vec::len).sum::<usize>())
-            .sum();
+        let total_edges = self.edges.len();
         assert!(
             total_edges <= u32::MAX as usize,
             "T-DP instance exceeds u32 successor-offset space ({total_edges} decisions)"
         );
-        let mut succ_offsets: Vec<u32> = Vec::with_capacity(total_slots + 1);
-        let mut succ_data: Vec<NodeId> = Vec::with_capacity(total_edges);
-        succ_offsets.push(0);
-        for (idx, node) in self.nodes.iter().enumerate() {
-            let num_slots = self.stages[node.stage.index()].children.len();
-            for slot in 0..num_slots {
-                if let Some(list) = self.edges[idx].get(slot) {
-                    succ_data.extend_from_slice(list);
-                }
-                succ_offsets.push(succ_data.len() as u32);
-            }
+        // Counting sort of the flat decision list into the successor CSR:
+        // count per slot id, prefix-sum, then scatter in insertion order
+        // (stable, so each successor list keeps its insertion order).
+        let mut succ_offsets: Vec<u32> = vec![0; total_slots + 1];
+        for &(parent, slot, _) in &self.edges {
+            let d = slot_offsets[parent.index()] as usize + slot as usize;
+            succ_offsets[d + 1] += 1;
         }
+        for i in 0..total_slots {
+            succ_offsets[i + 1] += succ_offsets[i];
+        }
+        let mut succ_data: Vec<NodeId> = vec![NodeId::ROOT; total_edges];
+        let mut cursor: Vec<u32> = succ_offsets[..total_slots].to_vec();
+        for &(parent, slot, child) in &self.edges {
+            let d = slot_offsets[parent.index()] as usize + slot as usize;
+            succ_data[cursor[d] as usize] = child;
+            cursor[d] += 1;
+        }
+        drop(cursor);
 
         let mut instance = TdpInstance {
             stages: self.stages,
@@ -233,7 +246,7 @@ impl<D: Dioid> TdpBuilder<D> {
             parent_pos,
             pending,
         };
-        bottom_up::run(&mut instance);
+        bottom_up::run_with_threads(&mut instance, threads);
         compact_pruned(&mut instance);
         instance
     }

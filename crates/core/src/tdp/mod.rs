@@ -48,6 +48,14 @@ mod builder;
 pub use bottom_up::top1_solution;
 pub use builder::TdpBuilder;
 
+/// The bottom-up worker count the next [`TdpBuilder::build`] will use:
+/// `ANYK_THREADS` if set (clamped to ≥ 1), else the machine's available
+/// parallelism. Exposed so harnesses can *record* the count that was
+/// actually in effect without re-implementing the resolution.
+pub fn default_bottom_up_threads() -> usize {
+    bottom_up::threads_from_env()
+}
+
 use crate::dioid::Dioid;
 
 /// Identifier of a stage within a [`TdpInstance`]. Stage `0` is the

@@ -1,0 +1,193 @@
+//! The multi-threaded bottom-up sweep must be **bit-identical** to the
+//! serial one: within a stage every state's `subtree_opt` / `branch_opt` is
+//! computed by the same arithmetic over the same operands regardless of
+//! which worker runs it, so no thread count may change a single bit of the
+//! outputs. These tests build randomized instances of the three workload
+//! shapes of the paper's evaluation — serial chains (path queries), stars,
+//! and the bag-chain trees produced by the cycle decomposition — plus
+//! arbitrary random trees, and compare every `subtree_opt`/`branch_opt`
+//! entry across worker counts at the f64 bit level.
+//!
+//! The sweep only spawns workers for stages with more than 4096 states
+//! (below that the whole stage is swept serially regardless of the thread
+//! count), so the randomized shape tests use stages **above** that
+//! threshold with sparse random wiring — otherwise "parallel vs serial"
+//! would silently compare the serial sweep against itself.
+
+use anyk_core::dioid::{Dioid, OrderedF64, TropicalMin};
+use anyk_core::tdp::{NodeId, TdpBuilder, TdpInstance};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// States per stage for the randomized shape tests: safely above the
+/// sweep's internal 4096-state parallel threshold, so multi-worker builds
+/// genuinely exercise the scoped-thread path.
+const BIG_STAGE: usize = 4600;
+
+/// Build a random instance over a given stage tree: `parents[i]` is the
+/// parent of stage `i + 1` (0 = root stage). Every stage gets
+/// `states_per_stage` states with random weights; every state is wired to
+/// `degree` randomly chosen states of each child stage (sparse wiring keeps
+/// big instances cheap to build).
+fn random_instance(
+    parents: &[usize],
+    states_per_stage: usize,
+    degree: usize,
+    rng: &mut SmallRng,
+) -> TdpBuilder<TropicalMin> {
+    let mut b = TdpBuilder::<TropicalMin>::new();
+    let mut stage_ids = vec![anyk_core::StageId::ROOT];
+    for (i, &parent) in parents.iter().enumerate() {
+        let sid = b.add_stage(&format!("s{}", i + 1), stage_ids[parent], true);
+        stage_ids.push(sid);
+    }
+    let mut states: Vec<Vec<NodeId>> = vec![vec![NodeId::ROOT]];
+    for sid in &stage_ids[1..] {
+        let ids: Vec<NodeId> = (0..states_per_stage)
+            .map(|_| b.add_state(sid.index(), OrderedF64::from(rng.gen_range(0.0..100.0))))
+            .collect();
+        states.push(ids);
+    }
+    for (child_stage, &parent_stage) in parents.iter().enumerate() {
+        let child_stage = child_stage + 1;
+        let children = states[child_stage].clone();
+        let parents_states = states[parent_stage].clone();
+        for ps in parents_states {
+            for _ in 0..degree {
+                let c = children[rng.gen_range(0..children.len() as u64) as usize];
+                b.connect(ps, c);
+            }
+        }
+    }
+    b
+}
+
+/// Assert that two instances built from the same decisions agree bit-for-bit
+/// on `subtree_opt` and every `branch_opt` slot.
+fn assert_bit_identical(a: &TdpInstance<TropicalMin>, b: &TdpInstance<TropicalMin>, label: &str) {
+    assert_eq!(a.num_nodes(), b.num_nodes(), "{label}: node count");
+    for n in 0..a.num_nodes() {
+        let nid = NodeId(n as u32);
+        assert_eq!(
+            a.subtree_opt(nid).get().to_bits(),
+            b.subtree_opt(nid).get().to_bits(),
+            "{label}: subtree_opt of node {n}"
+        );
+        let num_slots = a.stage(a.node(nid).stage).children.len();
+        for slot in 0..num_slots {
+            assert_eq!(
+                a.branch_opt(nid, slot as u32).get().to_bits(),
+                b.branch_opt(nid, slot as u32).get().to_bits(),
+                "{label}: branch_opt of node {n} slot {slot}"
+            );
+        }
+    }
+}
+
+/// Path-, star-, and cycle-decomposition-shaped stage trees.
+///
+/// * path: a 3-stage chain (the ℓ-path query compiles to a chain);
+/// * star: one center stage with three leaf child stages — the center's
+///   states own **multiple slots**, so chunked workers write multi-slot
+///   `branch_opt` ranges;
+/// * cycle: the ℓ-cycle decomposition compiles each partition into a chain
+///   of bag stages (with interleaved value-node stages) — structurally a
+///   longer chain; model a 6-cycle heavy tree's 4 bags as a 4-stage chain.
+fn shapes() -> Vec<(&'static str, Vec<usize>)> {
+    vec![
+        ("path", vec![0, 1, 2]),
+        ("star", vec![0, 1, 1, 1]),
+        ("cycle-decomposition chain", vec![0, 1, 2, 3]),
+    ]
+}
+
+#[test]
+fn multi_threaded_sweep_is_bit_identical_to_serial() {
+    let mut rng = SmallRng::seed_from_u64(0xB0770);
+    for (label, parents) in shapes() {
+        let builder = random_instance(&parents, BIG_STAGE, 3, &mut rng);
+        let serial = builder.clone().build_with_threads(1);
+        for threads in [2usize, 4, 8] {
+            let parallel = builder.clone().build_with_threads(threads);
+            assert_bit_identical(&serial, &parallel, &format!("{label} (threads={threads})"));
+            assert_eq!(
+                serial.optimum(),
+                parallel.optimum(),
+                "{label}: optimum must agree"
+            );
+            assert_eq!(
+                serial.count_solutions(),
+                parallel.count_solutions(),
+                "{label}: compacted successor lists must agree"
+            );
+        }
+    }
+}
+
+#[test]
+fn random_trees_are_bit_identical_across_thread_counts() {
+    let mut rng = SmallRng::seed_from_u64(0x7EAF);
+    for round in 0..3 {
+        // A random tree over 4 big stages: each stage hangs under a
+        // uniformly chosen earlier stage (0 = root), so rounds mix chains,
+        // stars, and brooms — all with stages above the parallel threshold.
+        let parents: Vec<usize> = (0..4)
+            .map(|i| rng.gen_range(0..(i + 1) as u64) as usize)
+            .collect();
+        let builder = random_instance(&parents, BIG_STAGE, 2, &mut rng);
+        let serial = builder.clone().build_with_threads(1);
+        for threads in [3usize, 7] {
+            let parallel = builder.clone().build_with_threads(threads);
+            assert_bit_identical(
+                &serial,
+                &parallel,
+                &format!("round {round} threads {threads} parents {parents:?}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn small_stages_stay_serial_and_agree_anyway() {
+    // Below the 4096-state threshold every thread count takes the serial
+    // path; the outputs must (trivially) agree, and pruning must behave the
+    // same. This guards the dispatch boundary itself.
+    let mut rng = SmallRng::seed_from_u64(0x5411);
+    let builder = random_instance(&[0, 1, 1], 50, 2, &mut rng);
+    let serial = builder.clone().build_with_threads(1);
+    let parallel = builder.build_with_threads(8);
+    assert_bit_identical(&serial, &parallel, "small stages");
+}
+
+#[test]
+fn boolean_dioid_sweeps_agree_too() {
+    // The sweep is generic over the dioid; spot-check a non-f64 carrier
+    // with stages above the parallel threshold.
+    use anyk_core::dioid::BooleanDioid;
+    let build = |threads: usize| {
+        let mut b = TdpBuilder::<BooleanDioid>::serial(3);
+        let mut prev: Vec<NodeId> = (0..5000)
+            .map(|_| b.add_state(1, BooleanDioid::one()))
+            .collect();
+        for &s in &prev {
+            b.connect_root(s);
+        }
+        for stage in 2..=3 {
+            let cur: Vec<NodeId> = (0..5000)
+                .map(|_| b.add_state(stage, BooleanDioid::one()))
+                .collect();
+            for (i, &p) in prev.iter().enumerate() {
+                b.connect(p, cur[i % cur.len()]);
+            }
+            prev = cur;
+        }
+        b.build_with_threads(threads)
+    };
+    let a = build(1);
+    let b = build(5);
+    for n in 0..a.num_nodes() {
+        let nid = NodeId(n as u32);
+        assert_eq!(a.subtree_opt(nid), b.subtree_opt(nid), "node {n}");
+    }
+    assert_eq!(a.count_solutions(), b.count_solutions());
+}

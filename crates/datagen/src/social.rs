@@ -130,9 +130,9 @@ pub fn social_database(ell: usize, config: SocialGraphConfig, rng: &mut SmallRng
     let edges = scale_free_edges(config, rng);
     let mut db = Database::new();
     for i in 1..=ell {
-        let mut r = Relation::new(format!("R{i}"), 2);
+        let mut r = Relation::with_capacity(format!("R{i}"), 2, edges.len());
         for (_, t) in edges.iter() {
-            r.push(t.clone());
+            r.push_row(&[t.value(0), t.value(1)], t.weight());
         }
         db.add(r);
     }

@@ -82,7 +82,7 @@ mod tests {
         let b = path_or_star_database(3, 50, &mut rng(7));
         for (ra, rb) in a.relations().zip(b.relations()) {
             for ((_, ta), (_, tb)) in ra.iter().zip(rb.iter()) {
-                assert_eq!(ta.values(), tb.values());
+                assert_eq!(ta.values_vec(), tb.values_vec());
                 assert_eq!(ta.weight(), tb.weight());
             }
         }

@@ -17,7 +17,7 @@ use anyk_core::dioid::{Dioid, OrderedF64};
 use anyk_core::solution::Solution;
 use anyk_core::tdp::{NodeId, StageId, TdpBuilder, TdpInstance};
 use anyk_query::{gyo, ConjunctiveQuery, JoinTree};
-use anyk_storage::{Database, HashIndex, Tuple, Value};
+use anyk_storage::{Database, RowRef, Value};
 use std::collections::HashMap;
 
 /// A compiled acyclic query: the T-DP instance plus the metadata needed to
@@ -67,7 +67,7 @@ pub fn compile_with<D, F>(
 ) -> Result<Compiled<D>, EngineError>
 where
     D: Dioid<V = OrderedF64>,
-    F: Fn(&Tuple) -> f64,
+    F: Fn(RowRef<'_>) -> f64,
 {
     validate(db, query)?;
     let join_tree = gyo::join_tree(query.atoms())
@@ -85,7 +85,7 @@ pub fn compile_over_tree<D, F>(
 ) -> Compiled<D>
 where
     D: Dioid<V = OrderedF64>,
-    F: Fn(&Tuple) -> f64,
+    F: Fn(RowRef<'_>) -> f64,
 {
     let atoms = query.atoms();
     let order = join_tree.traversal_order();
@@ -142,46 +142,57 @@ where
         stage_of_atom[atom_idx] = Some(atom_stage);
 
         // One value node per distinct join-key value occurring on the parent
-        // side; parent tuples connect to their key's value node. The grouped
-        // hash index makes every per-tuple probe allocation-free (the key is
-        // hashed directly from the tuple row), and the group id doubles as a
-        // dense key for the value-node table.
+        // side; parent tuples connect to their key's value node. The index
+        // comes from the database's per-(relation, key) cache — a self-join
+        // or a star query re-joining the same parent key hits the cache — and
+        // its retained tuple→group map resolves each parent tuple's group
+        // with one array read (the build already hashed every row).
         let parent_relation = db.expect(&parent_atom.relation);
-        let parent_index = HashIndex::build(parent_relation, &parent_positions);
+        let parent_index = db.index(&parent_atom.relation, &parent_positions);
         let mut vnode_of_group: Vec<Option<NodeId>> = vec![None; parent_index.num_groups()];
-        for (ptid, ptuple) in parent_relation.iter() {
-            let Some(pstate) = states_of_atom[parent_idx][ptid] else {
+        for (ptid, pstate) in states_of_atom[parent_idx].iter().enumerate() {
+            let &Some(pstate) = pstate else {
                 continue;
             };
-            let g = parent_index
-                .group_of_row(ptuple.values())
-                .expect("every indexed tuple belongs to a group");
+            let g = parent_index.group_of_tuple(ptid);
             let vnode = *vnode_of_group[g].get_or_insert_with(|| {
                 builder.add_state_with_payload(value_stage.index(), D::one(), u64::MAX)
             });
             builder.connect(pstate, vnode);
         }
+        debug_assert_eq!(states_of_atom[parent_idx].len(), parent_relation.len());
 
         // Child tuples connect below the value node of their key (tuples with
         // keys that never occur on the parent side are dropped here — the
         // "semi-join" part of the encoding). Probing uses the single-column
         // fast path when the join key is one variable (the common case for
-        // the paper's path/star/cycle queries).
+        // the paper's path/star/cycle queries): a sequential scan of the one
+        // key column.
         let mut states = vec![None; relation.len()];
-        for (tid, tuple) in relation.iter() {
-            let g = if single_column {
-                parent_index.group_of1(tuple.value(child_positions[0]))
-            } else {
-                parent_index.group_of_cols(tuple.values(), &child_positions)
-            };
-            if let Some(vnode) = g.and_then(|g| vnode_of_group[g]) {
-                let s = builder.add_state_with_payload(
-                    atom_stage.index(),
-                    OrderedF64::from(weight_fn(tuple)),
-                    tid as u64,
-                );
-                builder.connect(vnode, s);
-                states[tid] = Some(s);
+        if single_column {
+            for (tid, &v) in relation.column(child_positions[0]).iter().enumerate() {
+                if let Some(vnode) = parent_index.group_of1(v).and_then(|g| vnode_of_group[g]) {
+                    let s = builder.add_state_with_payload(
+                        atom_stage.index(),
+                        OrderedF64::from(weight_fn(relation.tuple(tid))),
+                        tid as u64,
+                    );
+                    builder.connect(vnode, s);
+                    states[tid] = Some(s);
+                }
+            }
+        } else {
+            for (tid, state) in states.iter_mut().enumerate() {
+                let g = parent_index.group_of_row_in(relation, tid, &child_positions);
+                if let Some(vnode) = g.and_then(|g| vnode_of_group[g]) {
+                    let s = builder.add_state_with_payload(
+                        atom_stage.index(),
+                        OrderedF64::from(weight_fn(relation.tuple(tid))),
+                        tid as u64,
+                    );
+                    builder.connect(vnode, s);
+                    *state = Some(s);
+                }
             }
         }
         states_of_atom[atom_idx] = states;
@@ -299,7 +310,7 @@ mod tests {
     fn compiles_path_query_with_value_nodes() {
         let db = two_path_db();
         let q = QueryBuilder::path(2).build();
-        let c = compile_with::<TropicalMin, _>(&db, &q, Tuple::weight).unwrap();
+        let c = compile_with::<TropicalMin, _>(&db, &q, |t: RowRef<'_>| t.weight()).unwrap();
         // 2 output stages + 1 value stage (+ root).
         assert_eq!(c.instance.num_stages(), 4);
         assert!(c.instance.has_solution());
@@ -313,7 +324,7 @@ mod tests {
     fn answers_carry_values_and_witnesses() {
         let db = two_path_db();
         let q = QueryBuilder::path(2).build();
-        let c = compile_with::<TropicalMin, _>(&db, &q, Tuple::weight).unwrap();
+        let c = compile_with::<TropicalMin, _>(&db, &q, |t: RowRef<'_>| t.weight()).unwrap();
         let answers: Vec<Answer> = ranked_enumerate(&c.instance, AnyKAlgorithm::Take2)
             .map(|s| c.assemble(&db, &s, |w| w))
             .collect();
@@ -339,7 +350,7 @@ mod tests {
         }
         let q = QueryBuilder::cycle(4).build();
         assert!(matches!(
-            compile_with::<TropicalMin, _>(&db, &q, Tuple::weight),
+            compile_with::<TropicalMin, _>(&db, &q, |t: RowRef<'_>| t.weight()),
             Err(EngineError::UnsupportedCyclicQuery(_))
         ));
     }
@@ -349,7 +360,7 @@ mod tests {
         let db = two_path_db();
         let q = QueryBuilder::new().atom("Nope", &["x", "y"]).build();
         assert!(matches!(
-            compile_with::<TropicalMin, _>(&db, &q, Tuple::weight),
+            compile_with::<TropicalMin, _>(&db, &q, |t: RowRef<'_>| t.weight()),
             Err(EngineError::UnknownRelation(_))
         ));
     }
@@ -359,7 +370,7 @@ mod tests {
         let db = two_path_db();
         let q = QueryBuilder::new().atom("R1", &["x", "y", "z"]).build();
         assert!(matches!(
-            compile_with::<TropicalMin, _>(&db, &q, Tuple::weight),
+            compile_with::<TropicalMin, _>(&db, &q, |t: RowRef<'_>| t.weight()),
             Err(EngineError::ArityMismatch { .. })
         ));
     }
@@ -375,7 +386,7 @@ mod tests {
             db.add(r);
         }
         let q = QueryBuilder::star(3).build();
-        let c = compile_with::<TropicalMin, _>(&db, &q, Tuple::weight).unwrap();
+        let c = compile_with::<TropicalMin, _>(&db, &q, |t: RowRef<'_>| t.weight()).unwrap();
         // Hub value 1: 2×2×2 = 8 combinations; hub value 2: 1 combination.
         assert_eq!(c.instance.count_solutions(), 9);
         let answers: Vec<Answer> = ranked_enumerate(&c.instance, AnyKAlgorithm::Lazy)
@@ -400,7 +411,7 @@ mod tests {
             .atom("E", &["x", "y"])
             .atom("E", &["y", "z"])
             .build();
-        let c = compile_with::<TropicalMin, _>(&db, &q, Tuple::weight).unwrap();
+        let c = compile_with::<TropicalMin, _>(&db, &q, |t: RowRef<'_>| t.weight()).unwrap();
         let answers: Vec<Answer> = ranked_enumerate(&c.instance, AnyKAlgorithm::Recursive)
             .map(|s| c.assemble(&db, &s, |w| w))
             .collect();

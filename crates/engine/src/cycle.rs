@@ -21,7 +21,7 @@
 use crate::error::EngineError;
 use anyk_query::{Atom, ConjunctiveQuery};
 use anyk_storage::stats::{heavy_threshold, ColumnStats};
-use anyk_storage::{Database, HashIndex, Relation, Tuple, Value};
+use anyk_storage::{Database, Relation, Tuple, Value};
 
 /// One acyclic sub-problem of the decomposition: a database of materialised
 /// bag relations and the acyclic query joining them. The bag tuples' weights
@@ -115,7 +115,8 @@ pub fn detect_simple_cycle(query: &ConjunctiveQuery) -> Option<CycleShape> {
 }
 
 /// A relation of the cycle, re-oriented so column 0 is its cycle attribute
-/// `A_j` and column 1 is `A_{j+1}`, with encoded weights.
+/// `A_j` and column 1 is `A_{j+1}`, with encoded weights. Built column-wise
+/// (one pass per source column) into the scratch database's naming scheme.
 fn oriented_relation(
     db: &Database,
     query: &ConjunctiveQuery,
@@ -126,16 +127,26 @@ fn oriented_relation(
     let (atom_idx, flipped) = shape.atoms[j];
     let atom = &query.atoms()[atom_idx];
     let source = db.expect(&atom.relation);
-    let mut out = Relation::new(format!("cycle_{j}"), 2);
-    for (_, t) in source.iter() {
-        let (a, b) = if flipped {
-            (t.value(1), t.value(0))
-        } else {
-            (t.value(0), t.value(1))
-        };
-        out.push(Tuple::new(vec![a, b], encode(t.weight())));
+    let (from, to) = if flipped { (1, 0) } else { (0, 1) };
+    let mut out = Relation::with_capacity(oriented_name(j), 2, source.len());
+    for (tid, &a) in source.column(from).iter().enumerate() {
+        out.push_row(
+            &[a, source.column(to)[tid]],
+            encode(source.tuple(tid).weight()),
+        );
     }
     out
+}
+
+/// Scratch-database relation names for the decomposition's partitions.
+fn oriented_name(j: usize) -> String {
+    format!("oriented_{j}")
+}
+fn heavy_name(j: usize) -> String {
+    format!("heavy_{j}")
+}
+fn light_name(j: usize) -> String {
+    format!("light_{j}")
 }
 
 /// Decompose a simple ℓ-cycle query (ℓ ≥ 4) into ℓ + 1 acyclic sub-problems.
@@ -158,64 +169,82 @@ pub fn decompose(
         return Err(EngineError::UnsupportedCyclicQuery(query.to_string()));
     }
 
-    // Re-orient all relations so that relation j is over (A_j, A_{j+1}).
-    let oriented: Vec<Relation> = (0..ell)
-        .map(|j| oriented_relation(db, query, &shape, j, &encode))
-        .collect();
-    let n = oriented.iter().map(Relation::len).max().unwrap_or(0);
+    // Re-orient all relations so that relation j is over (A_j, A_{j+1}). The
+    // oriented copies and their heavy/light splits live in a scratch database
+    // so that the indexes the partitions request repeatedly (each heavy tree
+    // indexes the same oriented/light relations by the same key) are built
+    // once and then served from the database's index cache.
+    let mut scratch = Database::new();
+    for j in 0..ell {
+        scratch.add(oriented_relation(db, query, &shape, j, &encode));
+    }
+    let n = scratch.relations().map(Relation::len).max().unwrap_or(0);
     let threshold = heavy_threshold(n, ell);
 
     // Heavy value sets and heavy/light splits, per relation, on column 0 (A_j).
-    let stats: Vec<ColumnStats> = oriented
-        .iter()
-        .map(|r| ColumnStats::compute(r, 0))
+    let stats: Vec<ColumnStats> = (0..ell)
+        .map(|j| ColumnStats::compute(scratch.expect(&oriented_name(j)), 0))
         .collect();
-    let heavy: Vec<Relation> = oriented
+    let splits: Vec<Relation> = stats
         .iter()
-        .zip(&stats)
         .enumerate()
-        .map(|(j, (r, s))| r.filter(format!("heavy_{j}"), |t| s.is_heavy(t.value(0), threshold)))
+        .flat_map(|(j, s)| {
+            let r = scratch.expect(&oriented_name(j));
+            [
+                r.filter(heavy_name(j), |t| s.is_heavy(t.value(0), threshold)),
+                r.filter(light_name(j), |t| !s.is_heavy(t.value(0), threshold)),
+            ]
+        })
         .collect();
-    let light: Vec<Relation> = oriented
-        .iter()
-        .zip(&stats)
-        .enumerate()
-        .map(|(j, (r, s))| r.filter(format!("light_{j}"), |t| !s.is_heavy(t.value(0), threshold)))
-        .collect();
+    for split in splits {
+        scratch.add(split);
+    }
 
     let mut trees = Vec::with_capacity(ell + 1);
-    for i in 0..ell {
-        if heavy[i].is_empty() {
+    for (i, heavy_stats) in stats.iter().enumerate() {
+        if scratch.expect(&heavy_name(i)).is_empty() {
             continue; // empty partition: contributes no answers
         }
         // Partition T_i: relations before i are light, relation i is heavy,
         // relations after i are unrestricted.
-        let part = |j: usize| -> &Relation {
+        let part = |j: usize| -> String {
             if j < i {
-                &light[j]
+                light_name(j)
             } else if j == i {
-                &heavy[i]
+                heavy_name(i)
             } else {
-                &oriented[j]
+                oriented_name(j)
             }
         };
         let label = format!("heavy({})", query.atoms()[shape.atoms[i].0].relation);
-        if let Some(tree) = build_heavy_tree(&shape, i, part, &stats[i], threshold, combine, &label)
-        {
+        if let Some(tree) = build_heavy_tree(
+            &scratch,
+            &shape,
+            i,
+            part,
+            heavy_stats,
+            threshold,
+            combine,
+            &label,
+        ) {
             trees.push(tree);
         }
     }
-    if let Some(tree) = build_light_tree(&shape, &light, combine) {
+    if let Some(tree) = build_light_tree(&scratch, &shape, combine) {
         trees.push(tree);
     }
     Ok(trees)
 }
 
-/// Build the heavy tree of partition `i` as a chain of ℓ−2 bags.
-fn build_heavy_tree<'a>(
+/// Build the heavy tree of partition `i` as a chain of ℓ−2 bags. `part` maps
+/// an absolute cycle position to its partition relation's name within
+/// `scratch`, whose index cache serves the repeated per-partition indexes.
+#[allow(clippy::too_many_arguments)]
+fn build_heavy_tree(
+    scratch: &Database,
     shape: &CycleShape,
     i: usize,
-    part: impl Fn(usize) -> &'a Relation,
+    part: impl Fn(usize) -> String,
     heavy_stats: &ColumnStats,
     threshold: usize,
     combine: impl Fn(f64, f64) -> f64 + Copy,
@@ -223,7 +252,7 @@ fn build_heavy_tree<'a>(
 ) -> Option<DecomposedTree> {
     let ell = shape.len();
     let var = |k: usize| shape.variables[(i + k) % ell].clone();
-    let rel = |k: usize| part((i + k) % ell);
+    let rel_name = |k: usize| part((i + k) % ell);
     let heavy_values: Vec<Value> = heavy_stats.heavy_values(threshold);
 
     let mut database = Database::new();
@@ -234,38 +263,40 @@ fn build_heavy_tree<'a>(
         let mut bag = Relation::new(bag_name.clone(), 3);
         if m == 0 {
             // (A_i, A_{i+1}, A_{i+2}) = S_0 ⋈ S_1 (S_0 is the heavy split).
-            let s1 = rel(1);
-            let idx = HashIndex::build(s1, &[0]);
-            for (_, t0) in rel(0).iter() {
+            let s1 = scratch.expect(&rel_name(1));
+            let idx = scratch.index(&rel_name(1), &[0]);
+            for (_, t0) in scratch.expect(&rel_name(0)).iter() {
                 for &tid in idx.lookup1(t0.value(1)) {
                     let t1 = s1.tuple(tid);
-                    bag.push(Tuple::new(
-                        vec![t0.value(0), t0.value(1), t1.value(1)],
+                    bag.push_row(
+                        &[t0.value(0), t0.value(1), t1.value(1)],
                         combine(t0.weight(), t1.weight()),
-                    ));
+                    );
                 }
             }
         } else if m == ell - 3 {
             // (A_i, A_{i+ℓ-2}, A_{i+ℓ-1}) checking both S_{ℓ-2} and the
             // closing relation S_{ℓ-1}(A_{i+ℓ-1}, A_i).
-            let closing = rel(ell - 1);
-            let idx = HashIndex::build(closing, &[0, 1]);
+            let closing = scratch.expect(&rel_name(ell - 1));
+            let idx = scratch.index(&rel_name(ell - 1), &[0, 1]);
+            let second_last = scratch.expect(&rel_name(ell - 2));
             for &a in &heavy_values {
-                for (_, t) in rel(ell - 2).iter() {
+                for (_, t) in second_last.iter() {
                     for &ctid in idx.lookup(&[t.value(1), a]) {
                         let c = closing.tuple(ctid);
-                        bag.push(Tuple::new(
-                            vec![a, t.value(0), t.value(1)],
+                        bag.push_row(
+                            &[a, t.value(0), t.value(1)],
                             combine(t.weight(), c.weight()),
-                        ));
+                        );
                     }
                 }
             }
         } else {
             // (A_i, A_{i+m+1}, A_{i+m+2}) = heavy values × S_{m+1}.
+            let source = scratch.expect(&rel_name(m + 1));
             for &a in &heavy_values {
-                for (_, t) in rel(m + 1).iter() {
-                    bag.push(Tuple::new(vec![a, t.value(0), t.value(1)], t.weight()));
+                for (_, t) in source.iter() {
+                    bag.push_row(&[a, t.value(0), t.value(1)], t.weight());
                 }
             }
         }
@@ -287,17 +318,18 @@ fn build_heavy_tree<'a>(
 }
 
 /// Build the all-light tree: two bags, each a chain join of roughly ℓ/2
-/// light relations.
+/// light relations (resolved by name from the scratch database).
 fn build_light_tree(
+    scratch: &Database,
     shape: &CycleShape,
-    light: &[Relation],
     combine: impl Fn(f64, f64) -> f64 + Copy,
 ) -> Option<DecomposedTree> {
     let ell = shape.len();
     let h = ell.div_ceil(2);
+    let names: Vec<String> = (0..ell).map(light_name).collect();
     // Left bag over A_0..A_h, right bag over A_h..A_{ℓ-1},A_0.
-    let left = chain_join(&light[0..h], combine)?;
-    let right = chain_join(&light[h..ell], combine)?;
+    let left = chain_join(scratch, &names[0..h], combine)?;
+    let right = chain_join(scratch, &names[h..ell], combine)?;
 
     let mut database = Database::new();
     let mut left_rel = Relation::new("light_left", h + 1);
@@ -334,20 +366,23 @@ fn build_light_tree(
     })
 }
 
-/// Chain-join a slice of binary relations `T_0(A_0,A_1) ⋈ T_1(A_1,A_2) ⋈ …`,
-/// producing tuples over `(A_0, …, A_k)` with combined weights. Returns
-/// `None` if the slice is empty.
+/// Chain-join named binary relations `T_0(A_0,A_1) ⋈ T_1(A_1,A_2) ⋈ …` of
+/// the scratch database, producing tuples over `(A_0, …, A_k)` with combined
+/// weights. Returns `None` if the name slice is empty. Per-step indexes come
+/// from the scratch cache (the heavy trees request the same `light_j` keys).
 fn chain_join(
-    relations: &[Relation],
+    scratch: &Database,
+    names: &[String],
     combine: impl Fn(f64, f64) -> f64 + Copy,
 ) -> Option<Vec<Tuple>> {
-    let first = relations.first()?;
+    let first = scratch.expect(names.first()?);
     let mut acc: Vec<Tuple> = first
         .tuples()
         .map(|t| Tuple::new(vec![t.value(0), t.value(1)], t.weight()))
         .collect();
-    for rel in &relations[1..] {
-        let idx = HashIndex::build(rel, &[0]);
+    for name in &names[1..] {
+        let rel = scratch.expect(name);
+        let idx = scratch.index(name, &[0]);
         let mut next = Vec::new();
         for t in &acc {
             let join_val = *t.values().last().expect("non-empty chain tuple");

@@ -13,7 +13,7 @@ use crate::compile::validate;
 use crate::error::EngineError;
 use crate::ranking::RankingFunction;
 use anyk_query::ConjunctiveQuery;
-use anyk_storage::{Database, HashIndex, Value};
+use anyk_storage::{Database, Value};
 use std::collections::HashMap;
 
 /// An intermediate pipeline row: bound-variable values, accumulated weight,
@@ -79,7 +79,9 @@ pub fn join_unsorted(
             .collect();
         let new_cols = atom.positions_of(&new_vars);
 
-        let index = HashIndex::build(relation, &key_cols);
+        // Memoised per (relation, key columns): a self-join or a repeated
+        // evaluation over the same database skips the O(n) rebuild.
+        let index = db.index(&atom.relation, &key_cols);
         let mut next_rows = Vec::new();
         for (values, weight, witness) in &rows {
             // Allocation-free probe: the key is hashed straight out of the

@@ -6,9 +6,11 @@ use crate::cycle;
 use crate::error::EngineError;
 use crate::ranking::RankingFunction;
 use anyk_core::dioid::{Dioid, MinMaxDioid, OrderedF64, TropicalMin};
-use anyk_core::{ranked_enumerate, AnyKAlgorithm, UnionEnumerator};
+use anyk_core::{
+    ranked_enumerate, AnyKAlgorithm, AnyKPart, MemoryStats, SuccessorKind, UnionEnumerator,
+};
 use anyk_query::ConjunctiveQuery;
-use anyk_storage::{Database, Tuple, Value};
+use anyk_storage::{Database, RowRef, Value};
 
 /// A full conjunctive query prepared for ranked enumeration.
 ///
@@ -122,7 +124,8 @@ impl<'a> RankedQuery<'a> {
             .into_iter()
             .map(|tree| {
                 // Bag weights are already encoded by the decomposition.
-                let compiled = compile_with::<D, _>(&tree.database, &tree.query, Tuple::weight)?;
+                let compiled =
+                    compile_with::<D, _>(&tree.database, &tree.query, |t: RowRef<'_>| t.weight())?;
                 let tree_head = tree.query.head_variables();
                 let head_perm = original_head
                     .iter()
@@ -191,6 +194,47 @@ impl<'a> RankedQuery<'a> {
     /// Convenience: the top `k` answers as a vector.
     pub fn top_k(&self, algorithm: AnyKAlgorithm, k: usize) -> Vec<Answer> {
         self.enumerate(algorithm).take(k).collect()
+    }
+
+    /// Run the anyK-part variant `algorithm` until `k` results (or
+    /// exhaustion) and report the MEM(k) footprint of its data structures —
+    /// candidate queue, shared-prefix arena, and successor-structure table.
+    ///
+    /// For a cycle plan the footprint is summed over the decomposition trees,
+    /// each enumerated to `k` on its own — an upper bound on what the union
+    /// enumerator would have touched. Returns `None` for `Recursive` and
+    /// `Batch`, whose memory is not organised in these structures.
+    pub fn mem_profile(&self, algorithm: AnyKAlgorithm, k: usize) -> Option<MemoryStats> {
+        let kind = match algorithm {
+            AnyKAlgorithm::Eager => SuccessorKind::Eager,
+            AnyKAlgorithm::Lazy => SuccessorKind::Lazy,
+            AnyKAlgorithm::All => SuccessorKind::All,
+            AnyKAlgorithm::Take2 => SuccessorKind::Take2,
+            AnyKAlgorithm::Recursive | AnyKAlgorithm::Batch => return None,
+        };
+
+        fn profile_one<D: Dioid>(c: &Compiled<D>, kind: SuccessorKind, k: usize) -> MemoryStats {
+            let mut part = AnyKPart::new(&c.instance, kind);
+            while part.emitted() < k && part.next().is_some() {}
+            part.memory_stats()
+        }
+
+        let mut total = MemoryStats::default();
+        match &self.plan {
+            Plan::AcyclicSum(c) => total.absorb(&profile_one(c, kind, k)),
+            Plan::AcyclicBottleneck(c) => total.absorb(&profile_one(c, kind, k)),
+            Plan::CycleSum(trees) => {
+                for t in trees {
+                    total.absorb(&profile_one(&t.compiled, kind, k));
+                }
+            }
+            Plan::CycleBottleneck(trees) => {
+                for t in trees {
+                    total.absorb(&profile_one(&t.compiled, kind, k));
+                }
+            }
+        }
+        Some(total)
     }
 
     fn enumerate_acyclic<'s, D: Dioid<V = OrderedF64>>(

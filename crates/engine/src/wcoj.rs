@@ -89,7 +89,7 @@ pub fn generic_join(
             let relation = db.expect(&atom.relation);
             let mut idx: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
             for (tid, t) in relation.iter() {
-                idx.entry(t.values().to_vec()).or_default().push(tid);
+                idx.entry(t.values_vec()).or_default().push(tid);
             }
             idx
         })

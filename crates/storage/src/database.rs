@@ -1,13 +1,52 @@
-//! Databases: catalogs of named relations.
+//! Databases: catalogs of named relations, with a shared index cache.
+//!
+//! ## Index cache
+//!
+//! Several engine passes build the same [`HashIndex`] independently: the
+//! equi-join compilation indexes each parent relation by its join key, the
+//! naive-SQL baseline indexes every atom's relation by its bound columns, and
+//! the cycle decomposition indexes the same oriented partition once per heavy
+//! tree. [`Database::index`] memoises indexes per **(relation slot, key
+//! columns)** behind a mutex, handing out cheap [`Arc`] clones; repeated
+//! requests for the same key pay one hash-map probe instead of an `O(n)`
+//! rebuild.
+//!
+//! The cache is invalidated when [`Database::add`] **replaces** a relation:
+//! every cached index of the replaced slot is dropped, so a stale index is
+//! never served (indexes are immutable snapshots of the relation they were
+//! built from). Cloning a database clones the cache too — the `Arc`ed indexes
+//! themselves are shared, which is sound because they are immutable and the
+//! cloned relations are bit-identical.
 
+use crate::index::HashIndex;
 use crate::relation::Relation;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Cache key: (relation slot, key columns). The slot — not the name — keys
+/// the cache so that replacement invalidation is a simple retain.
+type IndexKey = (usize, Vec<usize>);
 
 /// An in-memory database: an ordered catalog of relations addressed by name.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Database {
     relations: Vec<Relation>,
     by_name: HashMap<String, usize>,
+    /// Memoised hash indexes per (relation slot, key columns).
+    index_cache: Mutex<HashMap<IndexKey, Arc<HashIndex>>>,
+}
+
+impl Clone for Database {
+    fn clone(&self) -> Self {
+        Database {
+            relations: self.relations.clone(),
+            by_name: self.by_name.clone(),
+            // Cached indexes are immutable and describe relations that are
+            // cloned verbatim, so sharing them (Arc clones) is sound and
+            // keeps the clone's cache warm.
+            index_cache: Mutex::new(self.lock_cache().clone()),
+        }
+    }
 }
 
 impl Database {
@@ -16,11 +55,23 @@ impl Database {
         Database::default()
     }
 
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, HashMap<IndexKey, Arc<HashIndex>>> {
+        // A poisoned lock only means another thread panicked mid-insert; the
+        // map itself is always in a consistent state.
+        self.index_cache
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// Add a relation. If a relation with the same name exists it is
     /// replaced (and its slot reused), mirroring `CREATE OR REPLACE TABLE`.
+    /// Replacing drops every cached index of the old relation.
     pub fn add(&mut self, relation: Relation) {
         match self.by_name.get(relation.name()) {
-            Some(&idx) => self.relations[idx] = relation,
+            Some(&idx) => {
+                self.relations[idx] = relation;
+                self.lock_cache().retain(|&(slot, _), _| slot != idx);
+            }
             None => {
                 self.by_name
                     .insert(relation.name().to_string(), self.relations.len());
@@ -38,6 +89,31 @@ impl Database {
     pub fn expect(&self, name: &str) -> &Relation {
         self.get(name)
             .unwrap_or_else(|| panic!("relation `{name}` not found in database"))
+    }
+
+    /// The hash index of `name` over `key_columns`, built on first request
+    /// and memoised for subsequent ones. The returned [`Arc`] stays valid
+    /// even if the relation is later replaced (it describes the snapshot it
+    /// was built from); the *cache* entry, however, is dropped on replace, so
+    /// a fresh request after a replace always sees the new data.
+    ///
+    /// # Panics
+    /// Panics if the relation does not exist or a key column is out of range.
+    pub fn index(&self, name: &str, key_columns: &[usize]) -> Arc<HashIndex> {
+        let slot = *self
+            .by_name
+            .get(name)
+            .unwrap_or_else(|| panic!("relation `{name}` not found in database"));
+        let mut cache = self.lock_cache();
+        let entry = cache
+            .entry((slot, key_columns.to_vec()))
+            .or_insert_with(|| Arc::new(HashIndex::build(&self.relations[slot], key_columns)));
+        Arc::clone(entry)
+    }
+
+    /// Number of indexes currently memoised (diagnostics / tests).
+    pub fn cached_indexes(&self) -> usize {
+        self.lock_cache().len()
     }
 
     /// Number of relations.
@@ -108,5 +184,65 @@ mod tests {
     #[should_panic(expected = "not found")]
     fn expect_missing_panics() {
         Database::new().expect("nope");
+    }
+
+    #[test]
+    fn index_is_cached_and_shared() {
+        let mut db = Database::new();
+        let mut r = Relation::new("R", 2);
+        r.push_edge(1, 10, 0.0);
+        r.push_edge(1, 20, 0.0);
+        db.add(r);
+        let a = db.index("R", &[0]);
+        let b = db.index("R", &[0]);
+        assert!(Arc::ptr_eq(&a, &b), "second request hits the cache");
+        assert_eq!(db.cached_indexes(), 1);
+        let c = db.index("R", &[1]);
+        assert!(
+            !Arc::ptr_eq(&a, &c),
+            "different key columns, different index"
+        );
+        assert_eq!(db.cached_indexes(), 2);
+    }
+
+    #[test]
+    fn replacing_a_relation_invalidates_its_cached_indexes() {
+        let mut db = Database::new();
+        let mut r = Relation::new("R", 2);
+        r.push_edge(1, 10, 0.0);
+        db.add(r);
+        let mut s = Relation::new("S", 2);
+        s.push_edge(7, 70, 0.0);
+        db.add(s);
+        let old = db.index("R", &[0]);
+        db.index("S", &[0]);
+        assert_eq!(old.lookup1(1), &[0]);
+        assert_eq!(db.cached_indexes(), 2);
+
+        // Replace R with different contents: the stale entry must never be
+        // served again, while S's cache entry survives.
+        let mut r2 = Relation::new("R", 2);
+        r2.push_edge(2, 20, 0.0);
+        r2.push_edge(2, 30, 0.0);
+        db.add(r2);
+        assert_eq!(db.cached_indexes(), 1, "only S's index survives");
+        let fresh = db.index("R", &[0]);
+        assert!(!Arc::ptr_eq(&old, &fresh));
+        assert!(fresh.lookup1(1).is_empty(), "stale key is gone");
+        assert_eq!(fresh.lookup1(2), &[0, 1], "new data is indexed");
+        // The old Arc still describes its snapshot (no use-after-free).
+        assert_eq!(old.lookup1(1), &[0]);
+    }
+
+    #[test]
+    fn clone_keeps_cache_warm_and_consistent() {
+        let mut db = Database::new();
+        let mut r = Relation::new("R", 2);
+        r.push_edge(5, 50, 0.0);
+        db.add(r);
+        db.index("R", &[0]);
+        let cloned = db.clone();
+        assert_eq!(cloned.cached_indexes(), 1);
+        assert_eq!(cloned.index("R", &[0]).lookup1(5), &[0]);
     }
 }

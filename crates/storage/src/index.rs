@@ -15,14 +15,21 @@
 //! * `group_keys` — all distinct keys, flattened: group `g`'s key occupies
 //!   `group_keys[g·k .. (g+1)·k]` where `k` is the key arity;
 //! * `group_offsets` / `group_tids` — the tuple ids of each group,
-//!   contiguous, in relation insertion order.
+//!   contiguous, in relation insertion order;
+//! * `tuple_groups` — the group id of **every indexed tuple**, kept from the
+//!   build pass. Consumers that walk the indexed relation itself (the
+//!   engine's value-node loop) read their group with a single array access —
+//!   no re-hashing of rows that the build already hashed.
 //!
-//! Every probe path hashes the key columns directly from borrowed data — a
-//! caller-provided key slice ([`HashIndex::lookup`]), a full tuple row whose
-//! key columns the index extracts itself ([`HashIndex::lookup_row`],
-//! [`HashIndex::group_of_cols`]), or a single value for single-column keys
-//! ([`HashIndex::lookup1`], the fast path used by the engine's equi-join
-//! compilation). No probe allocates.
+//! Construction reads the relation **column-wise**: the key columns are
+//! borrowed once as contiguous slices and each per-tuple hash gathers from
+//! them directly, so the build is a sequential scan per key column. Every
+//! probe path hashes the key columns directly from borrowed data — a
+//! caller-provided key slice ([`HashIndex::lookup`]), a row of another
+//! relation addressed by tuple id ([`HashIndex::group_of_row_in`]), an
+//! intermediate row slice ([`HashIndex::lookup_cols`]), or a single value for
+//! single-column keys ([`HashIndex::lookup1`], the fast path used by the
+//! engine's equi-join compilation). No probe allocates.
 
 use crate::relation::Relation;
 use crate::tuple::{TupleId, Value};
@@ -75,12 +82,15 @@ pub struct HashIndex {
     group_offsets: Vec<u32>,
     /// Tuple ids, grouped by key, in relation insertion order.
     group_tids: Vec<TupleId>,
+    /// The group id of every indexed tuple, by tuple id (build-pass output).
+    tuple_groups: Vec<u32>,
     /// Cached maximum group size.
     max_bucket: usize,
 }
 
 impl HashIndex {
-    /// Build an index over `key_columns` of `relation` in a single pass.
+    /// Build an index over `key_columns` of `relation` in a single pass of
+    /// sequential column scans.
     ///
     /// # Panics
     /// Panics if any key column is out of range for the relation's arity.
@@ -110,44 +120,65 @@ impl HashIndex {
             group_keys: Vec::new(),
             group_offsets: Vec::new(),
             group_tids: Vec::with_capacity(n),
+            tuple_groups: Vec::with_capacity(n),
             max_bucket: 0,
         };
 
         // Pass 1: assign a group id to every tuple, discovering distinct
-        // keys; count group sizes.
-        let mut group_of_tuple: Vec<u32> = Vec::with_capacity(n);
+        // keys; count group sizes. The columnar layout lets the key be
+        // hashed straight out of the borrowed column slices.
         let mut group_sizes: Vec<u32> = Vec::new();
-        for (_tid, tuple) in relation.iter() {
-            let row = tuple.values();
-            let hash = hash_key(index.key_columns.iter().map(|&c| row[c]));
-            let mut bucket = hash as usize & index.mask;
-            let g = loop {
-                match index.table[bucket] {
-                    EMPTY => {
-                        let g = group_sizes.len() as u32;
-                        index.table[bucket] = g;
-                        index
-                            .group_keys
-                            .extend(index.key_columns.iter().map(|&c| row[c]));
-                        group_sizes.push(0);
-                        break g;
-                    }
-                    g => {
-                        let key = &index.group_keys[g as usize * k..(g as usize + 1) * k];
-                        if index
-                            .key_columns
-                            .iter()
-                            .zip(key)
-                            .all(|(&c, &kv)| row[c] == kv)
-                        {
+        if k == 1 {
+            // Single-column fast path: one contiguous scan.
+            let col = relation.column(key_columns[0]);
+            for &v in col {
+                let mut bucket = hash1(v) as usize & index.mask;
+                let g = loop {
+                    match index.table[bucket] {
+                        EMPTY => {
+                            let g = group_sizes.len() as u32;
+                            index.table[bucket] = g;
+                            index.group_keys.push(v);
+                            group_sizes.push(0);
                             break g;
                         }
-                        bucket = (bucket + 1) & index.mask;
+                        g => {
+                            if index.group_keys[g as usize] == v {
+                                break g;
+                            }
+                            bucket = (bucket + 1) & index.mask;
+                        }
                     }
-                }
-            };
-            group_sizes[g as usize] += 1;
-            group_of_tuple.push(g);
+                };
+                group_sizes[g as usize] += 1;
+                index.tuple_groups.push(g);
+            }
+        } else {
+            let cols: Vec<&[Value]> = key_columns.iter().map(|&c| relation.column(c)).collect();
+            for tid in 0..n {
+                let hash = hash_key(cols.iter().map(|col| col[tid]));
+                let mut bucket = hash as usize & index.mask;
+                let g = loop {
+                    match index.table[bucket] {
+                        EMPTY => {
+                            let g = group_sizes.len() as u32;
+                            index.table[bucket] = g;
+                            index.group_keys.extend(cols.iter().map(|col| col[tid]));
+                            group_sizes.push(0);
+                            break g;
+                        }
+                        g => {
+                            let key = &index.group_keys[g as usize * k..(g as usize + 1) * k];
+                            if cols.iter().zip(key).all(|(col, &kv)| col[tid] == kv) {
+                                break g;
+                            }
+                            bucket = (bucket + 1) & index.mask;
+                        }
+                    }
+                };
+                group_sizes[g as usize] += 1;
+                index.tuple_groups.push(g);
+            }
         }
 
         // Pass 2: prefix-sum the sizes and scatter tuple ids; scattering in
@@ -163,7 +194,7 @@ impl HashIndex {
         index.group_offsets.push(acc);
         index.group_tids.resize(acc as usize, 0);
         let mut cursor: Vec<u32> = index.group_offsets[..num_groups].to_vec();
-        for (tid, &g) in group_of_tuple.iter().enumerate() {
+        for (tid, &g) in index.tuple_groups.iter().enumerate() {
             index.group_tids[cursor[g as usize] as usize] = tid;
             cursor[g as usize] += 1;
         }
@@ -178,6 +209,18 @@ impl HashIndex {
     /// Number of distinct keys (groups).
     pub fn num_groups(&self) -> usize {
         self.group_offsets.len().saturating_sub(1)
+    }
+
+    /// The group id of tuple `tid` of the **indexed relation itself** — a
+    /// single array read, no hashing. This is the fast path for consumers
+    /// that walk the indexed relation in tuple order (the engine's value-node
+    /// loop).
+    ///
+    /// # Panics
+    /// Panics if `tid` is out of range.
+    #[inline]
+    pub fn group_of_tuple(&self, tid: TupleId) -> usize {
+        self.tuple_groups[tid] as usize
     }
 
     /// Probe the table with a precomputed hash; `matches` checks a candidate
@@ -221,6 +264,28 @@ impl HashIndex {
                 .zip(cols)
                 .all(|(&kv, &c)| kv == row[c])
         })
+    }
+
+    /// The group matching columns `cols` of row `tid` of `relation` — the
+    /// columnar analogue of [`HashIndex::group_of_cols`], gathering the key
+    /// from `relation`'s column slices without materialising the row.
+    pub fn group_of_row_in(
+        &self,
+        relation: &Relation,
+        tid: TupleId,
+        cols: &[usize],
+    ) -> Option<usize> {
+        debug_assert_eq!(cols.len(), self.key_columns.len());
+        let k = cols.len();
+        self.probe(
+            hash_key(cols.iter().map(|&c| relation.column(c)[tid])),
+            |g| {
+                self.group_keys[g * k..(g + 1) * k]
+                    .iter()
+                    .zip(cols)
+                    .all(|(&kv, &c)| kv == relation.column(c)[tid])
+            },
+        )
     }
 
     /// The group matching the index's own key columns of the full row `row`.
@@ -355,6 +420,26 @@ mod tests {
         // lookup_cols probes via caller-chosen columns of the row.
         assert_eq!(idx.lookup_cols(&[20, 99], &[0]), idx.lookup(&[20]));
         assert!(idx.lookup_cols(&[99, 0], &[0]).is_empty());
+    }
+
+    #[test]
+    fn tuple_groups_match_probes() {
+        let r = sample();
+        for key in [&[0usize][..], &[1], &[0, 1]] {
+            let idx = HashIndex::build(&r, key);
+            for (tid, t) in r.iter() {
+                let key_vals: Vec<Value> = key.iter().map(|&c| t.value(c)).collect();
+                assert_eq!(
+                    idx.group_of_tuple(tid),
+                    idx.group_of(&key_vals).expect("indexed tuple has a group"),
+                    "key {key:?} tuple {tid}"
+                );
+                assert_eq!(
+                    idx.group_of_row_in(&r, tid, key),
+                    Some(idx.group_of_tuple(tid))
+                );
+            }
+        }
     }
 
     #[test]

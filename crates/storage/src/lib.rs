@@ -6,11 +6,17 @@
 //! whose tuples carry real-valued weights (§2.1–§2.3). This crate provides
 //! exactly that substrate:
 //!
-//! * [`Tuple`] — a fixed-arity row of `u64` attribute values plus a weight;
-//! * [`Relation`] — a named bag of equal-arity tuples;
-//! * [`Database`] — a catalog of relations addressed by name;
+//! * [`Tuple`] — an owned, fixed-arity row of `u64` attribute values plus a
+//!   weight (the construction/value currency);
+//! * [`Relation`] — a named bag of equal-arity tuples in **column-major**
+//!   layout (one flat vector per attribute plus a weight column), with the
+//!   borrowed row view [`RowRef`];
+//! * [`Database`] — a catalog of relations addressed by name, memoising
+//!   [`HashIndex`]es per (relation, key columns) and invalidating them when a
+//!   relation is replaced;
 //! * [`HashIndex`] — the linear-time-buildable, constant-time-lookup join
-//!   index assumed by the cost model of §2.3;
+//!   index assumed by the cost model of §2.3, built by sequential column
+//!   scans;
 //! * [`stats`] — per-column degree statistics (used by the heavy/light
 //!   partitioning of §5.3.1 and the dataset summaries of Fig. 9).
 
@@ -25,5 +31,5 @@ mod tuple;
 
 pub use database::Database;
 pub use index::HashIndex;
-pub use relation::Relation;
+pub use relation::{Relation, RowRef};
 pub use tuple::{Tuple, TupleId, Value};

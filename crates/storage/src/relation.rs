@@ -1,15 +1,102 @@
 //! Relations: named collections of equal-arity weighted tuples.
+//!
+//! ## Column-major storage
+//!
+//! A relation stores its tuples **columnar**: one flat `Vec<Value>` per
+//! attribute plus one flat `Vec<f64>` weight column. The preprocessing phase
+//! of the engine — index construction, the value-node loop of the equi-join
+//! compilation, semi-join filters, degree statistics — reads whole columns,
+//! so the column-major layout turns every one of those loops into a
+//! sequential scan over contiguous memory instead of a pointer chase through
+//! one heap allocation per row.
+//!
+//! Rows are addressed by their [`TupleId`] (insertion index) through the
+//! borrowed view [`RowRef`], which is two words (relation pointer + row id)
+//! and resolves each attribute access as a single column indexing operation.
+//! The owned row type [`Tuple`] remains the construction/value currency:
+//! [`Relation::push`] decomposes a `Tuple` into the columns, and
+//! [`Relation::push_row`] appends straight from a borrowed slice without
+//! allocating.
 
 use crate::tuple::{Tuple, TupleId, Value};
 
-/// A named relation with a fixed arity. Tuples are stored in insertion order
-/// and addressed by their [`TupleId`] (their index), which the engine uses as
-/// the payload carried through T-DP states.
+/// A named relation with a fixed arity, stored column-major. Tuples are kept
+/// in insertion order and addressed by their [`TupleId`] (their index), which
+/// the engine uses as the payload carried through T-DP states.
 #[derive(Debug, Clone)]
 pub struct Relation {
     name: String,
     arity: usize,
-    tuples: Vec<Tuple>,
+    /// One flat value vector per attribute; `columns[c][t]` is attribute `c`
+    /// of tuple `t`. All columns have the same length.
+    columns: Vec<Vec<Value>>,
+    /// The weight column, same length as every attribute column.
+    weights: Vec<f64>,
+}
+
+/// A borrowed, copyable view of one row of a [`Relation`].
+///
+/// Attribute access is a single indexing operation into the backing column;
+/// no row is ever materialised. `RowRef` is the type handed out by
+/// [`Relation::iter`], [`Relation::tuples`] and [`Relation::tuple`], and the
+/// type accepted by the engine's weight functions and filters.
+#[derive(Clone, Copy)]
+pub struct RowRef<'a> {
+    rel: &'a Relation,
+    id: TupleId,
+}
+
+impl<'a> RowRef<'a> {
+    /// The row's [`TupleId`] within its relation.
+    pub fn id(self) -> TupleId {
+        self.id
+    }
+
+    /// The number of attributes.
+    pub fn arity(self) -> usize {
+        self.rel.arity
+    }
+
+    /// The value of attribute `col`.
+    ///
+    /// # Panics
+    /// Panics if `col >= arity()`.
+    #[inline]
+    pub fn value(self, col: usize) -> Value {
+        self.rel.columns[col][self.id]
+    }
+
+    /// The row's weight.
+    #[inline]
+    pub fn weight(self) -> f64 {
+        self.rel.weights[self.id]
+    }
+
+    /// Iterate over the row's attribute values in column order.
+    pub fn values(self) -> impl Iterator<Item = Value> + 'a {
+        let id = self.id;
+        self.rel.columns.iter().map(move |c| c[id])
+    }
+
+    /// The attribute values gathered into an owned vector.
+    pub fn values_vec(self) -> Vec<Value> {
+        self.values().collect()
+    }
+
+    /// An owned [`Tuple`] copy of the row.
+    pub fn to_tuple(self) -> Tuple {
+        Tuple::new(self.values_vec(), self.weight())
+    }
+}
+
+impl std::fmt::Debug for RowRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RowRef")
+            .field("id", &self.id)
+            .field("values", &self.values_vec())
+            .field("weight", &self.weight())
+            .finish()
+    }
 }
 
 impl Relation {
@@ -18,7 +105,19 @@ impl Relation {
         Relation {
             name: name.into(),
             arity,
-            tuples: Vec::new(),
+            columns: vec![Vec::new(); arity],
+            weights: Vec::new(),
+        }
+    }
+
+    /// Create an empty relation with row capacity pre-reserved in every
+    /// column (avoids re-allocation when the cardinality is known up front).
+    pub fn with_capacity(name: impl Into<String>, arity: usize, rows: usize) -> Self {
+        Relation {
+            name: name.into(),
+            arity,
+            columns: vec![Vec::with_capacity(rows); arity],
+            weights: Vec::with_capacity(rows),
         }
     }
 
@@ -27,7 +126,7 @@ impl Relation {
     /// # Panics
     /// Panics if any tuple's arity differs from `arity`.
     pub fn from_tuples(name: impl Into<String>, arity: usize, tuples: Vec<Tuple>) -> Self {
-        let mut r = Relation::new(name, arity);
+        let mut r = Relation::with_capacity(name, arity, tuples.len());
         for t in tuples {
             r.push(t);
         }
@@ -45,13 +144,50 @@ impl Relation {
     }
 
     /// Number of tuples.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.weights.len()
     }
 
     /// True if the relation holds no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.weights.is_empty()
+    }
+
+    /// The full column of attribute `col` — the contiguous scan path used by
+    /// index construction and degree statistics.
+    ///
+    /// # Panics
+    /// Panics if `col >= arity()`.
+    #[inline]
+    pub fn column(&self, col: usize) -> &[Value] {
+        &self.columns[col]
+    }
+
+    /// The full weight column.
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Append a row from a borrowed value slice (allocation-free).
+    ///
+    /// # Panics
+    /// Panics if `values.len()` does not match the relation's arity.
+    pub fn push_row(&mut self, values: &[Value], weight: f64) -> TupleId {
+        assert_eq!(
+            values.len(),
+            self.arity,
+            "tuple arity {} does not match relation {} arity {}",
+            values.len(),
+            self.name,
+            self.arity
+        );
+        for (col, &v) in self.columns.iter_mut().zip(values) {
+            col.push(v);
+        }
+        self.weights.push(weight);
+        self.weights.len() - 1
     }
 
     /// Append a tuple.
@@ -59,16 +195,7 @@ impl Relation {
     /// # Panics
     /// Panics if the tuple's arity does not match the relation's.
     pub fn push(&mut self, tuple: Tuple) -> TupleId {
-        assert_eq!(
-            tuple.arity(),
-            self.arity,
-            "tuple arity {} does not match relation {} arity {}",
-            tuple.arity(),
-            self.name,
-            self.arity
-        );
-        self.tuples.push(tuple);
-        self.tuples.len() - 1
+        self.push_row(tuple.values(), tuple.weight())
     }
 
     /// Convenience: append a binary edge tuple `(from, to)` with a weight.
@@ -77,41 +204,52 @@ impl Relation {
     /// Panics unless the relation is binary.
     pub fn push_edge(&mut self, from: Value, to: Value, weight: f64) -> TupleId {
         assert_eq!(self.arity, 2, "push_edge requires a binary relation");
-        self.push(Tuple::new(vec![from, to], weight))
+        self.push_row(&[from, to], weight)
     }
 
-    /// The tuple with the given id.
-    pub fn tuple(&self, id: TupleId) -> &Tuple {
-        &self.tuples[id]
+    /// A borrowed view of the tuple with the given id.
+    ///
+    /// # Panics
+    /// Panics if `id >= len()` (on first attribute/weight access for
+    /// zero-arity relations).
+    #[inline]
+    pub fn tuple(&self, id: TupleId) -> RowRef<'_> {
+        debug_assert!(id < self.len(), "tuple id {id} out of range");
+        RowRef { rel: self, id }
     }
 
-    /// Iterate over `(id, tuple)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (TupleId, &Tuple)> {
-        self.tuples.iter().enumerate()
+    /// Iterate over `(id, row)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TupleId, RowRef<'_>)> {
+        (0..self.len()).map(move |id| (id, RowRef { rel: self, id }))
     }
 
-    /// Iterate over tuples only.
-    pub fn tuples(&self) -> impl Iterator<Item = &Tuple> {
-        self.tuples.iter()
+    /// Iterate over rows only.
+    pub fn tuples(&self) -> impl Iterator<Item = RowRef<'_>> {
+        (0..self.len()).map(move |id| RowRef { rel: self, id })
     }
 
-    /// A copy of this relation containing only tuples satisfying `pred`,
+    /// A copy of this relation containing only rows satisfying `pred`,
     /// under a new name. Used for the heavy/light partitioning of §5.3.1.
     pub fn filter(
         &self,
         name: impl Into<String>,
-        mut pred: impl FnMut(&Tuple) -> bool,
+        mut pred: impl FnMut(RowRef<'_>) -> bool,
     ) -> Relation {
-        Relation {
-            name: name.into(),
-            arity: self.arity,
-            tuples: self.tuples.iter().filter(|t| pred(t)).cloned().collect(),
+        let mut out = Relation::new(name, self.arity);
+        for id in 0..self.len() {
+            if pred(RowRef { rel: self, id }) {
+                for (dst, src) in out.columns.iter_mut().zip(&self.columns) {
+                    dst.push(src[id]);
+                }
+                out.weights.push(self.weights[id]);
+            }
         }
+        out
     }
 
     /// Total weight of all tuples (handy for sanity checks in tests).
     pub fn total_weight(&self) -> f64 {
-        self.tuples.iter().map(Tuple::weight).sum()
+        self.weights.iter().sum()
     }
 }
 
@@ -124,7 +262,9 @@ mod tests {
         let mut r = Relation::new("R", 2);
         let id = r.push(Tuple::new(vec![1, 2], 0.5));
         assert_eq!(r.len(), 1);
-        assert_eq!(r.tuple(id).values(), &[1, 2]);
+        assert_eq!(r.tuple(id).values_vec(), vec![1, 2]);
+        assert_eq!(r.tuple(id).value(1), 2);
+        assert_eq!(r.tuple(id).weight(), 0.5);
         assert!(!r.is_empty());
         assert_eq!(r.name(), "R");
     }
@@ -153,5 +293,27 @@ mod tests {
         let mut r = Relation::new("E", 2);
         r.push_edge(1, 2, 3.0);
         assert_eq!(r.total_weight(), 3.0);
+    }
+
+    #[test]
+    fn columns_are_contiguous_per_attribute() {
+        let mut r = Relation::new("R", 3);
+        r.push_row(&[1, 10, 100], 0.1);
+        r.push_row(&[2, 20, 200], 0.2);
+        r.push_row(&[3, 30, 300], 0.3);
+        assert_eq!(r.column(0), &[1, 2, 3]);
+        assert_eq!(r.column(1), &[10, 20, 30]);
+        assert_eq!(r.column(2), &[100, 200, 300]);
+        assert_eq!(r.weights(), &[0.1, 0.2, 0.3]);
+    }
+
+    #[test]
+    fn row_ref_round_trips_through_tuple() {
+        let mut r = Relation::new("R", 2);
+        r.push_row(&[7, 9], 1.5);
+        let t = r.tuple(0).to_tuple();
+        assert_eq!(t.values(), &[7, 9]);
+        assert_eq!(t.weight(), 1.5);
+        assert_eq!(r.tuple(0).values().collect::<Vec<_>>(), vec![7, 9]);
     }
 }

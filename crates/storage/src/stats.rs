@@ -18,11 +18,12 @@ pub struct ColumnStats {
 }
 
 impl ColumnStats {
-    /// Compute the statistics of `column` of `relation` in one pass.
+    /// Compute the statistics of `column` of `relation` in one sequential
+    /// scan of the backing column.
     pub fn compute(relation: &Relation, column: usize) -> Self {
         let mut counts: HashMap<Value, usize> = HashMap::new();
-        for (_, t) in relation.iter() {
-            *counts.entry(t.value(column)).or_insert(0) += 1;
+        for &v in relation.column(column) {
+            *counts.entry(v).or_insert(0) += 1;
         }
         ColumnStats {
             total: relation.len(),
@@ -108,9 +109,8 @@ pub fn graph_stats(relation: &Relation) -> GraphStats {
         "graph_stats requires a binary relation"
     );
     let mut nodes: HashMap<Value, ()> = HashMap::new();
-    for (_, t) in relation.iter() {
-        nodes.insert(t.value(0), ());
-        nodes.insert(t.value(1), ());
+    for &v in relation.column(0).iter().chain(relation.column(1)) {
+        nodes.insert(v, ());
     }
     let out = ColumnStats::compute(relation, 0);
     GraphStats {
