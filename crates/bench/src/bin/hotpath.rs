@@ -1,9 +1,13 @@
 //! Hot-path microbenchmark for the CSR T-DP layout work: TTF / TT(k) for the
-//! three workload shapes whose candidate-expansion loops dominate wall-clock
-//! (path-4, star-3, cycle-6), across every any-k algorithm, plus `prep_ms`
-//! (compile + bottom-up — the phase targeted by the columnar/parallel
-//! preprocessing pipeline) and a MEM(k) snapshot per anyK-part variant
-//! (candidate queue, shared-prefix arena, successor-structure table).
+//! workload shapes whose candidate-expansion loops dominate wall-clock
+//! (path-4, star-3, cycle-6, plus the string-keyed text-3 scenario whose
+//! columns are dictionary-encoded usernames), across every any-k algorithm,
+//! plus `prep_ms` (compile + bottom-up — the phase targeted by the
+//! columnar/parallel preprocessing pipeline) and a MEM(k) snapshot per
+//! anyK-part variant (candidate queue, shared-prefix arena,
+//! successor-structure table). The text scenario must track the integer
+//! scenarios closely: encoding happens at build time, so any enumeration gap
+//! would indicate the dictionary layer leaking into the hot loops.
 //!
 //! Writes `BENCH_hotpath.json` (override with `ANYK_HOTPATH_OUT`) so the
 //! perf trajectory of the enumeration hot loops is recorded in-repo. If
@@ -17,7 +21,7 @@
 use anyk_bench::Scale;
 use anyk_core::metrics::EnumerationTrace;
 use anyk_core::AnyKAlgorithm;
-use anyk_datagen::{cycles, rng, uniform};
+use anyk_datagen::{cycles, rng, text, uniform};
 use anyk_engine::RankedQuery;
 use anyk_query::QueryBuilder;
 use anyk_storage::Database;
@@ -69,6 +73,18 @@ fn workloads(scale: Scale) -> Vec<Workload> {
             name: "cycle6",
             db: cycles::worst_case_cycle_database(6, cycle_n, &mut rng(13)),
             query: QueryBuilder::cycle(6).build(),
+        },
+        Workload {
+            name: "text3",
+            db: text::text_social_database(
+                3,
+                text::TextSocialConfig {
+                    users: scale.pick(200, 8_000, 40_000),
+                    avg_degree: 4,
+                },
+                &mut rng(14),
+            ),
+            query: QueryBuilder::path(3).build(),
         },
     ]
 }

@@ -14,7 +14,10 @@
 //!   standing in for the Bitcoin-OTC and Twitter datasets of Fig. 9 (the
 //!   experiments depend on the skewed degree distribution and weight spread,
 //!   not the identity of the graphs — see DESIGN.md for the substitution
-//!   rationale).
+//!   rationale);
+//! * [`text`] — string-keyed workloads: a social-network generator with
+//!   string usernames over dictionary-encoded relations, plus a CSV/TSV
+//!   loader for external text data.
 //!
 //! All generators are deterministic given a seed, so experiments are
 //! reproducible.
@@ -25,6 +28,7 @@
 pub mod adversarial;
 pub mod cycles;
 pub mod social;
+pub mod text;
 pub mod uniform;
 
 use rand::rngs::SmallRng;

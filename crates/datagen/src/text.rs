@@ -1,0 +1,333 @@
+//! String-keyed workloads: a social-network edge generator with string
+//! usernames, and a CSV/TSV loader for external text data.
+//!
+//! Both paths produce dictionary-encoded relations (see
+//! `anyk_storage::dictionary`): the columns the engine scans hold dense ids,
+//! and the original strings come back through `RowRef::decoded` /
+//! `AnswerDecoder`. The generator is deterministic given a seed, like every
+//! other generator in this crate.
+
+use anyk_storage::{ColumnType, Database, Field, Relation, Schema};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Adjective half of the generated username pool.
+const ADJECTIVES: [&str; 16] = [
+    "amber", "bold", "calm", "dapper", "eager", "fuzzy", "gentle", "happy", "icy", "jolly", "keen",
+    "lucky", "mellow", "nimble", "proud", "quiet",
+];
+
+/// Noun half of the generated username pool.
+const NOUNS: [&str; 16] = [
+    "badger", "crane", "dolphin", "eagle", "ferret", "gecko", "heron", "ibis", "jackal", "koala",
+    "lemur", "marmot", "newt", "otter", "panda", "quokka",
+];
+
+/// The deterministic username of node `i`: an adjective–noun pair, with a
+/// numeric suffix once the 256 pair combinations are exhausted. Distinct `i`
+/// always yield distinct usernames.
+pub fn username(i: usize) -> String {
+    let adj = ADJECTIVES[i % ADJECTIVES.len()];
+    let noun = NOUNS[(i / ADJECTIVES.len()) % NOUNS.len()];
+    let round = i / (ADJECTIVES.len() * NOUNS.len());
+    if round == 0 {
+        format!("{adj}_{noun}")
+    } else {
+        format!("{adj}_{noun}{round}")
+    }
+}
+
+/// Parameters of the string-keyed social graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TextSocialConfig {
+    /// Number of users (distinct usernames).
+    pub users: usize,
+    /// Average out-degree (edges ≈ users × avg_degree).
+    pub avg_degree: usize,
+}
+
+/// Generate a `FOLLOWS(follower, followee)` edge relation keyed by string
+/// usernames, with integer-valued trust weights in `[-10, 10]` (the
+/// Bitcoin-OTC shape). Both columns share one dictionary, so the relation
+/// joins against itself and against copies built from the same schema.
+pub fn follows_edges(config: TextSocialConfig, rng: &mut SmallRng) -> Relation {
+    let schema = Schema::text_shared(2);
+    let mut edges =
+        Relation::with_schema_capacity("FOLLOWS", schema, config.users * config.avg_degree);
+    // Preferential attachment on the endpoint pool, as in [`crate::social`],
+    // but through the string-encoding push path: hubs emerge because every
+    // prior endpoint occurrence biases future sampling towards it.
+    let mut pool: Vec<usize> = vec![0];
+    for v in 1..config.users {
+        for _ in 0..config.avg_degree {
+            let target = if pool.len() < 2 || rng.gen_bool(0.1) {
+                rng.gen_range(0..v as u64) as usize
+            } else {
+                pool[rng.gen_range(0..pool.len() as u64) as usize]
+            };
+            if target == v {
+                continue;
+            }
+            let weight = rng.gen_range(-10i32..=10) as f64;
+            edges.push_text_edge(&username(v), &username(target), weight);
+            pool.push(v);
+            pool.push(target);
+        }
+    }
+    edges
+}
+
+/// A database holding `ell` copies (`R1..Rℓ`) of one string-keyed edge
+/// relation — the layout used for path/star/cycle queries over a graph. All
+/// copies share the edge relation's schema (hence its dictionary), so any
+/// pair of their columns joins consistently.
+pub fn text_social_database(ell: usize, config: TextSocialConfig, rng: &mut SmallRng) -> Database {
+    let edges = follows_edges(config, rng);
+    let mut db = Database::new();
+    for i in 1..=ell {
+        let mut r =
+            Relation::with_schema_capacity(format!("R{i}"), edges.schema().clone(), edges.len());
+        for (_, t) in edges.iter() {
+            // Already-encoded ids: replicate through the raw path.
+            r.push_row(&[t.value(0), t.value(1)], t.weight());
+        }
+        db.add(r);
+    }
+    db
+}
+
+/// An error while parsing delimited text data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TextLoadError {
+    /// A record had the wrong number of fields: valid records carry either
+    /// `arity` fields or `arity + 1` with a trailing weight.
+    FieldCount {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// The schema's arity (records may carry `arity` or `arity + 1`
+        /// fields).
+        arity: usize,
+        /// Fields actually present.
+        got: usize,
+    },
+    /// A field of an id column was not a valid `u64`.
+    BadInt {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// The unparsable field.
+        field: String,
+    },
+    /// The trailing weight field was not a valid `f64`.
+    BadWeight {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// The unparsable field.
+        field: String,
+    },
+}
+
+impl std::fmt::Display for TextLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TextLoadError::FieldCount { line, arity, got } => write!(
+                f,
+                "line {line}: expected {arity} fields (or {} with a trailing \
+                 weight), got {got}",
+                arity + 1
+            ),
+            TextLoadError::BadInt { line, field } => {
+                write!(f, "line {line}: id column field {field:?} is not a u64")
+            }
+            TextLoadError::BadWeight { line, field } => {
+                write!(f, "line {line}: weight field {field:?} is not a number")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TextLoadError {}
+
+/// Load a relation from delimiter-separated text (no quoting; fields are
+/// trimmed). Each record carries the schema's columns in order, optionally
+/// followed by one trailing weight field (`f64`); records without it get
+/// weight `0.0`. Empty lines and lines starting with `#` are skipped.
+///
+/// Text columns intern through the schema's dictionaries — load several files
+/// with clones of one schema to keep them join-compatible — and id columns
+/// parse their fields as `u64`.
+pub fn load_delimited(
+    name: impl Into<String>,
+    input: &str,
+    delimiter: char,
+    schema: Schema,
+) -> Result<Relation, TextLoadError> {
+    let arity = schema.arity();
+    let mut relation = Relation::with_schema(name, schema);
+    let mut fields: Vec<Field<'_>> = Vec::with_capacity(arity);
+    for (lineno, record) in input.lines().enumerate() {
+        let line = lineno + 1;
+        let trimmed = record.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let raw: Vec<&str> = trimmed.split(delimiter).map(str::trim).collect();
+        let weight = match raw.len() {
+            n if n == arity => 0.0,
+            n if n == arity + 1 => raw[arity].parse().map_err(|_| TextLoadError::BadWeight {
+                line,
+                field: raw[arity].to_string(),
+            })?,
+            got => return Err(TextLoadError::FieldCount { line, arity, got }),
+        };
+        fields.clear();
+        for (col, &field) in raw.iter().take(arity).enumerate() {
+            // Pre-validate id columns so the loader reports an error instead
+            // of tripping `push_fields`' panic.
+            match relation.schema().column(col) {
+                ColumnType::Id => {
+                    let v: u64 = field.parse().map_err(|_| TextLoadError::BadInt {
+                        line,
+                        field: field.to_string(),
+                    })?;
+                    fields.push(Field::Int(v));
+                }
+                ColumnType::Text(_) => fields.push(Field::Str(field)),
+            }
+        }
+        relation.push_fields(&fields, weight);
+    }
+    Ok(relation)
+}
+
+/// [`load_delimited`] with a tab delimiter.
+pub fn load_tsv(
+    name: impl Into<String>,
+    input: &str,
+    schema: Schema,
+) -> Result<Relation, TextLoadError> {
+    load_delimited(name, input, '\t', schema)
+}
+
+/// [`load_delimited`] with a comma delimiter.
+pub fn load_csv(
+    name: impl Into<String>,
+    input: &str,
+    schema: Schema,
+) -> Result<Relation, TextLoadError> {
+    load_delimited(name, input, ',', schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn usernames_are_distinct_and_human_readable() {
+        let names: HashSet<String> = (0..600).map(username).collect();
+        assert_eq!(names.len(), 600);
+        assert_eq!(username(0), "amber_badger");
+        assert_eq!(username(256), "amber_badger1");
+        assert!(names.iter().all(|n| n.contains('_')));
+    }
+
+    #[test]
+    fn follows_edges_are_string_keyed_and_deterministic() {
+        let config = TextSocialConfig {
+            users: 120,
+            avg_degree: 4,
+        };
+        let a = follows_edges(config, &mut rng(5));
+        let b = follows_edges(config, &mut rng(5));
+        assert!(a.len() > 200);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.column(0), b.column(0), "deterministic given the seed");
+        for t in a.tuples().take(50) {
+            let from = t.decoded(0).expect("text column decodes");
+            assert!(from.contains('_'), "decoded to a username: {from}");
+            assert!(t.weight() >= -10.0 && t.weight() <= 10.0);
+        }
+    }
+
+    #[test]
+    fn text_social_database_shares_one_dictionary() {
+        let config = TextSocialConfig {
+            users: 60,
+            avg_degree: 3,
+        };
+        let db = text_social_database(3, config, &mut rng(6));
+        assert_eq!(db.len(), 3);
+        let d1 = db.dictionary("R1", 0).unwrap();
+        for rel in ["R1", "R2", "R3"] {
+            for col in 0..2 {
+                assert!(std::sync::Arc::ptr_eq(
+                    &d1,
+                    &db.dictionary(rel, col).unwrap()
+                ));
+            }
+        }
+        assert_eq!(db.expect("R1").len(), db.expect("R3").len());
+    }
+
+    #[test]
+    fn tsv_loader_encodes_text_and_parses_ids_and_weights() {
+        let schema = Schema::new(vec![ColumnType::text(), ColumnType::Id]);
+        let input = "# user\tpage\tweight\nalice\t10\t1.5\n\nbob\t20\t2.0\nalice\t30\n";
+        let r = load_tsv("VISITS", input, schema).unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.tuple(0).decoded(0).as_deref(), Some("alice"));
+        assert_eq!(r.tuple(0).value(1), 10);
+        assert_eq!(r.tuple(0).weight(), 1.5);
+        assert_eq!(r.tuple(2).weight(), 0.0, "missing weight defaults to 0");
+        assert_eq!(r.column(0), &[0, 1, 0], "alice deduplicated to one id");
+    }
+
+    #[test]
+    fn csv_loader_reports_malformed_records() {
+        let schema = Schema::text_shared(2);
+        assert_eq!(
+            load_csv("E", "a,b,c,d\n", schema.clone()).unwrap_err(),
+            TextLoadError::FieldCount {
+                line: 1,
+                arity: 2,
+                got: 4
+            }
+        );
+        let msg = load_csv("E", "a,b,c,d\n", schema.clone())
+            .unwrap_err()
+            .to_string();
+        assert!(
+            msg.contains("2 fields"),
+            "names both accepted counts: {msg}"
+        );
+        assert!(msg.contains("3 with"), "names both accepted counts: {msg}");
+        assert_eq!(
+            load_csv("E", "a,b,heavy\n", schema.clone()).unwrap_err(),
+            TextLoadError::BadWeight {
+                line: 1,
+                field: "heavy".into()
+            }
+        );
+        let ids = Schema::ids(2);
+        assert_eq!(
+            load_csv("E", "1,bob,0.5\n", ids).unwrap_err(),
+            TextLoadError::BadInt {
+                line: 1,
+                field: "bob".into()
+            }
+        );
+        // Error messages render with the line number.
+        let err = load_csv("E", "x,y,z,w\n", schema).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn loading_two_files_through_one_schema_aligns_their_encodings() {
+        let schema = Schema::text_shared(2);
+        let r1 = load_csv("R1", "alice,bob,1\nbob,carol,2\n", schema.clone()).unwrap();
+        let r2 = load_csv("R2", "bob,dave,3\n", schema).unwrap();
+        // "bob" must carry the same id in both relations for joins to work.
+        assert_eq!(r1.tuple(0).value(1), r2.tuple(0).value(0));
+    }
+}

@@ -1,6 +1,14 @@
-//! Query answers.
+//! Query answers, and decoding them back to original strings.
+//!
+//! Ranked enumeration runs entirely over dense `u64` ids; when the input
+//! relations are dictionary-encoded (see `anyk_storage::dictionary`), an
+//! [`AnswerDecoder`] maps each head-variable position back to the dictionary
+//! of a column that binds it, so every [`Answer`] — from any-k, the naive-SQL
+//! baseline, or a projection — renders its original strings.
 
-use anyk_storage::{TupleId, Value};
+use anyk_query::ConjunctiveQuery;
+use anyk_storage::{Database, Dictionary, TupleId, Value};
+use std::sync::Arc;
 
 /// One ranked answer of a conjunctive query.
 ///
@@ -49,6 +57,112 @@ impl Answer {
     }
 }
 
+/// One decoded head-variable value: the original string for a
+/// dictionary-encoded column, the raw id otherwise.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DecodedValue {
+    /// A raw-id column's value (or an id the dictionary could not decode).
+    Int(Value),
+    /// A text column's value, decoded back to its original string.
+    Text(String),
+}
+
+impl std::fmt::Display for DecodedValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodedValue::Int(v) => write!(f, "{v}"),
+            DecodedValue::Text(s) => f.write_str(s),
+        }
+    }
+}
+
+/// Decodes [`Answer`] values back to original strings for a specific query.
+///
+/// Built once per query: for each head variable, the decoder records the
+/// dictionary of the first body column that binds it (all columns binding one
+/// variable must share a dictionary anyway for the equi-join to be
+/// meaningful — see `anyk_storage::dictionary`). The decoder owns `Arc`
+/// handles, so it keeps decoding consistently even if a relation is later
+/// replaced in the database: it describes the snapshot it was built from.
+#[derive(Debug, Clone, Default)]
+pub struct AnswerDecoder {
+    /// One entry per head-variable position: the dictionary to decode
+    /// through, or `None` for raw-id columns.
+    dictionaries: Vec<Option<Arc<Dictionary>>>,
+}
+
+impl AnswerDecoder {
+    /// Build a decoder for `query`'s head variables over `db`.
+    ///
+    /// # Panics
+    /// Panics if an atom references a relation absent from `db` (the same
+    /// contract as preparing the query itself).
+    pub fn for_query(db: &Database, query: &ConjunctiveQuery) -> Self {
+        let dictionaries = query
+            .head_variables()
+            .iter()
+            .map(|var| {
+                query.atoms().iter().find_map(|atom| {
+                    let pos = atom.variables.iter().position(|v| v == var)?;
+                    db.expect(&atom.relation).dictionary(pos).cloned()
+                })
+            })
+            .collect();
+        AnswerDecoder { dictionaries }
+    }
+
+    /// Number of head-variable positions this decoder covers.
+    pub fn arity(&self) -> usize {
+        self.dictionaries.len()
+    }
+
+    /// Decode the value at head position `pos`.
+    ///
+    /// # Panics
+    /// Panics if `pos >= arity()`.
+    pub fn decode_value(&self, pos: usize, value: Value) -> DecodedValue {
+        match &self.dictionaries[pos] {
+            Some(dict) => match dict.decode(value) {
+                Some(s) => DecodedValue::Text(s),
+                // An id the dictionary never issued: surface the raw id
+                // rather than panicking mid-render.
+                None => DecodedValue::Int(value),
+            },
+            None => DecodedValue::Int(value),
+        }
+    }
+
+    /// Decode every head value of `answer`.
+    ///
+    /// # Panics
+    /// Panics if the answer's arity differs from the decoder's.
+    pub fn decode(&self, answer: &Answer) -> Vec<DecodedValue> {
+        assert_eq!(
+            answer.values().len(),
+            self.dictionaries.len(),
+            "answer arity does not match the decoder's query"
+        );
+        answer
+            .values()
+            .iter()
+            .enumerate()
+            .map(|(pos, &v)| self.decode_value(pos, v))
+            .collect()
+    }
+
+    /// Decode every head value of `answer` straight to display strings
+    /// (moves decoded strings out rather than copying them a second time).
+    pub fn render(&self, answer: &Answer) -> Vec<String> {
+        self.decode(answer)
+            .into_iter()
+            .map(|v| match v {
+                DecodedValue::Int(n) => n.to_string(),
+                DecodedValue::Text(s) => s,
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -60,5 +174,39 @@ mod tests {
         assert_eq!(a.values(), &[1, 2, 3]);
         assert_eq!(a.value(2), 3);
         assert_eq!(a.witness(), &[(0, 7), (1, 9)]);
+    }
+
+    #[test]
+    fn decoder_maps_head_positions_to_column_dictionaries() {
+        use anyk_query::QueryBuilder;
+        use anyk_storage::{ColumnType, Relation, Schema};
+
+        // R1(x1: text, x2: id), R2(x2: id, x3: text).
+        let mut db = Database::new();
+        let mut r1 =
+            Relation::with_schema("R1", Schema::new(vec![ColumnType::text(), ColumnType::Id]));
+        r1.push_fields(&[anyk_storage::Field::Str("alice"), 42u64.into()], 1.0);
+        let mut r2 =
+            Relation::with_schema("R2", Schema::new(vec![ColumnType::Id, ColumnType::text()]));
+        r2.push_fields(&[42u64.into(), anyk_storage::Field::Str("rust")], 2.0);
+        db.add(r1);
+        db.add(r2);
+
+        let query = QueryBuilder::path(2).build();
+        let decoder = AnswerDecoder::for_query(&db, &query);
+        assert_eq!(decoder.arity(), 3);
+
+        let answer = Answer::new(3.0, vec![0, 42, 0], Vec::new());
+        assert_eq!(
+            decoder.decode(&answer),
+            vec![
+                DecodedValue::Text("alice".into()),
+                DecodedValue::Int(42),
+                DecodedValue::Text("rust".into()),
+            ]
+        );
+        assert_eq!(decoder.render(&answer), vec!["alice", "42", "rust"]);
+        // An id the dictionary never issued falls back to the raw id.
+        assert_eq!(decoder.decode_value(0, 999), DecodedValue::Int(999));
     }
 }

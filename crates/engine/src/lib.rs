@@ -17,7 +17,9 @@
 //!   worst-case optimal join, §9.1.1 / Fig. 17), and [`rankjoin`]
 //!   (an HRJN-style middleware top-k operator, §9.1.3);
 //! * [`projection`] — join queries with projections under all-weight and
-//!   min-weight semantics (§8.1).
+//!   min-weight semantics (§8.1);
+//! * [`AnswerDecoder`] — maps answers over dictionary-encoded relations back
+//!   to their original strings (the engine itself only ever sees dense ids).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -34,7 +36,7 @@ pub mod rankjoin;
 pub mod wcoj;
 pub mod yannakakis;
 
-pub use answer::Answer;
+pub use answer::{Answer, AnswerDecoder, DecodedValue};
 pub use compile::Compiled;
 pub use error::EngineError;
 pub use ranked::RankedQuery;

@@ -23,6 +23,12 @@
 //! pass) is tracked as future work; [`min_weight`] refuses queries outside
 //! the free-connex class so that callers never silently rely on guarantees
 //! that cannot hold (Corollary 22).
+//!
+//! Projected answers over dictionary-encoded relations decode like full ones:
+//! build an [`crate::AnswerDecoder`] **for the projected query** — its head
+//! variables are the projected ones, each still bound by some body column —
+//! and duplicates are eliminated on dense ids, which is exactly elimination
+//! on the original strings since dictionary encoding is injective.
 
 use crate::answer::Answer;
 use crate::error::EngineError;
@@ -199,6 +205,47 @@ mod tests {
             ),
             Err(EngineError::NotFreeConnex(_))
         ));
+    }
+
+    #[test]
+    fn projected_answers_decode_to_original_strings() {
+        use crate::answer::{AnswerDecoder, DecodedValue};
+        use anyk_storage::Schema;
+
+        // FOLLOWS(x1,x2), FOLLOWS2(x2,x3) over usernames, projected onto the
+        // middle user; all relations encode through one shared dictionary.
+        let schema = Schema::text_shared(2);
+        let mut db = Database::new();
+        let mut r1 = Relation::with_schema("R1", schema.clone());
+        r1.push_text_edge("alice", "bob", 1.0);
+        r1.push_text_edge("carol", "bob", 5.0);
+        r1.push_text_edge("alice", "dave", 3.0);
+        let mut r2 = Relation::with_schema("R2", schema);
+        r2.push_text_edge("bob", "erin", 2.0);
+        r2.push_text_edge("dave", "erin", 4.0);
+        db.add(r1);
+        db.add(r2);
+
+        let q = QueryBuilder::path(2).project(&["x2"]).build();
+        let decoder = AnswerDecoder::for_query(&db, &q);
+        let out = min_weight(
+            &db,
+            &q,
+            RankingFunction::SumAscending,
+            AnyKAlgorithm::Take2,
+            None,
+        )
+        .unwrap();
+        let decoded: Vec<Vec<DecodedValue>> = out.iter().map(|a| decoder.decode(a)).collect();
+        assert_eq!(
+            decoded,
+            vec![
+                vec![DecodedValue::Text("bob".into())],
+                vec![DecodedValue::Text("dave".into())],
+            ]
+        );
+        assert_eq!(out[0].weight(), 3.0, "min over bob's witnesses: 1+2");
+        assert_eq!(out[1].weight(), 7.0, "3+4");
     }
 
     #[test]

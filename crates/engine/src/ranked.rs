@@ -156,6 +156,14 @@ impl<'a> RankedQuery<'a> {
         self.ranking
     }
 
+    /// A decoder mapping this query's answers back to original strings
+    /// (identity on raw-id columns). Built over the *original* database and
+    /// query, so it also decodes answers of decomposed cycle plans, whose
+    /// values are original column ids reordered into the query's head order.
+    pub fn decoder(&self) -> crate::AnswerDecoder {
+        crate::AnswerDecoder::for_query(self.db, self.query)
+    }
+
     /// Whether the plan uses the cycle decomposition (as opposed to a single
     /// acyclic T-DP instance).
     pub fn is_decomposed(&self) -> bool {

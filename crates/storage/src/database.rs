@@ -116,6 +116,30 @@ impl Database {
         self.lock_cache().len()
     }
 
+    /// The dictionary of column `col` of relation `name`, if that column is
+    /// dictionary-encoded. Replacing the relation via [`Database::add`]
+    /// swaps in the replacement's schema, so a handle obtained *before* the
+    /// replace keeps describing the old snapshot while new requests see the
+    /// new dictionary.
+    ///
+    /// # Panics
+    /// Panics if the relation does not exist or `col` is out of range.
+    pub fn dictionary(&self, name: &str, col: usize) -> Option<Arc<crate::Dictionary>> {
+        self.expect(name).dictionary(col).cloned()
+    }
+
+    /// Decode `value` through the dictionary of column `col` of relation
+    /// `name`: the original string for a known id of a text column, `None`
+    /// for raw-id columns or unknown ids.
+    ///
+    /// # Panics
+    /// Panics if the relation does not exist or `col` is out of range.
+    pub fn decode(&self, name: &str, col: usize, value: crate::Value) -> Option<String> {
+        self.expect(name)
+            .dictionary(col)
+            .and_then(|d| d.decode(value))
+    }
+
     /// Number of relations.
     pub fn len(&self) -> usize {
         self.relations.len()
@@ -232,6 +256,41 @@ mod tests {
         assert_eq!(fresh.lookup1(2), &[0, 1], "new data is indexed");
         // The old Arc still describes its snapshot (no use-after-free).
         assert_eq!(old.lookup1(1), &[0]);
+    }
+
+    #[test]
+    fn replacing_a_dictionary_backed_relation_drops_index_and_stale_dictionary() {
+        use crate::Schema;
+
+        let mut db = Database::new();
+        let mut r = Relation::with_schema("R", Schema::text_shared(2));
+        r.push_text_edge("alice", "bob", 0.0); // alice=0, bob=1
+        db.add(r);
+        let old_index = db.index("R", &[0]);
+        let old_dict = db.dictionary("R", 0).expect("text column");
+        assert_eq!(db.decode("R", 0, 0).as_deref(), Some("alice"));
+        assert_eq!(db.cached_indexes(), 1);
+
+        // Replace R with a relation built over a *fresh* dictionary in which
+        // the same ids mean different strings: both the cached index and the
+        // old dictionary must stop being served.
+        let mut r2 = Relation::with_schema("R", Schema::text_shared(2));
+        r2.push_text_edge("carol", "dave", 0.0); // carol=0, dave=1
+        r2.push_text_edge("carol", "erin", 0.0);
+        db.add(r2);
+        assert_eq!(db.cached_indexes(), 0, "stale index entry is dropped");
+        let fresh_index = db.index("R", &[0]);
+        assert!(!Arc::ptr_eq(&old_index, &fresh_index));
+        assert_eq!(fresh_index.lookup1(0), &[0, 1], "new encoding is indexed");
+        let fresh_dict = db.dictionary("R", 0).expect("text column");
+        assert!(
+            !Arc::ptr_eq(&old_dict, &fresh_dict),
+            "stale dictionary gone"
+        );
+        assert_eq!(db.decode("R", 0, 0).as_deref(), Some("carol"));
+        // The old handles still describe their snapshot (no use-after-free).
+        assert_eq!(old_dict.decode(0).as_deref(), Some("alice"));
+        assert_eq!(old_index.lookup1(0), &[0]);
     }
 
     #[test]

@@ -1,0 +1,319 @@
+//! Per-column string dictionaries: the text layer over the columnar storage.
+//!
+//! The engine's hot loops (index builds, T-DP compilation, any-k expansion)
+//! only ever see dense `u64` [`Value`]s. Text workloads are opened up by
+//! *dictionary encoding*: a [`Dictionary`] interns each distinct string once
+//! and hands out a dense id, [`Schema`] records per column whether it holds
+//! raw ids ([`ColumnType::Id`]) or dictionary-encoded text
+//! ([`ColumnType::Text`]), and [`crate::Relation::push_fields`] /
+//! [`crate::RowRef::decoded`] do the encode-on-push / decode-on-read at the
+//! storage boundary. Nothing downstream of the columns changes: joins,
+//! indexes and the any-k core operate on the ids exactly as they do on
+//! integer-keyed data.
+//!
+//! ## Sharing dictionaries across columns and relations
+//!
+//! Equi-joins compare **ids**, so two text columns that are joined against
+//! each other must encode through the *same* dictionary (otherwise the same
+//! string could map to different ids and the join would silently miss).
+//! Dictionaries are therefore handed around as [`Arc`]s: cloning a [`Schema`]
+//! shares its dictionaries, so building several relations from one schema —
+//! e.g. the ℓ copies of an edge relation used by path/star/cycle queries —
+//! keeps their encodings aligned. [`Schema::text_shared`] is the common case
+//! (every column of every copy drawn from one namespace, like usernames);
+//! [`Schema::text`] gives each column its own dictionary for star-schema-like
+//! data where columns are independent namespaces.
+
+use crate::tuple::Value;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// An append-only string interner: string → dense id, id → string.
+///
+/// Ids are dense (`0..len()`), assigned in first-encounter order, and
+/// **stable**: once a string has an id, later [`encode`](Dictionary::encode)
+/// calls — including calls interleaved with other strings or made from other
+/// relations sharing the dictionary — return the same id. Interior mutability
+/// (a mutex around the two-way map) lets relations share one dictionary
+/// through an [`Arc`] while still encoding on push.
+#[derive(Debug, Default)]
+pub struct Dictionary {
+    inner: Mutex<DictInner>,
+}
+
+/// Both sides of the two-way map share one allocation per interned string:
+/// the `Arc<str>` in the vector is a clone of the map key.
+#[derive(Debug, Default, Clone)]
+struct DictInner {
+    ids: HashMap<Arc<str>, Value>,
+    strings: Vec<Arc<str>>,
+}
+
+impl Clone for Dictionary {
+    fn clone(&self) -> Self {
+        Dictionary {
+            inner: Mutex::new(self.lock().clone()),
+        }
+    }
+}
+
+impl Dictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Dictionary::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, DictInner> {
+        // A poisoned lock only means another thread panicked mid-insert; the
+        // two-way map itself is always consistent (id is pushed and mapped
+        // under one critical section).
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// The id of `s`, interning it if it has not been seen before.
+    pub fn encode(&self, s: &str) -> Value {
+        let mut inner = self.lock();
+        if let Some(&id) = inner.ids.get(s) {
+            return id;
+        }
+        let id = inner.strings.len() as Value;
+        let interned: Arc<str> = Arc::from(s);
+        inner.strings.push(Arc::clone(&interned));
+        inner.ids.insert(interned, id);
+        id
+    }
+
+    /// The id of `s` if it has been interned, without interning it.
+    pub fn lookup(&self, s: &str) -> Option<Value> {
+        self.lock().ids.get(s).copied()
+    }
+
+    /// The string behind `id`, or `None` for an id this dictionary never
+    /// issued. Returns an owned copy (the backing store is behind a lock).
+    pub fn decode(&self, id: Value) -> Option<String> {
+        self.lock().strings.get(id as usize).map(|s| s.to_string())
+    }
+
+    /// Number of distinct interned strings (also the next fresh id).
+    pub fn len(&self) -> usize {
+        self.lock().strings.len()
+    }
+
+    /// True if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.lock().strings.is_empty()
+    }
+}
+
+/// The type of one relation column: raw ids or dictionary-encoded text.
+#[derive(Debug, Clone)]
+pub enum ColumnType {
+    /// A plain `u64` column (the paper's integer-encoded node identifiers).
+    Id,
+    /// A text column encoded through the given dictionary.
+    Text(Arc<Dictionary>),
+}
+
+impl ColumnType {
+    /// A text column with its own fresh dictionary.
+    pub fn text() -> Self {
+        ColumnType::Text(Arc::new(Dictionary::new()))
+    }
+
+    /// The column's dictionary, if it is a text column.
+    pub fn dictionary(&self) -> Option<&Arc<Dictionary>> {
+        match self {
+            ColumnType::Id => None,
+            ColumnType::Text(d) => Some(d),
+        }
+    }
+}
+
+/// Column-type descriptor of a relation: one [`ColumnType`] per attribute.
+///
+/// Cloning a schema clones the `Arc`s, not the dictionaries — relations built
+/// from clones of one schema encode consistently and can be joined on their
+/// text columns.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    columns: Vec<ColumnType>,
+}
+
+impl Schema {
+    /// A schema from explicit column types.
+    pub fn new(columns: Vec<ColumnType>) -> Self {
+        Schema { columns }
+    }
+
+    /// An all-[`ColumnType::Id`] schema of the given arity (the legacy
+    /// integer-keyed layout).
+    pub fn ids(arity: usize) -> Self {
+        Schema {
+            columns: (0..arity).map(|_| ColumnType::Id).collect(),
+        }
+    }
+
+    /// An all-text schema where **every column has its own** dictionary
+    /// (independent namespaces, e.g. star-schema dimensions).
+    pub fn text(arity: usize) -> Self {
+        Schema {
+            columns: (0..arity).map(|_| ColumnType::text()).collect(),
+        }
+    }
+
+    /// An all-text schema where **every column shares one** dictionary (one
+    /// namespace, e.g. both endpoints of a social edge are usernames). This
+    /// is the right choice whenever the columns are joined against each
+    /// other.
+    pub fn text_shared(arity: usize) -> Self {
+        let dict = Arc::new(Dictionary::new());
+        Schema {
+            columns: (0..arity)
+                .map(|_| ColumnType::Text(Arc::clone(&dict)))
+                .collect(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The type of column `col`.
+    ///
+    /// # Panics
+    /// Panics if `col >= arity()`.
+    pub fn column(&self, col: usize) -> &ColumnType {
+        &self.columns[col]
+    }
+
+    /// The dictionary of column `col`, if it is a text column.
+    ///
+    /// # Panics
+    /// Panics if `col >= arity()`.
+    pub fn dictionary(&self, col: usize) -> Option<&Arc<Dictionary>> {
+        self.columns[col].dictionary()
+    }
+
+    /// True if column `col` is dictionary-encoded.
+    ///
+    /// # Panics
+    /// Panics if `col >= arity()`.
+    pub fn is_text(&self, col: usize) -> bool {
+        matches!(self.columns[col], ColumnType::Text(_))
+    }
+
+    /// Iterate over the column types in order.
+    pub fn iter(&self) -> impl Iterator<Item = &ColumnType> {
+        self.columns.iter()
+    }
+}
+
+/// One input field of a row being pushed through the encoding layer: either
+/// an integer or a string. See [`crate::Relation::push_fields`] for the
+/// field-type × column-type encoding rules.
+#[derive(Debug, Clone, Copy)]
+pub enum Field<'a> {
+    /// An integer value: stored verbatim in an [`ColumnType::Id`] column,
+    /// treated as an **already-encoded id** in a text column.
+    Int(Value),
+    /// A string value: interned in a text column, parsed as `u64` in an
+    /// [`ColumnType::Id`] column.
+    Str(&'a str),
+}
+
+impl From<Value> for Field<'_> {
+    fn from(v: Value) -> Self {
+        Field::Int(v)
+    }
+}
+
+impl<'a> From<&'a str> for Field<'a> {
+    fn from(s: &'a str) -> Self {
+        Field::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_dense_and_deduplicated() {
+        let d = Dictionary::new();
+        assert!(d.is_empty());
+        let a = d.encode("alice");
+        let b = d.encode("bob");
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(d.encode("alice"), a, "re-encoding is idempotent");
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn decode_round_trips_and_rejects_unknown_ids() {
+        let d = Dictionary::new();
+        let id = d.encode("carol");
+        assert_eq!(d.decode(id).as_deref(), Some("carol"));
+        assert_eq!(d.decode(999), None);
+        assert_eq!(d.lookup("carol"), Some(id));
+        assert_eq!(d.lookup("dave"), None);
+    }
+
+    #[test]
+    fn ids_are_stable_across_batches() {
+        let d = Dictionary::new();
+        let first: Vec<Value> = ["u1", "u2", "u3"].iter().map(|s| d.encode(s)).collect();
+        // A second, interleaved batch must not disturb the earlier ids.
+        for s in ["u4", "u2", "u5", "u1"] {
+            d.encode(s);
+        }
+        for (s, &id) in ["u1", "u2", "u3"].iter().zip(&first) {
+            assert_eq!(d.lookup(s), Some(id));
+            assert_eq!(d.decode(id).as_deref(), Some(*s));
+        }
+    }
+
+    #[test]
+    fn clone_is_a_deep_snapshot() {
+        let d = Dictionary::new();
+        d.encode("x");
+        let snapshot = d.clone();
+        d.encode("y");
+        assert_eq!(d.len(), 2);
+        assert_eq!(snapshot.len(), 1, "clone does not see later inserts");
+    }
+
+    #[test]
+    fn shared_schema_shares_dictionaries() {
+        let schema = Schema::text_shared(2);
+        let d0 = schema.dictionary(0).unwrap();
+        let d1 = schema.dictionary(1).unwrap();
+        assert!(Arc::ptr_eq(d0, d1), "text_shared: one dictionary");
+        let cloned = schema.clone();
+        assert!(
+            Arc::ptr_eq(d0, cloned.dictionary(0).unwrap()),
+            "cloning a schema shares, not copies, the dictionaries"
+        );
+
+        let per_column = Schema::text(2);
+        assert!(
+            !Arc::ptr_eq(
+                per_column.dictionary(0).unwrap(),
+                per_column.dictionary(1).unwrap()
+            ),
+            "text: independent dictionaries"
+        );
+    }
+
+    #[test]
+    fn ids_schema_has_no_dictionaries() {
+        let schema = Schema::ids(3);
+        assert_eq!(schema.arity(), 3);
+        for c in 0..3 {
+            assert!(!schema.is_text(c));
+            assert!(schema.dictionary(c).is_none());
+        }
+    }
+}

@@ -11,6 +11,10 @@
 //! * [`Relation`] — a named bag of equal-arity tuples in **column-major**
 //!   layout (one flat vector per attribute plus a weight column), with the
 //!   borrowed row view [`RowRef`];
+//! * [`dictionary`] — the text layer: per-column string [`Dictionary`]s and
+//!   the [`Schema`] column-type descriptor, so string-keyed relations encode
+//!   to dense ids on push and decode on read while everything below the
+//!   columns stays integer-only;
 //! * [`Database`] — a catalog of relations addressed by name, memoising
 //!   [`HashIndex`]es per (relation, key columns) and invalidating them when a
 //!   relation is replaced;
@@ -24,12 +28,14 @@
 #![warn(rust_2018_idioms)]
 
 mod database;
+pub mod dictionary;
 mod index;
 mod relation;
 pub mod stats;
 mod tuple;
 
 pub use database::Database;
+pub use dictionary::{ColumnType, Dictionary, Field, Schema};
 pub use index::HashIndex;
 pub use relation::{Relation, RowRef};
 pub use tuple::{Tuple, TupleId, Value};

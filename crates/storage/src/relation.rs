@@ -17,7 +17,20 @@
 //! [`Relation::push`] decomposes a `Tuple` into the columns, and
 //! [`Relation::push_row`] appends straight from a borrowed slice without
 //! allocating.
+//!
+//! ## String dictionaries
+//!
+//! Every relation carries a [`Schema`] describing each column as either raw
+//! `u64` ids ([`ColumnType::Id`], the default) or dictionary-encoded text
+//! ([`ColumnType::Text`]). Text columns store dense ids in the very same flat
+//! `Vec<Value>` as integer columns — the engine, the indexes, and the any-k
+//! core never see a string. Encoding happens at the storage boundary on push
+//! ([`Relation::push_fields`], [`Relation::push_text_edge`]) and decoding on
+//! read ([`RowRef::decoded`], [`RowRef::display_value`]); see
+//! [`crate::dictionary`] for the sharing rules that keep joined text columns
+//! encoding through one dictionary.
 
+use crate::dictionary::{ColumnType, Field, Schema};
 use crate::tuple::{Tuple, TupleId, Value};
 
 /// A named relation with a fixed arity, stored column-major. Tuples are kept
@@ -27,6 +40,8 @@ use crate::tuple::{Tuple, TupleId, Value};
 pub struct Relation {
     name: String,
     arity: usize,
+    /// Per-column type descriptor (raw ids vs dictionary-encoded text).
+    schema: Schema,
     /// One flat value vector per attribute; `columns[c][t]` is attribute `c`
     /// of tuple `t`. All columns have the same length.
     columns: Vec<Vec<Value>>,
@@ -87,6 +102,29 @@ impl<'a> RowRef<'a> {
     pub fn to_tuple(self) -> Tuple {
         Tuple::new(self.values_vec(), self.weight())
     }
+
+    /// Decode attribute `col` through its column dictionary: the original
+    /// string for a text column, `None` for a raw-id column (or for an id the
+    /// dictionary never issued, which indicates corrupted data).
+    ///
+    /// # Panics
+    /// Panics if `col >= arity()`.
+    pub fn decoded(self, col: usize) -> Option<String> {
+        self.rel
+            .schema
+            .dictionary(col)
+            .and_then(|d| d.decode(self.value(col)))
+    }
+
+    /// Attribute `col` rendered for display: the decoded string for a text
+    /// column, the numeric value otherwise.
+    ///
+    /// # Panics
+    /// Panics if `col >= arity()`.
+    pub fn display_value(self, col: usize) -> String {
+        self.decoded(col)
+            .unwrap_or_else(|| self.value(col).to_string())
+    }
 }
 
 impl std::fmt::Debug for RowRef<'_> {
@@ -100,25 +138,37 @@ impl std::fmt::Debug for RowRef<'_> {
 }
 
 impl Relation {
-    /// Create an empty relation with the given name and arity.
+    /// Create an empty relation with the given name and arity, with the
+    /// all-[`ColumnType::Id`] schema (plain `u64` columns).
     pub fn new(name: impl Into<String>, arity: usize) -> Self {
+        Relation::with_schema(name, Schema::ids(arity))
+    }
+
+    /// Create an empty relation with an explicit [`Schema`] (arity is the
+    /// schema's arity). Text columns encode through the schema's
+    /// dictionaries; build several relations from clones of one schema to
+    /// keep their encodings join-compatible.
+    pub fn with_schema(name: impl Into<String>, schema: Schema) -> Self {
+        Relation::with_schema_capacity(name, schema, 0)
+    }
+
+    /// Like [`Relation::with_schema`], with row capacity pre-reserved in
+    /// every column.
+    pub fn with_schema_capacity(name: impl Into<String>, schema: Schema, rows: usize) -> Self {
+        let arity = schema.arity();
         Relation {
             name: name.into(),
             arity,
-            columns: vec![Vec::new(); arity],
-            weights: Vec::new(),
+            schema,
+            columns: vec![Vec::with_capacity(rows); arity],
+            weights: Vec::with_capacity(rows),
         }
     }
 
     /// Create an empty relation with row capacity pre-reserved in every
     /// column (avoids re-allocation when the cardinality is known up front).
     pub fn with_capacity(name: impl Into<String>, arity: usize, rows: usize) -> Self {
-        Relation {
-            name: name.into(),
-            arity,
-            columns: vec![Vec::with_capacity(rows); arity],
-            weights: Vec::with_capacity(rows),
-        }
+        Relation::with_schema_capacity(name, Schema::ids(arity), rows)
     }
 
     /// Create a relation directly from a list of tuples.
@@ -141,6 +191,19 @@ impl Relation {
     /// The relation's arity (number of attributes).
     pub fn arity(&self) -> usize {
         self.arity
+    }
+
+    /// The relation's column-type descriptor.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The dictionary of column `col`, if it is a text column.
+    ///
+    /// # Panics
+    /// Panics if `col >= arity()`.
+    pub fn dictionary(&self, col: usize) -> Option<&std::sync::Arc<crate::Dictionary>> {
+        self.schema.dictionary(col)
     }
 
     /// Number of tuples.
@@ -171,6 +234,11 @@ impl Relation {
     }
 
     /// Append a row from a borrowed value slice (allocation-free).
+    ///
+    /// This is the raw-id path: values land in the columns verbatim. For a
+    /// text column the caller must supply ids previously issued by that
+    /// column's dictionary (e.g. when replicating an already-encoded
+    /// relation); use [`Relation::push_fields`] to encode strings on push.
     ///
     /// # Panics
     /// Panics if `values.len()` does not match the relation's arity.
@@ -207,6 +275,60 @@ impl Relation {
         self.push_row(&[from, to], weight)
     }
 
+    /// Append a row of mixed string/integer [`Field`]s, encoding through the
+    /// schema. Per field × column type:
+    ///
+    /// * [`Field::Int`] in an [`ColumnType::Id`] column — stored verbatim;
+    /// * [`Field::Str`] in a [`ColumnType::Text`] column — interned in the
+    ///   column's dictionary, its dense id stored;
+    /// * [`Field::Int`] in a text column — treated as an already-encoded id
+    ///   and stored verbatim (the replication path);
+    /// * [`Field::Str`] in an id column — parsed as `u64` (the loader path).
+    ///
+    /// # Panics
+    /// Panics on an arity mismatch, or if a string field in an id column is
+    /// not a valid `u64`.
+    pub fn push_fields(&mut self, fields: &[Field<'_>], weight: f64) -> TupleId {
+        assert_eq!(
+            fields.len(),
+            self.arity,
+            "row arity {} does not match relation {} arity {}",
+            fields.len(),
+            self.name,
+            self.arity
+        );
+        // Resolve every field before touching any column, so a parse panic
+        // cannot leave the columns ragged (all columns must stay the same
+        // length even if the caller recovers from the panic).
+        let values: Vec<Value> = fields
+            .iter()
+            .enumerate()
+            .map(|(col, field)| match (self.schema.column(col), field) {
+                (_, Field::Int(v)) => *v,
+                (ColumnType::Text(dict), Field::Str(s)) => dict.encode(s),
+                (ColumnType::Id, Field::Str(s)) => s.parse().unwrap_or_else(|_| {
+                    panic!(
+                        "column {col} of relation {} holds raw ids but got \
+                         non-numeric string {s:?}",
+                        self.name
+                    )
+                }),
+            })
+            .collect();
+        self.push_row(&values, weight)
+    }
+
+    /// Convenience: append a string-keyed edge `(from, to)` with a weight,
+    /// encoding both endpoints through the schema.
+    ///
+    /// # Panics
+    /// Panics unless the relation is binary (see [`Relation::push_fields`]
+    /// for the per-column encoding rules).
+    pub fn push_text_edge(&mut self, from: &str, to: &str, weight: f64) -> TupleId {
+        assert_eq!(self.arity, 2, "push_text_edge requires a binary relation");
+        self.push_fields(&[Field::Str(from), Field::Str(to)], weight)
+    }
+
     /// A borrowed view of the tuple with the given id.
     ///
     /// # Panics
@@ -230,12 +352,14 @@ impl Relation {
 
     /// A copy of this relation containing only rows satisfying `pred`,
     /// under a new name. Used for the heavy/light partitioning of §5.3.1.
+    /// The schema (and thus any column dictionaries) is shared with the
+    /// original, so the partition stays decode- and join-compatible.
     pub fn filter(
         &self,
         name: impl Into<String>,
         mut pred: impl FnMut(RowRef<'_>) -> bool,
     ) -> Relation {
-        let mut out = Relation::new(name, self.arity);
+        let mut out = Relation::with_schema(name, self.schema.clone());
         for id in 0..self.len() {
             if pred(RowRef { rel: self, id }) {
                 for (dst, src) in out.columns.iter_mut().zip(&self.columns) {
@@ -305,6 +429,72 @@ mod tests {
         assert_eq!(r.column(1), &[10, 20, 30]);
         assert_eq!(r.column(2), &[100, 200, 300]);
         assert_eq!(r.weights(), &[0.1, 0.2, 0.3]);
+    }
+
+    #[test]
+    fn text_columns_encode_on_push_and_decode_on_read() {
+        let mut r = Relation::with_schema("FOLLOWS", Schema::text_shared(2));
+        r.push_text_edge("alice", "bob", 1.0);
+        r.push_text_edge("bob", "alice", 2.0);
+        r.push_text_edge("alice", "carol", 3.0);
+        // The columns hold dense ids: "alice"=0, "bob"=1, "carol"=2 (shared
+        // dictionary, first-encounter order across both columns).
+        assert_eq!(r.column(0), &[0, 1, 0]);
+        assert_eq!(r.column(1), &[1, 0, 2]);
+        assert_eq!(r.tuple(0).decoded(0).as_deref(), Some("alice"));
+        assert_eq!(r.tuple(2).decoded(1).as_deref(), Some("carol"));
+        assert_eq!(r.tuple(1).display_value(0), "bob");
+        assert_eq!(r.dictionary(0).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn mixed_schema_encodes_per_column() {
+        let schema = Schema::new(vec![ColumnType::text(), ColumnType::Id]);
+        let mut r = Relation::with_schema("VISITS", schema);
+        r.push_fields(&[Field::Str("alice"), Field::Int(42)], 1.0);
+        // Loader path: a numeric string in an id column is parsed.
+        r.push_fields(&[Field::Str("bob"), Field::Str("7")], 2.0);
+        assert_eq!(r.column(0), &[0, 1]);
+        assert_eq!(r.column(1), &[42, 7]);
+        assert_eq!(r.tuple(0).decoded(0).as_deref(), Some("alice"));
+        assert_eq!(r.tuple(0).decoded(1), None, "id column has no dictionary");
+        assert_eq!(r.tuple(1).display_value(1), "7");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-numeric")]
+    fn non_numeric_string_in_id_column_panics() {
+        let mut r = Relation::new("R", 1);
+        r.push_fields(&[Field::Str("alice")], 0.0);
+    }
+
+    #[test]
+    fn failed_push_fields_leaves_columns_aligned() {
+        let mut r = Relation::new("R", 2);
+        r.push_edge(1, 2, 0.5);
+        // Column 0's field is resolvable, column 1's panics: the row must be
+        // rejected atomically, never half-pushed.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            r.push_fields(&[Field::Int(7), Field::Str("alice")], 0.0);
+        }));
+        assert!(outcome.is_err());
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.column(0), &[1]);
+        assert_eq!(r.column(1), &[2]);
+    }
+
+    #[test]
+    fn filter_shares_the_dictionary() {
+        let mut r = Relation::with_schema("F", Schema::text_shared(2));
+        r.push_text_edge("alice", "bob", 1.0);
+        r.push_text_edge("bob", "carol", 5.0);
+        let heavy = r.filter("F_heavy", |t| t.weight() > 2.0);
+        assert_eq!(heavy.len(), 1);
+        assert_eq!(heavy.tuple(0).decoded(0).as_deref(), Some("bob"));
+        assert!(std::sync::Arc::ptr_eq(
+            r.dictionary(0).unwrap(),
+            heavy.dictionary(0).unwrap()
+        ));
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Tuples: weighted rows of attribute values.
 
 /// An attribute value. The paper's experiments join on integer-encoded node
-/// identifiers; string dictionaries can be layered on top by the caller.
+/// identifiers; string-keyed data is dictionary-encoded to dense `u64` ids at
+/// the storage boundary (see [`crate::dictionary`]), so every layer above the
+/// columns — indexes, compilation, the any-k core — operates on this type
+/// alone.
 pub type Value = u64;
 
 /// Index of a tuple within its relation.

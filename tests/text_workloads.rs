@@ -1,0 +1,279 @@
+//! Differential tests for string-keyed (dictionary-encoded) workloads — the
+//! text analogue of `engine_equivalence.rs`.
+//!
+//! Randomized string-keyed relations are built through the encode-on-push
+//! path, every any-k variant and the naive hash-join + sort oracle run over
+//! the same dictionary-encoded database, and the *decoded* ranked answer
+//! streams must agree. A second block property-tests the [`Dictionary`]
+//! itself: round-trip identity, dedup, id stability across incremental push
+//! batches, and encoded-vs-unencoded oracle agreement on pure-integer data.
+
+use anyk::core::AnyKAlgorithm;
+use anyk::engine::{naive_sql, AnswerDecoder, DecodedValue, RankedQuery, RankingFunction};
+use anyk::query::{ConjunctiveQuery, QueryBuilder};
+use anyk::storage::{Database, Dictionary, Relation, Schema};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One decoded answer in a canonical, exactly-comparable form: rendered head
+/// values plus the weight scaled to an integer (all generated weights are
+/// small integers, so float sums are exact).
+type DecodedRow = (Vec<String>, i64);
+
+fn decoded_stream<'a>(
+    decoder: &'a AnswerDecoder,
+    answers: impl Iterator<Item = anyk::engine::Answer> + 'a,
+) -> Vec<DecodedRow> {
+    answers
+        .map(|a| (decoder.render(&a), (a.weight() * 1e6).round() as i64))
+        .collect()
+}
+
+/// A random database of `ell` binary relations over a small username pool
+/// (small domain to force joins), all sharing one dictionary, with integer
+/// weights. Every value enters through the string-encoding push path.
+fn random_text_db(ell: usize, max_tuples: usize, rng: &mut SmallRng) -> Database {
+    let pool: Vec<String> = (0..10).map(anyk::datagen::text::username).collect();
+    let schema = Schema::text_shared(2);
+    let mut db = Database::new();
+    for i in 1..=ell {
+        let mut r = Relation::with_schema(format!("R{i}"), schema.clone());
+        let tuples = rng.gen_range(1..=max_tuples as u64);
+        for _ in 0..tuples {
+            let from = &pool[rng.gen_range(0..pool.len() as u64) as usize];
+            let to = &pool[rng.gen_range(0..pool.len() as u64) as usize];
+            r.push_text_edge(from, to, rng.gen_range(0..100u64) as f64);
+        }
+        db.add(r);
+    }
+    db
+}
+
+/// The differential assertion: all any-k variants produce the oracle's
+/// decoded ranked stream. Order-sensitive on weights; ties (equal weights)
+/// may legitimately permute between engines, so the full `(values, weight)`
+/// rows are compared as sorted multisets while the weight sequence itself is
+/// compared position by position.
+fn assert_all_engines_agree_decoded(db: &Database, query: &ConjunctiveQuery) {
+    let decoder = AnswerDecoder::for_query(db, query);
+    let oracle = naive_sql::join_and_sort(db, query, RankingFunction::SumAscending)
+        .expect("oracle evaluation succeeds");
+    let oracle_rows = decoded_stream(&decoder, oracle.into_iter());
+    let mut oracle_sorted = oracle_rows.clone();
+    oracle_sorted.sort();
+
+    // Every decoded value must be a username — proof the stream decodes.
+    for (values, _) in &oracle_rows {
+        for v in values {
+            assert!(v.contains('_'), "decoded value {v:?} is not a username");
+        }
+    }
+
+    let prepared = RankedQuery::new(db, query).expect("prepared plan");
+    for algorithm in AnyKAlgorithm::ALL {
+        let rows = decoded_stream(&decoder, prepared.enumerate(algorithm));
+        assert_eq!(rows.len(), oracle_rows.len(), "{algorithm}: cardinality");
+        for (i, ((_, got_w), (_, want_w))) in rows.iter().zip(&oracle_rows).enumerate() {
+            assert_eq!(got_w, want_w, "{algorithm}: weight at rank {i}");
+        }
+        let mut sorted = rows;
+        sorted.sort();
+        assert_eq!(sorted, oracle_sorted, "{algorithm}: decoded answer set");
+    }
+}
+
+/// ≥ 50 randomized text instances across the paper's three query shapes:
+/// 30 path-3, 20 star-3, and 10 (decomposed) cycle-4 databases.
+#[test]
+fn randomized_text_instances_agree_across_all_engines() {
+    let path = QueryBuilder::path(3).build();
+    for seed in 0..30u64 {
+        let db = random_text_db(3, 18, &mut SmallRng::seed_from_u64(0xBEEF + seed));
+        assert_all_engines_agree_decoded(&db, &path);
+    }
+    let star = QueryBuilder::star(3).build();
+    for seed in 0..20u64 {
+        let db = random_text_db(3, 14, &mut SmallRng::seed_from_u64(0xCAFE + seed));
+        assert_all_engines_agree_decoded(&db, &star);
+    }
+    let cycle = QueryBuilder::cycle(4).build();
+    for seed in 0..10u64 {
+        let db = random_text_db(4, 12, &mut SmallRng::seed_from_u64(0xD00D + seed));
+        assert_all_engines_agree_decoded(&db, &cycle);
+    }
+}
+
+/// End-to-end over the generated string-keyed social graph: loader-free
+/// text data at a realistic scale, top-100 agreement across all algorithms.
+#[test]
+fn generated_text_social_graph_agrees_on_top_100() {
+    let config = anyk::datagen::text::TextSocialConfig {
+        users: 150,
+        avg_degree: 4,
+    };
+    let db = anyk::datagen::text::text_social_database(3, config, &mut anyk::datagen::rng(17));
+    let query = QueryBuilder::path(3).build();
+    let decoder = AnswerDecoder::for_query(&db, &query);
+    let prepared = RankedQuery::new(&db, &query).unwrap();
+    let reference = decoded_stream(&decoder, prepared.enumerate(AnyKAlgorithm::Batch).take(100));
+    assert!(!reference.is_empty());
+    for algorithm in AnyKAlgorithm::ALL {
+        let got = decoded_stream(&decoder, prepared.enumerate(algorithm).take(100));
+        assert_eq!(got.len(), reference.len(), "{algorithm}");
+        for ((_, g), (_, e)) in got.iter().zip(&reference) {
+            assert_eq!(g, e, "{algorithm}: weights in rank order");
+        }
+    }
+    // Witnesses decode through the backing relations too.
+    for answer in prepared.enumerate(AnyKAlgorithm::Take2).take(20) {
+        for &(atom_idx, tid) in answer.witness() {
+            let rel = db.expect(&query.atoms()[atom_idx].relation);
+            assert!(rel.tuple(tid).decoded(0).is_some());
+        }
+    }
+}
+
+/// The loader → encode → enumerate → decode pipeline on a hand-written TSV.
+#[test]
+fn tsv_loaded_relations_enumerate_and_decode() {
+    let tsv = "\
+# follower\tfollowee\ttrust
+alice\tbob\t1
+bob\tcarol\t2
+carol\tdave\t1
+alice\tcarol\t5
+bob\tdave\t3
+";
+    let schema = Schema::text_shared(2);
+    let mut db = Database::new();
+    for name in ["R1", "R2"] {
+        db.add(anyk::datagen::text::load_tsv(name, tsv, schema.clone()).expect("well-formed TSV"));
+    }
+    let query = QueryBuilder::path(2).build();
+    let decoder = AnswerDecoder::for_query(&db, &query);
+    let prepared = RankedQuery::new(&db, &query).unwrap();
+    let answers: Vec<_> = prepared.enumerate(AnyKAlgorithm::Take2).collect();
+    // 2-paths: alice→bob→carol (3), alice→bob→dave (4), bob→carol→dave (3),
+    // alice→carol→dave (6).
+    assert_eq!(answers.len(), 4);
+    assert_eq!(
+        decoder.render(&answers[0]),
+        vec!["alice", "bob", "carol"],
+        "cheapest 2-path decodes to usernames"
+    );
+    assert_eq!(answers[0].weight(), 3.0);
+    assert_eq!(
+        decoder.decode(&answers[3])[0],
+        DecodedValue::Text("alice".into())
+    );
+    assert_eq!(answers[3].weight(), 6.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Round-trip identity: decode(encode(s)) == s for every pushed string.
+    #[test]
+    fn dictionary_round_trips(values in proptest::collection::vec(0u64..500, 1..60)) {
+        let dict = Dictionary::new();
+        for v in &values {
+            let s = format!("user{v}");
+            let id = dict.encode(&s);
+            prop_assert_eq!(dict.decode(id), Some(s));
+        }
+    }
+
+    /// Dedup: the same string always gets the same id, and the dictionary
+    /// holds exactly the distinct strings.
+    #[test]
+    fn dictionary_deduplicates(values in proptest::collection::vec(0u64..20, 1..80)) {
+        let dict = Dictionary::new();
+        let ids: Vec<_> = values.iter().map(|v| dict.encode(&format!("user{v}"))).collect();
+        for (v, id) in values.iter().zip(&ids) {
+            prop_assert_eq!(dict.lookup(&format!("user{v}")), Some(*id));
+        }
+        let distinct: std::collections::HashSet<_> = values.iter().collect();
+        prop_assert_eq!(dict.len(), distinct.len());
+    }
+
+    /// Stability: ids assigned in a first batch survive any second batch,
+    /// including one re-mentioning the same strings.
+    #[test]
+    fn dictionary_ids_are_stable_across_push_batches(
+        first in proptest::collection::vec(0u64..30, 1..40),
+        second in proptest::collection::vec(0u64..60, 0..40),
+    ) {
+        let dict = Dictionary::new();
+        let before: Vec<(String, u64)> = first
+            .iter()
+            .map(|v| { let s = format!("user{v}"); let id = dict.encode(&s); (s, id) })
+            .collect();
+        for v in &second {
+            dict.encode(&format!("user{v}"));
+        }
+        for (s, id) in before {
+            prop_assert_eq!(dict.lookup(&s), Some(id));
+            prop_assert_eq!(dict.decode(id), Some(s));
+        }
+    }
+
+    /// Oracle agreement on pure-integer columns: a database pushed as raw
+    /// ids and the same database pushed as stringified integers through the
+    /// text layer produce identical ranked streams, and the text stream
+    /// decodes back to exactly the raw values.
+    #[test]
+    fn encoded_and_unencoded_integer_databases_agree(
+        relations in proptest::collection::vec(
+            proptest::collection::vec((0u64..6, 0u64..6, 0u32..100), 1..=15),
+            3,
+        )
+    ) {
+        let mut raw_db = Database::new();
+        let schema = Schema::text_shared(2);
+        let mut text_db = Database::new();
+        for (i, tuples) in relations.iter().enumerate() {
+            let mut raw = Relation::new(format!("R{}", i + 1), 2);
+            let mut text = Relation::with_schema(format!("R{}", i + 1), schema.clone());
+            for &(a, b, w) in tuples {
+                raw.push_edge(a, b, w as f64);
+                text.push_text_edge(&format!("n_{a}"), &format!("n_{b}"), w as f64);
+            }
+            raw_db.add(raw);
+            text_db.add(text);
+        }
+        let query = QueryBuilder::path(3).build();
+        let raw_answers: Vec<_> = RankedQuery::new(&raw_db, &query)
+            .unwrap()
+            .enumerate(AnyKAlgorithm::Lazy)
+            .collect();
+        let decoder = AnswerDecoder::for_query(&text_db, &query);
+        let text_answers: Vec<_> = RankedQuery::new(&text_db, &query)
+            .unwrap()
+            .enumerate(AnyKAlgorithm::Lazy)
+            .collect();
+        prop_assert_eq!(raw_answers.len(), text_answers.len());
+        let mut raw_rows: Vec<(Vec<u64>, i64)> = raw_answers
+            .iter()
+            .map(|a| (a.values().to_vec(), (a.weight() * 1e6).round() as i64))
+            .collect();
+        // Decode the text stream and parse the "n_<v>" usernames back.
+        let mut text_rows: Vec<(Vec<u64>, i64)> = text_answers
+            .iter()
+            .map(|a| {
+                let values = decoder
+                    .render(a)
+                    .iter()
+                    .map(|s| s.strip_prefix("n_").expect("text column decodes").parse().unwrap())
+                    .collect();
+                (values, (a.weight() * 1e6).round() as i64)
+            })
+            .collect();
+        for ((_, rw), (_, tw)) in raw_rows.iter().zip(&text_rows) {
+            prop_assert_eq!(rw, tw, "weights agree in rank order");
+        }
+        raw_rows.sort();
+        text_rows.sort();
+        prop_assert_eq!(raw_rows, text_rows);
+    }
+}
