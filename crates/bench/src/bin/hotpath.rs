@@ -9,6 +9,11 @@
 //! scenarios closely: encoding happens at build time, so any enumeration gap
 //! would indicate the dictionary layer leaking into the hot loops.
 //!
+//! A `service` scenario additionally measures the query-service subsystem:
+//! concurrent paged sessions (N sessions × path-4/star-3/text3, pages of
+//! 100 answers) reporting p50/p99 page latency and aggregate pages/sec —
+//! the serving-throughput counterpart to the per-algorithm TT(k) numbers.
+//!
 //! Writes `BENCH_hotpath.json` (override with `ANYK_HOTPATH_OUT`) so the
 //! perf trajectory of the enumeration hot loops is recorded in-repo. If
 //! `ANYK_HOTPATH_BASELINE` names an existing JSON file (a previous run, e.g.
@@ -22,8 +27,9 @@ use anyk_bench::Scale;
 use anyk_core::metrics::EnumerationTrace;
 use anyk_core::AnyKAlgorithm;
 use anyk_datagen::{cycles, rng, text, uniform};
-use anyk_engine::RankedQuery;
+use anyk_engine::{RankedQuery, RankingFunction};
 use anyk_query::QueryBuilder;
+use anyk_server::QueryService;
 use anyk_storage::Database;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -96,6 +102,79 @@ fn ms(d: Option<Duration>) -> String {
     }
 }
 
+/// Concurrent sessions per service scenario.
+const SERVICE_SESSIONS: usize = 8;
+/// Answers per page in the service scenario.
+const SERVICE_PAGE_SIZE: usize = 100;
+
+struct ServiceRun {
+    pages: usize,
+    answers: usize,
+    pages_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx]
+}
+
+/// Run `SERVICE_SESSIONS` concurrent sessions over `w`, each pulling pages
+/// of `SERVICE_PAGE_SIZE` until `LIMIT` answers (or exhaustion), and report
+/// aggregate paging throughput and page-latency percentiles. The plan is
+/// prepared once up front (shared by all sessions via the service's plan
+/// cache), so the measured latencies are pure enumeration + service
+/// overhead — the steady-state serving cost.
+fn run_service(w: &Workload) -> ServiceRun {
+    let service = QueryService::new(w.db.clone());
+    service
+        .prepare(&w.query, RankingFunction::SumAscending)
+        .expect("plan");
+    let start = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..SERVICE_SESSIONS)
+            .map(|_| {
+                let service = &service;
+                let query = &w.query;
+                scope.spawn(move || {
+                    let id = service.open_session(query, AnyKAlgorithm::Take2).unwrap();
+                    let mut lat = Vec::new();
+                    let mut buf = Vec::with_capacity(SERVICE_PAGE_SIZE);
+                    let mut served = 0usize;
+                    loop {
+                        let t = Instant::now();
+                        let done = service
+                            .next_page_into(id, SERVICE_PAGE_SIZE, &mut buf)
+                            .unwrap();
+                        lat.push(t.elapsed().as_secs_f64() * 1e3);
+                        served += buf.len();
+                        if done || served >= LIMIT {
+                            break;
+                        }
+                    }
+                    service.close_session(id);
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("session thread"))
+            .collect()
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let metrics = service.metrics();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    ServiceRun {
+        pages: latencies.len(),
+        answers: metrics.answers_served as usize,
+        pages_per_sec: latencies.len() as f64 / wall,
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+    }
+}
+
 fn main() {
     let scale = Scale::from_env();
     let mut json = String::from("{\n");
@@ -108,7 +187,8 @@ fn main() {
     let _ = writeln!(json, "  \"anyk_threads\": {threads},");
     json.push_str("  \"workloads\": [\n");
 
-    for (wi, w) in workloads(scale).iter().enumerate() {
+    let all_workloads = workloads(scale);
+    for (wi, w) in all_workloads.iter().enumerate() {
         let tuples: usize = w
             .query
             .atoms()
@@ -200,6 +280,36 @@ fn main() {
         json.push_str("\n      ]\n    }");
     }
     json.push_str("\n  ]");
+
+    // Service scenario: concurrent paged sessions over the non-cycle
+    // workloads (cycle-6's worst-case input makes the first page all TTF,
+    // which the per-algorithm section already reports).
+    println!("== service ({SERVICE_SESSIONS} sessions, pages of {SERVICE_PAGE_SIZE}) ==");
+    json.push_str(",\n  \"service\": {\n");
+    let _ = writeln!(json, "    \"sessions\": {SERVICE_SESSIONS},");
+    let _ = writeln!(json, "    \"page_size\": {SERVICE_PAGE_SIZE},");
+    json.push_str("    \"algorithm\": \"Take2\",\n    \"scenarios\": [\n");
+    let service_workloads: Vec<&Workload> = all_workloads
+        .iter()
+        .filter(|w| w.name != "cycle6")
+        .collect();
+    for (si, w) in service_workloads.iter().enumerate() {
+        let run = run_service(w);
+        println!(
+            "  {:<10} {:>9.1} pages/sec  p50 {:>8.4}ms  p99 {:>8.4}ms  ({} pages, {} answers)",
+            w.name, run.pages_per_sec, run.p50_ms, run.p99_ms, run.pages, run.answers
+        );
+        if si > 0 {
+            json.push_str(",\n");
+        }
+        let _ = write!(
+            json,
+            "      {{\"name\": \"{}\", \"pages\": {}, \"answers\": {}, \
+             \"pages_per_sec\": {:.1}, \"page_p50_ms\": {:.4}, \"page_p99_ms\": {:.4}}}",
+            w.name, run.pages, run.answers, run.pages_per_sec, run.p50_ms, run.p99_ms
+        );
+    }
+    json.push_str("\n    ]\n  }");
 
     if let Ok(path) = std::env::var("ANYK_HOTPATH_BASELINE") {
         if let Ok(baseline) = std::fs::read_to_string(&path) {

@@ -124,7 +124,16 @@ impl std::fmt::Display for AnyKAlgorithm {
 }
 
 /// A boxed ranked-enumeration iterator over a T-DP instance.
-pub type RankedIter<'a, D> = Box<dyn Iterator<Item = Solution<D>> + 'a>;
+///
+/// The box is [`Send`]: every enumerator in this crate is plain data (heaps,
+/// arenas, stream buffers) borrowing a `Sync` instance, so a partially
+/// consumed iterator can be *suspended* — parked in a session table, moved
+/// to another thread — and *resumed* later, continuing the exact same
+/// ranked stream. Suspension is free: the candidate queue, shared-prefix
+/// arena, and successor/stream structures simply stay alive inside the
+/// iterator value between `next()` calls; no state is rebuilt on resume and
+/// nothing is allocated per suspension point.
+pub type RankedIter<'a, D> = Box<dyn Iterator<Item = Solution<D>> + Send + 'a>;
 
 /// Run ranked enumeration over `instance` with the chosen algorithm.
 ///

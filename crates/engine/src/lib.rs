@@ -11,6 +11,10 @@
 //!   problem with `TTF = O(n^{2−2/ℓ})`;
 //! * [`RankedQuery`] — the user-facing API: ranked enumeration of any full
 //!   CQ (acyclic or simple-cycle) under a [`RankingFunction`];
+//! * [`PreparedQuery`] / [`AnswerCursor`] — the service-facing split of the
+//!   same machinery: an owning, `Send + Sync` compiled plan shared behind an
+//!   `Arc`, plus per-session resumable cursors that pull ranked answers in
+//!   pages bit-identical to the one-shot stream ([`prepared`]);
 //! * baselines used by the paper's evaluation: [`yannakakis`] (Batch),
 //!   [`naive_sql`] (a generic hash-join + sort engine standing in for the
 //!   PostgreSQL comparison of Fig. 14), [`wcoj`] (a Generic-Join–style
@@ -29,6 +33,7 @@ pub mod compile;
 pub mod cycle;
 mod error;
 pub mod naive_sql;
+pub mod prepared;
 pub mod projection;
 mod ranked;
 mod ranking;
@@ -39,5 +44,6 @@ pub mod yannakakis;
 pub use answer::{Answer, AnswerDecoder, DecodedValue};
 pub use compile::Compiled;
 pub use error::EngineError;
+pub use prepared::{AnswerCursor, Page, PreparedQuery};
 pub use ranked::RankedQuery;
 pub use ranking::RankingFunction;

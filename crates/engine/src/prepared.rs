@@ -1,0 +1,417 @@
+//! Owning, thread-shareable prepared queries and resumable answer cursors.
+//!
+//! [`RankedQuery`](crate::RankedQuery) borrows its database and query, which
+//! is the right shape for one-shot library calls but not for a long-lived
+//! service: a service compiles a query **once**, shares the compiled plan
+//! among many clients, and lets each client pull ranked answers **in pages**
+//! across an arbitrary number of calls (and threads). This module provides
+//! that shape:
+//!
+//! * [`PreparedQuery`] — owns an `Arc`-shared [`Database`] snapshot, the
+//!   query, and the fully compiled plan (T-DP instances with the bottom-up
+//!   phase already run). `Send + Sync`: one prepared query serves any number
+//!   of concurrent sessions.
+//! * [`AnswerCursor`] — one client's enumeration state over a prepared
+//!   query: the any-k iterator (candidate queue, prefix arena, successor
+//!   structures — see [`anyk_core::RankedIter`]) parked between calls.
+//!   Pulling pages with [`AnswerCursor::next_page`] yields **bit-identical**
+//!   answers, in the same order, as a one-shot
+//!   [`PreparedQuery::enumerate`] stream — paging only changes *when* the
+//!   iterator is advanced, never *what* it produces.
+//!
+//! ```
+//! use anyk_engine::{PreparedQuery, RankingFunction};
+//! use anyk_core::AnyKAlgorithm;
+//! use anyk_query::QueryBuilder;
+//! use anyk_storage::{Database, Relation};
+//! use std::sync::Arc;
+//!
+//! let mut db = Database::new();
+//! let mut r1 = Relation::new("R1", 2);
+//! r1.push_edge(1, 10, 1.0);
+//! r1.push_edge(2, 20, 4.0);
+//! let mut r2 = Relation::new("R2", 2);
+//! r2.push_edge(10, 5, 2.0);
+//! r2.push_edge(20, 6, 1.0);
+//! db.add(r1);
+//! db.add(r2);
+//!
+//! let query = QueryBuilder::path(2).build();
+//! let prepared = Arc::new(
+//!     PreparedQuery::prepare(Arc::new(db), &query, RankingFunction::SumAscending).unwrap(),
+//! );
+//! let mut cursor = prepared.cursor(AnyKAlgorithm::Take2);
+//! let page = cursor.next_page(1);
+//! assert_eq!(page.answers[0].weight(), 3.0);
+//! assert!(!page.done);
+//! // ... suspend the cursor for as long as we like, then resume:
+//! let rest = cursor.next_page(10);
+//! assert_eq!(rest.answers.len(), 1);
+//! assert!(rest.done);
+//! ```
+
+use crate::answer::Answer;
+use crate::error::EngineError;
+use crate::ranked::Plan;
+use crate::ranking::RankingFunction;
+use anyk_core::{AnyKAlgorithm, MemoryStats};
+use anyk_query::ConjunctiveQuery;
+use anyk_storage::Database;
+use std::sync::Arc;
+
+/// A conjunctive query compiled and preprocessed once, owning everything it
+/// needs to enumerate (`Arc`-shared database snapshot + compiled plan).
+///
+/// `Send + Sync`: wrap it in an `Arc` and hand out [`AnswerCursor`]s to as
+/// many threads as needed — enumeration state lives entirely inside each
+/// cursor, so concurrent sessions never perturb each other's ranked order.
+pub struct PreparedQuery {
+    db: Arc<Database>,
+    query: ConjunctiveQuery,
+    ranking: RankingFunction,
+    plan: Plan,
+}
+
+impl PreparedQuery {
+    /// Compile and preprocess `query` over `db` under `ranking`.
+    ///
+    /// This is the expensive step (the paper's TTF preprocessing: join-tree
+    /// selection or cycle decomposition, T-DP compilation, bottom-up phase);
+    /// everything after it — cursors, pages — is pure enumeration.
+    pub fn prepare(
+        db: Arc<Database>,
+        query: &ConjunctiveQuery,
+        ranking: RankingFunction,
+    ) -> Result<Self, EngineError> {
+        let plan = Plan::prepare(&db, query, ranking)?;
+        Ok(PreparedQuery {
+            db,
+            query: query.clone(),
+            ranking,
+            plan,
+        })
+    }
+
+    /// Prepare with the default ranking ([`RankingFunction::SumAscending`]).
+    pub fn new(db: Arc<Database>, query: &ConjunctiveQuery) -> Result<Self, EngineError> {
+        Self::prepare(db, query, RankingFunction::SumAscending)
+    }
+
+    /// The shared database snapshot this plan was compiled over.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The query this plan answers.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.query
+    }
+
+    /// The ranking function in effect.
+    pub fn ranking(&self) -> RankingFunction {
+        self.ranking
+    }
+
+    /// Whether the plan uses the cycle decomposition.
+    pub fn is_decomposed(&self) -> bool {
+        self.plan.is_decomposed()
+    }
+
+    /// The exact number of answers, computed without enumerating them.
+    pub fn count_answers(&self) -> u128 {
+        self.plan.count_answers()
+    }
+
+    /// A decoder mapping this query's answers back to original strings
+    /// (identity on raw-id columns); see [`crate::AnswerDecoder`]. Built
+    /// over the plan's snapshot, so page decoding stays consistent even if
+    /// the catalog the service started from is later replaced elsewhere.
+    pub fn decoder(&self) -> crate::AnswerDecoder {
+        crate::AnswerDecoder::for_query(&self.db, &self.query)
+    }
+
+    /// Enumerate every answer exactly once, in rank order (the one-shot
+    /// stream that paged cursors are guaranteed to reproduce bit-identically).
+    pub fn enumerate(
+        &self,
+        algorithm: AnyKAlgorithm,
+    ) -> Box<dyn Iterator<Item = Answer> + Send + '_> {
+        self.plan.enumerate(&self.db, algorithm, self.ranking)
+    }
+
+    /// Convenience: the top `k` answers as a vector.
+    pub fn top_k(&self, algorithm: AnyKAlgorithm, k: usize) -> Vec<Answer> {
+        self.enumerate(algorithm).take(k).collect()
+    }
+
+    /// MEM(k) profile; see [`crate::RankedQuery::mem_profile`].
+    pub fn mem_profile(&self, algorithm: AnyKAlgorithm, k: usize) -> Option<MemoryStats> {
+        self.plan.mem_profile(algorithm, k)
+    }
+
+    /// Open a new enumeration cursor over this prepared query.
+    ///
+    /// Requires `&Arc<Self>` (not `&self`): the cursor keeps the prepared
+    /// query alive for as long as it exists, which is what makes it an
+    /// independent, storable session — drop the service's other handles and
+    /// the cursor still enumerates.
+    pub fn cursor(self: &Arc<Self>, algorithm: AnyKAlgorithm) -> AnswerCursor {
+        AnswerCursor::new(Arc::clone(self), algorithm)
+    }
+}
+
+impl std::fmt::Debug for PreparedQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedQuery")
+            .field("query", &self.query.to_string())
+            .field("ranking", &self.ranking)
+            .field("decomposed", &self.is_decomposed())
+            .finish()
+    }
+}
+
+/// One page of ranked answers pulled from an [`AnswerCursor`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Page {
+    /// The answers, in global rank order (continuing from the previous
+    /// page's last answer).
+    pub answers: Vec<Answer>,
+    /// True when the stream is exhausted: this page is short (fewer than the
+    /// requested `page_size` answers, possibly zero).
+    pub done: bool,
+}
+
+/// A resumable enumeration session over a [`PreparedQuery`].
+///
+/// The cursor owns the live any-k iterator — candidate priority queue,
+/// shared-prefix arena, successor structures (or branch streams / the union
+/// heap for `Recursive` / cycle plans) — plus an `Arc` on the prepared query
+/// that keeps the compiled plan alive. Between [`AnswerCursor::next_page`]
+/// calls the iterator simply sits in memory: suspension and resumption are
+/// free, involve no per-page allocation beyond the returned answers (none at
+/// all with [`AnswerCursor::next_page_into`]), and cannot change the stream.
+///
+/// `Send`: a suspended cursor may migrate across threads (e.g. live in a
+/// session registry served by a thread pool).
+pub struct AnswerCursor {
+    // Field order is load-bearing: `iter` borrows from the heap allocation
+    // behind `owner` and must be dropped first (fields drop in declaration
+    // order).
+    iter: Box<dyn Iterator<Item = Answer> + Send + 'static>,
+    algorithm: AnyKAlgorithm,
+    served: usize,
+    done: bool,
+    owner: Arc<PreparedQuery>,
+}
+
+impl AnswerCursor {
+    fn new(owner: Arc<PreparedQuery>, algorithm: AnyKAlgorithm) -> Self {
+        let iter: Box<dyn Iterator<Item = Answer> + Send + '_> = owner.enumerate(algorithm);
+        // SAFETY: `iter` borrows only from the `PreparedQuery` heap
+        // allocation behind `owner` (an `Arc` pointee, which never moves and
+        // is never mutated — `PreparedQuery` has no interior mutability that
+        // could invalidate the plan). The cursor stores `owner` next to
+        // `iter`, never hands the iterator out, and its field order drops
+        // `iter` before `owner`, so the borrow outlives every use and the
+        // `'static` lifetime is a private fiction that cannot escape.
+        let iter: Box<dyn Iterator<Item = Answer> + Send + 'static> =
+            unsafe { std::mem::transmute(iter) };
+        AnswerCursor {
+            iter,
+            algorithm,
+            served: 0,
+            done: false,
+            owner,
+        }
+    }
+
+    /// The prepared query this cursor enumerates.
+    pub fn prepared(&self) -> &Arc<PreparedQuery> {
+        &self.owner
+    }
+
+    /// The any-k algorithm driving this cursor.
+    pub fn algorithm(&self) -> AnyKAlgorithm {
+        self.algorithm
+    }
+
+    /// Answers served so far across all pages.
+    pub fn served(&self) -> usize {
+        self.served
+    }
+
+    /// True once the stream has been exhausted.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Pull the next page of up to `page_size` answers.
+    pub fn next_page(&mut self, page_size: usize) -> Page {
+        let mut answers = Vec::new();
+        let done = self.next_page_into(page_size, &mut answers);
+        Page { answers, done }
+    }
+
+    /// Pull the next page into `out` (cleared first), reusing its capacity —
+    /// a steady-state client pays no per-page allocation. Returns `true`
+    /// when the stream is exhausted (the page came back short).
+    pub fn next_page_into(&mut self, page_size: usize, out: &mut Vec<Answer>) -> bool {
+        out.clear();
+        if self.done {
+            return true;
+        }
+        while out.len() < page_size {
+            match self.iter.next() {
+                Some(answer) => out.push(answer),
+                None => {
+                    self.done = true;
+                    break;
+                }
+            }
+        }
+        self.served += out.len();
+        self.done
+    }
+}
+
+impl std::fmt::Debug for AnswerCursor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnswerCursor")
+            .field("algorithm", &self.algorithm)
+            .field("served", &self.served)
+            .field("done", &self.done)
+            .finish()
+    }
+}
+
+// Compile-time guarantees for the service layer: prepared plans are shared
+// across threads, cursors migrate between them.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
+    assert_send_sync::<PreparedQuery>();
+    assert_send::<AnswerCursor>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyk_query::QueryBuilder;
+    use anyk_storage::Relation;
+
+    fn path_db() -> Arc<Database> {
+        let mut db = Database::new();
+        let mut r1 = Relation::new("R1", 2);
+        r1.push_edge(1, 10, 1.0);
+        r1.push_edge(2, 20, 4.0);
+        r1.push_edge(3, 10, 9.0);
+        let mut r2 = Relation::new("R2", 2);
+        r2.push_edge(10, 5, 2.0);
+        r2.push_edge(20, 6, 1.0);
+        db.add(r1);
+        db.add(r2);
+        Arc::new(db)
+    }
+
+    fn prepared() -> Arc<PreparedQuery> {
+        let query = QueryBuilder::path(2).build();
+        Arc::new(PreparedQuery::new(path_db(), &query).unwrap())
+    }
+
+    #[test]
+    fn paged_stream_matches_one_shot_stream() {
+        let p = prepared();
+        let one_shot: Vec<Answer> = p.enumerate(AnyKAlgorithm::Take2).collect();
+        for page_size in [1, 2, 3, 100] {
+            let mut cursor = p.cursor(AnyKAlgorithm::Take2);
+            let mut paged = Vec::new();
+            loop {
+                let page = cursor.next_page(page_size);
+                paged.extend(page.answers);
+                if page.done {
+                    break;
+                }
+            }
+            assert_eq!(paged, one_shot, "page size {page_size}");
+            assert_eq!(cursor.served(), one_shot.len());
+            assert!(cursor.is_done());
+        }
+    }
+
+    #[test]
+    fn oversized_page_finishes_in_one_pull() {
+        let p = prepared();
+        let mut cursor = p.cursor(AnyKAlgorithm::Lazy);
+        let page = cursor.next_page(1000);
+        assert_eq!(page.answers.len(), 3);
+        assert!(page.done);
+        // Pulling past the end is a stable no-op.
+        let empty = cursor.next_page(10);
+        assert!(empty.answers.is_empty());
+        assert!(empty.done);
+        assert_eq!(cursor.served(), 3);
+    }
+
+    #[test]
+    fn zero_sized_page_is_a_probe() {
+        let p = prepared();
+        let mut cursor = p.cursor(AnyKAlgorithm::Eager);
+        let page = cursor.next_page(0);
+        assert!(page.answers.is_empty());
+        assert!(!page.done, "a zero-sized page consumes nothing");
+        assert_eq!(cursor.next_page(100).answers.len(), 3);
+    }
+
+    #[test]
+    fn next_page_into_reuses_the_buffer() {
+        let p = prepared();
+        let mut cursor = p.cursor(AnyKAlgorithm::Recursive);
+        let mut buf = Vec::with_capacity(2);
+        assert!(!cursor.next_page_into(2, &mut buf));
+        assert_eq!(buf.len(), 2);
+        let cap = buf.capacity();
+        assert!(cursor.next_page_into(2, &mut buf));
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.capacity(), cap, "no reallocation");
+    }
+
+    #[test]
+    fn cursor_outlives_every_other_handle() {
+        let mut cursor = {
+            let p = prepared();
+            p.cursor(AnyKAlgorithm::Take2)
+        };
+        // The Arc inside the cursor is now the only handle; enumeration
+        // still works because the cursor keeps the plan alive.
+        let page = cursor.next_page(10);
+        assert_eq!(page.answers.len(), 3);
+        assert_eq!(page.answers[0].weight(), 3.0);
+    }
+
+    #[test]
+    fn cursor_can_move_between_threads_mid_stream() {
+        let p = prepared();
+        let mut cursor = p.cursor(AnyKAlgorithm::All);
+        let first = cursor.next_page(1);
+        let rest = std::thread::spawn(move || cursor.next_page(100))
+            .join()
+            .unwrap();
+        let one_shot: Vec<Answer> = p.enumerate(AnyKAlgorithm::All).collect();
+        let mut recombined = first.answers;
+        recombined.extend(rest.answers);
+        assert_eq!(recombined, one_shot);
+    }
+
+    #[test]
+    fn prepared_metadata_matches_ranked_query() {
+        let db = path_db();
+        let query = QueryBuilder::path(2).build();
+        let p = PreparedQuery::prepare(Arc::clone(&db), &query, RankingFunction::SumDescending)
+            .unwrap();
+        assert_eq!(p.count_answers(), 3);
+        assert!(!p.is_decomposed());
+        assert_eq!(p.ranking(), RankingFunction::SumDescending);
+        assert_eq!(p.query().to_string(), query.to_string());
+        assert_eq!(p.top_k(AnyKAlgorithm::Take2, 1)[0].weight(), 11.0);
+    }
+}

@@ -55,7 +55,7 @@ pub struct RankedQuery<'a> {
 }
 
 /// One tree of a cycle decomposition, compiled and ready to enumerate.
-struct CycleTreePlan<D: Dioid<V = OrderedF64>> {
+pub(crate) struct CycleTreePlan<D: Dioid<V = OrderedF64>> {
     /// The materialised bag relations (owned by the plan).
     database: Database,
     compiled: Compiled<D>,
@@ -67,53 +67,57 @@ struct CycleTreePlan<D: Dioid<V = OrderedF64>> {
     label: String,
 }
 
-enum Plan {
+/// A fully compiled execution plan, decoupled from how the database and
+/// query are owned: [`RankedQuery`] borrows them, [`crate::PreparedQuery`]
+/// owns them (`Arc`-shared database). The plan itself owns every compiled
+/// T-DP instance (bottom-up phase already run), so enumeration never goes
+/// back to preprocessing.
+pub(crate) enum Plan {
     AcyclicSum(Compiled<TropicalMin>),
     AcyclicBottleneck(Compiled<MinMaxDioid>),
     CycleSum(Vec<CycleTreePlan<TropicalMin>>),
     CycleBottleneck(Vec<CycleTreePlan<MinMaxDioid>>),
 }
 
-impl<'a> RankedQuery<'a> {
-    /// Prepare `query` over `db` with the default ranking
-    /// ([`RankingFunction::SumAscending`]).
-    pub fn new(db: &'a Database, query: &'a ConjunctiveQuery) -> Result<Self, EngineError> {
-        Self::with_ranking(db, query, RankingFunction::SumAscending)
-    }
-
-    /// Prepare `query` over `db` with an explicit ranking function.
-    pub fn with_ranking(
-        db: &'a Database,
-        query: &'a ConjunctiveQuery,
+impl Plan {
+    /// Compile `query` over `db` under `ranking` (validation, join-tree /
+    /// cycle-decomposition selection, T-DP compilation, bottom-up phase).
+    pub(crate) fn prepare(
+        db: &Database,
+        query: &ConjunctiveQuery,
         ranking: RankingFunction,
     ) -> Result<Self, EngineError> {
         crate::compile::validate(db, query)?;
-        let plan = if query.is_acyclic() {
+        if query.is_acyclic() {
             if ranking.is_bottleneck() {
-                Plan::AcyclicBottleneck(compile_with::<MinMaxDioid, _>(db, query, |t| {
-                    ranking.encode(t.weight())
-                })?)
+                Ok(Plan::AcyclicBottleneck(compile_with::<MinMaxDioid, _>(
+                    db,
+                    query,
+                    |t| ranking.encode(t.weight()),
+                )?))
             } else {
-                Plan::AcyclicSum(compile_with::<TropicalMin, _>(db, query, |t| {
-                    ranking.encode(t.weight())
-                })?)
+                Ok(Plan::AcyclicSum(compile_with::<TropicalMin, _>(
+                    db,
+                    query,
+                    |t| ranking.encode(t.weight()),
+                )?))
             }
         } else {
             let combine = ranking.combine_fn();
             let trees = cycle::decompose(db, query, |w| ranking.encode(w), combine)?;
             let original_head = query.head_variables();
             if ranking.is_bottleneck() {
-                Plan::CycleBottleneck(Self::compile_trees::<MinMaxDioid>(trees, &original_head)?)
+                Ok(Plan::CycleBottleneck(Self::compile_trees::<MinMaxDioid>(
+                    trees,
+                    &original_head,
+                )?))
             } else {
-                Plan::CycleSum(Self::compile_trees::<TropicalMin>(trees, &original_head)?)
+                Ok(Plan::CycleSum(Self::compile_trees::<TropicalMin>(
+                    trees,
+                    &original_head,
+                )?))
             }
-        };
-        Ok(RankedQuery {
-            db,
-            query,
-            ranking,
-            plan,
-        })
+        }
     }
 
     fn compile_trees<D: Dioid<V = OrderedF64>>(
@@ -146,6 +150,146 @@ impl<'a> RankedQuery<'a> {
             .collect()
     }
 
+    /// Whether the plan uses the cycle decomposition.
+    pub(crate) fn is_decomposed(&self) -> bool {
+        matches!(self, Plan::CycleSum(_) | Plan::CycleBottleneck(_))
+    }
+
+    /// The exact number of answers, without enumerating them.
+    pub(crate) fn count_answers(&self) -> u128 {
+        match self {
+            Plan::AcyclicSum(c) => c.instance.count_solutions(),
+            Plan::AcyclicBottleneck(c) => c.instance.count_solutions(),
+            Plan::CycleSum(trees) => trees
+                .iter()
+                .map(|t| t.compiled.instance.count_solutions())
+                .sum(),
+            Plan::CycleBottleneck(trees) => trees
+                .iter()
+                .map(|t| t.compiled.instance.count_solutions())
+                .sum(),
+        }
+    }
+
+    /// Enumerate every answer exactly once, in rank order. `db` must be the
+    /// database the plan was prepared over (used only to resolve witness
+    /// tuples into head values for acyclic plans; cycle plans carry their
+    /// own bag databases).
+    ///
+    /// The returned iterator is `Send` and retains all enumeration state
+    /// (candidate queues, prefix arenas, branch streams, the union heap)
+    /// between `next()` calls, so it can be suspended in a session table
+    /// and resumed on any thread without perturbing the stream.
+    pub(crate) fn enumerate<'s>(
+        &'s self,
+        db: &'s Database,
+        algorithm: AnyKAlgorithm,
+        ranking: RankingFunction,
+    ) -> Box<dyn Iterator<Item = Answer> + Send + 's> {
+        match self {
+            Plan::AcyclicSum(c) => Self::enumerate_acyclic(db, c, algorithm, ranking),
+            Plan::AcyclicBottleneck(c) => Self::enumerate_acyclic(db, c, algorithm, ranking),
+            Plan::CycleSum(trees) => Self::enumerate_cycle(trees, algorithm, ranking),
+            Plan::CycleBottleneck(trees) => Self::enumerate_cycle(trees, algorithm, ranking),
+        }
+    }
+
+    /// See [`RankedQuery::mem_profile`].
+    pub(crate) fn mem_profile(&self, algorithm: AnyKAlgorithm, k: usize) -> Option<MemoryStats> {
+        let kind = match algorithm {
+            AnyKAlgorithm::Eager => SuccessorKind::Eager,
+            AnyKAlgorithm::Lazy => SuccessorKind::Lazy,
+            AnyKAlgorithm::All => SuccessorKind::All,
+            AnyKAlgorithm::Take2 => SuccessorKind::Take2,
+            AnyKAlgorithm::Recursive | AnyKAlgorithm::Batch => return None,
+        };
+
+        fn profile_one<D: Dioid>(c: &Compiled<D>, kind: SuccessorKind, k: usize) -> MemoryStats {
+            let mut part = AnyKPart::new(&c.instance, kind);
+            while part.emitted() < k && part.next().is_some() {}
+            part.memory_stats()
+        }
+
+        let mut total = MemoryStats::default();
+        match self {
+            Plan::AcyclicSum(c) => total.absorb(&profile_one(c, kind, k)),
+            Plan::AcyclicBottleneck(c) => total.absorb(&profile_one(c, kind, k)),
+            Plan::CycleSum(trees) => {
+                for t in trees {
+                    total.absorb(&profile_one(&t.compiled, kind, k));
+                }
+            }
+            Plan::CycleBottleneck(trees) => {
+                for t in trees {
+                    total.absorb(&profile_one(&t.compiled, kind, k));
+                }
+            }
+        }
+        Some(total)
+    }
+
+    fn enumerate_acyclic<'s, D: Dioid<V = OrderedF64>>(
+        db: &'s Database,
+        compiled: &'s Compiled<D>,
+        algorithm: AnyKAlgorithm,
+        ranking: RankingFunction,
+    ) -> Box<dyn Iterator<Item = Answer> + Send + 's> {
+        Box::new(
+            ranked_enumerate(&compiled.instance, algorithm)
+                .map(move |sol| compiled.assemble(db, &sol, |w| ranking.decode(w))),
+        )
+    }
+
+    fn enumerate_cycle<'s, D: Dioid<V = OrderedF64>>(
+        trees: &'s [CycleTreePlan<D>],
+        algorithm: AnyKAlgorithm,
+        ranking: RankingFunction,
+    ) -> Box<dyn Iterator<Item = Answer> + Send + 's> {
+        // One ranked source per decomposition tree; the partitions are
+        // disjoint (§5.3.1), so the union needs no duplicate elimination.
+        let sources: Vec<Box<dyn Iterator<Item = (OrderedF64, Answer)> + Send + 's>> = trees
+            .iter()
+            .map(|tree| {
+                let iter = ranked_enumerate(&tree.compiled.instance, algorithm).map(move |sol| {
+                    let encoded = sol.weight;
+                    let raw = tree
+                        .compiled
+                        .assemble(&tree.database, &sol, |w| ranking.decode(w));
+                    // Reorder the tree's head values into the original
+                    // query's head-variable order. Witnesses reference bag
+                    // tuples, not original input tuples, so they are dropped.
+                    let values: Vec<Value> = tree.head_perm.iter().map(|&p| raw.value(p)).collect();
+                    (encoded, Answer::new(raw.weight(), values, Vec::new()))
+                });
+                Box::new(iter) as Box<dyn Iterator<Item = (OrderedF64, Answer)> + Send + 's>
+            })
+            .collect();
+        Box::new(UnionEnumerator::new(sources).map(|(_, ans)| ans))
+    }
+}
+
+impl<'a> RankedQuery<'a> {
+    /// Prepare `query` over `db` with the default ranking
+    /// ([`RankingFunction::SumAscending`]).
+    pub fn new(db: &'a Database, query: &'a ConjunctiveQuery) -> Result<Self, EngineError> {
+        Self::with_ranking(db, query, RankingFunction::SumAscending)
+    }
+
+    /// Prepare `query` over `db` with an explicit ranking function.
+    pub fn with_ranking(
+        db: &'a Database,
+        query: &'a ConjunctiveQuery,
+        ranking: RankingFunction,
+    ) -> Result<Self, EngineError> {
+        let plan = Plan::prepare(db, query, ranking)?;
+        Ok(RankedQuery {
+            db,
+            query,
+            ranking,
+            plan,
+        })
+    }
+
     /// The query this plan answers.
     pub fn query(&self) -> &ConjunctiveQuery {
         self.query
@@ -167,36 +311,22 @@ impl<'a> RankedQuery<'a> {
     /// Whether the plan uses the cycle decomposition (as opposed to a single
     /// acyclic T-DP instance).
     pub fn is_decomposed(&self) -> bool {
-        matches!(self.plan, Plan::CycleSum(_) | Plan::CycleBottleneck(_))
+        self.plan.is_decomposed()
     }
 
     /// The exact number of answers, computed without enumerating them
     /// (stage-wise counting over the compiled instances).
     pub fn count_answers(&self) -> u128 {
-        match &self.plan {
-            Plan::AcyclicSum(c) => c.instance.count_solutions(),
-            Plan::AcyclicBottleneck(c) => c.instance.count_solutions(),
-            Plan::CycleSum(trees) => trees
-                .iter()
-                .map(|t| t.compiled.instance.count_solutions())
-                .sum(),
-            Plan::CycleBottleneck(trees) => trees
-                .iter()
-                .map(|t| t.compiled.instance.count_solutions())
-                .sum(),
-        }
+        self.plan.count_answers()
     }
 
     /// Enumerate every answer exactly once, in rank order, with the chosen
     /// any-k algorithm.
-    pub fn enumerate(&self, algorithm: AnyKAlgorithm) -> Box<dyn Iterator<Item = Answer> + '_> {
-        let ranking = self.ranking;
-        match &self.plan {
-            Plan::AcyclicSum(c) => self.enumerate_acyclic(c, algorithm, ranking),
-            Plan::AcyclicBottleneck(c) => self.enumerate_acyclic(c, algorithm, ranking),
-            Plan::CycleSum(trees) => Self::enumerate_cycle(trees, algorithm, ranking),
-            Plan::CycleBottleneck(trees) => Self::enumerate_cycle(trees, algorithm, ranking),
-        }
+    pub fn enumerate(
+        &self,
+        algorithm: AnyKAlgorithm,
+    ) -> Box<dyn Iterator<Item = Answer> + Send + '_> {
+        self.plan.enumerate(self.db, algorithm, self.ranking)
     }
 
     /// Convenience: the top `k` answers as a vector.
@@ -213,76 +343,7 @@ impl<'a> RankedQuery<'a> {
     /// enumerator would have touched. Returns `None` for `Recursive` and
     /// `Batch`, whose memory is not organised in these structures.
     pub fn mem_profile(&self, algorithm: AnyKAlgorithm, k: usize) -> Option<MemoryStats> {
-        let kind = match algorithm {
-            AnyKAlgorithm::Eager => SuccessorKind::Eager,
-            AnyKAlgorithm::Lazy => SuccessorKind::Lazy,
-            AnyKAlgorithm::All => SuccessorKind::All,
-            AnyKAlgorithm::Take2 => SuccessorKind::Take2,
-            AnyKAlgorithm::Recursive | AnyKAlgorithm::Batch => return None,
-        };
-
-        fn profile_one<D: Dioid>(c: &Compiled<D>, kind: SuccessorKind, k: usize) -> MemoryStats {
-            let mut part = AnyKPart::new(&c.instance, kind);
-            while part.emitted() < k && part.next().is_some() {}
-            part.memory_stats()
-        }
-
-        let mut total = MemoryStats::default();
-        match &self.plan {
-            Plan::AcyclicSum(c) => total.absorb(&profile_one(c, kind, k)),
-            Plan::AcyclicBottleneck(c) => total.absorb(&profile_one(c, kind, k)),
-            Plan::CycleSum(trees) => {
-                for t in trees {
-                    total.absorb(&profile_one(&t.compiled, kind, k));
-                }
-            }
-            Plan::CycleBottleneck(trees) => {
-                for t in trees {
-                    total.absorb(&profile_one(&t.compiled, kind, k));
-                }
-            }
-        }
-        Some(total)
-    }
-
-    fn enumerate_acyclic<'s, D: Dioid<V = OrderedF64>>(
-        &'s self,
-        compiled: &'s Compiled<D>,
-        algorithm: AnyKAlgorithm,
-        ranking: RankingFunction,
-    ) -> Box<dyn Iterator<Item = Answer> + 's> {
-        let db = self.db;
-        Box::new(
-            ranked_enumerate(&compiled.instance, algorithm)
-                .map(move |sol| compiled.assemble(db, &sol, |w| ranking.decode(w))),
-        )
-    }
-
-    fn enumerate_cycle<'s, D: Dioid<V = OrderedF64>>(
-        trees: &'s [CycleTreePlan<D>],
-        algorithm: AnyKAlgorithm,
-        ranking: RankingFunction,
-    ) -> Box<dyn Iterator<Item = Answer> + 's> {
-        // One ranked source per decomposition tree; the partitions are
-        // disjoint (§5.3.1), so the union needs no duplicate elimination.
-        let sources: Vec<Box<dyn Iterator<Item = (OrderedF64, Answer)> + 's>> = trees
-            .iter()
-            .map(|tree| {
-                let iter = ranked_enumerate(&tree.compiled.instance, algorithm).map(move |sol| {
-                    let encoded = sol.weight;
-                    let raw = tree
-                        .compiled
-                        .assemble(&tree.database, &sol, |w| ranking.decode(w));
-                    // Reorder the tree's head values into the original
-                    // query's head-variable order. Witnesses reference bag
-                    // tuples, not original input tuples, so they are dropped.
-                    let values: Vec<Value> = tree.head_perm.iter().map(|&p| raw.value(p)).collect();
-                    (encoded, Answer::new(raw.weight(), values, Vec::new()))
-                });
-                Box::new(iter) as Box<dyn Iterator<Item = (OrderedF64, Answer)> + 's>
-            })
-            .collect();
-        Box::new(UnionEnumerator::new(sources).map(|(_, ans)| ans))
+        self.plan.mem_profile(algorithm, k)
     }
 }
 

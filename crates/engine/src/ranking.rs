@@ -9,7 +9,10 @@
 //! [`crate::compile::compile_with`] directly with any dioid.
 
 /// How query answers are ranked.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// `Hash` so that services can key prepared-plan caches by
+/// (query, ranking).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum RankingFunction {
     /// Ascending by the sum of the witness tuples' weights (the paper's
     /// default, tropical min-plus dioid).

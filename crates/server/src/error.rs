@@ -1,0 +1,40 @@
+//! Service-level errors.
+
+use crate::service::SessionId;
+use anyk_engine::EngineError;
+
+/// Errors surfaced by [`crate::QueryService`].
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The session id is unknown: never issued, or already closed.
+    UnknownSession(SessionId),
+    /// Query preparation failed (unknown relation, arity mismatch,
+    /// unsupported cyclic query, ...).
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownSession(id) => {
+                write!(f, "unknown (or already closed) session {id}")
+            }
+            ServiceError::Engine(e) => write!(f, "query preparation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Engine(e) => Some(e),
+            ServiceError::UnknownSession(_) => None,
+        }
+    }
+}
+
+impl From<EngineError> for ServiceError {
+    fn from(e: EngineError) -> Self {
+        ServiceError::Engine(e)
+    }
+}

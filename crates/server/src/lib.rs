@@ -1,0 +1,93 @@
+//! # anyk-server
+//!
+//! A query-service subsystem over the any-k engine: long-lived, concurrent,
+//! resumable ranked enumeration — the serving seam between the paper's
+//! algorithms (Tziavelis et al., VLDB 2020) and a system that answers many
+//! clients over one shared database snapshot.
+//!
+//! The any-k algorithms are *anytime* by construction: after one
+//! preprocessing pass, answers stream out one at a time in rank order with
+//! logarithmic delay. That maps naturally onto a service in which clients
+//! **pull pages** of ranked answers and may pause between pages for
+//! arbitrarily long:
+//!
+//! * [`QueryService`] owns an `Arc`-shared, read-mostly
+//!   [`Database`](anyk_storage::Database) snapshot whose index cache is
+//!   LRU-bounded and `RwLock`-sharded, so many sessions preprocess and
+//!   enumerate concurrently without blocking each other.
+//! * [`QueryService::prepare`] compiles a query **once** (join-tree or cycle
+//!   decomposition, T-DP compilation, bottom-up phase) and memoises the
+//!   resulting [`PreparedQuery`] per (query, ranking), so every later
+//!   session over the same query skips straight to enumeration.
+//! * [`QueryService::open_session`] hands out a [`SessionId`] backed by an
+//!   [`AnswerCursor`](anyk_engine::AnswerCursor): the live any-k iterator
+//!   state (candidate queue, shared-prefix arena, successor structures,
+//!   union heap) is retained **per session**, which is what makes sessions
+//!   suspendable mid-enumeration and resumable later — suspension is simply
+//!   not calling [`QueryService::next_page`] for a while.
+//!
+//! **Determinism guarantee:** concatenating the pages of a session yields a
+//! stream bit-identical to the one-shot
+//! [`PreparedQuery::enumerate`](anyk_engine::PreparedQuery::enumerate)
+//! stream for the same algorithm, regardless of page sizes, suspensions, or
+//! what other sessions do concurrently.
+//!
+//! ## Example
+//!
+//! ```
+//! use anyk_core::AnyKAlgorithm;
+//! use anyk_query::QueryBuilder;
+//! use anyk_server::QueryService;
+//! use anyk_storage::{Database, Relation};
+//!
+//! let mut db = Database::new();
+//! let mut r1 = Relation::new("R1", 2);
+//! r1.push_edge(1, 10, 1.0);
+//! r1.push_edge(2, 20, 4.0);
+//! let mut r2 = Relation::new("R2", 2);
+//! r2.push_edge(10, 5, 2.0);
+//! r2.push_edge(20, 6, 1.0);
+//! db.add(r1);
+//! db.add(r2);
+//!
+//! let service = QueryService::new(db);
+//! let query = QueryBuilder::path(2).build();
+//!
+//! // Two independent clients over the same prepared plan.
+//! let a = service.open_session(&query, AnyKAlgorithm::Take2).unwrap();
+//! let b = service.open_session(&query, AnyKAlgorithm::Lazy).unwrap();
+//!
+//! let first = service.next_page(a, 1).unwrap();
+//! assert_eq!(first.answers[0].weight(), 3.0);
+//! // Session `a` is now suspended; session `b` streams independently.
+//! let all = service.next_page(b, 100).unwrap();
+//! assert_eq!(all.answers.len(), 2);
+//! assert!(all.done);
+//! // Resume `a` where it left off.
+//! let rest = service.next_page(a, 100).unwrap();
+//! assert_eq!(rest.answers.len(), 1);
+//!
+//! assert_eq!(service.metrics().plan_hits, 1, "second session reused the plan");
+//! service.close_session(a);
+//! service.close_session(b);
+//! ```
+//!
+//! ## What this crate is not (yet)
+//!
+//! There is no transport: callers are in-process threads. The service is
+//! the seam where an async RPC front end, admission control, or cross-node
+//! sharding would plug in — each session is already a `Send` value behind a
+//! stable id, so a transport only has to map connections to [`SessionId`]s.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod error;
+mod service;
+
+pub use error::ServiceError;
+pub use service::{QueryService, ServiceConfig, ServiceMetrics, SessionId, SessionStatus};
+
+// Re-exported so service callers can name the page/cursor types without
+// depending on anyk-engine directly.
+pub use anyk_engine::{Answer, AnswerCursor, Page, PreparedQuery};

@@ -1,0 +1,573 @@
+//! The query service: prepared-plan cache + sharded session registry.
+
+use crate::error::ServiceError;
+use anyk_core::AnyKAlgorithm;
+use anyk_engine::{Answer, AnswerCursor, AnswerDecoder, Page, PreparedQuery, RankingFunction};
+use anyk_query::ConjunctiveQuery;
+use anyk_storage::{Database, IndexCacheStats};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Identifies one open enumeration session. Ids are unique over the life of
+/// a service and never reused, so a stale id can only miss (never alias a
+/// newer session).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "session-{}", self.0)
+    }
+}
+
+/// Construction-time options for [`QueryService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Re-bound the database's index cache before sharing it (`None` keeps
+    /// the database's current bound — the `ANYK_INDEX_CACHE_CAP` default).
+    /// Only meaningful when the service still owns the database
+    /// ([`QueryService::new`] / [`QueryService::with_config`]);
+    /// [`QueryService::over`] rejects it, because an already-shared
+    /// snapshot's cache cannot be re-bounded.
+    pub index_cache_capacity: Option<usize>,
+    /// Number of independent `RwLock` shards for the session registry.
+    /// Session lookups hash across the shards, so concurrent page pulls on
+    /// different sessions contend only 1-in-`session_shards` of the time
+    /// even while other sessions are being opened or closed.
+    pub session_shards: usize,
+    /// Bound on the number of memoised prepared plans (clamped to ≥ 1).
+    /// Prepared plans are much heavier than indexes — a cycle plan owns
+    /// materialised bag databases — so a service facing ad-hoc queries
+    /// must evict here too: least-recently-prepared plans are dropped
+    /// first. Sessions already opened keep their (Arc'd) plan alive until
+    /// they close; eviction only forces a recompile for *future* sessions.
+    pub plan_cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            index_cache_capacity: None,
+            session_shards: 8,
+            plan_cache_capacity: 32,
+        }
+    }
+}
+
+/// A snapshot of the service's counters (all monotonically increasing over
+/// the service's lifetime, except the derived gauges).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceMetrics {
+    /// Sessions opened so far.
+    pub sessions_opened: u64,
+    /// Sessions explicitly closed.
+    pub sessions_closed: u64,
+    /// Pages served across all sessions.
+    pub pages_served: u64,
+    /// Answers served across all sessions.
+    pub answers_served: u64,
+    /// Prepared-plan cache hits (a session opened without recompiling).
+    pub plan_hits: u64,
+    /// Prepared-plan cache misses (compile + preprocessing ran).
+    pub plan_misses: u64,
+    /// Prepared plans evicted by the plan-cache LRU bound.
+    pub plan_evictions: u64,
+}
+
+/// Progress report for one session; see [`QueryService::session_status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStatus {
+    /// Answers served so far across all of the session's pages.
+    pub served: usize,
+    /// True once the session's stream is exhausted.
+    pub done: bool,
+    /// The any-k algorithm driving the session.
+    pub algorithm: AnyKAlgorithm,
+}
+
+/// Key of the prepared-plan cache. `ConjunctiveQuery`'s `Display` form is
+/// canonical for plan identity: it spells out head and body verbatim.
+type PlanKey = (String, RankingFunction);
+
+/// One memoised plan plus its recency tick (atomic so cache hits can
+/// refresh recency under the read lock; used for LRU eviction).
+struct PlanEntry {
+    plan: Arc<PreparedQuery>,
+    last_used: AtomicU64,
+}
+
+struct Session {
+    cursor: AnswerCursor,
+}
+
+type SessionShard = RwLock<HashMap<u64, Arc<Mutex<Session>>>>;
+
+/// A long-lived query service over one shared, read-mostly [`Database`]
+/// snapshot. See the [crate docs](crate) for the full model and an example.
+///
+/// All methods take `&self`: wrap the service in an `Arc` (or hand out
+/// `&QueryService` borrows) and drive it from as many threads as needed.
+/// Per-session state is behind a per-session mutex, so concurrent pulls on
+/// *different* sessions run in parallel while concurrent pulls on the *same*
+/// session serialise (each page is still an atomic, contiguous chunk of the
+/// session's ranked stream).
+pub struct QueryService {
+    db: Arc<Database>,
+    plans: RwLock<HashMap<PlanKey, PlanEntry>>,
+    plan_cache_capacity: usize,
+    plan_clock: AtomicU64,
+    session_shards: Vec<SessionShard>,
+    next_session: AtomicU64,
+    sessions_opened: AtomicU64,
+    sessions_closed: AtomicU64,
+    pages_served: AtomicU64,
+    answers_served: AtomicU64,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+    plan_evictions: AtomicU64,
+}
+
+/// A poisoned lock only means a panic elsewhere; the maps/sessions are
+/// always structurally consistent.
+macro_rules! lock {
+    ($e:expr) => {
+        $e.unwrap_or_else(|poisoned| poisoned.into_inner())
+    };
+}
+
+impl QueryService {
+    /// Build a service owning `db`, with default [`ServiceConfig`].
+    pub fn new(db: Database) -> Self {
+        Self::with_config(db, ServiceConfig::default())
+    }
+
+    /// Build a service owning `db` with explicit options.
+    pub fn with_config(mut db: Database, mut config: ServiceConfig) -> Self {
+        if let Some(cap) = config.index_cache_capacity.take() {
+            db.set_index_cache_capacity(cap);
+        }
+        Self::over(Arc::new(db), config)
+    }
+
+    /// Build a service over an already-shared snapshot (e.g. several
+    /// services — future shards — over one database).
+    ///
+    /// # Panics
+    /// Panics if `config.index_cache_capacity` is set: a shared snapshot's
+    /// cache cannot be re-bounded, and silently dropping a configured
+    /// memory bound would be worse than refusing it. Bound the cache before
+    /// sharing (via [`Database::set_index_cache_capacity`] or
+    /// [`QueryService::with_config`]).
+    pub fn over(db: Arc<Database>, config: ServiceConfig) -> Self {
+        assert!(
+            config.index_cache_capacity.is_none(),
+            "index_cache_capacity cannot be applied to an already-shared \
+             database; call Database::set_index_cache_capacity before \
+             wrapping it in an Arc (or use QueryService::with_config)"
+        );
+        let shards = config.session_shards.max(1);
+        QueryService {
+            db,
+            plans: RwLock::new(HashMap::new()),
+            plan_cache_capacity: config.plan_cache_capacity.max(1),
+            plan_clock: AtomicU64::new(0),
+            session_shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            next_session: AtomicU64::new(0),
+            sessions_opened: AtomicU64::new(0),
+            sessions_closed: AtomicU64::new(0),
+            pages_served: AtomicU64::new(0),
+            answers_served: AtomicU64::new(0),
+            plan_hits: AtomicU64::new(0),
+            plan_misses: AtomicU64::new(0),
+            plan_evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared database snapshot.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Compile `query` under `ranking`, or return the memoised plan if an
+    /// equivalent query was prepared before. Compilation runs *outside* the
+    /// plan-cache lock, so preparing distinct queries proceeds in parallel;
+    /// if two threads race on the same key, the first insert wins and both
+    /// get the same plan. The cache is LRU-bounded
+    /// ([`ServiceConfig::plan_cache_capacity`]); an evicted plan stays alive
+    /// for the sessions already holding it and is simply recompiled if the
+    /// query comes back.
+    pub fn prepare(
+        &self,
+        query: &ConjunctiveQuery,
+        ranking: RankingFunction,
+    ) -> Result<Arc<PreparedQuery>, ServiceError> {
+        let key: PlanKey = (query.to_string(), ranking);
+        if let Some(entry) = lock!(self.plans.read()).get(&key) {
+            entry.last_used.store(
+                self.plan_clock.fetch_add(1, Ordering::Relaxed) + 1,
+                Ordering::Relaxed,
+            );
+            self.plan_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(&entry.plan));
+        }
+        self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        let prepared = Arc::new(PreparedQuery::prepare(
+            Arc::clone(&self.db),
+            query,
+            ranking,
+        )?);
+        let mut plans = lock!(self.plans.write());
+        let tick = self.plan_clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let entry = plans.entry(key).or_insert_with(|| PlanEntry {
+            plan: prepared,
+            last_used: AtomicU64::new(0),
+        });
+        *entry.last_used.get_mut() = tick;
+        let out = Arc::clone(&entry.plan);
+        while plans.len() > self.plan_cache_capacity {
+            let victim = plans
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone())
+                .expect("non-empty plan cache");
+            plans.remove(&victim);
+            self.plan_evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(out)
+    }
+
+    /// Open a session over `query` with the default ranking
+    /// ([`RankingFunction::SumAscending`]).
+    pub fn open_session(
+        &self,
+        query: &ConjunctiveQuery,
+        algorithm: AnyKAlgorithm,
+    ) -> Result<SessionId, ServiceError> {
+        self.open_session_with(query, RankingFunction::SumAscending, algorithm)
+    }
+
+    /// Open a session over `query` under an explicit ranking.
+    pub fn open_session_with(
+        &self,
+        query: &ConjunctiveQuery,
+        ranking: RankingFunction,
+        algorithm: AnyKAlgorithm,
+    ) -> Result<SessionId, ServiceError> {
+        let prepared = self.prepare(query, ranking)?;
+        Ok(self.open_prepared(&prepared, algorithm))
+    }
+
+    /// Open a session over an explicitly prepared plan (e.g. one prepared
+    /// ahead of a traffic spike, or obtained from [`QueryService::prepare`]).
+    pub fn open_prepared(
+        &self,
+        prepared: &Arc<PreparedQuery>,
+        algorithm: AnyKAlgorithm,
+    ) -> SessionId {
+        let id = SessionId(self.next_session.fetch_add(1, Ordering::Relaxed) + 1);
+        let session = Arc::new(Mutex::new(Session {
+            cursor: prepared.cursor(algorithm),
+        }));
+        lock!(self.shard_of(id).write()).insert(id.0, session);
+        self.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        id
+    }
+
+    fn shard_of(&self, id: SessionId) -> &SessionShard {
+        let mut h = DefaultHasher::new();
+        id.0.hash(&mut h);
+        &self.session_shards[(h.finish() as usize) % self.session_shards.len()]
+    }
+
+    fn session(&self, id: SessionId) -> Result<Arc<Mutex<Session>>, ServiceError> {
+        lock!(self.shard_of(id).read())
+            .get(&id.0)
+            .cloned()
+            .ok_or(ServiceError::UnknownSession(id))
+    }
+
+    /// Pull the next page of up to `page_size` ranked answers from session
+    /// `id`, resuming exactly where the previous page stopped.
+    pub fn next_page(&self, id: SessionId, page_size: usize) -> Result<Page, ServiceError> {
+        let session = self.session(id)?;
+        let mut session = lock!(session.lock());
+        let page = session.cursor.next_page(page_size);
+        self.pages_served.fetch_add(1, Ordering::Relaxed);
+        self.answers_served
+            .fetch_add(page.answers.len() as u64, Ordering::Relaxed);
+        Ok(page)
+    }
+
+    /// Like [`QueryService::next_page`], but fills a caller-provided buffer
+    /// (cleared first) so steady-state clients pay no per-page allocation.
+    /// Returns `true` when the session's stream is exhausted.
+    pub fn next_page_into(
+        &self,
+        id: SessionId,
+        page_size: usize,
+        out: &mut Vec<Answer>,
+    ) -> Result<bool, ServiceError> {
+        let session = self.session(id)?;
+        let mut session = lock!(session.lock());
+        let done = session.cursor.next_page_into(page_size, out);
+        self.pages_served.fetch_add(1, Ordering::Relaxed);
+        self.answers_served
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
+        Ok(done)
+    }
+
+    /// Progress of session `id` (answers served, exhaustion, algorithm).
+    pub fn session_status(&self, id: SessionId) -> Result<SessionStatus, ServiceError> {
+        let session = self.session(id)?;
+        let session = lock!(session.lock());
+        Ok(SessionStatus {
+            served: session.cursor.served(),
+            done: session.cursor.is_done(),
+            algorithm: session.cursor.algorithm(),
+        })
+    }
+
+    /// The decoder for session `id`'s answers (original strings for
+    /// dictionary-encoded columns); see
+    /// [`AnswerDecoder`](anyk_engine::AnswerDecoder).
+    pub fn decoder(&self, id: SessionId) -> Result<AnswerDecoder, ServiceError> {
+        let session = self.session(id)?;
+        let session = lock!(session.lock());
+        Ok(session.cursor.prepared().decoder())
+    }
+
+    /// Close session `id`, dropping its enumeration state. Returns `false`
+    /// if the session was unknown (or already closed). A session that is
+    /// never closed simply keeps its suspended state alive — there is no
+    /// timeout; eviction policy is a follow-on (see ROADMAP).
+    pub fn close_session(&self, id: SessionId) -> bool {
+        let removed = lock!(self.shard_of(id).write()).remove(&id.0).is_some();
+        if removed {
+            self.sessions_closed.fetch_add(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Number of currently open sessions.
+    pub fn session_count(&self) -> usize {
+        self.session_shards
+            .iter()
+            .map(|s| lock!(s.read()).len())
+            .sum()
+    }
+
+    /// Number of distinct prepared plans currently memoised.
+    pub fn prepared_count(&self) -> usize {
+        lock!(self.plans.read()).len()
+    }
+
+    /// Counter snapshot.
+    pub fn metrics(&self) -> ServiceMetrics {
+        ServiceMetrics {
+            sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
+            sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
+            pages_served: self.pages_served.load(Ordering::Relaxed),
+            answers_served: self.answers_served.load(Ordering::Relaxed),
+            plan_hits: self.plan_hits.load(Ordering::Relaxed),
+            plan_misses: self.plan_misses.load(Ordering::Relaxed),
+            plan_evictions: self.plan_evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Hit/miss/eviction counters of the shared snapshot's index cache.
+    pub fn index_cache_stats(&self) -> IndexCacheStats {
+        self.db.index_cache_stats()
+    }
+}
+
+impl std::fmt::Debug for QueryService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryService")
+            .field("sessions", &self.session_count())
+            .field("prepared_plans", &self.prepared_count())
+            .field("metrics", &self.metrics())
+            .finish()
+    }
+}
+
+// The whole service is shareable across threads by construction; keep that
+// guarantee compile-time checked.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QueryService>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyk_query::QueryBuilder;
+    use anyk_storage::Relation;
+
+    fn path_db() -> Database {
+        let mut db = Database::new();
+        let mut r1 = Relation::new("R1", 2);
+        r1.push_edge(1, 10, 1.0);
+        r1.push_edge(2, 20, 4.0);
+        r1.push_edge(3, 10, 9.0);
+        let mut r2 = Relation::new("R2", 2);
+        r2.push_edge(10, 5, 2.0);
+        r2.push_edge(20, 6, 1.0);
+        db.add(r1);
+        db.add(r2);
+        db
+    }
+
+    #[test]
+    fn sessions_page_independently_and_deterministically() {
+        let service = QueryService::new(path_db());
+        let query = QueryBuilder::path(2).build();
+        let one_shot: Vec<Answer> = service
+            .prepare(&query, RankingFunction::SumAscending)
+            .unwrap()
+            .enumerate(AnyKAlgorithm::Take2)
+            .collect();
+
+        let a = service.open_session(&query, AnyKAlgorithm::Take2).unwrap();
+        let b = service.open_session(&query, AnyKAlgorithm::Take2).unwrap();
+        // Interleave pulls with different page sizes.
+        let mut got_a = service.next_page(a, 1).unwrap().answers;
+        let mut got_b = service.next_page(b, 2).unwrap().answers;
+        got_a.extend(service.next_page(a, 10).unwrap().answers);
+        got_b.extend(service.next_page(b, 10).unwrap().answers);
+        assert_eq!(got_a, one_shot);
+        assert_eq!(got_b, one_shot);
+        assert_eq!(service.metrics().plan_misses, 1, "compiled exactly once");
+        assert_eq!(service.metrics().plan_hits, 2);
+    }
+
+    #[test]
+    fn unknown_and_closed_sessions_are_rejected() {
+        let service = QueryService::new(path_db());
+        let query = QueryBuilder::path(2).build();
+        let id = service.open_session(&query, AnyKAlgorithm::Lazy).unwrap();
+        assert!(service.next_page(id, 1).is_ok());
+        assert!(service.close_session(id));
+        assert!(!service.close_session(id), "double close is a no-op");
+        assert!(matches!(
+            service.next_page(id, 1),
+            Err(ServiceError::UnknownSession(_))
+        ));
+        assert_eq!(service.session_count(), 0);
+    }
+
+    #[test]
+    fn prepare_failures_surface_engine_errors() {
+        let service = QueryService::new(path_db());
+        let query = QueryBuilder::new().atom("Nope", &["x", "y"]).build();
+        let err = service
+            .open_session(&query, AnyKAlgorithm::Take2)
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Engine(_)));
+        assert!(err.to_string().contains("Nope"));
+    }
+
+    #[test]
+    fn session_status_tracks_progress() {
+        let service = QueryService::new(path_db());
+        let query = QueryBuilder::path(2).build();
+        let id = service
+            .open_session(&query, AnyKAlgorithm::Recursive)
+            .unwrap();
+        assert_eq!(
+            service.session_status(id).unwrap(),
+            SessionStatus {
+                served: 0,
+                done: false,
+                algorithm: AnyKAlgorithm::Recursive
+            }
+        );
+        service.next_page(id, 2).unwrap();
+        let status = service.session_status(id).unwrap();
+        assert_eq!(status.served, 2);
+        assert!(!status.done);
+        service.next_page(id, 2).unwrap();
+        assert!(service.session_status(id).unwrap().done);
+    }
+
+    #[test]
+    fn distinct_rankings_get_distinct_plans() {
+        let service = QueryService::new(path_db());
+        let query = QueryBuilder::path(2).build();
+        let asc = service
+            .prepare(&query, RankingFunction::SumAscending)
+            .unwrap();
+        let desc = service
+            .prepare(&query, RankingFunction::SumDescending)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&asc, &desc));
+        assert_eq!(service.prepared_count(), 2);
+        let asc2 = service
+            .prepare(&query, RankingFunction::SumAscending)
+            .unwrap();
+        assert!(Arc::ptr_eq(&asc, &asc2));
+    }
+
+    #[test]
+    fn plan_cache_is_lru_bounded_and_evicted_plans_keep_serving_open_sessions() {
+        let service = QueryService::with_config(
+            path_db(),
+            ServiceConfig {
+                plan_cache_capacity: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        let path = QueryBuilder::path(2).build();
+        // A session holds the plan that is about to be evicted.
+        let id = service.open_session(&path, AnyKAlgorithm::Take2).unwrap();
+        // Two more distinct plans (same query, different rankings) overflow
+        // the 2-slot cache and evict the least recently prepared.
+        service
+            .prepare(&path, RankingFunction::SumDescending)
+            .unwrap();
+        service
+            .prepare(&path, RankingFunction::BottleneckAscending)
+            .unwrap();
+        assert_eq!(service.prepared_count(), 2, "bounded");
+        assert_eq!(service.metrics().plan_evictions, 1);
+        // The open session still streams from the evicted plan (its Arc
+        // keeps it alive) ...
+        let page = service.next_page(id, 100).unwrap();
+        assert_eq!(page.answers.len(), 3);
+        // ... and re-preparing the evicted query recompiles, correctly.
+        let m = service.metrics();
+        let again = service
+            .prepare(&path, RankingFunction::SumAscending)
+            .unwrap();
+        assert_eq!(service.metrics().plan_misses, m.plan_misses + 1);
+        assert_eq!(again.top_k(AnyKAlgorithm::Take2, 1)[0].weight(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already-shared")]
+    fn over_rejects_an_unappliable_index_cache_bound() {
+        let db = Arc::new(path_db());
+        QueryService::over(
+            db,
+            ServiceConfig {
+                index_cache_capacity: Some(4),
+                ..ServiceConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn metrics_count_pages_and_answers() {
+        let service = QueryService::new(path_db());
+        let query = QueryBuilder::path(2).build();
+        let id = service.open_session(&query, AnyKAlgorithm::Eager).unwrap();
+        let mut buf = Vec::new();
+        while !service.next_page_into(id, 1, &mut buf).unwrap() {}
+        let m = service.metrics();
+        assert_eq!(m.answers_served, 3);
+        assert_eq!(m.pages_served, 4, "3 full pages + 1 short (empty) page");
+        assert_eq!(m.sessions_opened, 1);
+    }
+}

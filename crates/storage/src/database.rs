@@ -7,9 +7,16 @@
 //! naive-SQL baseline indexes every atom's relation by its bound columns, and
 //! the cycle decomposition indexes the same oriented partition once per heavy
 //! tree. [`Database::index`] memoises indexes per **(relation slot, key
-//! columns)** behind a mutex, handing out cheap [`Arc`] clones; repeated
-//! requests for the same key pay one hash-map probe instead of an `O(n)`
-//! rebuild.
+//! columns)** in a sharded, `RwLock`-guarded, LRU-bounded cache (see
+//! [`crate::index_cache`]), handing out cheap [`Arc`] clones; repeated
+//! requests for the same key pay one hash-map probe under a read lock
+//! instead of an `O(n)` rebuild, and concurrent readers — e.g. many query
+//! sessions preprocessing over one shared snapshot — never block each other.
+//!
+//! The cache is bounded: a long-lived service over ad-hoc queries evicts its
+//! least-recently-used indexes instead of growing without limit
+//! ([`Database::set_index_cache_capacity`], `ANYK_INDEX_CACHE_CAP`), with
+//! hit/miss/eviction counters exposed via [`Database::index_cache_stats`].
 //!
 //! The cache is invalidated when [`Database::add`] **replaces** a relation:
 //! every cached index of the replaced slot is dropped, so a stale index is
@@ -19,32 +26,26 @@
 //! cloned relations are bit-identical.
 
 use crate::index::HashIndex;
+use crate::index_cache::{default_index_cache_capacity, IndexCache, IndexCacheStats};
 use crate::relation::Relation;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
-
-/// Cache key: (relation slot, key columns). The slot — not the name — keys
-/// the cache so that replacement invalidation is a simple retain.
-type IndexKey = (usize, Vec<usize>);
+use std::sync::Arc;
 
 /// An in-memory database: an ordered catalog of relations addressed by name.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone)]
 pub struct Database {
     relations: Vec<Relation>,
     by_name: HashMap<String, usize>,
     /// Memoised hash indexes per (relation slot, key columns).
-    index_cache: Mutex<HashMap<IndexKey, Arc<HashIndex>>>,
+    index_cache: IndexCache,
 }
 
-impl Clone for Database {
-    fn clone(&self) -> Self {
+impl Default for Database {
+    fn default() -> Self {
         Database {
-            relations: self.relations.clone(),
-            by_name: self.by_name.clone(),
-            // Cached indexes are immutable and describe relations that are
-            // cloned verbatim, so sharing them (Arc clones) is sound and
-            // keeps the clone's cache warm.
-            index_cache: Mutex::new(self.lock_cache().clone()),
+            relations: Vec::new(),
+            by_name: HashMap::new(),
+            index_cache: IndexCache::new(default_index_cache_capacity()),
         }
     }
 }
@@ -55,14 +56,6 @@ impl Database {
         Database::default()
     }
 
-    fn lock_cache(&self) -> std::sync::MutexGuard<'_, HashMap<IndexKey, Arc<HashIndex>>> {
-        // A poisoned lock only means another thread panicked mid-insert; the
-        // map itself is always in a consistent state.
-        self.index_cache
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-    }
-
     /// Add a relation. If a relation with the same name exists it is
     /// replaced (and its slot reused), mirroring `CREATE OR REPLACE TABLE`.
     /// Replacing drops every cached index of the old relation.
@@ -70,7 +63,7 @@ impl Database {
         match self.by_name.get(relation.name()) {
             Some(&idx) => {
                 self.relations[idx] = relation;
-                self.lock_cache().retain(|&(slot, _), _| slot != idx);
+                self.index_cache.invalidate_slot(idx);
             }
             None => {
                 self.by_name
@@ -93,9 +86,11 @@ impl Database {
 
     /// The hash index of `name` over `key_columns`, built on first request
     /// and memoised for subsequent ones. The returned [`Arc`] stays valid
-    /// even if the relation is later replaced (it describes the snapshot it
-    /// was built from); the *cache* entry, however, is dropped on replace, so
-    /// a fresh request after a replace always sees the new data.
+    /// even if the relation is later replaced or the cache entry is evicted
+    /// (it describes the snapshot it was built from); the *cache* entry,
+    /// however, is dropped on replace, so a fresh request after a replace
+    /// always sees the new data. Requests from many threads over a shared
+    /// database proceed concurrently (hits take only a shard read lock).
     ///
     /// # Panics
     /// Panics if the relation does not exist or a key column is out of range.
@@ -104,16 +99,33 @@ impl Database {
             .by_name
             .get(name)
             .unwrap_or_else(|| panic!("relation `{name}` not found in database"));
-        let mut cache = self.lock_cache();
-        let entry = cache
-            .entry((slot, key_columns.to_vec()))
-            .or_insert_with(|| Arc::new(HashIndex::build(&self.relations[slot], key_columns)));
-        Arc::clone(entry)
+        self.index_cache
+            .get_or_build((slot, key_columns.to_vec()), || {
+                HashIndex::build(&self.relations[slot], key_columns)
+            })
     }
 
     /// Number of indexes currently memoised (diagnostics / tests).
     pub fn cached_indexes(&self) -> usize {
-        self.lock_cache().len()
+        self.index_cache.len()
+    }
+
+    /// Hit/miss/eviction counters and occupancy of the index cache.
+    pub fn index_cache_stats(&self) -> IndexCacheStats {
+        self.index_cache.stats()
+    }
+
+    /// The hard bound on the number of cached indexes.
+    pub fn index_cache_capacity(&self) -> usize {
+        self.index_cache.capacity()
+    }
+
+    /// Re-bound the index cache to `capacity` entries (clamped to ≥ 1),
+    /// keeping the most recently used entries. Typically called once while
+    /// the database is still exclusively owned, before sharing it behind an
+    /// `Arc` with a query service.
+    pub fn set_index_cache_capacity(&mut self, capacity: usize) {
+        self.index_cache.set_capacity(capacity);
     }
 
     /// The dictionary of column `col` of relation `name`, if that column is
@@ -291,6 +303,64 @@ mod tests {
         // The old handles still describe their snapshot (no use-after-free).
         assert_eq!(old_dict.decode(0).as_deref(), Some("alice"));
         assert_eq!(old_index.lookup1(0), &[0]);
+    }
+
+    #[test]
+    fn eviction_never_serves_a_stale_index_after_replace() {
+        // Regression: with an LRU bound small enough to churn entries, a
+        // replace followed by arbitrary evictions must still always serve
+        // indexes of the *current* relation contents.
+        let mut db = Database::new();
+        db.set_index_cache_capacity(2);
+        let mut r = Relation::new("R", 2);
+        r.push_edge(1, 10, 0.0);
+        db.add(r);
+        let mut s = Relation::new("S", 2);
+        s.push_edge(7, 70, 0.0);
+        db.add(s);
+
+        let old = db.index("R", &[0]);
+        assert_eq!(old.lookup1(1), &[0]);
+
+        // Replace R, then thrash the cache well past its capacity.
+        let mut r2 = Relation::new("R", 2);
+        r2.push_edge(2, 20, 0.0);
+        db.add(r2);
+        for _ in 0..4 {
+            db.index("S", &[0]);
+            db.index("S", &[1]);
+            db.index("R", &[1]);
+        }
+        assert!(db.cached_indexes() <= 2, "LRU bound holds");
+        assert!(db.index_cache_stats().evictions > 0, "cache churned");
+
+        // However the churn shuffled entries, R's index reflects the
+        // replacement, never the pre-replace snapshot.
+        let fresh = db.index("R", &[0]);
+        assert!(fresh.lookup1(1).is_empty(), "stale key is gone");
+        assert_eq!(fresh.lookup1(2), &[0], "new data is indexed");
+        // The pre-replace handle still describes its own snapshot.
+        assert_eq!(old.lookup1(1), &[0]);
+    }
+
+    #[test]
+    fn cache_counters_track_hits_misses_and_capacity() {
+        let mut db = Database::new();
+        db.set_index_cache_capacity(8);
+        let mut r = Relation::new("R", 2);
+        r.push_edge(1, 10, 0.0);
+        db.add(r);
+        assert_eq!(db.index_cache_capacity(), 8);
+        let before = db.index_cache_stats();
+        db.index("R", &[0]); // miss
+        db.index("R", &[0]); // hit
+        db.index("R", &[1]); // miss
+        let after = db.index_cache_stats();
+        assert_eq!(after.misses - before.misses, 2);
+        assert_eq!(after.hits - before.hits, 1);
+        assert_eq!(after.entries, 2);
+        assert_eq!(after.capacity, 8);
+        assert!(after.hit_ratio() > 0.0);
     }
 
     #[test]

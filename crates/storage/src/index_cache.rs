@@ -1,0 +1,455 @@
+//! A bounded, sharded, read-mostly cache of memoised [`HashIndex`]es.
+//!
+//! [`Database::index`](crate::Database::index) memoises indexes per
+//! **(relation slot, key columns)**. A long-lived service evaluating ad-hoc
+//! queries touches an unbounded set of such keys, so the cache is bounded by
+//! an **LRU** policy with a configurable capacity (default
+//! [`DEFAULT_INDEX_CACHE_CAPACITY`], overridable process-wide with the
+//! `ANYK_INDEX_CACHE_CAP` environment variable or per database with
+//! [`Database::set_index_cache_capacity`](crate::Database::set_index_cache_capacity)).
+//!
+//! ## Concurrency
+//!
+//! The cache is **sharded**: keys hash to one of up to
+//! [`MAX_SHARDS`] independent `RwLock`-guarded maps, so concurrent readers —
+//! many sessions preprocessing over the same shared snapshot — never block
+//! each other (hits take a read lock and bump an atomic recency tick), and
+//! writers only serialise within one shard. Index construction itself runs
+//! *outside* any lock; if two threads race to build the same index, the
+//! first insert wins and both threads converge on the cached `Arc`.
+//!
+//! ## Bound
+//!
+//! The LRU bound is **global**: after an insert pushes the total past the
+//! configured capacity, the globally least-recently-used entry is evicted
+//! (whichever shard it lives in) and the eviction counter incremented, so
+//! the total number of cached indexes never settles above the capacity and
+//! a skewed key distribution cannot thrash one shard while others sit
+//! empty. Evicted `Arc`s already handed out stay valid — they are
+//! immutable snapshots — and a re-request simply rebuilds from the
+//! *current* relation contents, so eviction can never serve stale data.
+
+use crate::index::HashIndex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Cache key: (relation slot, key columns). The slot — not the name — keys
+/// the cache so that replacement invalidation is a simple retain.
+pub(crate) type IndexKey = (usize, Vec<usize>);
+
+/// Default number of cached indexes when neither `ANYK_INDEX_CACHE_CAP` nor
+/// [`Database::set_index_cache_capacity`](crate::Database::set_index_cache_capacity)
+/// says otherwise. Generous for the paper's workloads (a path-ℓ query needs
+/// ℓ indexes) while keeping a service over ad-hoc queries bounded.
+pub const DEFAULT_INDEX_CACHE_CAPACITY: usize = 64;
+
+/// Upper bound on the number of shards (fewer are used when the capacity is
+/// smaller, so the global bound stays exact).
+const MAX_SHARDS: usize = 8;
+
+/// The capacity used by fresh [`Database`](crate::Database)s: the
+/// `ANYK_INDEX_CACHE_CAP` environment variable (parsed once per process,
+/// clamped to ≥ 1) or [`DEFAULT_INDEX_CACHE_CAPACITY`].
+pub fn default_index_cache_capacity() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| parse_capacity(std::env::var("ANYK_INDEX_CACHE_CAP").ok()))
+}
+
+/// `ANYK_INDEX_CACHE_CAP` parsing: a positive integer (clamped to ≥ 1);
+/// anything else falls back to [`DEFAULT_INDEX_CACHE_CAPACITY`].
+fn parse_capacity(var: Option<String>) -> usize {
+    var.and_then(|s| s.trim().parse::<usize>().ok())
+        .map(|c| c.max(1))
+        .unwrap_or(DEFAULT_INDEX_CACHE_CAPACITY)
+}
+
+/// A point-in-time snapshot of the cache's counters, for capacity planning
+/// and the service-level metrics endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IndexCacheStats {
+    /// Requests served from the cache.
+    pub hits: u64,
+    /// Requests that had to build the index (including races where another
+    /// thread's build won the insert).
+    pub misses: u64,
+    /// Entries evicted by the LRU bound (replacement invalidation is *not*
+    /// counted here).
+    pub evictions: u64,
+    /// Indexes currently cached.
+    pub entries: usize,
+    /// Configured capacity (the hard bound on `entries`).
+    pub capacity: usize,
+}
+
+impl IndexCacheStats {
+    /// Hit ratio over all requests so far (0.0 for an unused cache).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    index: Arc<HashIndex>,
+    /// Logical-clock tick of the most recent request (atomic so that cache
+    /// *hits* can refresh recency under the shard's read lock).
+    last_used: AtomicU64,
+}
+
+/// The sharded LRU cache. Owned by [`crate::Database`]; all methods take
+/// `&self` so a database shared behind an `Arc` stays fully usable.
+pub(crate) struct IndexCache {
+    shards: Vec<RwLock<HashMap<IndexKey, Entry>>>,
+    capacity: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for IndexCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndexCache")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// A poisoned lock only means another thread panicked mid-operation; the
+/// maps themselves are always in a consistent state.
+fn read_shard(
+    shard: &RwLock<HashMap<IndexKey, Entry>>,
+) -> RwLockReadGuard<'_, HashMap<IndexKey, Entry>> {
+    shard.read().unwrap_or_else(|p| p.into_inner())
+}
+
+fn write_shard(
+    shard: &RwLock<HashMap<IndexKey, Entry>>,
+) -> RwLockWriteGuard<'_, HashMap<IndexKey, Entry>> {
+    shard.write().unwrap_or_else(|p| p.into_inner())
+}
+
+impl IndexCache {
+    /// An empty cache bounded to `capacity` entries (clamped to ≥ 1).
+    pub(crate) fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        // One shard per ~8 entries of capacity (at most MAX_SHARDS): small
+        // caches stay a single map, large caches spread write locks. The
+        // LRU bound itself is *global* (see `enforce_bound`), so the shard
+        // count only affects lock granularity, never eviction behaviour.
+        let shards = (capacity / MAX_SHARDS).clamp(1, MAX_SHARDS);
+        IndexCache {
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            capacity,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured capacity.
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Rebuild the cache with a new capacity, keeping current entries (up to
+    /// the new bound; overflow is evicted LRU-first).
+    pub(crate) fn set_capacity(&mut self, capacity: usize) {
+        let mut entries: Vec<(IndexKey, Entry)> = self
+            .shards
+            .iter_mut()
+            .flat_map(|s| {
+                s.get_mut()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .drain()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        // Most-recently-used first, so truncation below drops LRU entries.
+        entries.sort_by_key(|(_, e)| std::cmp::Reverse(e.last_used.load(Ordering::Relaxed)));
+        let next = IndexCache::new(capacity);
+        next.clock
+            .store(self.clock.load(Ordering::Relaxed), Ordering::Relaxed);
+        next.hits
+            .store(self.hits.load(Ordering::Relaxed), Ordering::Relaxed);
+        next.misses
+            .store(self.misses.load(Ordering::Relaxed), Ordering::Relaxed);
+        let dropped = entries.len().saturating_sub(next.capacity);
+        next.evictions.store(
+            self.evictions.load(Ordering::Relaxed) + dropped as u64,
+            Ordering::Relaxed,
+        );
+        entries.truncate(next.capacity);
+        for (key, entry) in entries {
+            let shard = next.shard_of(&key);
+            write_shard(&next.shards[shard]).insert(key, entry);
+        }
+        *self = next;
+    }
+
+    fn shard_of(&self, key: &IndexKey) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The cached index for `key`, building it with `build` on a miss.
+    pub(crate) fn get_or_build(
+        &self,
+        key: IndexKey,
+        build: impl FnOnce() -> HashIndex,
+    ) -> Arc<HashIndex> {
+        let shard = &self.shards[self.shard_of(&key)];
+        if let Some(entry) = read_shard(shard).get(&key) {
+            entry.last_used.store(self.tick(), Ordering::Relaxed);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(&entry.index);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Build outside any lock: readers of other keys (and of other
+        // shards) proceed concurrently with this potentially long scan.
+        let built = Arc::new(build());
+        let mut guard = write_shard(shard);
+        let tick = self.tick();
+        let entry = guard.entry(key).or_insert_with(|| Entry {
+            index: built,
+            last_used: AtomicU64::new(0),
+        });
+        *entry.last_used.get_mut() = tick;
+        let out = Arc::clone(&entry.index);
+        drop(guard);
+        self.enforce_bound();
+        out
+    }
+
+    /// Evict globally least-recently-used entries until the cache is within
+    /// its capacity. Called with no locks held; each round picks the victim
+    /// under read locks, then removes it under its shard's write lock
+    /// (re-checking recency, in case the entry was touched meanwhile).
+    /// Global — not per-shard — eviction means a skewed key distribution
+    /// never evicts hot entries while the cache has free capacity.
+    fn enforce_bound(&self) {
+        while self.len() > self.capacity {
+            let mut victim: Option<(usize, IndexKey, u64)> = None;
+            for (si, shard) in self.shards.iter().enumerate() {
+                for (key, entry) in read_shard(shard).iter() {
+                    let tick = entry.last_used.load(Ordering::Relaxed);
+                    if victim.as_ref().is_none_or(|&(_, _, best)| tick < best) {
+                        victim = Some((si, key.clone(), tick));
+                    }
+                }
+            }
+            let Some((si, key, tick)) = victim else {
+                return;
+            };
+            let mut guard = write_shard(&self.shards[si]);
+            let still_lru = guard
+                .get(&key)
+                .is_some_and(|e| e.last_used.load(Ordering::Relaxed) == tick);
+            if still_lru {
+                guard.remove(&key);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            // If the victim was touched (or removed) meanwhile, re-check the
+            // bound and re-pick.
+        }
+    }
+
+    /// Drop every cached index of relation slot `slot` (replacement
+    /// invalidation; not counted as eviction).
+    pub(crate) fn invalidate_slot(&self, slot: usize) {
+        for shard in &self.shards {
+            write_shard(shard).retain(|&(s, _), _| s != slot);
+        }
+    }
+
+    /// Number of indexes currently cached.
+    pub(crate) fn len(&self) -> usize {
+        self.shards.iter().map(|s| read_shard(s).len()).sum()
+    }
+
+    /// Counter snapshot.
+    pub(crate) fn stats(&self) -> IndexCacheStats {
+        IndexCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+impl Clone for IndexCache {
+    /// Clones share the cached `Arc`ed indexes (immutable snapshots of
+    /// relations that are cloned verbatim) but have independent locks and
+    /// counters, warm-started from the source's.
+    fn clone(&self) -> Self {
+        let mut cloned = IndexCache::new(self.capacity);
+        cloned.clock = AtomicU64::new(self.clock.load(Ordering::Relaxed));
+        cloned.hits = AtomicU64::new(self.hits.load(Ordering::Relaxed));
+        cloned.misses = AtomicU64::new(self.misses.load(Ordering::Relaxed));
+        cloned.evictions = AtomicU64::new(self.evictions.load(Ordering::Relaxed));
+        for shard in &self.shards {
+            for (key, entry) in read_shard(shard).iter() {
+                let target = cloned.shard_of(key);
+                write_shard(&cloned.shards[target]).insert(
+                    key.clone(),
+                    Entry {
+                        index: Arc::clone(&entry.index),
+                        last_used: AtomicU64::new(entry.last_used.load(Ordering::Relaxed)),
+                    },
+                );
+            }
+        }
+        cloned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Relation;
+
+    fn index_of(r: &Relation) -> HashIndex {
+        HashIndex::build(r, &[0])
+    }
+
+    fn edge_relation(n: u64) -> Relation {
+        let mut r = Relation::new("R", 2);
+        for i in 0..n {
+            r.push_edge(i, i + 100, 0.0);
+        }
+        r
+    }
+
+    #[test]
+    fn capacity_one_is_a_single_slot_lru() {
+        let cache = IndexCache::new(1);
+        let r = edge_relation(3);
+        let a = cache.get_or_build((0, vec![0]), || index_of(&r));
+        let a2 = cache.get_or_build((0, vec![0]), || index_of(&r));
+        assert!(Arc::ptr_eq(&a, &a2), "hit");
+        let _b = cache.get_or_build((0, vec![1]), || HashIndex::build(&r, &[1]));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1, "bounded to capacity");
+        assert_eq!(stats.evictions, 1, "LRU entry evicted");
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        // Re-requesting the evicted key rebuilds (a fresh Arc).
+        let a3 = cache.get_or_build((0, vec![0]), || index_of(&r));
+        assert!(!Arc::ptr_eq(&a, &a3));
+        assert_eq!(cache.stats().misses, 3);
+        // The evicted handle still describes its snapshot.
+        assert_eq!(a.lookup1(0), &[0]);
+    }
+
+    #[test]
+    fn total_entries_never_exceed_capacity() {
+        for cap in [1usize, 2, 3, 5, 8, 13] {
+            let cache = IndexCache::new(cap);
+            let r = edge_relation(4);
+            for slot in 0..40 {
+                cache.get_or_build((slot, vec![0]), || index_of(&r));
+                assert!(
+                    cache.len() <= cap,
+                    "cap {cap}: {} entries after insert {slot}",
+                    cache.len()
+                );
+            }
+            assert!(cache.stats().evictions > 0, "cap {cap} evicted something");
+        }
+    }
+
+    #[test]
+    fn no_eviction_while_under_global_capacity_regardless_of_shard_skew() {
+        // 30 hot keys in a 64-slot cache (8 shards): however the hash
+        // scatters them, nothing may be evicted while the global bound has
+        // free capacity (eviction is global, not per shard).
+        let cache = IndexCache::new(64);
+        let r = edge_relation(4);
+        for round in 0..3 {
+            for slot in 0..30 {
+                cache.get_or_build((slot, vec![0]), || index_of(&r));
+            }
+            assert_eq!(cache.len(), 30, "round {round}");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.misses, 30, "every key built exactly once");
+        assert_eq!(stats.hits, 60);
+    }
+
+    #[test]
+    fn recency_is_refreshed_by_hits() {
+        // Capacity 1 ⇒ one shard, one slot: the LRU victim is always the
+        // entry *not* touched most recently.
+        let cache = IndexCache::new(1);
+        let r = edge_relation(2);
+        cache.get_or_build((0, vec![0]), || index_of(&r));
+        cache.get_or_build((0, vec![0]), || index_of(&r)); // refresh
+        cache.get_or_build((1, vec![0]), || index_of(&r)); // evicts (0, [0])
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.evictions, 1);
+        // (1, [0]) survives: requesting it again is a hit.
+        let hits_before = cache.stats().hits;
+        cache.get_or_build((1, vec![0]), || index_of(&r));
+        assert_eq!(cache.stats().hits, hits_before + 1);
+    }
+
+    #[test]
+    fn set_capacity_keeps_most_recent_entries() {
+        let mut cache = IndexCache::new(8);
+        let r = edge_relation(2);
+        for slot in 0..6 {
+            cache.get_or_build((slot, vec![0]), || index_of(&r));
+        }
+        assert_eq!(cache.len(), 6);
+        cache.set_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        assert_eq!(cache.len(), 2);
+        // The two most recently used keys (slots 4, 5) survive.
+        let hits_before = cache.stats().hits;
+        cache.get_or_build((4, vec![0]), || index_of(&r));
+        cache.get_or_build((5, vec![0]), || index_of(&r));
+        assert_eq!(cache.stats().hits, hits_before + 2);
+    }
+
+    #[test]
+    fn env_capacity_parsing() {
+        assert_eq!(parse_capacity(None), DEFAULT_INDEX_CACHE_CAPACITY);
+        assert_eq!(parse_capacity(Some("12".into())), 12);
+        assert_eq!(parse_capacity(Some(" 3 ".into())), 3);
+        assert_eq!(parse_capacity(Some("0".into())), 1, "clamped to ≥ 1");
+        assert_eq!(
+            parse_capacity(Some("not-a-number".into())),
+            DEFAULT_INDEX_CACHE_CAPACITY
+        );
+    }
+
+    #[test]
+    fn invalidation_is_not_counted_as_eviction() {
+        let cache = IndexCache::new(8);
+        let r = edge_relation(2);
+        cache.get_or_build((0, vec![0]), || index_of(&r));
+        cache.get_or_build((0, vec![1]), || HashIndex::build(&r, &[1]));
+        cache.get_or_build((1, vec![0]), || index_of(&r));
+        cache.invalidate_slot(0);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.evictions, 0);
+    }
+}

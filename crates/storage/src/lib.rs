@@ -16,8 +16,9 @@
 //!   to dense ids on push and decode on read while everything below the
 //!   columns stays integer-only;
 //! * [`Database`] — a catalog of relations addressed by name, memoising
-//!   [`HashIndex`]es per (relation, key columns) and invalidating them when a
-//!   relation is replaced;
+//!   [`HashIndex`]es per (relation, key columns) in a sharded, LRU-bounded
+//!   [`index_cache`] (readers concurrent, bound configurable, counters
+//!   exposed) and invalidating entries when a relation is replaced;
 //! * [`HashIndex`] — the linear-time-buildable, constant-time-lookup join
 //!   index assumed by the cost model of §2.3, built by sequential column
 //!   scans;
@@ -30,6 +31,7 @@
 mod database;
 pub mod dictionary;
 mod index;
+pub mod index_cache;
 mod relation;
 pub mod stats;
 mod tuple;
@@ -37,5 +39,6 @@ mod tuple;
 pub use database::Database;
 pub use dictionary::{ColumnType, Dictionary, Field, Schema};
 pub use index::HashIndex;
+pub use index_cache::{IndexCacheStats, DEFAULT_INDEX_CACHE_CAPACITY};
 pub use relation::{Relation, RowRef};
 pub use tuple::{Tuple, TupleId, Value};

@@ -31,12 +31,14 @@ pub use anyk_core as core;
 pub use anyk_datagen as datagen;
 pub use anyk_engine as engine;
 pub use anyk_query as query;
+pub use anyk_server as server;
 pub use anyk_storage as storage;
 
 /// Commonly used items for application code.
 pub mod prelude {
     pub use anyk_core::AnyKAlgorithm as Algorithm;
-    pub use anyk_engine::{Answer, RankedQuery, RankingFunction};
+    pub use anyk_engine::{Answer, Page, PreparedQuery, RankedQuery, RankingFunction};
     pub use anyk_query::{ConjunctiveQuery, QueryBuilder};
+    pub use anyk_server::{QueryService, ServiceConfig, SessionId};
     pub use anyk_storage::{Database, Relation, Tuple};
 }
