@@ -27,8 +27,8 @@ use anyk_bench::Scale;
 use anyk_core::metrics::EnumerationTrace;
 use anyk_core::AnyKAlgorithm;
 use anyk_datagen::{cycles, rng, text, uniform};
-use anyk_engine::{RankedQuery, RankingFunction};
-use anyk_query::QueryBuilder;
+use anyk_engine::RankedQuery;
+use anyk_query::{parse_query, QueryBuilder, QuerySpec, RankingFunction};
 use anyk_server::QueryService;
 use anyk_storage::Database;
 use std::fmt::Write as _;
@@ -57,28 +57,54 @@ const ALGORITHMS: [AnyKAlgorithm; 5] = [
 struct Workload {
     name: &'static str,
     db: Database,
-    query: anyk_query::ConjunctiveQuery,
+    /// The request, as a `QuerySpec` — every workload now goes through the
+    /// textual request API's plan path (`RankedQuery::from_spec`), so this
+    /// benchmark also guards the spec/pushdown layer's overhead.
+    spec: QuerySpec,
 }
 
 fn workloads(scale: Scale) -> Vec<Workload> {
     let path_n = scale.pick(400, 50_000, 200_000);
     let star_n = scale.pick(400, 50_000, 200_000);
     let cycle_n = scale.pick(60, 1_000, 4_000);
+    let path_db = uniform::path_or_star_database(4, path_n, &mut rng(11));
     vec![
         Workload {
             name: "path4",
-            db: uniform::path_or_star_database(4, path_n, &mut rng(11)),
-            query: QueryBuilder::path(4).build(),
+            db: path_db.clone(),
+            spec: QuerySpec::from_query(
+                &QueryBuilder::path(4).build(),
+                RankingFunction::SumAscending,
+            ),
+        },
+        // The selection-pushdown hot path: path-4 with a selective equality
+        // predicate on the middle join variable (`x3 = 7` keeps ~1/domain of
+        // R2/R3). `prep_ms` covers the filtered-copy pass + compilation over
+        // the reduced input.
+        Workload {
+            name: "filter4",
+            db: path_db,
+            spec: parse_query(
+                "Q(x1, x2, x3, x4, x5) :- R1(x1, x2), R2(x2, x3), R3(x3, x4), R4(x4, x5), \
+                 x3 = 7",
+            )
+            .expect("filter4 request parses"),
         },
         Workload {
             name: "star3",
             db: uniform::path_or_star_database(3, star_n, &mut rng(12)),
-            query: QueryBuilder::star(3).build(),
+            spec: QuerySpec::from_query(
+                &QueryBuilder::star(3).build(),
+                RankingFunction::SumAscending,
+            ),
         },
         Workload {
             name: "cycle6",
             db: cycles::worst_case_cycle_database(6, cycle_n, &mut rng(13)),
-            query: QueryBuilder::cycle(6).build(),
+            spec: QuerySpec::from_query(
+                &QueryBuilder::cycle(6).build(),
+                RankingFunction::SumAscending,
+            ),
         },
         Workload {
             name: "text3",
@@ -90,7 +116,10 @@ fn workloads(scale: Scale) -> Vec<Workload> {
                 },
                 &mut rng(14),
             ),
-            query: QueryBuilder::path(3).build(),
+            spec: QuerySpec::from_query(
+                &QueryBuilder::path(3).build(),
+                RankingFunction::SumAscending,
+            ),
         },
     ]
 }
@@ -128,17 +157,15 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
 /// overhead — the steady-state serving cost.
 fn run_service(w: &Workload) -> ServiceRun {
     let service = QueryService::new(w.db.clone());
-    service
-        .prepare(&w.query, RankingFunction::SumAscending)
-        .expect("plan");
+    service.prepare_spec(&w.spec).expect("plan");
     let start = Instant::now();
     let mut latencies: Vec<f64> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..SERVICE_SESSIONS)
             .map(|_| {
                 let service = &service;
-                let query = &w.query;
+                let spec = &w.spec;
                 scope.spawn(move || {
-                    let id = service.open_session(query, AnyKAlgorithm::Take2).unwrap();
+                    let id = service.open_session_spec(spec).unwrap();
                     let mut lat = Vec::new();
                     let mut buf = Vec::with_capacity(SERVICE_PAGE_SIZE);
                     let mut served = 0usize;
@@ -190,17 +217,18 @@ fn main() {
     let all_workloads = workloads(scale);
     for (wi, w) in all_workloads.iter().enumerate() {
         let tuples: usize = w
-            .query
-            .atoms()
+            .spec
+            .atoms
             .iter()
             .map(|a| w.db.expect(&a.relation).len())
             .sum();
         println!("== {} ({} input tuples) ==", w.name, tuples);
 
-        // Pre-processing (compile + bottom-up) is timed separately from
-        // enumeration: the paper's TTF includes it, the TT(k) deltas do not.
+        // Pre-processing (selection pushdown + compile + bottom-up) is timed
+        // separately from enumeration: the paper's TTF includes it, the
+        // TT(k) deltas do not.
         let prep_start = Instant::now();
-        let prepared = RankedQuery::new(&w.db, &w.query).expect("plan");
+        let prepared = RankedQuery::from_spec(&w.db, &w.spec).expect("plan");
         let prep = prep_start.elapsed();
 
         if wi > 0 {

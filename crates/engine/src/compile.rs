@@ -72,17 +72,21 @@ where
     validate(db, query)?;
     let join_tree = gyo::join_tree(query.atoms())
         .ok_or_else(|| EngineError::UnsupportedCyclicQuery(query.to_string()))?;
-    Ok(compile_over_tree(db, query, &join_tree, weight_fn))
+    compile_over_tree(db, query, &join_tree, weight_fn)
 }
 
 /// Compile an acyclic full CQ over an explicitly provided join tree (used by
-/// the projection machinery, which picks a particular root).
+/// the projection machinery, which picks a particular root). Structural
+/// defects — a join-tree key not bound by its atom, a head variable missing
+/// from the body — surface as typed [`EngineError::Query`] errors rather
+/// than panics, since arbitrary names can reach this through the textual
+/// query path.
 pub fn compile_over_tree<D, F>(
     db: &Database,
     query: &ConjunctiveQuery,
     join_tree: &JoinTree,
     weight_fn: F,
-) -> Compiled<D>
+) -> Result<Compiled<D>, EngineError>
 where
     D: Dioid<V = OrderedF64>,
     F: Fn(RowRef<'_>) -> f64,
@@ -129,8 +133,8 @@ where
         // Join key: the variables shared between parent and child atoms
         // (possibly empty — a cross product — which yields a single value node).
         let key_vars = parent_atom.shared_variables(atom);
-        let parent_positions = parent_atom.positions_of(&key_vars);
-        let child_positions = atom.positions_of(&key_vars);
+        let parent_positions = parent_atom.positions_of(&key_vars)?;
+        let child_positions = atom.positions_of(&key_vars)?;
         let single_column = child_positions.len() == 1;
 
         let value_stage = builder.add_stage(
@@ -228,17 +232,21 @@ where
                         .position(|x| x == v)
                         .map(|col| (pos, col))
                 })
-                .expect("every head variable occurs in some atom")
+                .ok_or_else(|| {
+                    EngineError::Query(anyk_query::QueryError::UnknownHeadVariable {
+                        variable: v.clone(),
+                    })
+                })
         })
-        .collect();
+        .collect::<Result<Vec<_>, _>>()?;
 
-    Compiled {
+    Ok(Compiled {
         instance,
         output_atoms,
         atom_relations: atoms.iter().map(|a| a.relation.clone()).collect(),
         head_vars,
         var_sources,
-    }
+    })
 }
 
 impl<D: Dioid<V = OrderedF64>> Compiled<D> {

@@ -1,5 +1,6 @@
 //! Engine errors.
 
+use anyk_query::{ParseError, QueryError};
 use std::fmt;
 
 /// Errors raised when preparing a query for ranked enumeration.
@@ -23,6 +24,23 @@ pub enum EngineError {
     /// Ranked enumeration with projections was requested for a query outside
     /// the supported (free-connex) class.
     NotFreeConnex(String),
+    /// The query or spec is structurally invalid (unbound variable, bad
+    /// head, predicate on an unknown variable, empty body).
+    Query(QueryError),
+    /// A selection predicate's constant does not match the type of the
+    /// column(s) binding its variable: a string constant against a raw-id
+    /// column, or an integer constant against a dictionary-encoded text
+    /// column.
+    ConstantTypeMismatch {
+        /// Relation whose column the constant was pushed down to.
+        relation: String,
+        /// Column index within the relation.
+        column: usize,
+        /// Display form of the offending constant.
+        constant: String,
+    },
+    /// The textual query could not be parsed.
+    Parse(ParseError),
 }
 
 impl fmt::Display for EngineError {
@@ -45,11 +63,43 @@ impl fmt::Display for EngineError {
                 f,
                 "query `{q}` is not acyclic free-connex; min-weight projection guarantees do not apply"
             ),
+            EngineError::Query(e) => write!(f, "invalid query: {e}"),
+            EngineError::ConstantTypeMismatch {
+                relation,
+                column,
+                constant,
+            } => write!(
+                f,
+                "constant {constant} does not match the type of column {column} of \
+                 relation `{relation}` (string constants need a dictionary-encoded \
+                 text column, integer constants a raw-id column)"
+            ),
+            EngineError::Parse(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for EngineError {}
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Query(e) => Some(e),
+            EngineError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QueryError> for EngineError {
+    fn from(e: QueryError) -> Self {
+        EngineError::Query(e)
+    }
+}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> Self {
+        EngineError::Parse(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -10,7 +10,13 @@
 //!   partitioning into ℓ + 1 trees), turning an ℓ-cycle query into a UT-DP
 //!   problem with `TTF = O(n^{2−2/ℓ})`;
 //! * [`RankedQuery`] — the user-facing API: ranked enumeration of any full
-//!   CQ (acyclic or simple-cycle) under a [`RankingFunction`];
+//!   CQ (acyclic or simple-cycle) under a [`RankingFunction`], with a
+//!   [`QuerySpec`](anyk_query::QuerySpec) / text entry point
+//!   ([`RankedQuery::from_spec`], [`RankedQuery::from_text`]);
+//! * `select` (internal) — selection pushdown: predicates
+//!   (`y = 7`, `name = "alice"`) and repeated variables within an atom
+//!   (`R(x, x)`) become filtered relation copies built in one linear pass
+//!   before compilation, exactly the preprocessing reduction of §2.1;
 //! * [`PreparedQuery`] / [`AnswerCursor`] — the service-facing split of the
 //!   same machinery: an owning, `Send + Sync` compiled plan shared behind an
 //!   `Arc`, plus per-session resumable cursors that pull ranked answers in
@@ -36,8 +42,8 @@ pub mod naive_sql;
 pub mod prepared;
 pub mod projection;
 mod ranked;
-mod ranking;
 pub mod rankjoin;
+mod select;
 pub mod wcoj;
 pub mod yannakakis;
 
@@ -46,4 +52,6 @@ pub use compile::Compiled;
 pub use error::EngineError;
 pub use prepared::{AnswerCursor, Page, PreparedQuery};
 pub use ranked::RankedQuery;
-pub use ranking::RankingFunction;
+// Re-exported from `anyk-query`, where request descriptions (`QuerySpec`)
+// live; existing `anyk_engine::RankingFunction` imports keep working.
+pub use anyk_query::RankingFunction;

@@ -17,8 +17,7 @@
 use crate::answer::Answer;
 use crate::compile::validate;
 use crate::error::EngineError;
-use crate::ranking::RankingFunction;
-use anyk_query::ConjunctiveQuery;
+use anyk_query::{ConjunctiveQuery, Constant, Predicate, QuerySpec, RankingFunction};
 use anyk_storage::{Database, Value};
 use std::collections::HashMap;
 
@@ -37,13 +36,33 @@ pub fn join_and_sort(
     ranking: RankingFunction,
 ) -> Result<Vec<Answer>, EngineError> {
     let mut answers = join_unsorted(db, query, ranking)?;
+    sort_answers(&mut answers, ranking);
+    Ok(answers)
+}
+
+/// Evaluate a [`QuerySpec`] — selection predicates included — and return the
+/// result sorted by the spec's ranking. Selections are applied **inline** in
+/// the pipeline (constants checked when a variable is first bound, repeated
+/// variables as per-tuple column equalities): a deliberately independent
+/// implementation from the engine's filtered-copy pushdown, which makes this
+/// the oracle the differential tests compare the any-k path against.
+///
+/// The spec's `limit` and `algorithm` are ignored — the oracle always
+/// produces the full sorted result, so callers can compare any prefix.
+pub fn join_and_sort_spec(db: &Database, spec: &QuerySpec) -> Result<Vec<Answer>, EngineError> {
+    let query = spec.to_query()?;
+    let mut answers = join_pipeline(db, &query, spec.ranking, &spec.predicates)?;
+    sort_answers(&mut answers, spec.ranking);
+    Ok(answers)
+}
+
+fn sort_answers(answers: &mut [Answer], ranking: RankingFunction) {
     answers.sort_by(|a, b| {
         ranking
             .encode(a.weight())
             .total_cmp(&ranking.encode(b.weight()))
             .then_with(|| a.values().cmp(b.values()))
     });
-    Ok(answers)
 }
 
 /// Evaluate the join without the final sort (used to separate join cost from
@@ -53,9 +72,51 @@ pub fn join_unsorted(
     query: &ConjunctiveQuery,
     ranking: RankingFunction,
 ) -> Result<Vec<Answer>, EngineError> {
+    join_pipeline(db, query, ranking, &[])
+}
+
+fn join_pipeline(
+    db: &Database,
+    query: &ConjunctiveQuery,
+    ranking: RankingFunction,
+    predicates: &[Predicate],
+) -> Result<Vec<Answer>, EngineError> {
     validate(db, query)?;
     let combine = ranking.combine_fn();
     let atoms = query.atoms();
+    for p in predicates {
+        if !atoms.iter().any(|a| a.binds(&p.variable)) {
+            return Err(EngineError::Query(
+                anyk_query::QueryError::UnknownPredicateVariable {
+                    variable: p.variable.clone(),
+                },
+            ));
+        }
+        // Type-check the constant against *every* column binding the
+        // variable (not just the one the pipeline probes) — the same
+        // contract as the engine's pushdown, so the differential paths
+        // accept and reject identical inputs.
+        for atom in atoms {
+            let relation = db.expect(&atom.relation);
+            for (col, v) in atom.variables.iter().enumerate() {
+                if *v != p.variable {
+                    continue;
+                }
+                let text_column = relation.dictionary(col).is_some();
+                let matches = match &p.constant {
+                    Constant::Int(_) => !text_column,
+                    Constant::Str(_) => text_column,
+                };
+                if !matches {
+                    return Err(EngineError::ConstantTypeMismatch {
+                        relation: relation.name().to_string(),
+                        column: col,
+                        constant: p.constant.to_string(),
+                    });
+                }
+            }
+        }
+    }
 
     // Intermediate rows: values of the variables bound so far (in `bound`
     // order) plus the accumulated weight and witness.
@@ -65,25 +126,49 @@ pub fn join_unsorted(
 
     for (atom_idx, atom) in atoms.iter().enumerate() {
         let relation = db.expect(&atom.relation);
-        // Variables of this atom that are already bound (join key) and new ones.
-        let key_vars: Vec<String> = atom
-            .variables
-            .iter()
-            .filter(|v| bound.contains(v))
-            .cloned()
-            .collect();
-        let key_cols = atom.positions_of(&key_vars);
+        // Variables of this atom that are already bound (the join key) and
+        // new ones — each **distinct** variable once, so an atom repeating a
+        // variable contributes one key/binding column plus equality checks.
+        let mut key_vars: Vec<String> = Vec::new();
+        let mut new_vars: Vec<String> = Vec::new();
+        // Within-atom equalities: column `b` must equal column `a` (the
+        // variable's first occurrence).
+        let mut intra_eqs: Vec<(usize, usize)> = Vec::new();
+        for (col, v) in atom.variables.iter().enumerate() {
+            if let Some(prev) = atom.variables[..col].iter().position(|x| x == v) {
+                intra_eqs.push((prev, col));
+            } else if bound.contains(v) {
+                key_vars.push(v.clone());
+            } else {
+                new_vars.push(v.clone());
+            }
+        }
+        let key_cols = atom.positions_of(&key_vars)?;
         let key_bound_pos: Vec<usize> = key_vars
             .iter()
-            .map(|v| bound.iter().position(|b| b == v).unwrap())
+            .map(|v| bound.iter().position(|b| b == v).expect("key var is bound"))
             .collect();
-        let new_vars: Vec<String> = atom
-            .variables
-            .iter()
-            .filter(|v| !bound.contains(v))
-            .cloned()
-            .collect();
-        let new_cols = atom.positions_of(&new_vars);
+        let new_cols = atom.positions_of(&new_vars)?;
+        // Constant requirements, checked the moment a variable is first
+        // bound: `(column, Some(encoded))`, or `None` when the constant can
+        // never match (a string the dictionary never interned).
+        let mut const_checks: Vec<(usize, Option<Value>)> = Vec::new();
+        for (v, &col) in new_vars.iter().zip(&new_cols) {
+            for p in predicates.iter().filter(|p| p.variable == *v) {
+                let encoded = match (&p.constant, relation.dictionary(col)) {
+                    (Constant::Int(value), None) => Some(*value),
+                    (Constant::Str(s), Some(dict)) => dict.lookup(s),
+                    _ => {
+                        return Err(EngineError::ConstantTypeMismatch {
+                            relation: relation.name().to_string(),
+                            column: col,
+                            constant: p.constant.to_string(),
+                        });
+                    }
+                };
+                const_checks.push((col, encoded));
+            }
+        }
 
         // Memoised per (relation, key columns): a self-join or a repeated
         // evaluation over the same database skips the O(n) rebuild.
@@ -94,6 +179,15 @@ pub fn join_unsorted(
             // intermediate row via its bound-variable positions.
             for &tid in index.lookup_cols(values, &key_bound_pos) {
                 let t = relation.tuple(tid);
+                if !intra_eqs.iter().all(|&(a, b)| t.value(a) == t.value(b)) {
+                    continue;
+                }
+                if !const_checks
+                    .iter()
+                    .all(|&(col, req)| req == Some(t.value(col)))
+                {
+                    continue;
+                }
                 let mut v = values.clone();
                 v.extend(new_cols.iter().map(|&c| t.value(c)));
                 let w = if first {

@@ -53,9 +53,9 @@
 use crate::answer::Answer;
 use crate::error::EngineError;
 use crate::ranked::Plan;
-use crate::ranking::RankingFunction;
 use anyk_core::{AnyKAlgorithm, MemoryStats};
 use anyk_query::ConjunctiveQuery;
+use anyk_query::RankingFunction;
 use anyk_storage::Database;
 use std::sync::Arc;
 
@@ -68,6 +68,10 @@ use std::sync::Arc;
 pub struct PreparedQuery {
     db: Arc<Database>,
     query: ConjunctiveQuery,
+    /// Selection pushdown output (see the `select` module): the scratch
+    /// database of filtered relation copies and the rewritten query the plan
+    /// was compiled from. `None` for selection-free queries.
+    effective: Option<(Database, ConjunctiveQuery)>,
     ranking: RankingFunction,
     plan: Plan,
 }
@@ -83,10 +87,42 @@ impl PreparedQuery {
         query: &ConjunctiveQuery,
         ranking: RankingFunction,
     ) -> Result<Self, EngineError> {
-        let plan = Plan::prepare(&db, query, ranking)?;
+        Self::build(db, query.clone(), ranking, &[])
+    }
+
+    /// Compile and preprocess a [`QuerySpec`](anyk_query::QuerySpec):
+    /// selection predicates are pushed down to filtered relation copies
+    /// (owned by the prepared query) before compilation. The spec's
+    /// execution attributes — `algorithm`, `limit` — are deliberately *not*
+    /// baked in: a prepared plan is shared by every request with the same
+    /// [`plan_key`](anyk_query::QuerySpec::plan_key), and sessions apply
+    /// those attributes per cursor ([`PreparedQuery::cursor_with_limit`]).
+    pub fn from_spec(db: Arc<Database>, spec: &anyk_query::QuerySpec) -> Result<Self, EngineError> {
+        let query = spec.to_query()?;
+        Self::build(db, query, spec.ranking, &spec.predicates)
+    }
+
+    /// Parse `text` in the query language and prepare it; see
+    /// [`PreparedQuery::from_spec`].
+    pub fn from_text(db: Arc<Database>, text: &str) -> Result<Self, EngineError> {
+        Self::from_spec(db, &anyk_query::QuerySpec::parse(text)?)
+    }
+
+    fn build(
+        db: Arc<Database>,
+        query: ConjunctiveQuery,
+        ranking: RankingFunction,
+        predicates: &[anyk_query::Predicate],
+    ) -> Result<Self, EngineError> {
+        let effective = crate::select::rewrite_selections(&db, &query, predicates)?;
+        let plan = match &effective {
+            Some((scratch, rewritten)) => Plan::prepare(scratch, rewritten, ranking)?,
+            None => Plan::prepare(&db, &query, ranking)?,
+        };
         Ok(PreparedQuery {
             db,
-            query: query.clone(),
+            query,
+            effective,
             ranking,
             plan,
         })
@@ -95,6 +131,11 @@ impl PreparedQuery {
     /// Prepare with the default ranking ([`RankingFunction::SumAscending`]).
     pub fn new(db: Arc<Database>, query: &ConjunctiveQuery) -> Result<Self, EngineError> {
         Self::prepare(db, query, RankingFunction::SumAscending)
+    }
+
+    /// The database the plan enumerates and assembles answers over.
+    fn exec_db(&self) -> &Database {
+        self.effective.as_ref().map_or(&self.db, |(db, _)| db)
     }
 
     /// The shared database snapshot this plan was compiled over.
@@ -126,6 +167,8 @@ impl PreparedQuery {
     /// (identity on raw-id columns); see [`crate::AnswerDecoder`]. Built
     /// over the plan's snapshot, so page decoding stays consistent even if
     /// the catalog the service started from is later replaced elsewhere.
+    /// Selection-pushdown copies share their source's dictionaries, so the
+    /// decoder is the same with and without predicates.
     pub fn decoder(&self) -> crate::AnswerDecoder {
         crate::AnswerDecoder::for_query(&self.db, &self.query)
     }
@@ -136,7 +179,7 @@ impl PreparedQuery {
         &self,
         algorithm: AnyKAlgorithm,
     ) -> Box<dyn Iterator<Item = Answer> + Send + '_> {
-        self.plan.enumerate(&self.db, algorithm, self.ranking)
+        self.plan.enumerate(self.exec_db(), algorithm, self.ranking)
     }
 
     /// Convenience: the top `k` answers as a vector.
@@ -156,7 +199,19 @@ impl PreparedQuery {
     /// independent, storable session — drop the service's other handles and
     /// the cursor still enumerates.
     pub fn cursor(self: &Arc<Self>, algorithm: AnyKAlgorithm) -> AnswerCursor {
-        AnswerCursor::new(Arc::clone(self), algorithm)
+        AnswerCursor::new(Arc::clone(self), algorithm, None)
+    }
+
+    /// Like [`PreparedQuery::cursor`], but the stream ends after `limit`
+    /// answers (a spec's `limit N` clause, applied per session so the
+    /// compiled plan stays shareable across different limits). `None` means
+    /// unlimited.
+    pub fn cursor_with_limit(
+        self: &Arc<Self>,
+        algorithm: AnyKAlgorithm,
+        limit: Option<usize>,
+    ) -> AnswerCursor {
+        AnswerCursor::new(Arc::clone(self), algorithm, limit)
     }
 }
 
@@ -200,27 +255,33 @@ pub struct AnswerCursor {
     iter: Box<dyn Iterator<Item = Answer> + Send + 'static>,
     algorithm: AnyKAlgorithm,
     served: usize,
+    /// Answers still allowed before the session's `limit` cuts the stream
+    /// (`None` = unlimited).
+    remaining: Option<usize>,
     done: bool,
     owner: Arc<PreparedQuery>,
 }
 
 impl AnswerCursor {
-    fn new(owner: Arc<PreparedQuery>, algorithm: AnyKAlgorithm) -> Self {
+    fn new(owner: Arc<PreparedQuery>, algorithm: AnyKAlgorithm, limit: Option<usize>) -> Self {
         let iter: Box<dyn Iterator<Item = Answer> + Send + '_> = owner.enumerate(algorithm);
         // SAFETY: `iter` borrows only from the `PreparedQuery` heap
         // allocation behind `owner` (an `Arc` pointee, which never moves and
         // is never mutated — `PreparedQuery` has no interior mutability that
-        // could invalidate the plan). The cursor stores `owner` next to
-        // `iter`, never hands the iterator out, and its field order drops
-        // `iter` before `owner`, so the borrow outlives every use and the
-        // `'static` lifetime is a private fiction that cannot escape.
+        // could invalidate the plan or its selection-pushdown scratch
+        // database, both plain fields of that pointee). The cursor stores
+        // `owner` next to `iter`, never hands the iterator out, and its
+        // field order drops `iter` before `owner`, so the borrow outlives
+        // every use and the `'static` lifetime is a private fiction that
+        // cannot escape.
         let iter: Box<dyn Iterator<Item = Answer> + Send + 'static> =
             unsafe { std::mem::transmute(iter) };
         AnswerCursor {
             iter,
             algorithm,
             served: 0,
-            done: false,
+            remaining: limit,
+            done: limit == Some(0),
             owner,
         }
     }
@@ -260,13 +321,23 @@ impl AnswerCursor {
         if self.done {
             return true;
         }
-        while out.len() < page_size {
+        let quota = match self.remaining {
+            Some(r) => page_size.min(r),
+            None => page_size,
+        };
+        while out.len() < quota {
             match self.iter.next() {
                 Some(answer) => out.push(answer),
                 None => {
                     self.done = true;
                     break;
                 }
+            }
+        }
+        if let Some(r) = &mut self.remaining {
+            *r -= out.len();
+            if *r == 0 {
+                self.done = true;
             }
         }
         self.served += out.len();

@@ -33,9 +33,9 @@
 use crate::answer::Answer;
 use crate::error::EngineError;
 use crate::ranked::RankedQuery;
-use crate::ranking::RankingFunction;
 use anyk_core::AnyKAlgorithm;
 use anyk_query::ConjunctiveQuery;
+use anyk_query::RankingFunction;
 use anyk_storage::{Database, Value};
 use std::collections::HashSet;
 

@@ -4,12 +4,12 @@ use crate::answer::Answer;
 use crate::compile::{compile_with, Compiled};
 use crate::cycle;
 use crate::error::EngineError;
-use crate::ranking::RankingFunction;
 use anyk_core::dioid::{Dioid, MinMaxDioid, OrderedF64, TropicalMin};
 use anyk_core::{
     ranked_enumerate, AnyKAlgorithm, AnyKPart, MemoryStats, SuccessorKind, UnionEnumerator,
 };
 use anyk_query::ConjunctiveQuery;
+use anyk_query::RankingFunction;
 use anyk_storage::{Database, RowRef, Value};
 
 /// A full conjunctive query prepared for ranked enumeration.
@@ -47,10 +47,23 @@ use anyk_storage::{Database, RowRef, Value};
 /// assert_eq!(top[0].weight(), 3.0);
 /// assert_eq!(top[0].values(), &[1, 10, 5]);
 /// ```
+///
+/// Queries with **selections** — predicates from a
+/// [`QuerySpec`](anyk_query::QuerySpec) (see [`RankedQuery::from_spec`] /
+/// [`RankedQuery::from_text`]) or repeated variables within an atom
+/// (`R(x, x)`) — are first rewritten over filtered relation copies (§2.1's
+/// linear-time preprocessing, the `select` module); the copies live inside the
+/// `RankedQuery`, so the borrowed database is never touched.
 pub struct RankedQuery<'a> {
     db: &'a Database,
-    query: &'a ConjunctiveQuery,
+    /// The request as the caller wrote it (original relation names).
+    query: ConjunctiveQuery,
+    /// Selection pushdown output: the scratch database of filtered copies
+    /// and the rewritten query the plan was actually compiled from.
+    effective: Option<(Database, ConjunctiveQuery)>,
     ranking: RankingFunction,
+    /// Stop enumeration after this many answers (from the spec's `limit`).
+    limit: Option<usize>,
     plan: Plan,
 }
 
@@ -271,28 +284,73 @@ impl Plan {
 impl<'a> RankedQuery<'a> {
     /// Prepare `query` over `db` with the default ranking
     /// ([`RankingFunction::SumAscending`]).
-    pub fn new(db: &'a Database, query: &'a ConjunctiveQuery) -> Result<Self, EngineError> {
+    pub fn new(db: &'a Database, query: &ConjunctiveQuery) -> Result<Self, EngineError> {
         Self::with_ranking(db, query, RankingFunction::SumAscending)
     }
 
     /// Prepare `query` over `db` with an explicit ranking function.
     pub fn with_ranking(
         db: &'a Database,
-        query: &'a ConjunctiveQuery,
+        query: &ConjunctiveQuery,
         ranking: RankingFunction,
     ) -> Result<Self, EngineError> {
-        let plan = Plan::prepare(db, query, ranking)?;
+        Self::build(db, query.clone(), ranking, &[], None)
+    }
+
+    /// Prepare a [`QuerySpec`](anyk_query::QuerySpec) over `db`: selection
+    /// predicates are pushed down to filtered relation copies before
+    /// compilation, and the spec's `limit` (if any) caps
+    /// [`RankedQuery::enumerate`]. The spec's `algorithm` pin, being a
+    /// per-enumeration choice, is left to the caller (read it from
+    /// `spec.algorithm`).
+    pub fn from_spec(db: &'a Database, spec: &anyk_query::QuerySpec) -> Result<Self, EngineError> {
+        let query = spec.to_query()?;
+        Self::build(db, query, spec.ranking, &spec.predicates, spec.limit)
+    }
+
+    /// Parse `text` in the query language and prepare it; see
+    /// [`RankedQuery::from_spec`] and [`anyk_query::parse`] for the grammar.
+    pub fn from_text(db: &'a Database, text: &str) -> Result<Self, EngineError> {
+        Self::from_spec(db, &anyk_query::QuerySpec::parse(text)?)
+    }
+
+    fn build(
+        db: &'a Database,
+        query: ConjunctiveQuery,
+        ranking: RankingFunction,
+        predicates: &[anyk_query::Predicate],
+        limit: Option<usize>,
+    ) -> Result<Self, EngineError> {
+        let effective = crate::select::rewrite_selections(db, &query, predicates)?;
+        let plan = match &effective {
+            Some((scratch, rewritten)) => Plan::prepare(scratch, rewritten, ranking)?,
+            None => Plan::prepare(db, &query, ranking)?,
+        };
         Ok(RankedQuery {
             db,
             query,
+            effective,
             ranking,
+            limit,
             plan,
         })
     }
 
-    /// The query this plan answers.
+    /// The database the plan enumerates and assembles answers over: the
+    /// selection-pushdown scratch database when the query carried
+    /// selections, the caller's database otherwise.
+    fn exec_db(&self) -> &Database {
+        self.effective.as_ref().map_or(self.db, |(db, _)| db)
+    }
+
+    /// The query this plan answers (as the caller wrote it).
     pub fn query(&self) -> &ConjunctiveQuery {
-        self.query
+        &self.query
+    }
+
+    /// The result limit carried over from the spec, if any.
+    pub fn limit(&self) -> Option<usize> {
+        self.limit
     }
 
     /// The ranking function in effect.
@@ -302,10 +360,11 @@ impl<'a> RankedQuery<'a> {
 
     /// A decoder mapping this query's answers back to original strings
     /// (identity on raw-id columns). Built over the *original* database and
-    /// query, so it also decodes answers of decomposed cycle plans, whose
-    /// values are original column ids reordered into the query's head order.
+    /// query — selection-pushdown copies share their source's dictionaries,
+    /// and decomposed cycle plans emit original column ids reordered into
+    /// the query's head order, so one decoder covers every plan shape.
     pub fn decoder(&self) -> crate::AnswerDecoder {
-        crate::AnswerDecoder::for_query(self.db, self.query)
+        crate::AnswerDecoder::for_query(self.db, &self.query)
     }
 
     /// Whether the plan uses the cycle decomposition (as opposed to a single
@@ -314,19 +373,28 @@ impl<'a> RankedQuery<'a> {
         self.plan.is_decomposed()
     }
 
-    /// The exact number of answers, computed without enumerating them
-    /// (stage-wise counting over the compiled instances).
+    /// The exact number of answers [`RankedQuery::enumerate`] will produce,
+    /// computed without enumerating them (stage-wise counting over the
+    /// compiled instances, capped by the spec's limit when one is set).
     pub fn count_answers(&self) -> u128 {
-        self.plan.count_answers()
+        let n = self.plan.count_answers();
+        match self.limit {
+            Some(l) => n.min(l as u128),
+            None => n,
+        }
     }
 
     /// Enumerate every answer exactly once, in rank order, with the chosen
-    /// any-k algorithm.
+    /// any-k algorithm (stopping at the spec's limit when one is set).
     pub fn enumerate(
         &self,
         algorithm: AnyKAlgorithm,
     ) -> Box<dyn Iterator<Item = Answer> + Send + '_> {
-        self.plan.enumerate(self.db, algorithm, self.ranking)
+        let iter = self.plan.enumerate(self.exec_db(), algorithm, self.ranking);
+        match self.limit {
+            Some(l) => Box::new(iter.take(l)),
+            None => iter,
+        }
     }
 
     /// Convenience: the top `k` answers as a vector.

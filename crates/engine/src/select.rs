@@ -1,0 +1,275 @@
+//! Selection pushdown: the linear-time preprocessing copy of §2.1.
+//!
+//! The paper reduces selections — equality with a constant (`y = 7`,
+//! `name = "alice"`) and repeated variables within one atom (`R(x, x)`) —
+//! to a copy of the affected relation that keeps only the satisfying rows,
+//! built in one linear pass *before* compilation. This module implements
+//! that pass for [`QuerySpec`](anyk_query::QuerySpec) requests and for
+//! structural queries whose atoms repeat a variable:
+//!
+//! * every atom's constraints are gathered (constants pushed down from the
+//!   spec's predicates to each column binding the variable, plus
+//!   column-equality constraints for repeated variables);
+//! * each constrained atom is redirected to a **filtered copy** of its
+//!   relation, registered under a fresh name in a scratch [`Database`]
+//!   (unconstrained relations are carried over unchanged so the scratch
+//!   database serves the whole rewritten query);
+//! * the rewritten query keeps its variable lists verbatim — including
+//!   repeats, which the equi-join compilation handles correctly once the
+//!   rows themselves satisfy the column equalities.
+//!
+//! String constants resolve through the dictionary of the column they are
+//! pushed to; a string the dictionary never interned simply yields an empty
+//! filtered copy (no answer can match), while a constant of the wrong type
+//! for its column is a typed [`EngineError::ConstantTypeMismatch`].
+//!
+//! Filtered copies share the original relation's schema (and therefore its
+//! dictionaries, via [`Relation::filter`]), so answers decode exactly like
+//! the unfiltered query's.
+
+use crate::compile::validate;
+use crate::error::EngineError;
+use anyk_query::{Atom, ConjunctiveQuery, Constant, Predicate};
+use anyk_storage::{Database, Relation, RowRef, Value};
+
+/// Per-atom selection constraints in column terms.
+#[derive(Debug, Default)]
+struct AtomSelection {
+    /// `column = value` requirements (already dictionary-encoded).
+    consts: Vec<(usize, Value)>,
+    /// `column a = column b` requirements from repeated variables.
+    eqs: Vec<(usize, usize)>,
+    /// A predicate constant could not be encoded (e.g. a string the
+    /// dictionary never interned): no row can match.
+    unsatisfiable: bool,
+}
+
+impl AtomSelection {
+    fn is_trivial(&self) -> bool {
+        self.consts.is_empty() && self.eqs.is_empty() && !self.unsatisfiable
+    }
+
+    fn matches(&self, row: RowRef<'_>) -> bool {
+        !self.unsatisfiable
+            && self.consts.iter().all(|&(col, v)| row.value(col) == v)
+            && self.eqs.iter().all(|&(a, b)| row.value(a) == row.value(b))
+    }
+}
+
+/// Encode `constant` for column `col` of `relation`: through the column's
+/// dictionary for text columns (`Ok(None)` when the string was never
+/// interned — an unsatisfiable selection, not an error), verbatim for
+/// integer constants on raw-id columns.
+fn encode_constant(
+    relation: &Relation,
+    col: usize,
+    constant: &Constant,
+) -> Result<Option<Value>, EngineError> {
+    let mismatch = || EngineError::ConstantTypeMismatch {
+        relation: relation.name().to_string(),
+        column: col,
+        constant: constant.to_string(),
+    };
+    match (constant, relation.dictionary(col)) {
+        (Constant::Int(v), None) => Ok(Some(*v)),
+        (Constant::Str(s), Some(dict)) => Ok(dict.lookup(s)),
+        _ => Err(mismatch()),
+    }
+}
+
+/// Rewrite `query` under `predicates` into an equivalent selection-free
+/// query over filtered relation copies. Returns `Ok(None)` when nothing
+/// needs rewriting (no predicates, no repeated variables) — the fast path
+/// that copies nothing.
+pub(crate) fn rewrite_selections(
+    db: &Database,
+    query: &ConjunctiveQuery,
+    predicates: &[Predicate],
+) -> Result<Option<(Database, ConjunctiveQuery)>, EngineError> {
+    validate(db, query)?;
+    for p in predicates {
+        if !query.atoms().iter().any(|a| a.binds(&p.variable)) {
+            return Err(EngineError::Query(
+                anyk_query::QueryError::UnknownPredicateVariable {
+                    variable: p.variable.clone(),
+                },
+            ));
+        }
+    }
+
+    let atoms = query.atoms();
+    let mut selections = Vec::with_capacity(atoms.len());
+    for atom in atoms {
+        let relation = db.expect(&atom.relation);
+        let mut sel = AtomSelection::default();
+        for (col, var) in atom.variables.iter().enumerate() {
+            // Repeated variable: this column must equal the variable's first
+            // binding column.
+            if let Some(first) = atom.variables[..col].iter().position(|v| v == var) {
+                sel.eqs.push((first, col));
+            }
+            for p in predicates.iter().filter(|p| p.variable == *var) {
+                match encode_constant(relation, col, &p.constant)? {
+                    Some(v) => sel.consts.push((col, v)),
+                    None => sel.unsatisfiable = true,
+                }
+            }
+        }
+        selections.push(sel);
+    }
+    if selections.iter().all(AtomSelection::is_trivial) {
+        return Ok(None);
+    }
+
+    // Build the scratch database: filtered copies for constrained atoms
+    // (fresh names, one per atom — two atoms over the same relation may
+    // carry different selections), unconstrained relations **shared** from
+    // the input (`Arc`, no data copy). The only per-rewrite cost is the
+    // filtered atoms' single linear pass — the paper's bound.
+    let mut scratch = Database::new();
+    let mut rewritten = Vec::with_capacity(atoms.len());
+    for (idx, (atom, sel)) in atoms.iter().zip(&selections).enumerate() {
+        if sel.is_trivial() {
+            if scratch.get(&atom.relation).is_none() {
+                scratch.add_shared(db.get_shared(&atom.relation).expect("validated relation"));
+            }
+            rewritten.push(atom.clone());
+            continue;
+        }
+        let mut name = format!("{}__sel{idx}", atom.relation);
+        while atoms.iter().any(|a| a.relation == name) || scratch.get(&name).is_some() {
+            name.push('_');
+        }
+        scratch.add(
+            db.expect(&atom.relation)
+                .filter(&name, |row| sel.matches(row)),
+        );
+        rewritten.push(Atom {
+            relation: name,
+            variables: atom.variables.clone(),
+        });
+    }
+
+    let head = query.head_variables();
+    let effective = ConjunctiveQuery::with_projection(rewritten, head);
+    Ok(Some((scratch, effective)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyk_query::QueryBuilder;
+    use anyk_storage::Schema;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let mut r = Relation::new("R", 2);
+        r.push_edge(1, 1, 1.0);
+        r.push_edge(1, 2, 2.0);
+        r.push_edge(2, 2, 3.0);
+        let mut s = Relation::new("S", 2);
+        s.push_edge(1, 5, 1.0);
+        s.push_edge(2, 6, 2.0);
+        db.add(r);
+        db.add(s);
+        db
+    }
+
+    #[test]
+    fn trivial_queries_are_left_alone() {
+        let db = db();
+        let q = QueryBuilder::new()
+            .atom("R", &["x", "y"])
+            .atom("S", &["y", "z"])
+            .build();
+        assert!(rewrite_selections(&db, &q, &[]).unwrap().is_none());
+    }
+
+    #[test]
+    fn repeated_variables_filter_to_the_diagonal() {
+        let db = db();
+        let q = QueryBuilder::new().atom("R", &["x", "x"]).build();
+        let (scratch, eff) = rewrite_selections(&db, &q, &[]).unwrap().unwrap();
+        let copy = scratch.expect(&eff.atoms()[0].relation);
+        assert_eq!(copy.len(), 2, "only (1,1) and (2,2) survive");
+        assert_eq!(eff.atoms()[0].variables, vec!["x", "x"]);
+        assert_eq!(eff.head_variables(), vec!["x"]);
+    }
+
+    #[test]
+    fn constants_push_down_to_every_binding_column() {
+        let db = db();
+        let q = QueryBuilder::new()
+            .atom("R", &["x", "y"])
+            .atom("S", &["y", "z"])
+            .build();
+        let (scratch, eff) = rewrite_selections(&db, &q, &[Predicate::int("y", 2)])
+            .unwrap()
+            .unwrap();
+        // Both atoms bind y, so both get filtered copies.
+        let r = scratch.expect(&eff.atoms()[0].relation);
+        let s = scratch.expect(&eff.atoms()[1].relation);
+        assert_eq!(r.len(), 2, "(1,2) and (2,2)");
+        assert_eq!(s.len(), 1, "(2,6)");
+        assert!(eff.atoms()[0].relation.contains("__sel"));
+    }
+
+    #[test]
+    fn unknown_dictionary_strings_filter_everything() {
+        let mut db = Database::new();
+        let mut f = Relation::with_schema("F", Schema::text_shared(2));
+        f.push_text_edge("alice", "bob", 1.0);
+        db.add(f);
+        let q = QueryBuilder::new().atom("F", &["a", "b"]).build();
+        let (scratch, eff) = rewrite_selections(&db, &q, &[Predicate::text("a", "nobody")])
+            .unwrap()
+            .unwrap();
+        assert!(scratch.expect(&eff.atoms()[0].relation).is_empty());
+        // A known string keeps the matching row and shares the dictionary.
+        let (scratch, eff) = rewrite_selections(&db, &q, &[Predicate::text("a", "alice")])
+            .unwrap()
+            .unwrap();
+        let copy = scratch.expect(&eff.atoms()[0].relation);
+        assert_eq!(copy.len(), 1);
+        assert_eq!(copy.tuple(0).decoded(1).as_deref(), Some("bob"));
+    }
+
+    #[test]
+    fn type_mismatches_are_typed_errors() {
+        let mut db = db();
+        let mut f = Relation::with_schema("F", Schema::text_shared(2));
+        f.push_text_edge("alice", "bob", 1.0);
+        db.add(f);
+        let q = QueryBuilder::new().atom("F", &["a", "b"]).build();
+        assert!(matches!(
+            rewrite_selections(&db, &q, &[Predicate::int("a", 3)]),
+            Err(EngineError::ConstantTypeMismatch { .. })
+        ));
+        let q = QueryBuilder::new().atom("R", &["x", "y"]).build();
+        assert!(matches!(
+            rewrite_selections(&db, &q, &[Predicate::text("x", "alice")]),
+            Err(EngineError::ConstantTypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_predicate_variables_are_typed_errors() {
+        let db = db();
+        let q = QueryBuilder::new().atom("R", &["x", "y"]).build();
+        assert!(matches!(
+            rewrite_selections(&db, &q, &[Predicate::int("nope", 1)]),
+            Err(EngineError::Query(_))
+        ));
+    }
+
+    #[test]
+    fn conflicting_constants_yield_an_empty_copy() {
+        let db = db();
+        let q = QueryBuilder::new().atom("R", &["x", "y"]).build();
+        let (scratch, eff) =
+            rewrite_selections(&db, &q, &[Predicate::int("x", 1), Predicate::int("x", 2)])
+                .unwrap()
+                .unwrap();
+        assert!(scratch.expect(&eff.atoms()[0].relation).is_empty());
+    }
+}

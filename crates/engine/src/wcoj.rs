@@ -12,8 +12,8 @@
 use crate::answer::Answer;
 use crate::compile::validate;
 use crate::error::EngineError;
-use crate::ranking::RankingFunction;
 use anyk_query::ConjunctiveQuery;
+use anyk_query::RankingFunction;
 use anyk_storage::{Database, Value};
 use std::collections::{HashMap, HashSet};
 

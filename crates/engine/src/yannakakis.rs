@@ -11,10 +11,10 @@
 use crate::answer::Answer;
 use crate::compile::compile_with;
 use crate::error::EngineError;
-use crate::ranking::RankingFunction;
 use anyk_core::dioid::TropicalMin;
 use anyk_core::Batch;
 use anyk_query::ConjunctiveQuery;
+use anyk_query::RankingFunction;
 use anyk_storage::Database;
 
 /// Compute the full, **unranked** result of an acyclic full CQ

@@ -1,13 +1,17 @@
 //! Atoms of a conjunctive query.
 
+use crate::error::QueryError;
+
 /// An atom `g(x₁, …, x_a)`: a reference to a stored relation together with
 /// the query variables bound to its columns.
 ///
 /// Different atoms may reference the same physical relation (self-joins), and
 /// the same variable may appear in several atoms (equi-join conditions) —
 /// both exactly as in §2.1 of the paper. Repeated variables *within* one atom
-/// are not supported directly; as the paper notes, such selections can be
-/// applied to a copied relation in a linear-time preprocessing step.
+/// (`R(x, x)`) are selections; as the paper notes (§2.1), the engine applies
+/// them to a filtered relation copy in a linear-time preprocessing step
+/// before compilation, so they are fully supported through both the builder
+/// and the textual ([`crate::QuerySpec`]) APIs.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Atom {
     /// Name of the physical relation this atom scans.
@@ -36,15 +40,20 @@ impl Atom {
     }
 
     /// Column positions of the given variables within this atom (in the
-    /// order given). Panics if a variable is not bound by the atom.
-    pub fn positions_of(&self, variables: &[String]) -> Vec<usize> {
+    /// order given; the *first* binding column for a repeated variable).
+    /// Returns [`QueryError::UnboundVariable`] if a variable is not bound by
+    /// the atom — arbitrary variable names can reach this through the textual
+    /// query path, so the lookup is fallible rather than panicking.
+    pub fn positions_of(&self, variables: &[String]) -> Result<Vec<usize>, QueryError> {
         variables
             .iter()
             .map(|v| {
-                self.variables
-                    .iter()
-                    .position(|x| x == v)
-                    .unwrap_or_else(|| panic!("variable {v} not bound by atom {}", self.relation))
+                self.variables.iter().position(|x| x == v).ok_or_else(|| {
+                    QueryError::UnboundVariable {
+                        atom: self.relation.clone(),
+                        variable: v.clone(),
+                    }
+                })
             })
             .collect()
     }
@@ -63,6 +72,23 @@ impl std::fmt::Display for Atom {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}({})", self.relation, self.variables.join(", "))
     }
+}
+
+/// All distinct variables of `atoms` in first-occurrence order (scanning
+/// atoms left to right, positions in order) — the one definition of body
+/// variable order shared by [`crate::ConjunctiveQuery::variables`] and
+/// [`crate::QuerySpec::variables`], and therefore by head defaulting and
+/// canonical alpha-renaming.
+pub fn distinct_variables(atoms: &[Atom]) -> Vec<String> {
+    let mut seen = Vec::new();
+    for a in atoms {
+        for v in &a.variables {
+            if !seen.contains(v) {
+                seen.push(v.clone());
+            }
+        }
+    }
+    seen
 }
 
 #[cfg(test)]
@@ -84,14 +110,23 @@ mod tests {
         let b = Atom::new("S", &["z", "x"]);
         assert_eq!(a.shared_variables(&b), vec!["x", "z"]);
         assert_eq!(
-            a.positions_of(&["z".to_string(), "x".to_string()]),
+            a.positions_of(&["z".to_string(), "x".to_string()]).unwrap(),
             vec![2, 0]
         );
     }
 
     #[test]
-    #[should_panic(expected = "not bound")]
-    fn positions_of_unbound_variable_panics() {
-        Atom::new("R", &["x"]).positions_of(&["q".to_string()]);
+    fn positions_of_unbound_variable_is_a_typed_error() {
+        let err = Atom::new("R", &["x"])
+            .positions_of(&["q".to_string()])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            QueryError::UnboundVariable {
+                atom: "R".into(),
+                variable: "q".into(),
+            }
+        );
+        assert!(err.to_string().contains("not bound"));
     }
 }

@@ -59,15 +59,7 @@ impl ConjunctiveQuery {
 
     /// All distinct variables of the body, in first-occurrence order.
     pub fn variables(&self) -> Vec<String> {
-        let mut seen = Vec::new();
-        for a in &self.atoms {
-            for v in &a.variables {
-                if !seen.contains(v) {
-                    seen.push(v.clone());
-                }
-            }
-        }
-        seen
+        crate::atom::distinct_variables(&self.atoms)
     }
 
     /// The head (output) variables: all variables for a full query, the

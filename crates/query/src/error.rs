@@ -1,0 +1,79 @@
+//! Typed errors for query construction and validation.
+
+use std::fmt;
+
+/// Errors raised when constructing or validating conjunctive queries and
+/// [`crate::QuerySpec`]s.
+///
+/// These replace the panics the structural API used to rely on: the textual
+/// query path ([`crate::parse_query`]) can feed arbitrary relation and
+/// variable names, so every lookup that used to be a programmer-error panic
+/// is now a recoverable, typed failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A variable position was requested from an atom that does not bind it.
+    UnboundVariable {
+        /// Relation name of the atom.
+        atom: String,
+        /// The variable that the atom does not bind.
+        variable: String,
+    },
+    /// A head (free) variable does not occur in any body atom.
+    UnknownHeadVariable {
+        /// The offending head variable.
+        variable: String,
+    },
+    /// The same variable occurs twice in the head.
+    DuplicateHeadVariable {
+        /// The duplicated head variable.
+        variable: String,
+    },
+    /// A selection predicate references a variable no atom binds.
+    UnknownPredicateVariable {
+        /// The offending predicate variable.
+        variable: String,
+    },
+    /// The query has no body atoms.
+    EmptyBody,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnboundVariable { atom, variable } => {
+                write!(f, "variable `{variable}` is not bound by atom `{atom}`")
+            }
+            QueryError::UnknownHeadVariable { variable } => {
+                write!(f, "head variable `{variable}` does not occur in the body")
+            }
+            QueryError::DuplicateHeadVariable { variable } => {
+                write!(f, "head variable `{variable}` occurs more than once")
+            }
+            QueryError::UnknownPredicateVariable { variable } => {
+                write!(
+                    f,
+                    "selection predicate references variable `{variable}`, which no atom binds"
+                )
+            }
+            QueryError::EmptyBody => write!(f, "a conjunctive query needs at least one atom"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offenders() {
+        let e = QueryError::UnboundVariable {
+            atom: "R".into(),
+            variable: "q".into(),
+        };
+        assert!(e.to_string().contains("`q`"));
+        assert!(e.to_string().contains("`R`"));
+        assert!(QueryError::EmptyBody.to_string().contains("at least one"));
+    }
+}

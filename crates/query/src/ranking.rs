@@ -1,12 +1,18 @@
-//! Ranking functions exposed by the query-level API.
+//! Ranking functions for query answers.
 //!
 //! The core algorithms are generic over any selective dioid (§2.2, §6.4); the
 //! query-level API exposes the rankings used in the paper's evaluation and
 //! examples with plain `f64` weights. Descending (max-plus) ranking is
 //! realised by compiling with negated weights over the tropical min-plus
 //! dioid — the two dioids are isomorphic under negation — so a single
-//! instance type serves both directions. Advanced users can call
-//! [`crate::compile::compile_with`] directly with any dioid.
+//! instance type serves both directions. Advanced users can call the
+//! engine's `compile_with` directly with any dioid.
+//!
+//! The type lives in `anyk-query` (not the engine) because a ranking is part
+//! of a request's *description*: [`crate::QuerySpec`] carries it, the text
+//! language spells it (`rank by sum desc`), and services key plan caches by
+//! it. The engine re-exports it, so `anyk_engine::RankingFunction` keeps
+//! working.
 
 /// How query answers are ranked.
 ///
@@ -28,7 +34,8 @@ pub enum RankingFunction {
 
 impl RankingFunction {
     /// Transform an input tuple weight into the internal (min-plus) weight.
-    pub(crate) fn encode(self, w: f64) -> f64 {
+    /// Engine-facing; inverse of [`RankingFunction::decode`].
+    pub fn encode(self, w: f64) -> f64 {
         match self {
             RankingFunction::SumAscending | RankingFunction::BottleneckAscending => w,
             RankingFunction::SumDescending => -w,
@@ -36,7 +43,8 @@ impl RankingFunction {
     }
 
     /// Transform an internal solution weight back into a user-facing weight.
-    pub(crate) fn decode(self, w: f64) -> f64 {
+    /// Engine-facing; inverse of [`RankingFunction::encode`].
+    pub fn decode(self, w: f64) -> f64 {
         match self {
             RankingFunction::SumAscending | RankingFunction::BottleneckAscending => w,
             RankingFunction::SumDescending => -w,
@@ -44,18 +52,29 @@ impl RankingFunction {
     }
 
     /// Whether this ranking aggregates with `max` instead of `+`.
-    pub(crate) fn is_bottleneck(self) -> bool {
+    pub fn is_bottleneck(self) -> bool {
         matches!(self, RankingFunction::BottleneckAscending)
     }
 
     /// The aggregation used when pre-combining weights outside the dioid
     /// machinery (bag materialisation in the cycle decomposition, baseline
     /// joins): `+` for the sum rankings, `max` for the bottleneck ranking.
-    pub(crate) fn combine_fn(self) -> fn(f64, f64) -> f64 {
+    pub fn combine_fn(self) -> fn(f64, f64) -> f64 {
         if self.is_bottleneck() {
             f64::max
         } else {
             |a, b| a + b
+        }
+    }
+
+    /// The ranking's clause in the textual query language (canonical,
+    /// lowercase spelling), or `None` for the default ranking, whose clause
+    /// the canonical printer omits.
+    pub fn spec_clause(self) -> Option<&'static str> {
+        match self {
+            RankingFunction::SumAscending => None,
+            RankingFunction::SumDescending => Some("sum desc"),
+            RankingFunction::BottleneckAscending => Some("bottleneck"),
         }
     }
 }
@@ -78,5 +97,18 @@ mod tests {
         assert_eq!(r.decode(7.0), 7.0);
         assert!(!r.is_bottleneck());
         assert!(RankingFunction::BottleneckAscending.is_bottleneck());
+    }
+
+    #[test]
+    fn spec_clauses_match_the_grammar() {
+        assert_eq!(RankingFunction::SumAscending.spec_clause(), None);
+        assert_eq!(
+            RankingFunction::SumDescending.spec_clause(),
+            Some("sum desc")
+        );
+        assert_eq!(
+            RankingFunction::BottleneckAscending.spec_clause(),
+            Some("bottleneck")
+        );
     }
 }

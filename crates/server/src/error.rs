@@ -2,14 +2,19 @@
 
 use crate::service::SessionId;
 use anyk_engine::EngineError;
+use anyk_query::ParseError;
 
 /// Errors surfaced by [`crate::QueryService`].
 #[derive(Debug)]
 pub enum ServiceError {
     /// The session id is unknown: never issued, or already closed.
     UnknownSession(SessionId),
+    /// The textual query could not be parsed (syntax error, unknown
+    /// ranking/algorithm, invalid head or predicate). Carries the byte
+    /// offset of the offending token.
+    Parse(ParseError),
     /// Query preparation failed (unknown relation, arity mismatch,
-    /// unsupported cyclic query, ...).
+    /// constant/column type mismatch, unsupported cyclic query, ...).
     Engine(EngineError),
 }
 
@@ -19,6 +24,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::UnknownSession(id) => {
                 write!(f, "unknown (or already closed) session {id}")
             }
+            ServiceError::Parse(e) => write!(f, "invalid query text: {e}"),
             ServiceError::Engine(e) => write!(f, "query preparation failed: {e}"),
         }
     }
@@ -28,6 +34,7 @@ impl std::error::Error for ServiceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServiceError::Engine(e) => Some(e),
+            ServiceError::Parse(e) => Some(e),
             ServiceError::UnknownSession(_) => None,
         }
     }
@@ -35,6 +42,18 @@ impl std::error::Error for ServiceError {
 
 impl From<EngineError> for ServiceError {
     fn from(e: EngineError) -> Self {
-        ServiceError::Engine(e)
+        // A parse failure wrapped by the engine is still a parse failure to
+        // service clients — keep the variant stable regardless of the path
+        // the text took.
+        match e {
+            EngineError::Parse(p) => ServiceError::Parse(p),
+            other => ServiceError::Engine(other),
+        }
+    }
+}
+
+impl From<ParseError> for ServiceError {
+    fn from(e: ParseError) -> Self {
+        ServiceError::Parse(e)
     }
 }

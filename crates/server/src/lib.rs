@@ -15,10 +15,21 @@
 //!   [`Database`](anyk_storage::Database) snapshot whose index cache is
 //!   LRU-bounded and `RwLock`-sharded, so many sessions preprocess and
 //!   enumerate concurrently without blocking each other.
-//! * [`QueryService::prepare`] compiles a query **once** (join-tree or cycle
-//!   decomposition, T-DP compilation, bottom-up phase) and memoises the
-//!   resulting [`PreparedQuery`] per (query, ranking), so every later
-//!   session over the same query skips straight to enumeration.
+//! * [`QueryService::open_session_text`] is the one entry point from a
+//!   string to ranked pages: it parses the textual query language
+//!   (`Q(x, z) :- R(x, y), S(y, z), y = 7 rank by sum limit 1000`, see
+//!   [`anyk_query::parse`]), pushes the selections down to filtered
+//!   relation copies, and opens a session — parse and validation failures
+//!   surface as typed [`ServiceError::Parse`] / [`ServiceError::Engine`]
+//!   values, never panics.
+//! * [`QueryService::prepare`] / [`QueryService::prepare_spec`] compile a
+//!   request **once** (selection pushdown, join-tree or cycle
+//!   decomposition, T-DP compilation, bottom-up phase) and memoise the
+//!   resulting [`PreparedQuery`] keyed by **canonical spec text**
+//!   ([`anyk_query::QuerySpec::plan_key`]): alpha-renamed variants of one
+//!   query — and the same query built via `QueryBuilder` — share a single
+//!   cache entry, while per-request `via …` / `limit …` clauses apply to
+//!   the session, not the plan.
 //! * [`QueryService::open_session`] hands out a [`SessionId`] backed by an
 //!   [`AnswerCursor`](anyk_engine::AnswerCursor): the live any-k iterator
 //!   state (candidate queue, shared-prefix arena, successor structures,
@@ -86,8 +97,11 @@ mod error;
 mod service;
 
 pub use error::ServiceError;
-pub use service::{QueryService, ServiceConfig, ServiceMetrics, SessionId, SessionStatus};
+pub use service::{
+    QueryService, ServiceConfig, ServiceMetrics, SessionId, SessionStatus, DEFAULT_ALGORITHM,
+};
 
-// Re-exported so service callers can name the page/cursor types without
-// depending on anyk-engine directly.
+// Re-exported so service callers can name the page/cursor/request types
+// without depending on anyk-engine / anyk-query directly.
 pub use anyk_engine::{Answer, AnswerCursor, Page, PreparedQuery};
+pub use anyk_query::{ParseError, QuerySpec};

@@ -3,7 +3,7 @@
 use crate::error::ServiceError;
 use anyk_core::AnyKAlgorithm;
 use anyk_engine::{Answer, AnswerCursor, AnswerDecoder, Page, PreparedQuery, RankingFunction};
-use anyk_query::ConjunctiveQuery;
+use anyk_query::{ConjunctiveQuery, QuerySpec};
 use anyk_storage::{Database, IndexCacheStats};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -88,9 +88,16 @@ pub struct SessionStatus {
     pub algorithm: AnyKAlgorithm,
 }
 
-/// Key of the prepared-plan cache. `ConjunctiveQuery`'s `Display` form is
-/// canonical for plan identity: it spells out head and body verbatim.
-type PlanKey = (String, RankingFunction);
+/// The algorithm driving a session when the request does not pin one (the
+/// paper's overall-best anyK-part variant).
+pub const DEFAULT_ALGORITHM: AnyKAlgorithm = AnyKAlgorithm::Take2;
+
+/// Key of the prepared-plan cache: [`QuerySpec::plan_key`], the canonical
+/// spec text (variables alpha-renamed, predicates sorted) with the
+/// execution attributes (algorithm, limit) stripped. Alpha-equivalent
+/// requests — text or struct, `R(x,y),S(y,z)` or `R(a,b),S(b,c)` — share
+/// one compiled plan.
+type PlanKey = String;
 
 /// One memoised plan plus its recency tick (atomic so cache hits can
 /// refresh recency under the read lock; used for LRU eviction).
@@ -192,19 +199,36 @@ impl QueryService {
     }
 
     /// Compile `query` under `ranking`, or return the memoised plan if an
-    /// equivalent query was prepared before. Compilation runs *outside* the
-    /// plan-cache lock, so preparing distinct queries proceeds in parallel;
-    /// if two threads race on the same key, the first insert wins and both
-    /// get the same plan. The cache is LRU-bounded
-    /// ([`ServiceConfig::plan_cache_capacity`]); an evicted plan stays alive
-    /// for the sessions already holding it and is simply recompiled if the
-    /// query comes back.
+    /// equivalent query was prepared before. See
+    /// [`QueryService::prepare_spec`], which this delegates to — struct and
+    /// text requests share one cache, keyed by canonical spec text.
     pub fn prepare(
         &self,
         query: &ConjunctiveQuery,
         ranking: RankingFunction,
     ) -> Result<Arc<PreparedQuery>, ServiceError> {
-        let key: PlanKey = (query.to_string(), ranking);
+        self.prepare_spec(&QuerySpec::from_query(query, ranking))
+    }
+
+    /// Parse `text` in the query language and compile it (or return the
+    /// memoised plan); see [`QueryService::prepare_spec`].
+    pub fn prepare_text(&self, text: &str) -> Result<Arc<PreparedQuery>, ServiceError> {
+        self.prepare_spec(&QuerySpec::parse(text)?)
+    }
+
+    /// Compile `spec` — selection predicates pushed down to filtered
+    /// relation copies — or return the memoised plan if a request with the
+    /// same [`QuerySpec::plan_key`] was prepared before (the spec's
+    /// `algorithm` and `limit` are per-session attributes and do not
+    /// fragment the cache). Compilation runs *outside* the plan-cache lock,
+    /// so preparing distinct queries proceeds in parallel; if two threads
+    /// race on the same key, the first insert wins and both get the same
+    /// plan. The cache is LRU-bounded
+    /// ([`ServiceConfig::plan_cache_capacity`]); an evicted plan stays alive
+    /// for the sessions already holding it and is simply recompiled if the
+    /// query comes back.
+    pub fn prepare_spec(&self, spec: &QuerySpec) -> Result<Arc<PreparedQuery>, ServiceError> {
+        let key: PlanKey = spec.plan_key();
         if let Some(entry) = lock!(self.plans.read()).get(&key) {
             entry.last_used.store(
                 self.plan_clock.fetch_add(1, Ordering::Relaxed) + 1,
@@ -214,10 +238,9 @@ impl QueryService {
             return Ok(Arc::clone(&entry.plan));
         }
         self.plan_misses.fetch_add(1, Ordering::Relaxed);
-        let prepared = Arc::new(PreparedQuery::prepare(
+        let prepared = Arc::new(PreparedQuery::from_spec(
             Arc::clone(&self.db),
-            query,
-            ranking,
+            &spec.without_execution_attrs(),
         )?);
         let mut plans = lock!(self.plans.write());
         let tick = self.plan_clock.fetch_add(1, Ordering::Relaxed) + 1;
@@ -260,6 +283,29 @@ impl QueryService {
         Ok(self.open_prepared(&prepared, algorithm))
     }
 
+    /// Open a session straight from query-language text — the one entry
+    /// point from a string to ranked pages:
+    ///
+    /// ```text
+    /// Q(x, z) :- R(x, y), S(y, z), y = 7 rank by sum limit 1000
+    /// ```
+    ///
+    /// The plan comes from the shared cache (keyed by canonical spec text,
+    /// so alpha-renamed variants and struct-built equivalents all hit the
+    /// same entry); the spec's `via` algorithm (default
+    /// [`DEFAULT_ALGORITHM`]) and `limit` apply to this session only.
+    pub fn open_session_text(&self, text: &str) -> Result<SessionId, ServiceError> {
+        self.open_session_spec(&QuerySpec::parse(text)?)
+    }
+
+    /// Open a session over an already-parsed [`QuerySpec`]; see
+    /// [`QueryService::open_session_text`].
+    pub fn open_session_spec(&self, spec: &QuerySpec) -> Result<SessionId, ServiceError> {
+        let prepared = self.prepare_spec(spec)?;
+        let algorithm = spec.algorithm.unwrap_or(DEFAULT_ALGORITHM);
+        Ok(self.install_session(prepared.cursor_with_limit(algorithm, spec.limit)))
+    }
+
     /// Open a session over an explicitly prepared plan (e.g. one prepared
     /// ahead of a traffic spike, or obtained from [`QueryService::prepare`]).
     pub fn open_prepared(
@@ -267,10 +313,12 @@ impl QueryService {
         prepared: &Arc<PreparedQuery>,
         algorithm: AnyKAlgorithm,
     ) -> SessionId {
+        self.install_session(prepared.cursor(algorithm))
+    }
+
+    fn install_session(&self, cursor: AnswerCursor) -> SessionId {
         let id = SessionId(self.next_session.fetch_add(1, Ordering::Relaxed) + 1);
-        let session = Arc::new(Mutex::new(Session {
-            cursor: prepared.cursor(algorithm),
-        }));
+        let session = Arc::new(Mutex::new(Session { cursor }));
         lock!(self.shard_of(id).write()).insert(id.0, session);
         self.sessions_opened.fetch_add(1, Ordering::Relaxed);
         id
@@ -569,5 +617,69 @@ mod tests {
         assert_eq!(m.answers_served, 3);
         assert_eq!(m.pages_served, 4, "3 full pages + 1 short (empty) page");
         assert_eq!(m.sessions_opened, 1);
+    }
+
+    #[test]
+    fn text_sessions_match_struct_sessions_and_share_the_plan() {
+        let service = QueryService::new(path_db());
+        let query = QueryBuilder::path(2).build();
+        let by_struct = service.open_session(&query, DEFAULT_ALGORITHM).unwrap();
+        // The same query as text, alpha-renamed: must hit the struct plan.
+        let by_text = service
+            .open_session_text("Q(a, b, c) :- R1(a, b), R2(b, c)")
+            .unwrap();
+        let a = service.next_page(by_struct, 100).unwrap();
+        let b = service.next_page(by_text, 100).unwrap();
+        assert_eq!(a, b, "text and struct sessions page identically");
+        assert_eq!(service.prepared_count(), 1, "one shared plan entry");
+        assert_eq!(service.metrics().plan_misses, 1);
+        assert_eq!(service.metrics().plan_hits, 1);
+    }
+
+    #[test]
+    fn text_sessions_honor_via_and_limit_without_fragmenting_the_cache() {
+        let service = QueryService::new(path_db());
+        let id = service
+            .open_session_text("Q(x, y, z) :- R1(x, y), R2(y, z) via lazy limit 2")
+            .unwrap();
+        assert_eq!(
+            service.session_status(id).unwrap().algorithm,
+            AnyKAlgorithm::Lazy
+        );
+        let page = service.next_page(id, 100).unwrap();
+        assert_eq!(page.answers.len(), 2, "limit 2 of 3 answers");
+        assert!(page.done);
+        // Same plan key as the unlimited request: no extra compilation.
+        service
+            .open_session_text("Q(x, y, z) :- R1(x, y), R2(y, z)")
+            .unwrap();
+        assert_eq!(service.metrics().plan_misses, 1);
+        assert_eq!(service.metrics().plan_hits, 1);
+    }
+
+    #[test]
+    fn text_sessions_with_predicates_filter_answers() {
+        let service = QueryService::new(path_db());
+        // Only the x = 2 path (2, 20) ⋈ (20, 6) survives.
+        let id = service
+            .open_session_text("Q(x, y, z) :- R1(x, y), R2(y, z), x = 2")
+            .unwrap();
+        let page = service.next_page(id, 100).unwrap();
+        assert_eq!(page.answers.len(), 1);
+        assert_eq!(page.answers[0].values(), &[2, 20, 6]);
+        assert_eq!(page.answers[0].weight(), 5.0);
+    }
+
+    #[test]
+    fn bad_text_is_a_typed_parse_error() {
+        let service = QueryService::new(path_db());
+        let err = service.open_session_text("Q(x :- R1(x, y)").unwrap_err();
+        assert!(matches!(err, ServiceError::Parse(_)));
+        assert!(err.to_string().contains("parse error"));
+        // Valid syntax, unknown relation: an engine error, still typed.
+        let err = service
+            .open_session_text("Q(x, y) :- Nope(x, y)")
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Engine(_)));
     }
 }

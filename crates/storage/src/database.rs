@@ -32,9 +32,16 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// An in-memory database: an ordered catalog of relations addressed by name.
+///
+/// Relations are stored behind `Arc`s: cloning a database, or registering
+/// one database's relation in another (see [`Database::add_shared`], used by
+/// the engine's selection pushdown for the atoms a predicate does *not*
+/// touch), shares the columnar data instead of copying it. The sharing is
+/// sound because stored relations are immutable — mutation happens on an
+/// owned [`Relation`] before [`Database::add`] hands it over.
 #[derive(Debug, Clone)]
 pub struct Database {
-    relations: Vec<Relation>,
+    relations: Vec<Arc<Relation>>,
     by_name: HashMap<String, usize>,
     /// Memoised hash indexes per (relation slot, key columns).
     index_cache: IndexCache,
@@ -60,6 +67,14 @@ impl Database {
     /// replaced (and its slot reused), mirroring `CREATE OR REPLACE TABLE`.
     /// Replacing drops every cached index of the old relation.
     pub fn add(&mut self, relation: Relation) {
+        self.add_shared(Arc::new(relation));
+    }
+
+    /// Add an already-shared relation without copying its data — e.g. to
+    /// register another database's relation in a scratch database (the
+    /// selection-pushdown pass shares every unfiltered relation this way).
+    /// Same replace semantics as [`Database::add`].
+    pub fn add_shared(&mut self, relation: Arc<Relation>) {
         match self.by_name.get(relation.name()) {
             Some(&idx) => {
                 self.relations[idx] = relation;
@@ -75,7 +90,15 @@ impl Database {
 
     /// Look up a relation by name.
     pub fn get(&self, name: &str) -> Option<&Relation> {
-        self.by_name.get(name).map(|&i| &self.relations[i])
+        self.by_name.get(name).map(|&i| self.relations[i].as_ref())
+    }
+
+    /// Look up a relation by name as a shareable handle (see
+    /// [`Database::add_shared`]).
+    pub fn get_shared(&self, name: &str) -> Option<Arc<Relation>> {
+        self.by_name
+            .get(name)
+            .map(|&i| Arc::clone(&self.relations[i]))
     }
 
     /// Look up a relation by name, panicking with a clear message if absent.
@@ -164,18 +187,18 @@ impl Database {
 
     /// Iterate over all relations in insertion order.
     pub fn relations(&self) -> impl Iterator<Item = &Relation> {
-        self.relations.iter()
+        self.relations.iter().map(|r| r.as_ref())
     }
 
     /// The maximum relation cardinality `n` (the paper's input-size
     /// parameter), or 0 for an empty database.
     pub fn max_cardinality(&self) -> usize {
-        self.relations.iter().map(Relation::len).max().unwrap_or(0)
+        self.relations().map(Relation::len).max().unwrap_or(0)
     }
 
     /// Total number of tuples across all relations.
     pub fn total_tuples(&self) -> usize {
-        self.relations.iter().map(Relation::len).sum()
+        self.relations().map(Relation::len).sum()
     }
 }
 

@@ -38,7 +38,7 @@ pub use anyk_storage as storage;
 pub mod prelude {
     pub use anyk_core::AnyKAlgorithm as Algorithm;
     pub use anyk_engine::{Answer, Page, PreparedQuery, RankedQuery, RankingFunction};
-    pub use anyk_query::{ConjunctiveQuery, QueryBuilder};
+    pub use anyk_query::{parse_query, ConjunctiveQuery, QueryBuilder, QuerySpec};
     pub use anyk_server::{QueryService, ServiceConfig, SessionId};
     pub use anyk_storage::{Database, Relation, Tuple};
 }

@@ -1,0 +1,16 @@
+# Syntax errors: every line must produce a typed ParseError, never a panic.
+Q(x)
+Q(x) : R(x, y)
+Q(x) :- R(x, y
+Q(x) :- R(x, y) trailing garbage
+Q(x) :- R(x, y),
+Q(7) :- R(x, y)
+Q(x) :-
+Q(x) :- R(x, "unterminated
+Q(x) :- R(x, "bad \q escape")
+Q(x) :- R(x; y)
+Q(x) :- R(x, y) limit many
+Q(x) :- R(x, y) limit 99999999999999999999999999
+Q(x) :- x = 3
+Q(x) :- R(x, y), = 3
+Q(x) :- R(x, y), 3 = 4

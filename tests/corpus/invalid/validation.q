@@ -1,0 +1,10 @@
+# Well-formed syntax, invalid requests: typed errors, never panics.
+Q(zz) :- R(x, y)
+Q(x, x) :- R(x, y)
+Q(x) :- R(x, y), q = 3
+Q(x) :- R(x, y) rank by bottleneck desc
+Q(x) :- R(x, y) rank by lexicographic
+Q(x) :- R(x, y) via quantum
+Q(x) :- R(x, y) via lazy via eager
+Q(x) :- R(x, y) limit 1 limit 2
+Q(x) :- R(x, y) rank by sum rank by sum

@@ -1,0 +1,7 @@
+# One query per line; `#` lines are comments. Every line must parse and its
+# canonical text must be a parse/print fixpoint.
+Q(x, y) :- R(x, y)
+Q(x, z) :- R(x, y), S(y, z), y = 7 rank by sum limit 1000
+Q(x1, x2, x3, x4, x5) :- R1(x1, x2), R2(x2, x3), R3(x3, x4), R4(x4, x5)
+Q() :- R(x, y)
+Answers(a, b, c) :- Edge(a, b), Edge(b, c)

@@ -1,0 +1,10 @@
+# Trailing clauses: rankings, algorithm pins, limits, in any order.
+Q(x, y) :- R(x, y) rank by sum
+Q(x, y) :- R(x, y) rank by sum asc
+Q(x, y) :- R(x, y) rank by sum desc
+Q(x, y) :- R(x, y) rank by bottleneck
+Q(x, y) :- R(x, y) via take2
+Q(x, y) :- R(x, y) via recursive limit 0
+Q(x, y) :- R(x, y) limit 50 rank by sum desc via lazy
+Q(limit) :- rank(limit, via) limit 2
+Q(x1, x2, x3, x4, x5, x6, x7) :- R1(x1, x2), R2(x2, x3), R3(x3, x4), R4(x4, x5), R5(x5, x6), R6(x6, x7) rank by bottleneck via eager limit 10

@@ -1,0 +1,10 @@
+# Selections: explicit predicates, flipped predicates, inline constants
+# (integer and string), and repeated variables within one atom.
+Q(x, y) :- R(x, y), x = 3
+Q(x, y) :- R(x, y), 3 = x
+Q(x) :- R(x, 7)
+Q(b, c) :- Follows("alice", b), Knows(b, c)
+Q(u) :- Follows(u, "name with \"quotes\" and \\ slashes")
+Q(x, y) :- R(x, x), S(x, y)
+Q(x) :- R(x, x, x)
+Q(x, y) :- R(x, y), x = 1, x = 2

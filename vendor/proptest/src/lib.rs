@@ -124,7 +124,13 @@ pub mod strategy {
         )*};
     }
 
-    impl_tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+    impl_tuple_strategy!(
+        (A.0, B.1),
+        (A.0, B.1, C.2),
+        (A.0, B.1, C.2, D.3),
+        (A.0, B.1, C.2, D.3, E.4),
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    );
 
     /// A `Vec` of strategies generates one value per element.
     impl<S: Strategy> Strategy for Vec<S> {
