@@ -13,6 +13,9 @@
 //! concurrent paged sessions (N sessions × path-4/star-3/text3, pages of
 //! 100 answers) reporting p50/p99 page latency and aggregate pages/sec —
 //! the serving-throughput counterpart to the per-algorithm TT(k) numbers.
+//! An `overload` scenario then doubles the client count against a governor
+//! capped at N sessions, reporting the admission controller's shed rate and
+//! the p99 page latency admitted sessions see at 2× capacity.
 //!
 //! Writes `BENCH_hotpath.json` (override with `ANYK_HOTPATH_OUT`) so the
 //! perf trajectory of the enumeration hot loops is recorded in-repo. If
@@ -29,7 +32,7 @@ use anyk_core::AnyKAlgorithm;
 use anyk_datagen::{cycles, rng, text, uniform};
 use anyk_engine::RankedQuery;
 use anyk_query::{parse_query, QueryBuilder, QuerySpec, RankingFunction};
-use anyk_server::QueryService;
+use anyk_server::{GovernorConfig, QueryService, ServiceConfig, ServiceError};
 use anyk_storage::Database;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -202,6 +205,104 @@ fn run_service(w: &Workload) -> ServiceRun {
     }
 }
 
+struct OverloadRun {
+    clients: usize,
+    session_cap: usize,
+    opens: u64,
+    sheds: u64,
+    shed_rate: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// Answers each overload client pulls. Larger than the service scenario's
+/// `LIMIT`: session open (cursor construction) costs real CPU, so sessions
+/// must live long enough relative to opens for 2× clients to actually
+/// overlap at the admission controller instead of draining in sequence.
+const OVERLOAD_ANSWERS: usize = 5 * LIMIT;
+
+/// Overload scenario: `2 × SERVICE_SESSIONS` clients hammer a service whose
+/// governor caps concurrent sessions at `SERVICE_SESSIONS`. Clients retry
+/// shed opens after the service's own `retry_after_hint`, so the measured
+/// numbers are the steady-state behaviour a well-behaved client sees at 2×
+/// capacity: what fraction of open attempts the admission controller sheds,
+/// and what paging latency admitted sessions get while the cap keeps the
+/// box from overcommitting.
+fn run_overload(w: &Workload) -> OverloadRun {
+    let session_cap = SERVICE_SESSIONS;
+    let clients = 2 * session_cap;
+    let service = QueryService::with_config(
+        w.db.clone(),
+        ServiceConfig {
+            governor: GovernorConfig {
+                max_sessions: Some(session_cap),
+                retry_after_hint: Duration::from_micros(200),
+                ..GovernorConfig::default()
+            },
+            ..ServiceConfig::default()
+        },
+    );
+    service.prepare_spec(&w.spec).expect("plan");
+    // All clients arrive at once: without the barrier, fast workloads let
+    // early sessions drain before late threads even spawn, and the
+    // admission controller never sees 2× pressure.
+    let start_line = std::sync::Barrier::new(clients);
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let service = &service;
+                let spec = &w.spec;
+                let start_line = &start_line;
+                scope.spawn(move || {
+                    start_line.wait();
+                    let id = loop {
+                        match service.open_session_spec(spec) {
+                            Ok(id) => break id,
+                            Err(ServiceError::Overloaded {
+                                retry_after_hint, ..
+                            }) => std::thread::sleep(retry_after_hint),
+                            Err(other) => panic!("unexpected open error: {other}"),
+                        }
+                    };
+                    let mut lat = Vec::new();
+                    let mut buf = Vec::with_capacity(SERVICE_PAGE_SIZE);
+                    let mut served = 0usize;
+                    loop {
+                        let t = Instant::now();
+                        let done = service
+                            .next_page_into(id, SERVICE_PAGE_SIZE, &mut buf)
+                            .unwrap();
+                        lat.push(t.elapsed().as_secs_f64() * 1e3);
+                        served += buf.len();
+                        if done || served >= OVERLOAD_ANSWERS {
+                            break;
+                        }
+                    }
+                    service.close_session(id);
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let metrics = service.metrics();
+    assert_eq!(metrics.active_sessions, 0, "all overload clients finished");
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let attempts = metrics.sessions_opened + metrics.sessions_shed;
+    OverloadRun {
+        clients,
+        session_cap,
+        opens: metrics.sessions_opened,
+        sheds: metrics.sessions_shed,
+        shed_rate: metrics.sessions_shed as f64 / attempts as f64,
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+    }
+}
+
 fn main() {
     let scale = Scale::from_env();
     let mut json = String::from("{\n");
@@ -338,6 +439,32 @@ fn main() {
         );
     }
     json.push_str("\n    ]\n  }");
+
+    // Overload scenario: the admission controller at 2× its session cap.
+    // One workload suffices — shedding is a property of the governor, not
+    // the join shape; path-4 is the steadiest enumerator of the set.
+    let overload_workload = service_workloads
+        .first()
+        .expect("at least one service workload");
+    let run = run_overload(overload_workload);
+    println!(
+        "== overload ({} clients vs cap {}) ==",
+        run.clients, run.session_cap
+    );
+    println!(
+        "  {:<10} shed_rate {:>6.3} ({} sheds / {} opens)  p50 {:>8.4}ms  p99 {:>8.4}ms",
+        overload_workload.name, run.shed_rate, run.sheds, run.opens, run.p50_ms, run.p99_ms
+    );
+    json.push_str(",\n  \"overload\": {\n");
+    let _ = writeln!(json, "    \"workload\": \"{}\",", overload_workload.name);
+    let _ = writeln!(json, "    \"clients\": {},", run.clients);
+    let _ = writeln!(json, "    \"session_cap\": {},", run.session_cap);
+    let _ = writeln!(json, "    \"opens\": {},", run.opens);
+    let _ = writeln!(json, "    \"sheds\": {},", run.sheds);
+    let _ = writeln!(json, "    \"shed_rate\": {:.4},", run.shed_rate);
+    let _ = writeln!(json, "    \"page_p50_ms\": {:.4},", run.p50_ms);
+    let _ = writeln!(json, "    \"page_p99_ms\": {:.4}", run.p99_ms);
+    json.push_str("  }");
 
     if let Ok(path) = std::env::var("ANYK_HOTPATH_BASELINE") {
         if let Ok(baseline) = std::fs::read_to_string(&path) {

@@ -70,6 +70,18 @@ pub struct MemoryStats {
 }
 
 impl MemoryStats {
+    /// The snapshot collapsed to one scalar "resident units" figure —
+    /// candidates + arena entries + successor-table slots + materialised
+    /// choices, each of which is one smallish heap value. This is the unit
+    /// a serving layer's MEM(k)-derived memory budget accounts in: relative
+    /// growth is what matters for admission, not exact bytes.
+    pub fn resident_units(&self) -> u64 {
+        (self.candidates
+            + self.prefix_arena_entries
+            + self.structure_table_slots
+            + self.structure_choices) as u64
+    }
+
     /// Accumulate another snapshot into this one (summing every field), for
     /// aggregating across the trees of a union plan.
     pub fn absorb(&mut self, other: &MemoryStats) {

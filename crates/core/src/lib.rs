@@ -59,6 +59,7 @@ pub mod anyk_part;
 pub mod anyk_rec;
 pub mod batch;
 pub mod dioid;
+pub mod faults;
 pub mod metrics;
 pub mod solution;
 pub mod tdp;
@@ -123,6 +124,23 @@ impl std::fmt::Display for AnyKAlgorithm {
     }
 }
 
+/// A ranked stream of T-DP solutions that can also report the live MEM(k)
+/// footprint of its data structures.
+///
+/// Every enumerator in this crate implements it; the provided `live_mem`
+/// default returns `None` for algorithms whose memory is not organised in
+/// the candidate-queue / prefix-arena / successor-structure shape the
+/// paper's MEM(k) study measures (`Recursive`, `Batch`).
+pub trait SolutionStream<D: Dioid>: Iterator<Item = Solution<D>> + Send {
+    /// A MEM(k) snapshot of the enumerator's current data structures, or
+    /// `None` when the algorithm does not track one. Cheap relative to a
+    /// page of answers (it scans the successor-structure table), but not
+    /// per-answer cheap — call it at page granularity.
+    fn live_mem(&self) -> Option<MemoryStats> {
+        None
+    }
+}
+
 /// A boxed ranked-enumeration iterator over a T-DP instance.
 ///
 /// The box is [`Send`]: every enumerator in this crate is plain data (heaps,
@@ -132,8 +150,19 @@ impl std::fmt::Display for AnyKAlgorithm {
 /// ranked stream. Suspension is free: the candidate queue, shared-prefix
 /// arena, and successor/stream structures simply stay alive inside the
 /// iterator value between `next()` calls; no state is rebuilt on resume and
-/// nothing is allocated per suspension point.
-pub type RankedIter<'a, D> = Box<dyn Iterator<Item = Solution<D>> + Send + 'a>;
+/// nothing is allocated per suspension point. Being a [`SolutionStream`],
+/// the box also reports live MEM(k) where the algorithm tracks it.
+pub type RankedIter<'a, D> = Box<dyn SolutionStream<D> + 'a>;
+
+impl<D: Dioid> SolutionStream<D> for AnyKPart<'_, D> {
+    fn live_mem(&self) -> Option<MemoryStats> {
+        Some(self.memory_stats())
+    }
+}
+
+impl<D: Dioid> SolutionStream<D> for Recursive<'_, D> {}
+
+impl<D: Dioid> SolutionStream<D> for Batch<'_, D> {}
 
 /// Run ranked enumeration over `instance` with the chosen algorithm.
 ///

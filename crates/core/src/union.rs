@@ -89,6 +89,14 @@ where
         }
     }
 
+    /// The underlying source streams (exhausted sources stay in place), so
+    /// a caller that built the union from stat-reporting sources can
+    /// aggregate their live state — e.g. summing MEM(k) across the trees of
+    /// a cycle decomposition mid-enumeration.
+    pub fn sources(&self) -> &[I] {
+        &self.sources
+    }
+
     fn pull(&mut self, source: usize) {
         if let Some((key, item)) = self.sources[source].next() {
             self.heap.push(Reverse(Entry { key, source, item }));

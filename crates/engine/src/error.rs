@@ -41,6 +41,13 @@ pub enum EngineError {
     },
     /// The textual query could not be parsed.
     Parse(ParseError),
+    /// A chaos-testing failpoint fired on the preparation path (see
+    /// [`anyk_core::faults`]); never produced unless a fault plan is armed.
+    Fault(anyk_core::faults::Injected),
+    /// An internal invariant was violated. Reaching this is a bug in the
+    /// engine, surfaced as a typed error instead of a panic so a serving
+    /// layer can shed the one request rather than die.
+    Internal(String),
 }
 
 impl fmt::Display for EngineError {
@@ -75,6 +82,10 @@ impl fmt::Display for EngineError {
                  text column, integer constants a raw-id column)"
             ),
             EngineError::Parse(e) => write!(f, "{e}"),
+            EngineError::Fault(e) => write!(f, "{e}"),
+            EngineError::Internal(what) => {
+                write!(f, "internal engine invariant violated: {what}")
+            }
         }
     }
 }
@@ -84,8 +95,15 @@ impl std::error::Error for EngineError {
         match self {
             EngineError::Query(e) => Some(e),
             EngineError::Parse(e) => Some(e),
+            EngineError::Fault(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<anyk_core::faults::Injected> for EngineError {
+    fn from(e: anyk_core::faults::Injected) -> Self {
+        EngineError::Fault(e)
     }
 }
 

@@ -50,8 +50,8 @@ pub mod yannakakis;
 pub use answer::{Answer, AnswerDecoder, DecodedValue};
 pub use compile::Compiled;
 pub use error::EngineError;
-pub use prepared::{AnswerCursor, Page, PreparedQuery};
-pub use ranked::RankedQuery;
+pub use prepared::{AnswerCursor, CancellationToken, Page, PreparedQuery};
+pub use ranked::{AnswerStream, RankedQuery};
 // Re-exported from `anyk-query`, where request descriptions (`QuerySpec`)
 // live; existing `anyk_engine::RankingFunction` imports keep working.
 pub use anyk_query::RankingFunction;

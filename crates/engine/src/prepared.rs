@@ -52,12 +52,43 @@
 
 use crate::answer::Answer;
 use crate::error::EngineError;
-use crate::ranked::Plan;
+use crate::ranked::{AnswerStream, Plan};
 use anyk_core::{AnyKAlgorithm, MemoryStats};
 use anyk_query::ConjunctiveQuery;
 use anyk_query::RankingFunction;
 use anyk_storage::Database;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// A cooperative cancellation flag shared between an [`AnswerCursor`] and
+/// whoever needs to stop it — a service's explicit cancel path, a deadline
+/// reaper, a client that hung up.
+///
+/// Cloning the token clones the *handle*, not the flag: every clone observes
+/// (and can trip) the same underlying bit. Cancellation is cooperative and
+/// answer-granular: the cursor checks the flag between answers inside
+/// [`AnswerCursor::next_page_into`], so a cancelled cursor stops within one
+/// answer's worth of work (the any-k delay bound, TT(k+1) − TT(k)) and the
+/// page it was filling comes back short.
+#[derive(Clone, Debug, Default)]
+pub struct CancellationToken(Arc<AtomicBool>);
+
+impl CancellationToken {
+    /// A fresh, untripped token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trip the flag. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether [`CancellationToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
 
 /// A conjunctive query compiled and preprocessed once, owning everything it
 /// needs to enumerate (`Arc`-shared database snapshot + compiled plan).
@@ -175,10 +206,7 @@ impl PreparedQuery {
 
     /// Enumerate every answer exactly once, in rank order (the one-shot
     /// stream that paged cursors are guaranteed to reproduce bit-identically).
-    pub fn enumerate(
-        &self,
-        algorithm: AnyKAlgorithm,
-    ) -> Box<dyn Iterator<Item = Answer> + Send + '_> {
+    pub fn enumerate(&self, algorithm: AnyKAlgorithm) -> Box<dyn AnswerStream + '_> {
         self.plan.enumerate(self.exec_db(), algorithm, self.ranking)
     }
 
@@ -252,19 +280,22 @@ pub struct AnswerCursor {
     // Field order is load-bearing: `iter` borrows from the heap allocation
     // behind `owner` and must be dropped first (fields drop in declaration
     // order).
-    iter: Box<dyn Iterator<Item = Answer> + Send + 'static>,
+    iter: Box<dyn AnswerStream + 'static>,
     algorithm: AnyKAlgorithm,
     served: usize,
     /// Answers still allowed before the session's `limit` cuts the stream
     /// (`None` = unlimited).
     remaining: Option<usize>,
     done: bool,
+    cancel: CancellationToken,
+    /// Set once a page pull observed the tripped token and stopped early.
+    cancelled: bool,
     owner: Arc<PreparedQuery>,
 }
 
 impl AnswerCursor {
     fn new(owner: Arc<PreparedQuery>, algorithm: AnyKAlgorithm, limit: Option<usize>) -> Self {
-        let iter: Box<dyn Iterator<Item = Answer> + Send + '_> = owner.enumerate(algorithm);
+        let iter: Box<dyn AnswerStream + '_> = owner.enumerate(algorithm);
         // SAFETY: `iter` borrows only from the `PreparedQuery` heap
         // allocation behind `owner` (an `Arc` pointee, which never moves and
         // is never mutated — `PreparedQuery` has no interior mutability that
@@ -274,14 +305,15 @@ impl AnswerCursor {
         // field order drops `iter` before `owner`, so the borrow outlives
         // every use and the `'static` lifetime is a private fiction that
         // cannot escape.
-        let iter: Box<dyn Iterator<Item = Answer> + Send + 'static> =
-            unsafe { std::mem::transmute(iter) };
+        let iter: Box<dyn AnswerStream + 'static> = unsafe { std::mem::transmute(iter) };
         AnswerCursor {
             iter,
             algorithm,
             served: 0,
             remaining: limit,
             done: limit == Some(0),
+            cancel: CancellationToken::new(),
+            cancelled: false,
             owner,
         }
     }
@@ -306,6 +338,29 @@ impl AnswerCursor {
         self.done
     }
 
+    /// The cursor's cancellation token. Clone it and call
+    /// [`CancellationToken::cancel`] from any thread to make the next (or
+    /// in-flight) page pull stop between answers.
+    pub fn cancel_token(&self) -> &CancellationToken {
+        &self.cancel
+    }
+
+    /// True once a page pull observed a tripped [`CancellationToken`] and
+    /// ended the stream early (distinct from natural exhaustion, which
+    /// leaves this `false` even though [`AnswerCursor::is_done`] is true).
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled
+    }
+
+    /// The live MEM(k) footprint of the enumeration structures behind this
+    /// cursor — candidate queues, shared-prefix arenas, successor-structure
+    /// tables, summed over decomposition trees for cycle plans. `None` for
+    /// `Recursive` and `Batch`, whose memory is not organised in these
+    /// structures (see [`PreparedQuery::mem_profile`]).
+    pub fn memory_stats(&self) -> Option<MemoryStats> {
+        self.iter.live_mem()
+    }
+
     /// Pull the next page of up to `page_size` answers.
     pub fn next_page(&mut self, page_size: usize) -> Page {
         let mut answers = Vec::new();
@@ -326,6 +381,12 @@ impl AnswerCursor {
             None => page_size,
         };
         while out.len() < quota {
+            if self.cancel.is_cancelled() {
+                self.cancelled = true;
+                self.done = true;
+                break;
+            }
+            anyk_core::faults::checkpoint("engine.page");
             match self.iter.next() {
                 Some(answer) => out.push(answer),
                 None => {

@@ -6,7 +6,8 @@ use crate::cycle;
 use crate::error::EngineError;
 use anyk_core::dioid::{Dioid, MinMaxDioid, OrderedF64, TropicalMin};
 use anyk_core::{
-    ranked_enumerate, AnyKAlgorithm, AnyKPart, MemoryStats, SuccessorKind, UnionEnumerator,
+    ranked_enumerate, AnyKAlgorithm, AnyKPart, MemoryStats, RankedIter, SuccessorKind,
+    UnionEnumerator,
 };
 use anyk_query::ConjunctiveQuery;
 use anyk_query::RankingFunction;
@@ -67,6 +68,131 @@ pub struct RankedQuery<'a> {
     plan: Plan,
 }
 
+/// A ranked stream of assembled [`Answer`]s that can also report the live
+/// MEM(k) footprint of the enumeration structures driving it.
+///
+/// This is what [`RankedQuery::enumerate`] and
+/// [`PreparedQuery::enumerate`](crate::PreparedQuery::enumerate) hand back:
+/// a plain `Iterator<Item = Answer> + Send`, plus [`AnswerStream::live_mem`]
+/// so a serving layer can charge each suspended cursor's *actual* resident
+/// footprint against a memory budget instead of re-profiling from scratch.
+pub trait AnswerStream: Iterator<Item = Answer> + Send {
+    /// A MEM(k) snapshot of the stream's current data structures —
+    /// candidate queue, shared-prefix arena, successor-structure table —
+    /// summed across the trees of a cycle decomposition. `None` for
+    /// algorithms that do not organise memory this way (`Recursive`,
+    /// `Batch`). Call at page granularity, not per answer.
+    fn live_mem(&self) -> Option<MemoryStats> {
+        None
+    }
+}
+
+/// Acyclic plan stream: core solutions assembled into answers.
+struct AssembleStream<'s, D: Dioid<V = OrderedF64>> {
+    inner: RankedIter<'s, D>,
+    compiled: &'s Compiled<D>,
+    db: &'s Database,
+    ranking: RankingFunction,
+}
+
+impl<D: Dioid<V = OrderedF64>> Iterator for AssembleStream<'_, D> {
+    type Item = Answer;
+    fn next(&mut self) -> Option<Answer> {
+        let ranking = self.ranking;
+        self.inner
+            .next()
+            .map(|sol| self.compiled.assemble(self.db, &sol, |w| ranking.decode(w)))
+    }
+}
+
+impl<D: Dioid<V = OrderedF64>> AnswerStream for AssembleStream<'_, D> {
+    fn live_mem(&self) -> Option<MemoryStats> {
+        self.inner.live_mem()
+    }
+}
+
+/// One source of a cycle-union stream: a decomposition tree's ranked
+/// solutions assembled into `(encoded weight, answer)` pairs with the head
+/// values reordered into the original query's head order.
+struct TreeSource<'s, D: Dioid<V = OrderedF64>> {
+    inner: RankedIter<'s, D>,
+    tree: &'s CycleTreePlan<D>,
+    ranking: RankingFunction,
+}
+
+impl<D: Dioid<V = OrderedF64>> Iterator for TreeSource<'_, D> {
+    type Item = (OrderedF64, Answer);
+    fn next(&mut self) -> Option<Self::Item> {
+        let sol = self.inner.next()?;
+        let encoded = sol.weight;
+        let ranking = self.ranking;
+        let raw = self
+            .tree
+            .compiled
+            .assemble(&self.tree.database, &sol, |w| ranking.decode(w));
+        // Witnesses reference bag tuples, not original input tuples, so
+        // they are dropped.
+        let values: Vec<Value> = self.tree.head_perm.iter().map(|&p| raw.value(p)).collect();
+        Some((encoded, Answer::new(raw.weight(), values, Vec::new())))
+    }
+}
+
+/// Cycle plan stream: the ranked union over the decomposition trees.
+struct CycleStream<'s, D: Dioid<V = OrderedF64>> {
+    union: UnionEnumerator<OrderedF64, Answer, TreeSource<'s, D>>,
+}
+
+impl<D: Dioid<V = OrderedF64>> Iterator for CycleStream<'_, D> {
+    type Item = Answer;
+    fn next(&mut self) -> Option<Answer> {
+        self.union.next().map(|(_, ans)| ans)
+    }
+}
+
+impl<D: Dioid<V = OrderedF64>> AnswerStream for CycleStream<'_, D> {
+    fn live_mem(&self) -> Option<MemoryStats> {
+        let mut total = MemoryStats::default();
+        let mut any = false;
+        for source in self.union.sources() {
+            if let Some(m) = source.inner.live_mem() {
+                total.absorb(&m);
+                any = true;
+            }
+        }
+        any.then_some(total)
+    }
+}
+
+/// A stream truncated after `remaining` answers (a spec's `limit`),
+/// forwarding MEM(k) reporting to the inner stream.
+pub(crate) struct LimitStream<I> {
+    pub(crate) inner: I,
+    pub(crate) remaining: usize,
+}
+
+impl<I: Iterator<Item = Answer>> Iterator for LimitStream<I> {
+    type Item = Answer;
+    fn next(&mut self) -> Option<Answer> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.inner.next()
+    }
+}
+
+impl<I: AnswerStream> AnswerStream for LimitStream<I> {
+    fn live_mem(&self) -> Option<MemoryStats> {
+        self.inner.live_mem()
+    }
+}
+
+impl<S: AnswerStream + ?Sized> AnswerStream for Box<S> {
+    fn live_mem(&self) -> Option<MemoryStats> {
+        (**self).live_mem()
+    }
+}
+
 /// One tree of a cycle decomposition, compiled and ready to enumerate.
 pub(crate) struct CycleTreePlan<D: Dioid<V = OrderedF64>> {
     /// The materialised bag relations (owned by the plan).
@@ -100,6 +226,7 @@ impl Plan {
         query: &ConjunctiveQuery,
         ranking: RankingFunction,
     ) -> Result<Self, EngineError> {
+        anyk_core::faults::check("engine.compile")?;
         crate::compile::validate(db, query)?;
         if query.is_acyclic() {
             if ranking.is_bottleneck() {
@@ -147,12 +274,13 @@ impl Plan {
                 let head_perm = original_head
                     .iter()
                     .map(|v| {
-                        tree_head
-                            .iter()
-                            .position(|x| x == v)
-                            .expect("decomposition preserves the query variables")
+                        tree_head.iter().position(|x| x == v).ok_or_else(|| {
+                            EngineError::Internal(format!(
+                                "cycle decomposition lost head variable `{v}`"
+                            ))
+                        })
                     })
-                    .collect();
+                    .collect::<Result<_, _>>()?;
                 Ok(CycleTreePlan {
                     database: tree.database,
                     compiled,
@@ -189,16 +317,17 @@ impl Plan {
     /// tuples into head values for acyclic plans; cycle plans carry their
     /// own bag databases).
     ///
-    /// The returned iterator is `Send` and retains all enumeration state
+    /// The returned stream is `Send` and retains all enumeration state
     /// (candidate queues, prefix arenas, branch streams, the union heap)
     /// between `next()` calls, so it can be suspended in a session table
-    /// and resumed on any thread without perturbing the stream.
+    /// and resumed on any thread without perturbing the stream; its
+    /// [`AnswerStream::live_mem`] reports the structures' current MEM(k).
     pub(crate) fn enumerate<'s>(
         &'s self,
         db: &'s Database,
         algorithm: AnyKAlgorithm,
         ranking: RankingFunction,
-    ) -> Box<dyn Iterator<Item = Answer> + Send + 's> {
+    ) -> Box<dyn AnswerStream + 's> {
         match self {
             Plan::AcyclicSum(c) => Self::enumerate_acyclic(db, c, algorithm, ranking),
             Plan::AcyclicBottleneck(c) => Self::enumerate_acyclic(db, c, algorithm, ranking),
@@ -246,38 +375,33 @@ impl Plan {
         compiled: &'s Compiled<D>,
         algorithm: AnyKAlgorithm,
         ranking: RankingFunction,
-    ) -> Box<dyn Iterator<Item = Answer> + Send + 's> {
-        Box::new(
-            ranked_enumerate(&compiled.instance, algorithm)
-                .map(move |sol| compiled.assemble(db, &sol, |w| ranking.decode(w))),
-        )
+    ) -> Box<dyn AnswerStream + 's> {
+        Box::new(AssembleStream {
+            inner: ranked_enumerate(&compiled.instance, algorithm),
+            compiled,
+            db,
+            ranking,
+        })
     }
 
     fn enumerate_cycle<'s, D: Dioid<V = OrderedF64>>(
         trees: &'s [CycleTreePlan<D>],
         algorithm: AnyKAlgorithm,
         ranking: RankingFunction,
-    ) -> Box<dyn Iterator<Item = Answer> + Send + 's> {
+    ) -> Box<dyn AnswerStream + 's> {
         // One ranked source per decomposition tree; the partitions are
         // disjoint (§5.3.1), so the union needs no duplicate elimination.
-        let sources: Vec<Box<dyn Iterator<Item = (OrderedF64, Answer)> + Send + 's>> = trees
+        let sources: Vec<TreeSource<'s, D>> = trees
             .iter()
-            .map(|tree| {
-                let iter = ranked_enumerate(&tree.compiled.instance, algorithm).map(move |sol| {
-                    let encoded = sol.weight;
-                    let raw = tree
-                        .compiled
-                        .assemble(&tree.database, &sol, |w| ranking.decode(w));
-                    // Reorder the tree's head values into the original
-                    // query's head-variable order. Witnesses reference bag
-                    // tuples, not original input tuples, so they are dropped.
-                    let values: Vec<Value> = tree.head_perm.iter().map(|&p| raw.value(p)).collect();
-                    (encoded, Answer::new(raw.weight(), values, Vec::new()))
-                });
-                Box::new(iter) as Box<dyn Iterator<Item = (OrderedF64, Answer)> + Send + 's>
+            .map(|tree| TreeSource {
+                inner: ranked_enumerate(&tree.compiled.instance, algorithm),
+                tree,
+                ranking,
             })
             .collect();
-        Box::new(UnionEnumerator::new(sources).map(|(_, ans)| ans))
+        Box::new(CycleStream {
+            union: UnionEnumerator::new(sources),
+        })
     }
 }
 
@@ -386,13 +510,13 @@ impl<'a> RankedQuery<'a> {
 
     /// Enumerate every answer exactly once, in rank order, with the chosen
     /// any-k algorithm (stopping at the spec's limit when one is set).
-    pub fn enumerate(
-        &self,
-        algorithm: AnyKAlgorithm,
-    ) -> Box<dyn Iterator<Item = Answer> + Send + '_> {
+    pub fn enumerate(&self, algorithm: AnyKAlgorithm) -> Box<dyn AnswerStream + '_> {
         let iter = self.plan.enumerate(self.exec_db(), algorithm, self.ranking);
         match self.limit {
-            Some(l) => Box::new(iter.take(l)),
+            Some(l) => Box::new(LimitStream {
+                inner: iter,
+                remaining: l,
+            }),
             None => iter,
         }
     }

@@ -83,25 +83,107 @@
 //! service.close_session(b);
 //! ```
 //!
+//! ## Session lifecycle
+//!
+//! Every session walks one edge path of this diagram; the registry slot
+//! holds the live state, and ended sessions leave a tiny *tombstone* so
+//! clients get a typed error ([`ServiceError::SessionExpired`] /
+//! [`ServiceError::SessionCancelled`] / [`ServiceError::SessionPoisoned`])
+//! instead of an ambiguous `UnknownSession`:
+//!
+//! ```text
+//!                    open_session*            next_page (stream ends)
+//!   [admission] ───────────────────▶ Active ─────────────────────▶ Drained
+//!        │ shed: Overloaded            │                              │
+//!        ▼                             │ TTL/idle deadline            │
+//!   (no session)                       ├────────────────▶ Expired     │
+//!                                      │ cancel_session              close_session
+//!                                      ├────────────────▶ Cancelled   │
+//!                                      │ panic in a page pull         │
+//!                                      └────────────────▶ Poisoned    │
+//!                                                            │        ▼
+//!                                          close_session ────┴──▶ (slot freed)
+//! ```
+//!
+//! * **Admission** ([`GovernorConfig`]): opens are shed with
+//!   [`ServiceError::Overloaded`] when the concurrent-session cap, the
+//!   in-flight page cap, or the global MEM(k) memory budget would be
+//!   exceeded; the error carries a `retry_after_hint` for client back-off.
+//! * **Deadlines** are driven by an injectable [`Clock`]
+//!   ([`ServiceConfig::clock`]): production uses a monotonic clock, tests a
+//!   [`ManualClock`], which makes expiry and the chaos suite fully
+//!   deterministic. Expired sessions are reaped opportunistically on every
+//!   open and explicitly via [`QueryService::sweep_expired`]; a session
+//!   with a pull in flight re-checks its own deadline on the next pull.
+//! * **Cancellation** is cooperative and answer-granular: the cursor checks
+//!   a shared token between answers, so
+//!   [`QueryService::cancel_session`] stops an in-flight pull within one
+//!   any-k delay and the partial page (still valid, still in rank order) is
+//!   delivered.
+//! * **Panic isolation**: a panic inside a page pull (or plan compilation)
+//!   is caught *inside* the session's mutex scope — the session is marked
+//!   `Poisoned`, its cursor and memory charge are released, **no registry
+//!   lock is ever poisoned**, and every other session keeps paging
+//!   bit-identically. The caller gets [`ServiceError::Panicked`] with the
+//!   panic message.
+//!
+//! ## Tuning the governor
+//!
+//! * `max_sessions` bounds *suspended state*: each open session parks its
+//!   enumeration structures. Size it from the MEM(k) profile of your
+//!   workload (see [`PreparedQuery::mem_profile`](anyk_engine::PreparedQuery::mem_profile)).
+//! * `max_pages_in_flight` bounds *CPU overcommit* — pulls beyond it shed
+//!   instead of queueing. A good default is your worker-thread count.
+//! * `memory_budget_units` is denominated in MEM(k) units (live entries in
+//!   candidate queues + prefix arenas + successor structures,
+//!   [`anyk_core::MemoryStats::resident_units`]); sessions are re-charged
+//!   their actual footprint after every page, so the budget tracks reality,
+//!   not a static estimate. `Recursive`/`Batch` cursors, which do not
+//!   expose those structures, are charged the flat
+//!   `untracked_session_units` rate.
+//! * `session_ttl` caps total session lifetime; `idle_timeout` reclaims
+//!   abandoned sessions. Both `None` (the default) means sessions live
+//!   until closed, exactly like the pre-governance service.
+//!
+//! ## Fault injection
+//!
+//! The [`faults`] module (re-exported from `anyk_core`) is a
+//! no-dependencies failpoint registry wired through the whole stack —
+//! index build, bottom-up preprocessing, plan compilation, the paging
+//! path, and the service entry points. Tests (and operators, via the
+//! `ANYK_FAULTS` environment variable) arm error or panic faults at named
+//! sites to prove the containment story above; unarmed, every hook is one
+//! relaxed atomic load.
+//!
 //! ## What this crate is not (yet)
 //!
 //! There is no transport: callers are in-process threads. The service is
-//! the seam where an async RPC front end, admission control, or cross-node
-//! sharding would plug in — each session is already a `Send` value behind a
-//! stable id, so a transport only has to map connections to [`SessionId`]s.
+//! the seam where an async RPC front end or cross-node sharding would plug
+//! in — each session is already a `Send` value behind a stable id, so a
+//! transport only has to map connections to [`SessionId`]s.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod clock;
 mod error;
+mod governor;
 mod service;
 
-pub use error::ServiceError;
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use error::{OverloadReason, ServiceError};
+pub use governor::GovernorConfig;
 pub use service::{
-    QueryService, ServiceConfig, ServiceMetrics, SessionId, SessionStatus, DEFAULT_ALGORITHM,
+    QueryService, ServiceConfig, ServiceMetrics, SessionId, SessionState, SessionStatus,
+    DEFAULT_ALGORITHM,
 };
+
+// The failpoint registry lives in anyk-core (the bottom of the crate DAG,
+// so every layer can host hooks); service users reach it as
+// `anyk_server::faults`.
+pub use anyk_core::faults;
 
 // Re-exported so service callers can name the page/cursor/request types
 // without depending on anyk-engine / anyk-query directly.
-pub use anyk_engine::{Answer, AnswerCursor, Page, PreparedQuery};
+pub use anyk_engine::{Answer, AnswerCursor, CancellationToken, Page, PreparedQuery};
 pub use anyk_query::{ParseError, QuerySpec};

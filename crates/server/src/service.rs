@@ -1,6 +1,9 @@
-//! The query service: prepared-plan cache + sharded session registry.
+//! The query service: prepared-plan cache + sharded session registry +
+//! lifecycle governance (admission control, deadlines, panic isolation).
 
+use crate::clock::{Clock, MonotonicClock};
 use crate::error::ServiceError;
+use crate::governor::{Governor, GovernorConfig, SessionOutcome};
 use anyk_core::AnyKAlgorithm;
 use anyk_engine::{Answer, AnswerCursor, AnswerDecoder, Page, PreparedQuery, RankingFunction};
 use anyk_query::{ConjunctiveQuery, QuerySpec};
@@ -8,8 +11,9 @@ use anyk_storage::{Database, IndexCacheStats};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock, TryLockError};
 
 /// Identifies one open enumeration session. Ids are unique over the life of
 /// a service and never reused, so a stale id can only miss (never alias a
@@ -45,6 +49,13 @@ pub struct ServiceConfig {
     /// first. Sessions already opened keep their (Arc'd) plan alive until
     /// they close; eviction only forces a recompile for *future* sessions.
     pub plan_cache_capacity: usize,
+    /// Resource caps and deadlines; the default enforces nothing. See
+    /// [`GovernorConfig`] and the crate-level tuning guide.
+    pub governor: GovernorConfig,
+    /// Time source for TTL/idle deadlines. `None` (the default) uses a
+    /// process-monotonic clock; tests inject a
+    /// [`ManualClock`](crate::ManualClock) to make expiry deterministic.
+    pub clock: Option<Arc<dyn Clock>>,
 }
 
 impl Default for ServiceConfig {
@@ -53,18 +64,36 @@ impl Default for ServiceConfig {
             index_cache_capacity: None,
             session_shards: 8,
             plan_cache_capacity: 32,
+            governor: GovernorConfig::default(),
+            clock: None,
         }
     }
 }
 
-/// A snapshot of the service's counters (all monotonically increasing over
-/// the service's lifetime, except the derived gauges).
+/// A snapshot of the service's counters and gauges, taken **atomically**:
+/// all fields come from one critical section, so derived invariants (e.g.
+/// `sessions_opened == active_sessions + sessions_closed + sessions_expired
+/// plus the cancelled and poisoned counts) hold exactly in every snapshot,
+/// even under concurrent traffic. Counters increase monotonically over the
+/// service's lifetime; gauges move both ways.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServiceMetrics {
-    /// Sessions opened so far.
+    /// Sessions opened so far (admission-accepted; shed requests are not
+    /// opens).
     pub sessions_opened: u64,
-    /// Sessions explicitly closed.
+    /// Sessions explicitly closed while still active.
     pub sessions_closed: u64,
+    /// Requests shed by admission control (session cap, page cap, or
+    /// memory budget).
+    pub sessions_shed: u64,
+    /// Sessions ended by the TTL/idle reaper.
+    pub sessions_expired: u64,
+    /// Sessions ended by [`QueryService::cancel_session`] (or by a close
+    /// racing an in-flight page pull).
+    pub sessions_cancelled: u64,
+    /// Sessions poisoned by a panicking page pull (isolated; see the crate
+    /// docs).
+    pub sessions_poisoned: u64,
     /// Pages served across all sessions.
     pub pages_served: u64,
     /// Answers served across all sessions.
@@ -75,6 +104,33 @@ pub struct ServiceMetrics {
     pub plan_misses: u64,
     /// Prepared plans evicted by the plan-cache LRU bound.
     pub plan_evictions: u64,
+    /// Gauge: sessions currently active (opened, not yet ended).
+    pub active_sessions: u64,
+    /// Gauge: page pulls executing at this instant.
+    pub pages_in_flight: u64,
+    /// Gauge: MEM(k) units currently charged across all live sessions
+    /// (see [`GovernorConfig::memory_budget_units`]).
+    pub mem_resident_units: u64,
+    /// High-water mark of `mem_resident_units` over the service's lifetime.
+    pub peak_mem_resident_units: u64,
+}
+
+/// The lifecycle state of a session; see the state diagram in the
+/// [crate docs](crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Open with answers (potentially) remaining.
+    Active,
+    /// The stream ended normally (exhausted or hit its `limit`); the id
+    /// stays valid for status/close until explicitly closed.
+    Drained,
+    /// Reaped by the TTL/idle deadline; enumeration state is gone.
+    Expired,
+    /// Cancelled; enumeration state is gone.
+    Cancelled,
+    /// A page pull panicked; the session was isolated and its state
+    /// discarded.
+    Poisoned,
 }
 
 /// Progress report for one session; see [`QueryService::session_status`].
@@ -82,10 +138,13 @@ pub struct ServiceMetrics {
 pub struct SessionStatus {
     /// Answers served so far across all of the session's pages.
     pub served: usize,
-    /// True once the session's stream is exhausted.
+    /// True once the session can serve no further answers (for any reason —
+    /// drained, expired, cancelled, or poisoned).
     pub done: bool,
     /// The any-k algorithm driving the session.
     pub algorithm: AnyKAlgorithm,
+    /// Where the session is in its lifecycle.
+    pub state: SessionState,
 }
 
 /// The algorithm driving a session when the request does not pin one (the
@@ -106,11 +165,92 @@ struct PlanEntry {
     last_used: AtomicU64,
 }
 
-struct Session {
+/// A live session: the cursor plus its governance bookkeeping.
+struct ActiveSession {
     cursor: AnswerCursor,
+    /// MEM(k) units currently charged against the governor's budget for
+    /// this session (re-charged to the live footprint after every page).
+    charged_units: u64,
+    opened_nanos: u64,
+    last_used_nanos: u64,
 }
 
-type SessionShard = RwLock<HashMap<u64, Arc<Mutex<Session>>>>;
+/// How a session stopped being active (the tombstone kept in its slot so
+/// later calls get a *typed* error instead of `UnknownSession`).
+#[derive(Debug, Clone, Copy)]
+enum SessionEnd {
+    Expired,
+    Cancelled,
+    Poisoned,
+}
+
+impl SessionEnd {
+    fn error(self, id: SessionId) -> ServiceError {
+        match self {
+            SessionEnd::Expired => ServiceError::SessionExpired(id),
+            SessionEnd::Cancelled => ServiceError::SessionCancelled(id),
+            SessionEnd::Poisoned => ServiceError::SessionPoisoned(id),
+        }
+    }
+
+    fn state(self) -> SessionState {
+        match self {
+            SessionEnd::Expired => SessionState::Expired,
+            SessionEnd::Cancelled => SessionState::Cancelled,
+            SessionEnd::Poisoned => SessionState::Poisoned,
+        }
+    }
+}
+
+enum SlotState {
+    Active(ActiveSession),
+    /// The cursor (and its enumeration memory) is gone; only the facts a
+    /// status call needs survive.
+    Ended {
+        end: SessionEnd,
+        served: usize,
+        algorithm: AnyKAlgorithm,
+    },
+}
+
+struct Slot {
+    state: SlotState,
+}
+
+impl Slot {
+    /// Transition Active → Ended, returning the active half (whose drop —
+    /// in the caller, outside any registry lock — frees the cursor).
+    /// Panics if the slot already ended; callers check first.
+    fn end(&mut self, end: SessionEnd) -> ActiveSession {
+        let (served, algorithm) = match &self.state {
+            SlotState::Active(a) => (a.cursor.served(), a.cursor.algorithm()),
+            SlotState::Ended { .. } => unreachable!("slot ended twice"),
+        };
+        let prev = std::mem::replace(
+            &mut self.state,
+            SlotState::Ended {
+                end,
+                served,
+                algorithm,
+            },
+        );
+        match prev {
+            SlotState::Active(a) => a,
+            SlotState::Ended { .. } => unreachable!(),
+        }
+    }
+}
+
+/// One registry slot. The cancellation token lives *outside* the slot
+/// mutex so a cancel (or close) can trip it while a page pull is in
+/// flight — the pull observes it between answers and stops within one
+/// any-k delay.
+struct SessionSlot {
+    cancel: anyk_engine::CancellationToken,
+    inner: Mutex<Slot>,
+}
+
+type SessionShard = RwLock<HashMap<u64, Arc<SessionSlot>>>;
 
 /// A long-lived query service over one shared, read-mostly [`Database`]
 /// snapshot. See the [crate docs](crate) for the full model and an example.
@@ -124,25 +264,43 @@ type SessionShard = RwLock<HashMap<u64, Arc<Mutex<Session>>>>;
 pub struct QueryService {
     db: Arc<Database>,
     plans: RwLock<HashMap<PlanKey, PlanEntry>>,
+    /// Single-flight guards for plan compilation: one mutex per key being
+    /// compiled right now. A stampede of requests for the same new plan
+    /// elects one compiler; the rest block on its flight mutex and then
+    /// find the plan in the cache — the compile runs once, not N times.
+    plan_flights: Mutex<HashMap<PlanKey, Arc<Mutex<()>>>>,
     plan_cache_capacity: usize,
     plan_clock: AtomicU64,
     session_shards: Vec<SessionShard>,
     next_session: AtomicU64,
-    sessions_opened: AtomicU64,
-    sessions_closed: AtomicU64,
-    pages_served: AtomicU64,
-    answers_served: AtomicU64,
-    plan_hits: AtomicU64,
-    plan_misses: AtomicU64,
-    plan_evictions: AtomicU64,
+    governor: Governor,
+    clock: Arc<dyn Clock>,
 }
 
 /// A poisoned lock only means a panic elsewhere; the maps/sessions are
-/// always structurally consistent.
+/// always structurally consistent. (Page-pull panics are additionally
+/// caught *inside* the slot mutex, so in practice these locks never poison
+/// — this is belt and braces.)
 macro_rules! lock {
     ($e:expr) => {
         $e.unwrap_or_else(|poisoned| poisoned.into_inner())
     };
+}
+
+/// Run `f` with panics converted to [`ServiceError::Panicked`] — the
+/// containment boundary that keeps one request's panic from killing the
+/// process or poisoning shared state.
+fn catch_panic<R>(context: &str, f: impl FnOnce() -> R) -> Result<R, ServiceError> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_owned());
+        ServiceError::Panicked {
+            context: format!("{context}: {msg}"),
+        }
+    })
 }
 
 impl QueryService {
@@ -179,17 +337,15 @@ impl QueryService {
         QueryService {
             db,
             plans: RwLock::new(HashMap::new()),
+            plan_flights: Mutex::new(HashMap::new()),
             plan_cache_capacity: config.plan_cache_capacity.max(1),
             plan_clock: AtomicU64::new(0),
             session_shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
             next_session: AtomicU64::new(0),
-            sessions_opened: AtomicU64::new(0),
-            sessions_closed: AtomicU64::new(0),
-            pages_served: AtomicU64::new(0),
-            answers_served: AtomicU64::new(0),
-            plan_hits: AtomicU64::new(0),
-            plan_misses: AtomicU64::new(0),
-            plan_evictions: AtomicU64::new(0),
+            governor: Governor::new(config.governor),
+            clock: config
+                .clock
+                .unwrap_or_else(|| Arc::new(MonotonicClock::new())),
         }
     }
 
@@ -216,49 +372,88 @@ impl QueryService {
         self.prepare_spec(&QuerySpec::parse(text)?)
     }
 
+    /// Cache lookup half of [`QueryService::prepare_spec`]: bump the LRU
+    /// stamp and the hit counter iff `key` is resident.
+    fn cached_plan(&self, key: &PlanKey) -> Option<Arc<PreparedQuery>> {
+        let plans = lock!(self.plans.read());
+        let entry = plans.get(key)?;
+        entry.last_used.store(
+            self.plan_clock.fetch_add(1, Ordering::Relaxed) + 1,
+            Ordering::Relaxed,
+        );
+        self.governor.with(|s| s.plan_hits += 1);
+        Some(Arc::clone(&entry.plan))
+    }
+
     /// Compile `spec` — selection predicates pushed down to filtered
     /// relation copies — or return the memoised plan if a request with the
     /// same [`QuerySpec::plan_key`] was prepared before (the spec's
     /// `algorithm` and `limit` are per-session attributes and do not
     /// fragment the cache). Compilation runs *outside* the plan-cache lock,
-    /// so preparing distinct queries proceeds in parallel; if two threads
-    /// race on the same key, the first insert wins and both get the same
-    /// plan. The cache is LRU-bounded
+    /// so preparing distinct queries proceeds in parallel; a stampede on
+    /// the *same* key is single-flighted — one thread compiles (one cache
+    /// miss), the rest wait on its flight lock and take the cached plan (a
+    /// hit each). The cache is LRU-bounded
     /// ([`ServiceConfig::plan_cache_capacity`]); an evicted plan stays alive
     /// for the sessions already holding it and is simply recompiled if the
-    /// query comes back.
+    /// query comes back. A panic during compilation (e.g. an injected
+    /// fault) is contained: it surfaces as [`ServiceError::Panicked`],
+    /// nothing is cached, and waiting threads retry the compile themselves.
     pub fn prepare_spec(&self, spec: &QuerySpec) -> Result<Arc<PreparedQuery>, ServiceError> {
         let key: PlanKey = spec.plan_key();
-        if let Some(entry) = lock!(self.plans.read()).get(&key) {
-            entry.last_used.store(
-                self.plan_clock.fetch_add(1, Ordering::Relaxed) + 1,
-                Ordering::Relaxed,
-            );
-            self.plan_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(&entry.plan));
+        if let Some(plan) = self.cached_plan(&key) {
+            return Ok(plan);
         }
-        self.plan_misses.fetch_add(1, Ordering::Relaxed);
-        let prepared = Arc::new(PreparedQuery::from_spec(
-            Arc::clone(&self.db),
-            &spec.without_execution_attrs(),
-        )?);
-        let mut plans = lock!(self.plans.write());
-        let tick = self.plan_clock.fetch_add(1, Ordering::Relaxed) + 1;
-        let entry = plans.entry(key).or_insert_with(|| PlanEntry {
-            plan: prepared,
-            last_used: AtomicU64::new(0),
-        });
-        *entry.last_used.get_mut() = tick;
-        let out = Arc::clone(&entry.plan);
-        while plans.len() > self.plan_cache_capacity {
-            let victim = plans
-                .iter()
-                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
-                .map(|(k, _)| k.clone())
-                .expect("non-empty plan cache");
-            plans.remove(&victim);
-            self.plan_evictions.fetch_add(1, Ordering::Relaxed);
+        let flight = Arc::clone(
+            lock!(self.plan_flights.lock())
+                .entry(key.clone())
+                .or_default(),
+        );
+        let _compiling = lock!(flight.lock());
+        // Re-check under the flight lock: if another thread won the race,
+        // its plan is in the cache by the time its flight lock releases.
+        if let Some(plan) = self.cached_plan(&key) {
+            return Ok(plan);
         }
+        self.governor.with(|s| s.plan_misses += 1);
+        let compiled = catch_panic("plan preparation", || {
+            PreparedQuery::from_spec(Arc::clone(&self.db), &spec.without_execution_attrs())
+        })
+        .and_then(|r| r.map_err(ServiceError::from));
+        let prepared = match compiled {
+            Ok(p) => Arc::new(p),
+            Err(e) => {
+                // Failed flight: retire it so late arrivals retry the
+                // compile themselves instead of waiting on a dead lock.
+                lock!(self.plan_flights.lock()).remove(&key);
+                return Err(e);
+            }
+        };
+        let out;
+        {
+            let mut plans = lock!(self.plans.write());
+            let tick = self.plan_clock.fetch_add(1, Ordering::Relaxed) + 1;
+            let entry = plans.entry(key.clone()).or_insert_with(|| PlanEntry {
+                plan: prepared,
+                last_used: AtomicU64::new(0),
+            });
+            *entry.last_used.get_mut() = tick;
+            out = Arc::clone(&entry.plan);
+            while plans.len() > self.plan_cache_capacity {
+                let victim = plans
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                    .map(|(k, _)| k.clone())
+                    .expect("non-empty plan cache");
+                plans.remove(&victim);
+                self.governor.with(|s| s.plan_evictions += 1);
+            }
+        }
+        // Retire the flight only now that the plan is visible in the cache:
+        // a late arrival either joins this flight (and re-checks the cache
+        // once the lock releases) or misses the flight map entirely and
+        // finds the cached plan directly.
+        lock!(self.plan_flights.lock()).remove(&key);
         Ok(out)
     }
 
@@ -279,8 +474,11 @@ impl QueryService {
         ranking: RankingFunction,
         algorithm: AnyKAlgorithm,
     ) -> Result<SessionId, ServiceError> {
-        let prepared = self.prepare(query, ranking)?;
-        Ok(self.open_prepared(&prepared, algorithm))
+        catch_panic("session open", || {
+            self.admit_open()?;
+            let prepared = self.prepare(query, ranking)?;
+            self.install_session(&prepared, algorithm, None)
+        })?
     }
 
     /// Open a session straight from query-language text — the one entry
@@ -301,27 +499,75 @@ impl QueryService {
     /// Open a session over an already-parsed [`QuerySpec`]; see
     /// [`QueryService::open_session_text`].
     pub fn open_session_spec(&self, spec: &QuerySpec) -> Result<SessionId, ServiceError> {
-        let prepared = self.prepare_spec(spec)?;
-        let algorithm = spec.algorithm.unwrap_or(DEFAULT_ALGORITHM);
-        Ok(self.install_session(prepared.cursor_with_limit(algorithm, spec.limit)))
+        catch_panic("session open", || {
+            self.admit_open()?;
+            let prepared = self.prepare_spec(spec)?;
+            let algorithm = spec.algorithm.unwrap_or(DEFAULT_ALGORITHM);
+            self.install_session(&prepared, algorithm, spec.limit)
+        })?
     }
 
     /// Open a session over an explicitly prepared plan (e.g. one prepared
     /// ahead of a traffic spike, or obtained from [`QueryService::prepare`]).
+    /// Subject to admission control like every other open.
     pub fn open_prepared(
         &self,
         prepared: &Arc<PreparedQuery>,
         algorithm: AnyKAlgorithm,
-    ) -> SessionId {
-        self.install_session(prepared.cursor(algorithm))
+    ) -> Result<SessionId, ServiceError> {
+        catch_panic("session open", || {
+            self.admit_open()?;
+            self.install_session(prepared, algorithm, None)
+        })?
     }
 
-    fn install_session(&self, cursor: AnswerCursor) -> SessionId {
+    /// The cheap front half of every open: failpoint, opportunistic reap of
+    /// expired sessions (so their slots free up *before* the cap check),
+    /// then the session-count cap — all before any compilation work.
+    fn admit_open(&self) -> Result<(), ServiceError> {
+        anyk_core::faults::check("server.open")?;
+        self.sweep_expired();
+        self.governor.admit_session_slot()
+    }
+
+    fn install_session(
+        &self,
+        prepared: &Arc<PreparedQuery>,
+        algorithm: AnyKAlgorithm,
+        limit: Option<usize>,
+    ) -> Result<SessionId, ServiceError> {
+        let cursor = catch_panic("cursor construction", || {
+            prepared.cursor_with_limit(algorithm, limit)
+        })?;
+        let units = self.charge_for(&cursor);
+        // Cap + budget re-checked and gauges bumped in one critical
+        // section; a shed here drops the cursor before it served anything.
+        self.governor.commit_session(units)?;
+        let now = self.clock.now_nanos();
         let id = SessionId(self.next_session.fetch_add(1, Ordering::Relaxed) + 1);
-        let session = Arc::new(Mutex::new(Session { cursor }));
-        lock!(self.shard_of(id).write()).insert(id.0, session);
-        self.sessions_opened.fetch_add(1, Ordering::Relaxed);
-        id
+        let slot = Arc::new(SessionSlot {
+            cancel: cursor.cancel_token().clone(),
+            inner: Mutex::new(Slot {
+                state: SlotState::Active(ActiveSession {
+                    cursor,
+                    charged_units: units,
+                    opened_nanos: now,
+                    last_used_nanos: now,
+                }),
+            }),
+        });
+        lock!(self.shard_of(id).write()).insert(id.0, slot);
+        Ok(id)
+    }
+
+    /// MEM(k) units to charge for `cursor`'s current footprint: the live
+    /// count of entries in its enumeration structures, or the configured
+    /// flat rate for algorithms that cannot report one (Recursive, Batch).
+    fn charge_for(&self, cursor: &AnswerCursor) -> u64 {
+        cursor
+            .memory_stats()
+            .map(|m| m.resident_units())
+            .unwrap_or(self.governor.config.untracked_session_units)
     }
 
     fn shard_of(&self, id: SessionId) -> &SessionShard {
@@ -330,77 +576,261 @@ impl QueryService {
         &self.session_shards[(h.finish() as usize) % self.session_shards.len()]
     }
 
-    fn session(&self, id: SessionId) -> Result<Arc<Mutex<Session>>, ServiceError> {
+    fn session(&self, id: SessionId) -> Result<Arc<SessionSlot>, ServiceError> {
         lock!(self.shard_of(id).read())
             .get(&id.0)
             .cloned()
             .ok_or(ServiceError::UnknownSession(id))
     }
 
+    fn past_deadline(&self, session: &ActiveSession, now: u64) -> bool {
+        let cfg = &self.governor.config;
+        let over = |since: u64, dl: std::time::Duration| {
+            now.saturating_sub(since) >= u64::try_from(dl.as_nanos()).unwrap_or(u64::MAX)
+        };
+        cfg.session_ttl
+            .is_some_and(|ttl| over(session.opened_nanos, ttl))
+            || cfg
+                .idle_timeout
+                .is_some_and(|idle| over(session.last_used_nanos, idle))
+    }
+
     /// Pull the next page of up to `page_size` ranked answers from session
     /// `id`, resuming exactly where the previous page stopped.
     pub fn next_page(&self, id: SessionId, page_size: usize) -> Result<Page, ServiceError> {
-        let session = self.session(id)?;
-        let mut session = lock!(session.lock());
-        let page = session.cursor.next_page(page_size);
-        self.pages_served.fetch_add(1, Ordering::Relaxed);
-        self.answers_served
-            .fetch_add(page.answers.len() as u64, Ordering::Relaxed);
-        Ok(page)
+        let mut answers = Vec::new();
+        let done = self.next_page_into(id, page_size, &mut answers)?;
+        Ok(Page { answers, done })
     }
 
     /// Like [`QueryService::next_page`], but fills a caller-provided buffer
     /// (cleared first) so steady-state clients pay no per-page allocation.
     /// Returns `true` when the session's stream is exhausted.
+    ///
+    /// This is the governed hot path:
+    /// * sheds with [`ServiceError::Overloaded`] when the in-flight page
+    ///   cap is reached (the permit is RAII, so it cannot leak);
+    /// * enforces the session's TTL/idle deadline before doing work;
+    /// * observes cooperative cancellation between answers — a cancelled
+    ///   pull returns its partial page with `done = true`, and later calls
+    ///   get [`ServiceError::SessionCancelled`];
+    /// * catches panics from the cursor: the session is poisoned (state
+    ///   dropped, memory released, later calls get
+    ///   [`ServiceError::SessionPoisoned`]) while every other session — and
+    ///   the registry locks — stay healthy.
     pub fn next_page_into(
         &self,
         id: SessionId,
         page_size: usize,
         out: &mut Vec<Answer>,
     ) -> Result<bool, ServiceError> {
-        let session = self.session(id)?;
-        let mut session = lock!(session.lock());
-        let done = session.cursor.next_page_into(page_size, out);
-        self.pages_served.fetch_add(1, Ordering::Relaxed);
-        self.answers_served
-            .fetch_add(out.len() as u64, Ordering::Relaxed);
-        Ok(done)
+        // The outer catch contains panics raised *outside* the cursor (e.g.
+        // a panic-action fault at `server.page`, which fires before any
+        // session state is touched); cursor panics are caught further in,
+        // where the session can still be poisoned.
+        catch_panic("page request", || {
+            self.governed_page_into(id, page_size, out)
+        })?
     }
 
-    /// Progress of session `id` (answers served, exhaustion, algorithm).
+    fn governed_page_into(
+        &self,
+        id: SessionId,
+        page_size: usize,
+        out: &mut Vec<Answer>,
+    ) -> Result<bool, ServiceError> {
+        anyk_core::faults::check("server.page")?;
+        let _permit = self.governor.acquire_page()?;
+        let slot = self.session(id)?;
+        let mut guard = lock!(slot.inner.lock());
+        if let SlotState::Ended { end, .. } = &guard.state {
+            return Err(end.error(id));
+        }
+        let now = self.clock.now_nanos();
+        let expired = matches!(&guard.state, SlotState::Active(a) if self.past_deadline(a, now));
+        if expired {
+            let active = guard.end(SessionEnd::Expired);
+            self.governor
+                .release_session(active.charged_units, SessionOutcome::Expired);
+            return Err(ServiceError::SessionExpired(id));
+        }
+        let SlotState::Active(active) = &mut guard.state else {
+            unreachable!("ended slots returned above")
+        };
+        let old_units = active.charged_units;
+        let pull = catch_panic("page pull", || active.cursor.next_page_into(page_size, out));
+        match pull {
+            Err(err) => {
+                // The cursor may have been left mid-panic in an arbitrary
+                // state; poison the session and drop it. The catch happened
+                // *inside* the slot mutex, so no lock is poisoned and no
+                // other session noticed.
+                out.clear();
+                let active = guard.end(SessionEnd::Poisoned);
+                self.governor
+                    .release_session(old_units, SessionOutcome::Poisoned);
+                drop(active);
+                Err(err)
+            }
+            Ok(done) => {
+                if active.cursor.is_cancelled() {
+                    // The token tripped mid-pull: serve the partial page
+                    // (its answers are valid and in order), then retire the
+                    // session.
+                    self.governor.record_page(out.len());
+                    let active = guard.end(SessionEnd::Cancelled);
+                    self.governor
+                        .release_session(old_units, SessionOutcome::Cancelled);
+                    drop(active);
+                    return Ok(true);
+                }
+                let new_units = self.charge_for(&active.cursor);
+                active.charged_units = new_units;
+                active.last_used_nanos = now;
+                self.governor.recharge(old_units, new_units);
+                self.governor.record_page(out.len());
+                Ok(done)
+            }
+        }
+    }
+
+    /// Cancel session `id`: trip its cancellation token (an in-flight page
+    /// pull stops within one answer's delay), drop its enumeration state,
+    /// and release its memory charge. Idempotent; later pulls return
+    /// [`ServiceError::SessionCancelled`]. Returns an error only for
+    /// unknown ids or sessions that already ended another way.
+    pub fn cancel_session(&self, id: SessionId) -> Result<(), ServiceError> {
+        let slot = self.session(id)?;
+        // Trip the token *before* taking the slot lock: an in-flight pull
+        // holds the lock, observes the flag between answers, and retires
+        // the session itself — at which point our lock acquisition below
+        // succeeds and sees the tombstone.
+        slot.cancel.cancel();
+        let mut guard = lock!(slot.inner.lock());
+        match &guard.state {
+            SlotState::Active(_) => {
+                let active = guard.end(SessionEnd::Cancelled);
+                self.governor
+                    .release_session(active.charged_units, SessionOutcome::Cancelled);
+                Ok(())
+            }
+            SlotState::Ended {
+                end: SessionEnd::Cancelled,
+                ..
+            } => Ok(()),
+            SlotState::Ended { end, .. } => Err(end.error(id)),
+        }
+    }
+
+    /// End every active session whose TTL or idle deadline has passed
+    /// (per [`GovernorConfig`]); returns how many were reaped. Runs
+    /// opportunistically on every open, so an explicit call is only needed
+    /// on an otherwise-quiet service. Sessions with a page pull in flight
+    /// are skipped (`try_lock`) — they re-check their own deadline on the
+    /// next pull anyway.
+    pub fn sweep_expired(&self) -> usize {
+        let cfg = &self.governor.config;
+        if cfg.session_ttl.is_none() && cfg.idle_timeout.is_none() {
+            return 0;
+        }
+        let now = self.clock.now_nanos();
+        let mut reaped = 0;
+        for shard in &self.session_shards {
+            let slots: Vec<Arc<SessionSlot>> = lock!(shard.read()).values().cloned().collect();
+            for slot in slots {
+                let mut guard = match slot.inner.try_lock() {
+                    Ok(g) => g,
+                    Err(TryLockError::Poisoned(p)) => p.into_inner(),
+                    Err(TryLockError::WouldBlock) => continue,
+                };
+                if matches!(&guard.state, SlotState::Active(a) if self.past_deadline(a, now)) {
+                    slot.cancel.cancel();
+                    let active = guard.end(SessionEnd::Expired);
+                    self.governor
+                        .release_session(active.charged_units, SessionOutcome::Expired);
+                    reaped += 1;
+                }
+            }
+        }
+        reaped
+    }
+
+    /// Progress of session `id` (answers served, exhaustion, algorithm,
+    /// lifecycle state). Works on ended sessions too — their tombstone
+    /// remembers what a status call needs.
     pub fn session_status(&self, id: SessionId) -> Result<SessionStatus, ServiceError> {
-        let session = self.session(id)?;
-        let session = lock!(session.lock());
-        Ok(SessionStatus {
-            served: session.cursor.served(),
-            done: session.cursor.is_done(),
-            algorithm: session.cursor.algorithm(),
+        let slot = self.session(id)?;
+        let guard = lock!(slot.inner.lock());
+        Ok(match &guard.state {
+            SlotState::Active(a) => SessionStatus {
+                served: a.cursor.served(),
+                done: a.cursor.is_done(),
+                algorithm: a.cursor.algorithm(),
+                state: if a.cursor.is_done() {
+                    SessionState::Drained
+                } else {
+                    SessionState::Active
+                },
+            },
+            SlotState::Ended {
+                end,
+                served,
+                algorithm,
+            } => SessionStatus {
+                served: *served,
+                done: true,
+                algorithm: *algorithm,
+                state: end.state(),
+            },
         })
     }
 
     /// The decoder for session `id`'s answers (original strings for
     /// dictionary-encoded columns); see
-    /// [`AnswerDecoder`](anyk_engine::AnswerDecoder).
+    /// [`AnswerDecoder`](anyk_engine::AnswerDecoder). Ended sessions have
+    /// dropped their plan handle, so this returns their typed end error.
     pub fn decoder(&self, id: SessionId) -> Result<AnswerDecoder, ServiceError> {
-        let session = self.session(id)?;
-        let session = lock!(session.lock());
-        Ok(session.cursor.prepared().decoder())
-    }
-
-    /// Close session `id`, dropping its enumeration state. Returns `false`
-    /// if the session was unknown (or already closed). A session that is
-    /// never closed simply keeps its suspended state alive — there is no
-    /// timeout; eviction policy is a follow-on (see ROADMAP).
-    pub fn close_session(&self, id: SessionId) -> bool {
-        let removed = lock!(self.shard_of(id).write()).remove(&id.0).is_some();
-        if removed {
-            self.sessions_closed.fetch_add(1, Ordering::Relaxed);
+        let slot = self.session(id)?;
+        let guard = lock!(slot.inner.lock());
+        match &guard.state {
+            SlotState::Active(a) => Ok(a.cursor.prepared().decoder()),
+            SlotState::Ended { end, .. } => Err(end.error(id)),
         }
-        removed
     }
 
-    /// Number of currently open sessions.
+    /// Close session `id`, dropping its enumeration state (if any remains)
+    /// and its registry slot. Returns `false` if the session was unknown
+    /// (or already closed). Closing is the only way a slot leaves the
+    /// registry: expired/cancelled/poisoned sessions keep a tiny tombstone
+    /// so clients get a typed error instead of `UnknownSession`, and the
+    /// tombstone is reclaimed here.
+    pub fn close_session(&self, id: SessionId) -> bool {
+        let removed = lock!(self.shard_of(id).write()).remove(&id.0);
+        let Some(slot) = removed else {
+            return false;
+        };
+        // Stop any in-flight pull promptly, then wait for it to release
+        // the slot (cooperative cancellation bounds the wait to one
+        // answer's delay).
+        slot.cancel.cancel();
+        let mut guard = lock!(slot.inner.lock());
+        if matches!(guard.state, SlotState::Active(_)) {
+            let active = guard.end(SessionEnd::Cancelled);
+            self.governor
+                .release_session(active.charged_units, SessionOutcome::Closed);
+        }
+        true
+    }
+
+    /// Number of currently active sessions (a gauge; tombstones of ended
+    /// but not yet closed sessions are not counted).
     pub fn session_count(&self) -> usize {
+        self.governor.with(|s| s.active_sessions)
+    }
+
+    /// Number of registry slots, active **and** tombstoned — what a leak
+    /// check should assert drains to zero after closing every id.
+    pub fn tracked_sessions(&self) -> usize {
         self.session_shards
             .iter()
             .map(|s| lock!(s.read()).len())
@@ -412,16 +842,26 @@ impl QueryService {
         lock!(self.plans.read()).len()
     }
 
-    /// Counter snapshot.
+    /// Atomic snapshot of every counter and gauge (one critical section;
+    /// see [`ServiceMetrics`]).
     pub fn metrics(&self) -> ServiceMetrics {
+        let s = self.governor.snapshot();
         ServiceMetrics {
-            sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
-            sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
-            pages_served: self.pages_served.load(Ordering::Relaxed),
-            answers_served: self.answers_served.load(Ordering::Relaxed),
-            plan_hits: self.plan_hits.load(Ordering::Relaxed),
-            plan_misses: self.plan_misses.load(Ordering::Relaxed),
-            plan_evictions: self.plan_evictions.load(Ordering::Relaxed),
+            sessions_opened: s.sessions_opened,
+            sessions_closed: s.sessions_closed,
+            sessions_shed: s.sessions_shed,
+            sessions_expired: s.sessions_expired,
+            sessions_cancelled: s.sessions_cancelled,
+            sessions_poisoned: s.sessions_poisoned,
+            pages_served: s.pages_served,
+            answers_served: s.answers_served,
+            plan_hits: s.plan_hits,
+            plan_misses: s.plan_misses,
+            plan_evictions: s.plan_evictions,
+            active_sessions: s.active_sessions as u64,
+            pages_in_flight: s.pages_in_flight as u64,
+            mem_resident_units: s.mem_resident_units,
+            peak_mem_resident_units: s.peak_mem_resident_units,
         }
     }
 
@@ -451,8 +891,11 @@ const _: () = {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::ManualClock;
+    use crate::error::OverloadReason;
     use anyk_query::QueryBuilder;
     use anyk_storage::Relation;
+    use std::time::Duration;
 
     fn path_db() -> Database {
         let mut db = Database::new();
@@ -466,6 +909,17 @@ mod tests {
         db.add(r1);
         db.add(r2);
         db
+    }
+
+    fn service_with(governor: GovernorConfig, clock: Arc<dyn Clock>) -> QueryService {
+        QueryService::with_config(
+            path_db(),
+            ServiceConfig {
+                governor,
+                clock: Some(clock),
+                ..ServiceConfig::default()
+            },
+        )
     }
 
     #[test]
@@ -492,6 +946,38 @@ mod tests {
     }
 
     #[test]
+    fn a_plan_stampede_compiles_exactly_once() {
+        let service = QueryService::new(path_db());
+        let spec = QuerySpec::from_query(
+            &QueryBuilder::path(2).build(),
+            RankingFunction::SumAscending,
+        );
+        const RACERS: usize = 8;
+        let start_line = std::sync::Barrier::new(RACERS);
+        let plans: Vec<Arc<PreparedQuery>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..RACERS)
+                .map(|_| {
+                    let service = &service;
+                    let spec = &spec;
+                    let start_line = &start_line;
+                    scope.spawn(move || {
+                        start_line.wait();
+                        service.prepare_spec(spec).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Single-flight: one racer compiled, the rest waited and share the
+        // winner's plan.
+        assert_eq!(service.metrics().plan_misses, 1);
+        assert_eq!(service.metrics().plan_hits, RACERS as u64 - 1);
+        assert!(plans.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])));
+        // The flight registry drains: nothing left once compiles settle.
+        assert!(lock!(service.plan_flights.lock()).is_empty());
+    }
+
+    #[test]
     fn unknown_and_closed_sessions_are_rejected() {
         let service = QueryService::new(path_db());
         let query = QueryBuilder::path(2).build();
@@ -504,6 +990,7 @@ mod tests {
             Err(ServiceError::UnknownSession(_))
         ));
         assert_eq!(service.session_count(), 0);
+        assert_eq!(service.tracked_sessions(), 0);
     }
 
     #[test]
@@ -529,15 +1016,19 @@ mod tests {
             SessionStatus {
                 served: 0,
                 done: false,
-                algorithm: AnyKAlgorithm::Recursive
+                algorithm: AnyKAlgorithm::Recursive,
+                state: SessionState::Active,
             }
         );
         service.next_page(id, 2).unwrap();
         let status = service.session_status(id).unwrap();
         assert_eq!(status.served, 2);
         assert!(!status.done);
+        assert_eq!(status.state, SessionState::Active);
         service.next_page(id, 2).unwrap();
-        assert!(service.session_status(id).unwrap().done);
+        let status = service.session_status(id).unwrap();
+        assert!(status.done);
+        assert_eq!(status.state, SessionState::Drained);
     }
 
     #[test]
@@ -617,6 +1108,8 @@ mod tests {
         assert_eq!(m.answers_served, 3);
         assert_eq!(m.pages_served, 4, "3 full pages + 1 short (empty) page");
         assert_eq!(m.sessions_opened, 1);
+        assert_eq!(m.active_sessions, 1);
+        assert_eq!(m.pages_in_flight, 0, "permits all returned");
     }
 
     #[test]
@@ -681,5 +1174,159 @@ mod tests {
             .open_session_text("Q(x, y) :- Nope(x, y)")
             .unwrap_err();
         assert!(matches!(err, ServiceError::Engine(_)));
+    }
+
+    #[test]
+    fn session_cap_sheds_opens_until_a_close_frees_a_slot() {
+        let service = service_with(
+            GovernorConfig {
+                max_sessions: Some(2),
+                ..GovernorConfig::default()
+            },
+            Arc::new(ManualClock::new()),
+        );
+        let query = QueryBuilder::path(2).build();
+        let a = service.open_session(&query, AnyKAlgorithm::Take2).unwrap();
+        let _b = service.open_session(&query, AnyKAlgorithm::Take2).unwrap();
+        let err = service
+            .open_session(&query, AnyKAlgorithm::Take2)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::Overloaded {
+                reason: OverloadReason::Sessions,
+                ..
+            }
+        ));
+        assert_eq!(service.metrics().sessions_shed, 1);
+        service.close_session(a);
+        assert!(service.open_session(&query, AnyKAlgorithm::Take2).is_ok());
+    }
+
+    #[test]
+    fn ttl_expires_sessions_deterministically() {
+        let clock = Arc::new(ManualClock::new());
+        let service = service_with(
+            GovernorConfig {
+                session_ttl: Some(Duration::from_secs(10)),
+                ..GovernorConfig::default()
+            },
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        let query = QueryBuilder::path(2).build();
+        let id = service.open_session(&query, AnyKAlgorithm::Take2).unwrap();
+        assert!(service.next_page(id, 1).is_ok(), "within TTL");
+        clock.advance(Duration::from_secs(10));
+        assert!(matches!(
+            service.next_page(id, 1),
+            Err(ServiceError::SessionExpired(_))
+        ));
+        // The tombstone keeps the id typed; memory is back to zero.
+        assert_eq!(
+            service.session_status(id).unwrap().state,
+            SessionState::Expired
+        );
+        let m = service.metrics();
+        assert_eq!(m.sessions_expired, 1);
+        assert_eq!(m.active_sessions, 0);
+        assert_eq!(m.mem_resident_units, 0);
+        assert!(service.close_session(id), "tombstone reclaimed by close");
+        assert_eq!(service.tracked_sessions(), 0);
+    }
+
+    #[test]
+    fn idle_sessions_are_reaped_by_the_sweep() {
+        let clock = Arc::new(ManualClock::new());
+        let service = service_with(
+            GovernorConfig {
+                idle_timeout: Some(Duration::from_secs(5)),
+                ..GovernorConfig::default()
+            },
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        let query = QueryBuilder::path(2).build();
+        let idle = service.open_session(&query, AnyKAlgorithm::Take2).unwrap();
+        clock.advance(Duration::from_secs(3));
+        let busy = service.open_session(&query, AnyKAlgorithm::Take2).unwrap();
+        service.next_page(busy, 1).unwrap(); // refreshes busy's idle clock
+        clock.advance(Duration::from_secs(3));
+        assert_eq!(service.sweep_expired(), 1, "only the idle session");
+        assert_eq!(
+            service.session_status(idle).unwrap().state,
+            SessionState::Expired
+        );
+        assert!(service.next_page(busy, 1).is_ok(), "busy session survives");
+    }
+
+    #[test]
+    fn cancel_session_stops_the_stream_and_is_idempotent() {
+        let service = QueryService::new(path_db());
+        let query = QueryBuilder::path(2).build();
+        let id = service.open_session(&query, AnyKAlgorithm::Lazy).unwrap();
+        service.next_page(id, 1).unwrap();
+        service.cancel_session(id).unwrap();
+        service.cancel_session(id).unwrap(); // idempotent
+        assert!(matches!(
+            service.next_page(id, 1),
+            Err(ServiceError::SessionCancelled(_))
+        ));
+        assert_eq!(
+            service.session_status(id).unwrap().state,
+            SessionState::Cancelled
+        );
+        let m = service.metrics();
+        assert_eq!(m.sessions_cancelled, 1);
+        assert_eq!(m.active_sessions, 0);
+        assert_eq!(m.mem_resident_units, 0);
+    }
+
+    #[test]
+    fn memory_budget_sheds_new_sessions() {
+        // The flat untracked charge makes the arithmetic exact: budget for
+        // one Recursive session, not two.
+        let service = service_with(
+            GovernorConfig {
+                memory_budget_units: Some(1500),
+                untracked_session_units: 1024,
+                ..GovernorConfig::default()
+            },
+            Arc::new(ManualClock::new()),
+        );
+        let query = QueryBuilder::path(2).build();
+        let a = service
+            .open_session(&query, AnyKAlgorithm::Recursive)
+            .unwrap();
+        let err = service
+            .open_session(&query, AnyKAlgorithm::Recursive)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::Overloaded {
+                reason: OverloadReason::Memory,
+                ..
+            }
+        ));
+        service.close_session(a);
+        assert_eq!(service.metrics().mem_resident_units, 0);
+        assert!(service
+            .open_session(&query, AnyKAlgorithm::Recursive)
+            .is_ok());
+        assert_eq!(service.metrics().peak_mem_resident_units, 1024);
+    }
+
+    #[test]
+    fn tracked_algorithms_charge_their_live_mem_and_release_it() {
+        let service = service_with(GovernorConfig::default(), Arc::new(ManualClock::new()));
+        let query = QueryBuilder::path(2).build();
+        let id = service.open_session(&query, AnyKAlgorithm::Take2).unwrap();
+        service.next_page(id, 2).unwrap();
+        let m = service.metrics();
+        assert!(
+            m.mem_resident_units > 0,
+            "paging populated the enumeration structures"
+        );
+        assert!(m.peak_mem_resident_units >= m.mem_resident_units);
+        service.close_session(id);
+        assert_eq!(service.metrics().mem_resident_units, 0);
     }
 }

@@ -1,0 +1,157 @@
+//! Randomized registry churn: many threads open/page/cancel/close sessions
+//! in seeded-random interleavings while the main thread samples metrics.
+//! Invariants under all interleavings: no leaked registry slots, every
+//! counter monotone across snapshots, every opened session in exactly one
+//! terminal bucket, and the MEM(k) gauge back to zero at the end.
+
+use anyk_server::{QueryService, ServiceMetrics, SessionId};
+use anyk_storage::{Database, Relation};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn churn_db() -> Database {
+    let mut db = Database::new();
+    let mut r1 = Relation::new("R1", 2);
+    let mut r2 = Relation::new("R2", 2);
+    // A modest join fan-out so streams have a few dozen answers.
+    for i in 0..30u64 {
+        r1.push_edge(i, i % 5, (i % 7) as f64);
+        r2.push_edge(i % 5, i, (i % 11) as f64);
+    }
+    db.add(r1);
+    db.add(r2);
+    db
+}
+
+const QUERIES: [&str; 3] = [
+    "Q(x, y, z) :- R1(x, y), R2(y, z)",
+    "Q(x, y, z) :- R1(x, y), R2(y, z) via lazy limit 40",
+    "Q(x, y, z) :- R1(x, y), R2(y, z), y = 2 via recursive",
+];
+
+fn assert_monotone(prev: &ServiceMetrics, next: &ServiceMetrics) {
+    let pairs = [
+        (prev.sessions_opened, next.sessions_opened, "opened"),
+        (prev.sessions_closed, next.sessions_closed, "closed"),
+        (prev.sessions_shed, next.sessions_shed, "shed"),
+        (prev.sessions_expired, next.sessions_expired, "expired"),
+        (
+            prev.sessions_cancelled,
+            next.sessions_cancelled,
+            "cancelled",
+        ),
+        (prev.sessions_poisoned, next.sessions_poisoned, "poisoned"),
+        (prev.pages_served, next.pages_served, "pages"),
+        (prev.answers_served, next.answers_served, "answers"),
+        (prev.plan_hits, next.plan_hits, "plan_hits"),
+        (prev.plan_misses, next.plan_misses, "plan_misses"),
+        (prev.plan_evictions, next.plan_evictions, "plan_evictions"),
+        (
+            prev.peak_mem_resident_units,
+            next.peak_mem_resident_units,
+            "peak_mem",
+        ),
+    ];
+    for (a, b, name) in pairs {
+        assert!(b >= a, "counter {name} went backwards: {a} -> {b}");
+    }
+}
+
+#[test]
+fn randomized_churn_leaks_no_sessions_and_keeps_metrics_monotone() {
+    let service = Arc::new(QueryService::new(churn_db()));
+    let running = Arc::new(AtomicBool::new(true));
+    const THREADS: u64 = 4;
+    const OPS: usize = 400;
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let svc = Arc::clone(&service);
+            std::thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0xCAFE + t);
+                let mut mine: Vec<SessionId> = Vec::new();
+                let mut buf = Vec::new();
+                for _ in 0..OPS {
+                    match rng.gen_range(0..100u32) {
+                        // Open (sessions are never shed here: no caps set).
+                        0..=24 => {
+                            let q = QUERIES[rng.gen_range(0..QUERIES.len())];
+                            mine.push(svc.open_session_text(q).expect("uncapped open"));
+                        }
+                        // Page a random one of ours (possibly ended).
+                        25..=69 => {
+                            if let Some(&id) = mine.get(rng.gen_range(0..mine.len().max(1))) {
+                                let _ = svc.next_page_into(id, rng.gen_range(1usize..8), &mut buf);
+                            }
+                        }
+                        // Cancel without closing (tombstone stays).
+                        70..=79 => {
+                            if let Some(&id) = mine.get(rng.gen_range(0..mine.len().max(1))) {
+                                let _ = svc.cancel_session(id);
+                            }
+                        }
+                        // Close (active or tombstoned — slot must go).
+                        80..=94 => {
+                            if !mine.is_empty() {
+                                let id = mine.swap_remove(rng.gen_range(0..mine.len()));
+                                assert!(svc.close_session(id), "ids are never stale here");
+                            }
+                        }
+                        // Status probe.
+                        _ => {
+                            if let Some(&id) = mine.get(rng.gen_range(0..mine.len().max(1))) {
+                                let _ = svc.session_status(id);
+                            }
+                        }
+                    }
+                }
+                // Every thread cleans up everything it opened.
+                for id in mine {
+                    assert!(svc.close_session(id));
+                }
+            })
+        })
+        .collect();
+
+    // Sample metrics concurrently: every snapshot must be internally
+    // consistent and counter-monotone relative to the previous one.
+    let mut prev = service.metrics();
+    let mut samples = 0u32;
+    while running.load(Ordering::Relaxed) && workers.iter().any(|w| !w.is_finished()) {
+        let next = service.metrics();
+        assert_monotone(&prev, &next);
+        assert!(
+            next.sessions_opened
+                >= next.sessions_closed
+                    + next.sessions_expired
+                    + next.sessions_cancelled
+                    + next.sessions_poisoned,
+            "terminal buckets can never exceed opens: {next:?}"
+        );
+        prev = next;
+        samples += 1;
+        std::thread::yield_now();
+    }
+    for w in workers {
+        w.join().expect("worker panicked");
+    }
+    assert!(samples > 0);
+
+    let m = service.metrics();
+    assert_eq!(service.tracked_sessions(), 0, "no leaked registry slots");
+    assert_eq!(m.active_sessions, 0);
+    assert_eq!(m.pages_in_flight, 0);
+    assert_eq!(m.mem_resident_units, 0, "all MEM(k) charges returned");
+    assert_eq!(
+        m.sessions_opened,
+        m.sessions_closed + m.sessions_cancelled + m.sessions_expired + m.sessions_poisoned,
+        "every opened session landed in exactly one terminal bucket: {m:?}"
+    );
+    assert_eq!(m.sessions_poisoned, 0, "no faults armed, no panics");
+    assert_eq!(m.sessions_expired, 0, "no deadlines configured");
+    // The service still works after the storm.
+    let id = service.open_session_text(QUERIES[0]).unwrap();
+    assert!(!service.next_page(id, 5).unwrap().answers.is_empty());
+    service.close_session(id);
+}

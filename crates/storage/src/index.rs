@@ -95,6 +95,8 @@ impl HashIndex {
     /// # Panics
     /// Panics if any key column is out of range for the relation's arity.
     pub fn build(relation: &Relation, key_columns: &[usize]) -> Self {
+        // Chaos-testing hook; a no-op unless a fault plan is armed.
+        anyk_core::faults::checkpoint("storage.index_build");
         for &c in key_columns {
             assert!(
                 c < relation.arity(),
