@@ -17,6 +17,15 @@
 //! capped at N sessions, reporting the admission controller's shed rate and
 //! the p99 page latency admitted sessions see at 2× capacity.
 //!
+//! Two network scenarios put the same serving loops behind the TCP wire
+//! transport (`anyk_server::net`): `net4` runs thousands of *sequential*
+//! sessions over one real socket — its page latencies sit next to the
+//! in-process `service` numbers, so the delta between the two sections is
+//! the wire tax (frame encode/decode plus a localhost round-trip) — and
+//! `net_overload` repeats the 2×-capacity experiment over real sockets,
+//! where shed replies additionally ride the protocol's retry-after hint
+//! back to the blocking client.
+//!
 //! Writes `BENCH_hotpath.json` (override with `ANYK_HOTPATH_OUT`) so the
 //! perf trajectory of the enumeration hot loops is recorded in-repo. If
 //! `ANYK_HOTPATH_BASELINE` names an existing JSON file (a previous run, e.g.
@@ -32,9 +41,11 @@ use anyk_core::AnyKAlgorithm;
 use anyk_datagen::{cycles, rng, text, uniform};
 use anyk_engine::RankedQuery;
 use anyk_query::{parse_query, QueryBuilder, QuerySpec, RankingFunction};
+use anyk_server::net::{AnyKClient, AnyKServer, ClientConfig, NetConfig};
 use anyk_server::{GovernorConfig, QueryService, ServiceConfig, ServiceError};
 use anyk_storage::Database;
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Ranks at which TT(k) is reported.
@@ -303,6 +314,173 @@ fn run_overload(w: &Workload) -> OverloadRun {
     }
 }
 
+struct NetRun {
+    sessions: usize,
+    pages: usize,
+    answers: usize,
+    sessions_per_sec: f64,
+    pages_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// `net4`: the wire-transport counterpart to the `service` scenario. One
+/// blocking client runs thousands of sequential sessions against an
+/// [`AnyKServer`] on an ephemeral localhost port, each session streaming
+/// `LIMIT` answers in `SERVICE_PAGE_SIZE` pages. Enumeration cost is
+/// identical to the in-process path (same plan cache, same cursors), so the
+/// per-page latency delta versus `service` is pure wire tax: frame
+/// encode/decode plus a localhost TCP round-trip. Session churn (open +
+/// close round-trips per session) lands in `sessions_per_sec` instead of
+/// the page percentiles.
+fn run_net(w: &Workload, scale: Scale) -> NetRun {
+    let sessions = scale.pick(40, 2_000, 10_000);
+    let service = Arc::new(QueryService::new(w.db.clone()));
+    service.prepare_spec(&w.spec).expect("plan");
+    let mut server = AnyKServer::bind(
+        Arc::clone(&service),
+        ("127.0.0.1", 0),
+        NetConfig {
+            // One sequential client: a single worker owns its connection.
+            workers: 1,
+            max_connections: 4,
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let text = w.spec.canonical_text();
+    let mut client = AnyKClient::connect(server.local_addr(), ClientConfig::default());
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut answers = 0usize;
+    let start = Instant::now();
+    for _ in 0..sessions {
+        let session = client.open_session(&text).expect("open over tcp");
+        let mut served = 0usize;
+        loop {
+            let t = Instant::now();
+            let page = client
+                .next_page(session, SERVICE_PAGE_SIZE)
+                .expect("page over tcp");
+            latencies.push(t.elapsed().as_secs_f64() * 1e3);
+            served += page.answers.len();
+            answers += page.answers.len();
+            if page.done || served >= LIMIT {
+                break;
+            }
+        }
+        client.close(session).expect("close over tcp");
+    }
+    let wall = start.elapsed().as_secs_f64();
+    server.shutdown();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    NetRun {
+        sessions,
+        pages: latencies.len(),
+        answers,
+        sessions_per_sec: sessions as f64 / wall,
+        pages_per_sec: latencies.len() as f64 / wall,
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+    }
+}
+
+/// `net_overload`: the 2×-capacity overload experiment over real sockets.
+/// Same governor cap as [`run_overload`], but every shed now travels the
+/// wire as an `Overloaded` frame whose retry-after hint the blocking client
+/// honours inside `open_session` — so the measured shed rate and admitted
+/// page latency are what a remote, well-behaved client sees.
+fn run_net_overload(w: &Workload) -> OverloadRun {
+    let session_cap = SERVICE_SESSIONS;
+    let clients = 2 * session_cap;
+    let service = Arc::new(QueryService::with_config(
+        w.db.clone(),
+        ServiceConfig {
+            governor: GovernorConfig {
+                max_sessions: Some(session_cap),
+                retry_after_hint: Duration::from_micros(200),
+                ..GovernorConfig::default()
+            },
+            ..ServiceConfig::default()
+        },
+    ));
+    service.prepare_spec(&w.spec).expect("plan");
+    let mut server = AnyKServer::bind(
+        Arc::clone(&service),
+        ("127.0.0.1", 0),
+        NetConfig {
+            // Every client must be served concurrently: a worker owns its
+            // connection until disconnect, so the pool matches the crowd.
+            workers: clients,
+            max_connections: 2 * clients,
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let text = w.spec.canonical_text();
+    let start_line = std::sync::Barrier::new(clients);
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let text = &text;
+                let start_line = &start_line;
+                scope.spawn(move || {
+                    // Session sheds ride the governor's 200µs retry-after
+                    // hint; a matching backoff floor keeps the hint, not the
+                    // client's own schedule, in charge of the retry cadence.
+                    let mut client = AnyKClient::connect(
+                        addr,
+                        ClientConfig {
+                            initial_backoff: Duration::from_micros(200),
+                            max_backoff: Duration::from_millis(2),
+                            max_retries: u32::MAX,
+                            ..ClientConfig::default()
+                        },
+                    );
+                    start_line.wait();
+                    let session = client.open_session(text).expect("open survives shedding");
+                    let mut lat = Vec::new();
+                    let mut served = 0usize;
+                    loop {
+                        let t = Instant::now();
+                        let page = client
+                            .next_page(session, SERVICE_PAGE_SIZE)
+                            .expect("page over tcp");
+                        lat.push(t.elapsed().as_secs_f64() * 1e3);
+                        served += page.answers.len();
+                        if page.done || served >= OVERLOAD_ANSWERS {
+                            break;
+                        }
+                    }
+                    client.close(session).expect("close over tcp");
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("net client thread"))
+            .collect()
+    });
+    server.shutdown();
+    let metrics = service.metrics();
+    assert_eq!(
+        metrics.active_sessions, 0,
+        "all net overload clients finished"
+    );
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let attempts = metrics.sessions_opened + metrics.sessions_shed;
+    OverloadRun {
+        clients,
+        session_cap,
+        opens: metrics.sessions_opened,
+        sheds: metrics.sessions_shed,
+        shed_rate: metrics.sessions_shed as f64 / attempts as f64,
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+    }
+}
+
 fn main() {
     let scale = Scale::from_env();
     let mut json = String::from("{\n");
@@ -464,6 +642,65 @@ fn main() {
     let _ = writeln!(json, "    \"shed_rate\": {:.4},", run.shed_rate);
     let _ = writeln!(json, "    \"page_p50_ms\": {:.4},", run.p50_ms);
     let _ = writeln!(json, "    \"page_p99_ms\": {:.4}", run.p99_ms);
+    json.push_str("  }");
+
+    // Net scenario: the same serving loops behind the TCP wire transport.
+    // Reuses the overload workload (path-4) so "service p50 vs net4 p50" is
+    // an apples-to-apples read of the wire tax.
+    let net_workload = *service_workloads
+        .first()
+        .expect("at least one service workload");
+    let net = run_net(net_workload, scale);
+    println!(
+        "== net4 ({} sequential TCP sessions, pages of {SERVICE_PAGE_SIZE}) ==",
+        net.sessions
+    );
+    println!(
+        "  {:<10} {:>8.1} sessions/sec  {:>9.1} pages/sec  p50 {:>8.4}ms  p99 {:>8.4}ms",
+        net_workload.name, net.sessions_per_sec, net.pages_per_sec, net.p50_ms, net.p99_ms
+    );
+    json.push_str(",\n  \"net4\": {\n");
+    let _ = writeln!(json, "    \"workload\": \"{}\",", net_workload.name);
+    let _ = writeln!(json, "    \"sessions\": {},", net.sessions);
+    let _ = writeln!(json, "    \"page_size\": {SERVICE_PAGE_SIZE},");
+    let _ = writeln!(json, "    \"pages\": {},", net.pages);
+    let _ = writeln!(json, "    \"answers\": {},", net.answers);
+    let _ = writeln!(
+        json,
+        "    \"sessions_per_sec\": {:.1},",
+        net.sessions_per_sec
+    );
+    let _ = writeln!(json, "    \"pages_per_sec\": {:.1},", net.pages_per_sec);
+    let _ = writeln!(json, "    \"page_p50_ms\": {:.4},", net.p50_ms);
+    let _ = writeln!(json, "    \"page_p99_ms\": {:.4}", net.p99_ms);
+    json.push_str("  }");
+
+    // Net overload scenario: shedding measured from the far side of the
+    // socket — shed rate should match the in-process overload run, page
+    // latency carries the additional round-trip.
+    let net_over = run_net_overload(net_workload);
+    println!(
+        "== net_overload ({} TCP clients vs cap {}) ==",
+        net_over.clients, net_over.session_cap
+    );
+    println!(
+        "  {:<10} shed_rate {:>6.3} ({} sheds / {} opens)  p50 {:>8.4}ms  p99 {:>8.4}ms",
+        net_workload.name,
+        net_over.shed_rate,
+        net_over.sheds,
+        net_over.opens,
+        net_over.p50_ms,
+        net_over.p99_ms
+    );
+    json.push_str(",\n  \"net_overload\": {\n");
+    let _ = writeln!(json, "    \"workload\": \"{}\",", net_workload.name);
+    let _ = writeln!(json, "    \"clients\": {},", net_over.clients);
+    let _ = writeln!(json, "    \"session_cap\": {},", net_over.session_cap);
+    let _ = writeln!(json, "    \"opens\": {},", net_over.opens);
+    let _ = writeln!(json, "    \"sheds\": {},", net_over.sheds);
+    let _ = writeln!(json, "    \"shed_rate\": {:.4},", net_over.shed_rate);
+    let _ = writeln!(json, "    \"page_p50_ms\": {:.4},", net_over.p50_ms);
+    let _ = writeln!(json, "    \"page_p99_ms\": {:.4}", net_over.p99_ms);
     json.push_str("  }");
 
     if let Ok(path) = std::env::var("ANYK_HOTPATH_BASELINE") {

@@ -34,14 +34,26 @@ use std::sync::{Mutex, MutexGuard};
 ///   (infallible path; a panic here lands mid-stream, mid-page).
 /// * `server.open` — session admission, before a cursor is built (fallible).
 /// * `server.page` — entry of the service's paging path (fallible).
-pub const SITES: [&str; 6] = [
+/// * `net.accept` — after a TCP connection is accepted, before it is handed
+///   to a worker (fallible: a fired rule drops the connection).
+/// * `net.read` — per socket read inside the server's frame decoder
+///   (fallible: a fired rule becomes an I/O error and drops the connection).
+/// * `net.write` — per response write on the server side (fallible: ditto).
+pub const SITES: [&str; 9] = [
     "storage.index_build",
     "core.bottom_up",
     "engine.compile",
     "engine.page",
     "server.open",
     "server.page",
+    "net.accept",
+    "net.read",
+    "net.write",
 ];
+
+/// The subset of [`SITES`] hit only by the TCP transport
+/// (`anyk_server::net`); in-process serving never reaches them.
+pub const NET_SITES: [&str; 3] = ["net.accept", "net.read", "net.write"];
 
 /// What a matched failpoint does.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

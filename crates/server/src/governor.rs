@@ -90,6 +90,16 @@ pub(crate) struct GovState {
     pub plan_hits: u64,
     pub plan_misses: u64,
     pub plan_evictions: u64,
+    // Connection-level counters, bumped by the TCP transport
+    // (`crate::net::AnyKServer`). They live in the same state block as the
+    // session counters so one `metrics()` snapshot covers the whole stack
+    // without torn reads (e.g. `connections_accepted` can never lag behind a
+    // session that connection opened).
+    pub connections_accepted: u64,
+    pub connections_shed_at_accept: u64,
+    pub net_read_timeouts: u64,
+    pub net_write_timeouts: u64,
+    pub connections_drained_on_shutdown: u64,
 }
 
 #[derive(Debug)]

@@ -155,12 +155,54 @@
 //! sites to prove the containment story above; unarmed, every hook is one
 //! relaxed atomic load.
 //!
-//! ## What this crate is not (yet)
+//! ## Serving over TCP
 //!
-//! There is no transport: callers are in-process threads. The service is
-//! the seam where an async RPC front end or cross-node sharding would plug
-//! in — each session is already a `Send` value behind a stable id, so a
-//! transport only has to map connections to [`SessionId`]s.
+//! The [`net`] module is the wire: [`net::AnyKServer`] exposes a
+//! `QueryService` on a `std::net::TcpListener` behind a length-prefixed,
+//! versioned binary protocol (fully specified in [`net::protocol`]), and
+//! [`net::AnyKClient`] is the matching blocking client. The transport is
+//! semantics-free — every TCP-served ranked stream is bit-identical to the
+//! in-process stream for the same `QuerySpec` — and every
+//! [`ServiceError`] variant crosses the wire as a typed status code, so
+//! remote clients see the same `Overloaded { retry_after_hint }` /
+//! `SessionExpired` / `SessionPoisoned` taxonomy in-process callers do.
+//!
+//! ```no_run
+//! use anyk_server::net::{AnyKClient, AnyKServer, ClientConfig, NetConfig};
+//! use anyk_server::QueryService;
+//! use anyk_storage::Database;
+//! use std::sync::Arc;
+//!
+//! let service = Arc::new(QueryService::new(Database::new()));
+//! let mut server =
+//!     AnyKServer::bind(service, ("127.0.0.1", 0), NetConfig::default()).unwrap();
+//! let mut client = AnyKClient::connect(server.local_addr(), ClientConfig::default());
+//! client.ping().unwrap();
+//! server.shutdown(); // drains in-flight pages, closes sessions, joins
+//! ```
+//!
+//! ### Tuning the transport
+//!
+//! * `NetConfig::workers` is the serving parallelism — connections beyond
+//!   it queue at the accept channel. Pair it with
+//!   `GovernorConfig::max_pages_in_flight ≈ workers` so the two layers
+//!   agree on CPU overcommit.
+//! * `NetConfig::max_connections` bounds live connections (served +
+//!   queued); beyond it, accepts shed with a protocol-level
+//!   `Overloaded { retry_after }` **before** any handshake or session work
+//!   — the cheapest possible rejection under connection floods.
+//! * `read_timeout`/`write_timeout` are OS socket deadlines (a parked-idle
+//!   connection is reaped after `read_timeout`); `frame_deadline` bounds
+//!   one whole frame's wall time on the injectable [`Clock`], which is what
+//!   defeats slow-loris clients dribbling a byte per timeout window.
+//! * `max_frame_bytes` caps frames in both directions (announced-length
+//!   rejection, no allocation); `max_page_size` clamps page requests so
+//!   response frames stay under that cap.
+//! * Session handles are **per-connection**: a connection can only address
+//!   sessions it opened, and all of them are closed when it disconnects —
+//!   cleanly, torn, timed-out, or shed — so the Governor's MEM gauge
+//!   returns to zero when the clients go away. Reconnecting clients re-open
+//!   and re-enumerate (determinism makes the replay bit-identical).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -168,6 +210,7 @@
 mod clock;
 mod error;
 mod governor;
+pub mod net;
 mod service;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};

@@ -1,0 +1,331 @@
+//! [`AnyKClient`]: a blocking client for the any-k wire protocol.
+//!
+//! The client owns one connection and transparently re-establishes it:
+//! every request first runs `ensure_connected`, which dials with **capped
+//! exponential backoff** ([`ClientConfig::initial_backoff`] doubling up to
+//! [`ClientConfig::max_backoff`], at most [`ClientConfig::max_retries`]
+//! attempts). A server shedding at its connection cap answers the dial with
+//! an `Overloaded` frame carrying `retry_after`; the client honours that
+//! hint — sleeping `max(hint, next_backoff)` — so a shedding server is never
+//! hammered faster than it asked to be.
+//!
+//! Reconnecting does **not** resurrect sessions: session handles live on
+//! one connection, and the server closes them when the connection dies.
+//! After a reconnect, [`AnyKClient::next_page`] on an old handle returns
+//! [`RemoteError`] `UnknownSession` — callers re-open and re-enumerate
+//! (any-k enumeration is deterministic, so a re-run streams the same ranked
+//! answers).
+//!
+//! The client polices frames exactly like the server: partial reads/writes
+//! are looped to completion, and a response frame announcing a payload
+//! larger than [`ClientConfig::max_frame_bytes`] is rejected **before
+//! allocation** with [`ClientError::FrameTooLarge`] — a byzantine server
+//! cannot balloon client memory.
+
+use super::protocol::{
+    encode_request, read_frame, write_frame, FrameReadError, Request, Response, WireError,
+    DEFAULT_MAX_FRAME_BYTES,
+};
+use anyk_engine::Page;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Tuning for [`AnyKClient`]. Defaults suit tests: fast initial backoff,
+/// bounded total retry effort.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Socket read timeout (a server silent this long fails the request).
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+    /// Largest response payload accepted (see module docs).
+    pub max_frame_bytes: u32,
+    /// First reconnect backoff; doubles per failed attempt.
+    pub initial_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Dial attempts per `ensure_connected` (1 = no retry).
+    pub max_retries: u32,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            max_retries: 8,
+        }
+    }
+}
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (dial, read, write, torn frame) and retries ran
+    /// out.
+    Io(io::Error),
+    /// The server broke the protocol (bad frame, undecodable payload, or a
+    /// response that does not answer the request).
+    Protocol(String),
+    /// The server announced a response payload above our cap; rejected
+    /// before allocation.
+    FrameTooLarge {
+        /// The announced length.
+        len: u32,
+        /// Our cap.
+        max: u32,
+    },
+    /// The server answered with a typed error frame.
+    Remote(WireError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport failure: {e}"),
+            ClientError::Protocol(d) => write!(f, "server broke protocol: {d}"),
+            ClientError::FrameTooLarge { len, max } => {
+                write!(f, "server announced a {len}-byte payload (our cap {max})")
+            }
+            ClientError::Remote(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A remote session handle, valid only on the connection that opened it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteSession(pub u64);
+
+/// A blocking client; see the module docs for reconnect semantics.
+#[derive(Debug)]
+pub struct AnyKClient {
+    addr: SocketAddr,
+    cfg: ClientConfig,
+    conn: Option<TcpStream>,
+    frame: Vec<u8>,
+    payload: Vec<u8>,
+}
+
+impl AnyKClient {
+    /// Create a client for `addr`. Dials lazily on the first request.
+    pub fn connect(addr: SocketAddr, cfg: ClientConfig) -> AnyKClient {
+        AnyKClient {
+            addr,
+            cfg,
+            conn: None,
+            frame: Vec::new(),
+            payload: Vec::new(),
+        }
+    }
+
+    /// Drop the current connection (the next request redials). Useful in
+    /// tests simulating client crashes.
+    pub fn disconnect(&mut self) {
+        self.conn = None;
+    }
+
+    fn dial(&self) -> io::Result<TcpStream> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(Some(self.cfg.read_timeout))?;
+        stream.set_write_timeout(Some(self.cfg.write_timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(stream)
+    }
+
+    fn ensure_connected(&mut self) -> Result<(), ClientError> {
+        if self.conn.is_some() {
+            return Ok(());
+        }
+        let mut backoff = self.cfg.initial_backoff;
+        let mut last_err: Option<io::Error> = None;
+        for attempt in 0..self.cfg.max_retries.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(self.cfg.max_backoff);
+            }
+            match self.dial() {
+                Ok(stream) => {
+                    self.conn = Some(stream);
+                    return Ok(());
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(ClientError::Io(last_err.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::NotConnected, "no dial attempts configured")
+        })))
+    }
+
+    /// One request/response exchange. Any transport failure drops the
+    /// connection, so the next call redials from scratch — no request is
+    /// ever silently retried (a `NextPage` retry would skip a page).
+    fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.ensure_connected()?;
+        let result = self.call_on_current(req);
+        if matches!(
+            result,
+            Err(ClientError::Io(_))
+                | Err(ClientError::Protocol(_))
+                | Err(ClientError::FrameTooLarge { .. })
+        ) {
+            self.conn = None;
+        }
+        result
+    }
+
+    fn call_on_current(&mut self, req: &Request) -> Result<Response, ClientError> {
+        encode_request(&mut self.frame, &mut self.payload, req);
+        let stream = self.conn.as_mut().expect("ensure_connected succeeded");
+        write_frame(stream, &self.frame)?;
+        let kind = read_frame(stream, self.cfg.max_frame_bytes, &mut self.payload, &|| {
+            false
+        })
+        .map_err(|e| match e {
+            FrameReadError::CleanEof | FrameReadError::TornEof => ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-exchange",
+            )),
+            FrameReadError::TimedOut => ClientError::Io(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "server response deadline exceeded",
+            )),
+            FrameReadError::TooLarge { len, max } => ClientError::FrameTooLarge { len, max },
+            FrameReadError::BadMagic(b) => {
+                ClientError::Protocol(format!("bad magic byte {b:#04x}"))
+            }
+            FrameReadError::BadVersion(v) => {
+                ClientError::Protocol(format!("unsupported protocol version {v}"))
+            }
+            FrameReadError::BadReserved(b) => {
+                ClientError::Protocol(format!("non-zero reserved byte {b:#04x}"))
+            }
+            FrameReadError::Io(e) => ClientError::Io(e),
+        })?;
+        Response::decode(kind, &self.payload).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            Response::Err(e) => Err(ClientError::Remote(e)),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Compile (or cache-hit) a textual query server-side; returns the
+    /// canonical plan key.
+    pub fn prepare(&mut self, text: &str) -> Result<String, ClientError> {
+        match self.call(&Request::Prepare(text.to_string()))? {
+            Response::Prepared(key) => Ok(key),
+            Response::Err(e) => Err(ClientError::Remote(e)),
+            other => Err(unexpected("Prepared", &other)),
+        }
+    }
+
+    /// Open a paged enumeration session. Retries `Overloaded` sheds up to
+    /// `max_retries` times, honouring the server's `retry_after` hint
+    /// (sleeping `max(hint, next_backoff)` per attempt).
+    pub fn open_session(&mut self, text: &str) -> Result<RemoteSession, ClientError> {
+        let mut backoff = self.cfg.initial_backoff;
+        let mut attempt = 0;
+        loop {
+            match self.call(&Request::OpenSession(text.to_string()))? {
+                Response::SessionOpened(id) => return Ok(RemoteSession(id)),
+                Response::Err(WireError::Overloaded {
+                    reason,
+                    retry_after,
+                }) => {
+                    attempt += 1;
+                    if attempt >= self.cfg.max_retries.max(1) {
+                        return Err(ClientError::Remote(WireError::Overloaded {
+                            reason,
+                            retry_after,
+                        }));
+                    }
+                    // A connection-cap shed closed the socket after the
+                    // frame; admission-control sheds keep it open. Redial
+                    // either way — reconnecting is cheap and uniform.
+                    self.disconnect();
+                    std::thread::sleep(retry_after.max(backoff));
+                    backoff = (backoff * 2).min(self.cfg.max_backoff);
+                }
+                Response::Err(e) => return Err(ClientError::Remote(e)),
+                other => return Err(unexpected("SessionOpened", &other)),
+            }
+        }
+    }
+
+    /// Pull the next ranked page (at most `page_size` answers; the server
+    /// may clamp further).
+    pub fn next_page(
+        &mut self,
+        session: RemoteSession,
+        page_size: usize,
+    ) -> Result<Page, ClientError> {
+        let req = Request::NextPage {
+            session: session.0,
+            page_size: page_size.min(u32::MAX as usize) as u32,
+        };
+        match self.call(&req)? {
+            Response::Page(page) => Ok(page),
+            Response::Err(e) => Err(ClientError::Remote(e)),
+            other => Err(unexpected("Page", &other)),
+        }
+    }
+
+    /// Cancel a session (its enumeration state is dropped server-side).
+    pub fn cancel(&mut self, session: RemoteSession) -> Result<(), ClientError> {
+        match self.call(&Request::Cancel(session.0))? {
+            Response::Cancelled => Ok(()),
+            Response::Err(e) => Err(ClientError::Remote(e)),
+            other => Err(unexpected("Cancelled", &other)),
+        }
+    }
+
+    /// Close a session; `Ok(true)` if it was live.
+    pub fn close(&mut self, session: RemoteSession) -> Result<bool, ClientError> {
+        match self.call(&Request::Close(session.0))? {
+            Response::Closed { existed } => Ok(existed),
+            Response::Err(e) => Err(ClientError::Remote(e)),
+            other => Err(unexpected("Closed", &other)),
+        }
+    }
+
+    /// Convenience: open a session over `text` and stream it to exhaustion
+    /// with `page_size`-answer pulls, returning the full ranked answer list.
+    pub fn collect_all(
+        &mut self,
+        text: &str,
+        page_size: usize,
+    ) -> Result<Vec<anyk_engine::Answer>, ClientError> {
+        let session = self.open_session(text)?;
+        let mut all = Vec::new();
+        loop {
+            let page = self.next_page(session, page_size)?;
+            let done = page.done;
+            all.extend(page.answers);
+            if done {
+                break;
+            }
+        }
+        let _ = self.close(session)?;
+        Ok(all)
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    ClientError::Protocol(format!("expected {wanted}, got {:?}", got.status()))
+}

@@ -1,0 +1,33 @@
+//! The TCP front end: a resilient wire transport for
+//! [`QueryService`](crate::QueryService), built on `std::net` alone.
+//!
+//! Three layers:
+//!
+//! - [`protocol`] — the length-prefixed, versioned frame codec shared by
+//!   both sides (frame layout, opcodes, status codes, and the bit-identical
+//!   answer encoding are specified in its module docs);
+//! - [`AnyKServer`] — accept loop + bounded worker pool with connection
+//!   caps, per-connection deadlines, chaos failpoints (`net.accept`,
+//!   `net.read`, `net.write`), and drain-then-join graceful shutdown;
+//! - [`AnyKClient`] — a blocking client with reconnect, capped exponential
+//!   backoff honouring the server's `retry_after` hints, and oversize-frame
+//!   rejection.
+//!
+//! The transport adds **no semantics** of its own: every request maps 1:1
+//! onto a [`QueryService`](crate::QueryService) call, every
+//! [`ServiceError`](crate::ServiceError) variant has a typed status code,
+//! and a ranked stream pulled over TCP compares equal (`==`, including
+//! `f64` weight bits and witness provenance) to the same `QuerySpec`
+//! streamed in-process. What it adds is *governance at the socket*: a
+//! connection cap that sheds before handshake work, slow-loris defence, and
+//! the guarantee that a vanished client's sessions are closed so the
+//! Governor's MEM gauge returns to zero.
+
+pub mod protocol;
+
+mod client;
+mod server;
+
+pub use client::{AnyKClient, ClientConfig, ClientError, RemoteSession};
+pub use protocol::{Request, Response, StatusCode, WireError, WireOverloadReason};
+pub use server::{AnyKServer, NetConfig};

@@ -27,6 +27,15 @@ impl std::fmt::Display for SessionId {
     }
 }
 
+impl SessionId {
+    /// Fabricate an id for crate-internal tests; real ids only ever come
+    /// from [`QueryService::open_session_spec`].
+    #[cfg(test)]
+    pub(crate) fn test_only(raw: u64) -> Self {
+        SessionId(raw)
+    }
+}
+
 /// Construction-time options for [`QueryService`].
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
@@ -113,6 +122,21 @@ pub struct ServiceMetrics {
     pub mem_resident_units: u64,
     /// High-water mark of `mem_resident_units` over the service's lifetime.
     pub peak_mem_resident_units: u64,
+    /// TCP connections accepted and handed to a transport worker (zero when
+    /// the service is driven purely in-process; see [`crate::net`]).
+    pub connections_accepted: u64,
+    /// TCP connections shed at accept time by the transport's connection cap
+    /// (a retry-after status frame, written before any handshake work).
+    pub connections_shed_at_accept: u64,
+    /// Socket reads that hit the per-read or whole-frame deadline; each one
+    /// dropped its connection.
+    pub net_read_timeouts: u64,
+    /// Response writes that hit the write deadline; each one dropped its
+    /// connection.
+    pub net_write_timeouts: u64,
+    /// Connections retired by a graceful transport shutdown after their
+    /// in-flight work drained.
+    pub connections_drained_on_shutdown: u64,
 }
 
 /// The lifecycle state of a session; see the state diagram in the
@@ -862,12 +886,29 @@ impl QueryService {
             pages_in_flight: s.pages_in_flight as u64,
             mem_resident_units: s.mem_resident_units,
             peak_mem_resident_units: s.peak_mem_resident_units,
+            connections_accepted: s.connections_accepted,
+            connections_shed_at_accept: s.connections_shed_at_accept,
+            net_read_timeouts: s.net_read_timeouts,
+            net_write_timeouts: s.net_write_timeouts,
+            connections_drained_on_shutdown: s.connections_drained_on_shutdown,
         }
     }
 
     /// Hit/miss/eviction counters of the shared snapshot's index cache.
     pub fn index_cache_stats(&self) -> IndexCacheStats {
         self.db.index_cache_stats()
+    }
+
+    /// The governor, for sibling modules (the TCP transport records its
+    /// connection counters in the same atomic-snapshot state block).
+    pub(crate) fn governor(&self) -> &Governor {
+        &self.governor
+    }
+
+    /// The service's time source (shared with the transport so frame
+    /// deadlines and session deadlines tick on the same clock).
+    pub(crate) fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
     }
 }
 

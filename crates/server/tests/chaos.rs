@@ -100,7 +100,9 @@ fn assert_metrics_consistent(service: &QueryService) {
 fn every_failpoint_site_is_contained() {
     let _serial = serial();
     quiet_injected_panics();
-    for site in SITES {
+    // `net.*` sites sit on the TCP transport, which an in-process service
+    // never reaches; tests/net_chaos.rs drives those.
+    for site in SITES.iter().copied().filter(|s| !s.starts_with("net.")) {
         for panic_action in [false, true] {
             let service = QueryService::new(small_path_db());
             let plan = if panic_action {

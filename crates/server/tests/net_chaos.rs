@@ -1,0 +1,412 @@
+//! Network chaos: the `net.*` failpoint sites, a slow-loris client, a
+//! mid-page client kill, and graceful shutdown under full client load.
+//!
+//! The invariants mirror `tests/chaos.rs`, extended across the socket:
+//! whatever one connection suffers — injected faults, byte-dribbling,
+//! abrupt death — **neighbour connections stream bit-identical pages**, no
+//! Governor slot leaks, and the MEM gauge returns to zero once the wreckage
+//! drains.
+
+use anyk_datagen::uniform::path_or_star_database;
+use anyk_server::faults::{self, FaultPlan, Trigger};
+use anyk_server::net::{AnyKClient, AnyKServer, ClientConfig, ClientError, NetConfig, WireError};
+use anyk_server::{Answer, QueryService, ServiceConfig};
+use anyk_storage::Database;
+use rand::{rngs::SmallRng, SeedableRng};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex, Once};
+use std::time::{Duration, Instant};
+
+const QUERY: &str = "Q(a, b, c, d) :- R1(a, b), R2(b, c), R3(c, d)";
+
+/// The failpoint registry is process-global; serialize every test in this
+/// file across its whole body (same rationale as tests/chaos.rs).
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    static SERIAL: Mutex<()> = Mutex::new(());
+    SERIAL
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn quiet_injected_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.contains("failpoint") {
+                default(info);
+            }
+        }));
+    });
+}
+
+fn wide_db() -> Database {
+    let mut rng = SmallRng::seed_from_u64(0xBEEF_CAFE);
+    path_or_star_database(3, 40, &mut rng)
+}
+
+fn start_server(net: NetConfig) -> (Arc<QueryService>, AnyKServer) {
+    let service = Arc::new(QueryService::with_config(
+        wide_db(),
+        ServiceConfig::default(),
+    ));
+    let server = AnyKServer::bind(Arc::clone(&service), ("127.0.0.1", 0), net).unwrap();
+    (service, server)
+}
+
+fn client_for(server: &AnyKServer) -> AnyKClient {
+    AnyKClient::connect(
+        server.local_addr(),
+        ClientConfig {
+            read_timeout: Duration::from_secs(10),
+            initial_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(50),
+            ..ClientConfig::default()
+        },
+    )
+}
+
+/// Reference stream, computed in-process once per test.
+fn reference_stream(service: &QueryService, text: &str) -> Vec<Answer> {
+    let id = service.open_session_text(text).unwrap();
+    let mut all = Vec::new();
+    loop {
+        let page = service.next_page(id, 500).unwrap();
+        let done = page.done;
+        all.extend(page.answers);
+        if done {
+            break;
+        }
+    }
+    service.close_session(id);
+    all
+}
+
+/// Wait (bounded) for the server to reap disconnected sessions, then assert
+/// the gauges drained.
+fn assert_drained(service: &QueryService) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline {
+        let m = service.metrics();
+        if m.active_sessions == 0 && m.mem_resident_units == 0 {
+            assert_eq!(m.pages_in_flight, 0, "all page permits returned: {m:?}");
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("gauges never drained: {:?}", service.metrics());
+}
+
+#[test]
+fn net_read_fault_is_typed_then_contained_and_neighbours_stream_on() {
+    let _serial = serial();
+    quiet_injected_panics();
+    let (service, mut server) = start_server(NetConfig::default());
+    let text = format!("{QUERY} via lazy");
+    let reference = reference_stream(&service, &text);
+
+    // Error action: the victim's next read "fails"; it gets the typed fault
+    // frame and the connection closes, reaping its session.
+    {
+        let mut victim = client_for(&server);
+        let session = victim.open_session(&text).unwrap();
+        let _ = victim.next_page(session, 3).unwrap();
+        let guard = faults::install(FaultPlan::new().error("net.read", Trigger::Always));
+        match victim.next_page(session, 3) {
+            Err(ClientError::Remote(WireError::Fault(site))) => assert_eq!(site, "net.read"),
+            // The fault can also race the frame write; a dropped connection
+            // is equally contained.
+            Err(ClientError::Io(_)) => {}
+            other => panic!("expected typed fault or drop, got {other:?}"),
+        }
+        drop(guard);
+        assert!(guard_hits_ok(&service, &text, &reference, &server));
+    }
+    assert_drained(&service);
+
+    // Panic action: contained by the worker's catch_unwind — the victim's
+    // connection dies, the worker (and its neighbours) keep serving.
+    {
+        let mut victim = client_for(&server);
+        let session = victim.open_session(&text).unwrap();
+        let _ = victim.next_page(session, 3).unwrap();
+        let guard = faults::install(FaultPlan::new().panic("net.read", Trigger::Always));
+        assert!(victim.next_page(session, 3).is_err());
+        drop(guard);
+        assert!(guard_hits_ok(&service, &text, &reference, &server));
+    }
+    assert_drained(&service);
+    server.shutdown();
+}
+
+/// Post-fault health probe: a fresh client must stream the full reference,
+/// bit-identically.
+fn guard_hits_ok(
+    service: &QueryService,
+    text: &str,
+    reference: &[Answer],
+    server: &AnyKServer,
+) -> bool {
+    let mut probe = client_for(server);
+    let got = probe.collect_all(text, 64).unwrap();
+    assert_eq!(got, reference, "neighbour stream must be bit-identical");
+    for (a, b) in got.iter().zip(reference) {
+        assert_eq!(a.weight().to_bits(), b.weight().to_bits());
+    }
+    let _ = service;
+    true
+}
+
+#[test]
+fn net_write_fault_drops_the_reply_and_reaps_the_session() {
+    let _serial = serial();
+    quiet_injected_panics();
+    let (service, mut server) = start_server(NetConfig::default());
+    let text = format!("{QUERY} via take2");
+    let reference = reference_stream(&service, &text);
+
+    for panic_action in [false, true] {
+        let mut victim = client_for(&server);
+        let session = victim.open_session(&text).unwrap();
+        let _ = victim.next_page(session, 2).unwrap();
+        let plan = if panic_action {
+            FaultPlan::new().panic("net.write", Trigger::Always)
+        } else {
+            FaultPlan::new().error("net.write", Trigger::Always)
+        };
+        let guard = faults::install(plan);
+        // The page is pulled server-side but its reply "fails" to write:
+        // from the client it is a dead connection, from the server a
+        // disconnect that closes the session.
+        assert!(victim.next_page(session, 2).is_err());
+        drop(guard);
+        assert!(guard_hits_ok(&service, &text, &reference, &server));
+        assert_drained(&service);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn net_accept_fault_drops_new_connections_but_spares_established_ones() {
+    let _serial = serial();
+    quiet_injected_panics();
+    let (service, mut server) = start_server(NetConfig::default());
+    let text = format!("{QUERY} via eager");
+    let reference = reference_stream(&service, &text);
+
+    let mut established = client_for(&server);
+    let session = established.open_session(&text).unwrap();
+    let first = established.next_page(session, 5).unwrap();
+    assert_eq!(first.answers[..], reference[..5]);
+
+    let mut offset = 5;
+    for panic_action in [false, true] {
+        let plan = if panic_action {
+            FaultPlan::new().panic("net.accept", Trigger::Always)
+        } else {
+            FaultPlan::new().error("net.accept", Trigger::Always)
+        };
+        let guard = faults::install(plan);
+        // New connections are dropped pre-handshake (the dial itself
+        // succeeds in the kernel; the first exchange dies)...
+        let mut newcomer = AnyKClient::connect(
+            server.local_addr(),
+            ClientConfig {
+                max_retries: 1,
+                ..ClientConfig::default()
+            },
+        );
+        assert!(newcomer.ping().is_err(), "accept fault must drop newcomers");
+        // ...while the established connection pages on, mid-stream.
+        let next = established.next_page(session, 5).unwrap();
+        assert_eq!(next.answers[..], reference[offset..offset + 5]);
+        offset += 5;
+        drop(guard);
+    }
+    // Disarmed: newcomers connect again, and the accept thread survived the
+    // panic action.
+    assert!(guard_hits_ok(&service, &text, &reference, &server));
+    assert!(established.close(session).unwrap());
+    assert_drained(&service);
+    let m = service.metrics();
+    assert!(m.connections_accepted >= 2, "{m:?}");
+    server.shutdown();
+}
+
+#[test]
+fn slow_loris_is_cut_at_the_frame_deadline_while_neighbours_stream() {
+    let _serial = serial();
+    let (service, mut server) = start_server(NetConfig {
+        frame_deadline: Duration::from_millis(200),
+        ..NetConfig::default()
+    });
+    let text = format!("{QUERY} via all");
+    let reference = reference_stream(&service, &text);
+
+    // The loris: dribbles a syntactically valid OpenSession frame one byte
+    // at a time, far slower than the frame deadline allows.
+    let addr = server.local_addr();
+    let loris = std::thread::spawn(move || {
+        let mut s = TcpStream::connect(addr).unwrap();
+        let payload = b"Q(a, b, c, d) :- R1(a, b), R2(b, c), R3(c, d)";
+        let mut frame = vec![0xA7u8, 1, 0x03, 0];
+        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        frame.extend_from_slice(payload);
+        let mut fed = 0usize;
+        for byte in frame {
+            if s.write_all(&[byte]).is_err() {
+                break; // server cut us off
+            }
+            let _ = s.flush();
+            fed += 1;
+            std::thread::sleep(Duration::from_millis(40));
+        }
+        fed
+    });
+
+    // While the loris dribbles, a neighbour streams the whole query —
+    // bit-identically and without waiting on the loris's worker.
+    let mut neighbour = client_for(&server);
+    let got = neighbour.collect_all(&text, 32).unwrap();
+    assert_eq!(got, reference);
+
+    // Kernel buffering means a few writes can "succeed" after the cut, so
+    // `fed` is diagnostic only; the cut itself shows up as a read timeout.
+    let fed = loris.join().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while service.metrics().net_read_timeouts == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let m = service.metrics();
+    assert!(
+        m.net_read_timeouts >= 1,
+        "loris (cut after {fed} bytes) counted as a read timeout: {m:?}"
+    );
+    assert_eq!(m.sessions_opened, m.sessions_closed, "loris opened nothing");
+    assert_drained(&service);
+    server.shutdown();
+}
+
+#[test]
+fn mid_page_client_kill_reaps_sessions_while_neighbours_stream() {
+    let _serial = serial();
+    let (service, mut server) = start_server(NetConfig::default());
+    let text = format!("{QUERY} via recursive");
+    let reference = reference_stream(&service, &text);
+
+    // The victim opens two sessions, pulls some pages, and vanishes without
+    // closing anything (process-kill semantics: the socket just dies).
+    let mut victim = client_for(&server);
+    let s1 = victim.open_session(&text).unwrap();
+    let s2 = victim.open_session(&text).unwrap();
+    let _ = victim.next_page(s1, 10).unwrap();
+    let _ = victim.next_page(s2, 10).unwrap();
+    assert_eq!(service.metrics().active_sessions, 2);
+    victim.disconnect();
+
+    // Concurrent neighbours stream bit-identical pages throughout.
+    let mut handles = Vec::new();
+    for i in 0..4 {
+        let addr = server.local_addr();
+        let text = text.clone();
+        let reference = reference.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut c = AnyKClient::connect(
+                addr,
+                ClientConfig {
+                    initial_backoff: Duration::from_millis(2),
+                    ..ClientConfig::default()
+                },
+            );
+            let got = c.collect_all(&text, 16 + i).unwrap();
+            assert_eq!(got, reference);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_drained(&service);
+    server.shutdown();
+    let m = service.metrics();
+    assert_eq!(m.mem_resident_units, 0, "{m:?}");
+}
+
+#[test]
+fn graceful_shutdown_under_load_drains_and_zeroes_the_mem_gauge() {
+    let _serial = serial();
+    // Workers == clients: every connection is being actively served when
+    // the plug is pulled (a smaller pool would just park the surplus
+    // connections in the accept queue, where shutdown answers them with
+    // `ErrShuttingDown` — a different, less demanding drain path).
+    let (service, mut server) = start_server(NetConfig {
+        workers: 16,
+        ..NetConfig::default()
+    });
+    let text = format!("{QUERY} via lazy");
+    let _warm = reference_stream(&service, &text); // plan compiled once
+
+    // 16 clients stream pages in a loop until the server goes away.
+    let stop_barrier = Arc::new(std::sync::Barrier::new(17));
+    let mut handles = Vec::new();
+    for _ in 0..16 {
+        let addr = server.local_addr();
+        let text = text.clone();
+        let barrier = Arc::clone(&stop_barrier);
+        handles.push(std::thread::spawn(move || {
+            let mut c = AnyKClient::connect(
+                addr,
+                ClientConfig {
+                    initial_backoff: Duration::from_millis(1),
+                    max_retries: 1, // no redial storms once the server is gone
+                    ..ClientConfig::default()
+                },
+            );
+            let mut started = false;
+            'outer: while let Ok(session) = c.open_session(&text) {
+                loop {
+                    if !started {
+                        // First page in flight: release the main thread to
+                        // pull the plug mid-stream.
+                        started = true;
+                        barrier.wait();
+                    }
+                    match c.next_page(session, 7) {
+                        Ok(page) if page.done => break,
+                        Ok(_) => {}
+                        Err(_) => break 'outer,
+                    }
+                }
+                let _ = c.close(session);
+            }
+        }));
+    }
+    // Every client is mid-page; shut down under full load.
+    stop_barrier.wait();
+    let t0 = Instant::now();
+    server.shutdown();
+    let drain = t0.elapsed();
+    assert!(
+        drain < Duration::from_secs(30),
+        "shutdown drained in {drain:?}, expected well under its deadline"
+    );
+    for h in handles {
+        h.join().unwrap(); // no wedged client threads
+    }
+    let m = service.metrics();
+    assert_eq!(m.active_sessions, 0, "all sessions closed on drain: {m:?}");
+    assert_eq!(m.mem_resident_units, 0, "MEM gauge back to zero: {m:?}");
+    assert_eq!(m.pages_in_flight, 0, "{m:?}");
+    assert!(m.connections_drained_on_shutdown >= 1, "{m:?}");
+    assert_eq!(
+        m.sessions_opened,
+        m.sessions_closed + m.sessions_cancelled + m.sessions_expired + m.sessions_poisoned,
+        "every session landed in a lifecycle bucket: {m:?}"
+    );
+}
