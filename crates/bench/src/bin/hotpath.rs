@@ -26,6 +26,11 @@
 //! where shed replies additionally ride the protocol's retry-after hint
 //! back to the blocking client.
 //!
+//! A `delta4` scenario measures incremental maintenance: a ~0.1% edit batch
+//! applied via `Database::apply_delta` + `PreparedQuery::refresh` (the
+//! dirty-cone re-sweep behind `QueryService::ingest`) versus a full
+//! recompile over the same post-edit data, reporting the refresh speedup.
+//!
 //! Writes `BENCH_hotpath.json` (override with `ANYK_HOTPATH_OUT`) so the
 //! perf trajectory of the enumeration hot loops is recorded in-repo. If
 //! `ANYK_HOTPATH_BASELINE` names an existing JSON file (a previous run, e.g.
@@ -39,11 +44,11 @@ use anyk_bench::Scale;
 use anyk_core::metrics::EnumerationTrace;
 use anyk_core::AnyKAlgorithm;
 use anyk_datagen::{cycles, rng, text, uniform};
-use anyk_engine::RankedQuery;
+use anyk_engine::{PreparedQuery, RankedQuery};
 use anyk_query::{parse_query, QueryBuilder, QuerySpec, RankingFunction};
 use anyk_server::net::{AnyKClient, AnyKServer, ClientConfig, NetConfig};
 use anyk_server::{GovernorConfig, QueryService, ServiceConfig, ServiceError};
-use anyk_storage::Database;
+use anyk_storage::{Database, DeltaBatch, Tuple};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -481,6 +486,91 @@ fn run_net_overload(w: &Workload) -> OverloadRun {
     }
 }
 
+struct DeltaRun {
+    edits: usize,
+    apply_ms: f64,
+    refresh_ms: f64,
+    rebuild_prep_ms: f64,
+    speedup: f64,
+}
+
+/// `delta4`: delta maintenance vs full rebuild on the path-4 workload.
+/// A ~0.1%-of-tuples batch (one delete + one insert per edit slot, spread
+/// across all four relations) is applied to a prepared plan two ways: the
+/// incremental path (`Database::apply_delta` + `PreparedQuery::refresh`,
+/// which re-sweeps only the dirty cone of the bottom-up DP) and a full
+/// recompile over the delta-applied database. `speedup` is rebuild prep
+/// over total incremental time — the factor a serving ingest saves per
+/// cached plan. Both paths are checked to stream identical top answers
+/// before anything is reported.
+fn run_delta(w: &Workload) -> DeltaRun {
+    let base = Arc::new(w.db.clone());
+    let prepared = PreparedQuery::from_spec_delta(Arc::clone(&base), &w.spec)
+        .expect("delta-capable path-4 plan");
+    let n = base.expect("R1").len();
+    let domain = (n / 10).max(1) as u64;
+    let edits_per_rel = (n / 1000).max(1);
+    // Deterministic, duplicate-free edit schedule: evenly-strided deletes,
+    // multiplicatively-scattered (but in-domain) inserts.
+    let mut batch = DeltaBatch::new();
+    for (ri, rel) in ["R1", "R2", "R3", "R4"].into_iter().enumerate() {
+        for e in 0..edits_per_rel {
+            let tid = (e * n) / edits_per_rel;
+            let src = (tid as u64 * 7919 + ri as u64) % domain + 1;
+            let dst = (tid as u64 * 6271 + ri as u64) % domain + 1;
+            batch = batch
+                .delete(rel, tid)
+                .insert(rel, Tuple::new(vec![src, dst], (e % 97) as f64 + 0.5));
+        }
+    }
+
+    let mut apply_best = f64::MAX;
+    let mut refresh_best = f64::MAX;
+    let mut rebuild_best = f64::MAX;
+    let mut refreshed = None;
+    let mut rebuilt = None;
+    for _ in 0..REPEATS {
+        let t = Instant::now();
+        let new_db = base.apply_delta(&batch).expect("valid batch");
+        apply_best = apply_best.min(t.elapsed().as_secs_f64() * 1e3);
+        let new_db = Arc::new(new_db);
+
+        let t = Instant::now();
+        let r = prepared
+            .refresh(Arc::clone(&new_db), &batch)
+            .expect("path-4 plan is refreshable");
+        refresh_best = refresh_best.min(t.elapsed().as_secs_f64() * 1e3);
+        refreshed = Some(r);
+
+        let t = Instant::now();
+        let b = PreparedQuery::from_spec_delta(Arc::clone(&new_db), &w.spec)
+            .expect("rebuild over delta-applied db");
+        rebuild_best = rebuild_best.min(t.elapsed().as_secs_f64() * 1e3);
+        rebuilt = Some(b);
+    }
+    let (refreshed, rebuilt) = (refreshed.expect("repeats"), rebuilt.expect("repeats"));
+    // The differential guarantee, spot-checked at bench time: the refreshed
+    // plan streams the same top-LIMIT ranked answers as the rebuild.
+    let a: Vec<_> = refreshed
+        .enumerate(AnyKAlgorithm::Take2)
+        .take(LIMIT)
+        .collect();
+    let b: Vec<_> = rebuilt
+        .enumerate(AnyKAlgorithm::Take2)
+        .take(LIMIT)
+        .collect();
+    assert_eq!(a, b, "refresh diverged from rebuild");
+
+    let incremental = apply_best + refresh_best;
+    DeltaRun {
+        edits: batch.edit_count(),
+        apply_ms: apply_best,
+        refresh_ms: refresh_best,
+        rebuild_prep_ms: rebuild_best,
+        speedup: rebuild_best / incremental,
+    }
+}
+
 fn main() {
     let scale = Scale::from_env();
     let mut json = String::from("{\n");
@@ -701,6 +791,30 @@ fn main() {
     let _ = writeln!(json, "    \"shed_rate\": {:.4},", net_over.shed_rate);
     let _ = writeln!(json, "    \"page_p50_ms\": {:.4},", net_over.p50_ms);
     let _ = writeln!(json, "    \"page_p99_ms\": {:.4}", net_over.p99_ms);
+    json.push_str("  }");
+
+    // Delta scenario: incremental maintenance vs full rebuild on path-4 —
+    // the serving-ingest counterpart to the prep_ms numbers above.
+    let delta_workload = *service_workloads
+        .first()
+        .expect("at least one service workload");
+    let delta = run_delta(delta_workload);
+    println!("== delta4 ({} edits, refresh vs rebuild) ==", delta.edits);
+    println!(
+        "  {:<10} apply {:>8.4}ms  refresh {:>8.4}ms  rebuild_prep {:>8.4}ms  speedup {:>6.1}x",
+        delta_workload.name, delta.apply_ms, delta.refresh_ms, delta.rebuild_prep_ms, delta.speedup
+    );
+    json.push_str(",\n  \"delta4\": {\n");
+    let _ = writeln!(json, "    \"workload\": \"{}\",", delta_workload.name);
+    let _ = writeln!(json, "    \"edits\": {},", delta.edits);
+    let _ = writeln!(json, "    \"apply_ms\": {:.4},", delta.apply_ms);
+    let _ = writeln!(json, "    \"refresh_ms\": {:.4},", delta.refresh_ms);
+    let _ = writeln!(
+        json,
+        "    \"rebuild_prep_ms\": {:.4},",
+        delta.rebuild_prep_ms
+    );
+    let _ = writeln!(json, "    \"refresh_speedup\": {:.2}", delta.speedup);
     json.push_str("  }");
 
     if let Ok(path) = std::env::var("ANYK_HOTPATH_BASELINE") {

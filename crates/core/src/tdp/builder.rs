@@ -22,6 +22,9 @@ pub struct TdpBuilder<D: Dioid> {
     nodes: Vec<Node<D::V>>,
     /// All decisions in insertion order: `(parent node, slot, child node)`.
     edges: Vec<(NodeId, u32, NodeId)>,
+    /// Keep the full pre-compaction successor CSR on the built instance so
+    /// it can be edited with [`crate::tdp::apply_patch`].
+    retain_topology: bool,
 }
 
 impl<D: Dioid> Default for TdpBuilder<D> {
@@ -50,7 +53,16 @@ impl<D: Dioid> TdpBuilder<D> {
             stages: vec![root_stage],
             nodes: vec![root_node],
             edges: Vec::new(),
+            retain_topology: false,
         }
+    }
+
+    /// Ask [`TdpBuilder::build`] to keep the full pre-compaction successor
+    /// topology on the instance, enabling in-place delta maintenance via
+    /// [`crate::tdp::apply_patch`] at the cost of one extra CSR copy
+    /// (`O(E)` memory). Off by default.
+    pub fn retain_topology(&mut self, retain: bool) {
+        self.retain_topology = retain;
     }
 
     /// A builder for a *serial* (path-shaped) problem with `len` stages
@@ -245,8 +257,18 @@ impl<D: Dioid> TdpBuilder<D> {
             serial_order,
             parent_pos,
             pending,
+            retained: None,
         };
         bottom_up::run_with_threads(&mut instance, threads);
+        if self.retain_topology {
+            // Snapshot the full CSR before compaction destroys edges into
+            // pruned states — apply_patch needs them to revive such states.
+            instance.retained = Some(super::delta::RetainedTopology::new(
+                instance.succ_offsets.clone(),
+                instance.succ_data.clone(),
+                instance.nodes.len(),
+            ));
+        }
         compact_pruned(&mut instance);
         instance
     }

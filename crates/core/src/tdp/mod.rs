@@ -44,9 +44,11 @@
 
 mod bottom_up;
 mod builder;
+mod delta;
 
 pub use bottom_up::top1_solution;
 pub use builder::TdpBuilder;
+pub use delta::{apply_patch, PatchError, PatchStats, TdpPatch};
 
 /// The bottom-up worker count the next [`TdpBuilder::build`] will use:
 /// `ANYK_THREADS` if set (clamped to ≥ 1), else the machine's available
@@ -157,6 +159,10 @@ pub struct TdpInstance<D: Dioid> {
     /// slot)` of branches that hang off the prefix but are not covered by the
     /// subtree of the stage at position `j` (see `anyk_part`).
     pub(crate) pending: Vec<Vec<(Option<usize>, u32)>>,
+    /// The full pre-compaction successor topology, kept only when the
+    /// builder was asked to [`TdpBuilder::retain_topology`] — required by
+    /// [`apply_patch`] (delta ingestion). `None` for ordinary instances.
+    pub(crate) retained: Option<delta::RetainedTopology>,
 }
 
 impl<D: Dioid> TdpInstance<D> {
@@ -315,6 +321,22 @@ impl<D: Dioid> TdpInstance<D> {
     /// of [`crate::anyk_part`]).
     pub(crate) fn pending_branches(&self, pos: usize) -> &[(Option<usize>, u32)] {
         &self.pending[pos]
+    }
+
+    /// True if this instance retained its full pre-compaction topology and
+    /// can therefore be edited with [`apply_patch`].
+    pub fn supports_patch(&self) -> bool {
+        self.retained.is_some()
+    }
+
+    /// Approximate heap bytes of the retained full topology (0 for ordinary
+    /// instances) — the memory cost of keeping an instance patchable.
+    pub fn retained_topology_bytes(&self) -> usize {
+        self.retained.as_ref().map_or(0, |r| {
+            r.succ_offsets.len() * std::mem::size_of::<u32>()
+                + r.succ_data.len() * std::mem::size_of::<NodeId>()
+                + r.dead.len()
+        })
     }
 }
 

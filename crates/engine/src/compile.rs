@@ -30,12 +30,53 @@ pub struct Compiled<D: Dioid> {
     /// the query atom it encodes.
     output_atoms: Vec<usize>,
     /// Relation name per atom.
-    atom_relations: Vec<String>,
+    pub(crate) atom_relations: Vec<String>,
     /// The query's head variables.
     head_vars: Vec<String>,
     /// For each head variable: (position within `output_atoms`, column of
     /// that atom's relation holding the variable's value).
     var_sources: Vec<(usize, usize)>,
+    /// The tuple↔state bookkeeping needed to maintain the instance under
+    /// input deltas (see [`crate::refresh`]); captured only by
+    /// [`compile_with_delta`].
+    pub(crate) delta: Option<DeltaSupport>,
+}
+
+/// Per-compilation bookkeeping for delta maintenance: which T-DP state each
+/// input tuple became, and how atoms link through value-node stages.
+#[derive(Debug, Clone)]
+pub(crate) struct DeltaSupport {
+    /// Atom indices in join-tree traversal order (root first).
+    pub(crate) order: Vec<usize>,
+    /// The output stage of each atom (by atom index).
+    pub(crate) stage_of_atom: Vec<StageId>,
+    /// For each non-root atom: how it hangs off its parent. `None` for the
+    /// traversal root.
+    pub(crate) parent_link: Vec<Option<AtomLink>>,
+    /// Child atoms of each atom in the join tree (by atom index).
+    pub(crate) children: Vec<Vec<usize>>,
+    /// State per (atom, tuple id); `None` for tuples dropped by the
+    /// semi-join part of the encoding.
+    pub(crate) states: Vec<Vec<Option<NodeId>>>,
+}
+
+/// How a non-root atom connects to its parent in the equi-join encoding.
+#[derive(Debug, Clone)]
+pub(crate) struct AtomLink {
+    /// The parent atom's index.
+    pub(crate) parent_atom: usize,
+    /// Join-key positions within the parent atom's relation.
+    pub(crate) parent_positions: Vec<usize>,
+    /// Join-key positions within this atom's relation.
+    pub(crate) child_positions: Vec<usize>,
+    /// The value-node stage between parent and child.
+    pub(crate) value_stage: StageId,
+    /// The value node of every join-key value that has one — keys occurring
+    /// on the parent side at compile time, plus keys whose vnode a later
+    /// refresh created. Orphaned vnodes (all parents deleted) stay mapped:
+    /// the "state exists ⇔ key has a vnode" invariant is what lets a refresh
+    /// materialise new child tuples exactly once.
+    pub(crate) vnode_by_key: std::collections::HashMap<Vec<Value>, NodeId>,
 }
 
 /// Validate that every atom references an existing relation of matching arity.
@@ -72,7 +113,25 @@ where
     validate(db, query)?;
     let join_tree = gyo::join_tree(query.atoms())
         .ok_or_else(|| EngineError::UnsupportedCyclicQuery(query.to_string()))?;
-    compile_over_tree(db, query, &join_tree, weight_fn)
+    compile_over_tree_inner(db, query, &join_tree, weight_fn, false)
+}
+
+/// Like [`compile_with`], additionally retaining the full T-DP topology and
+/// the tuple↔state bookkeeping needed for [`crate::refresh`] (delta
+/// maintenance). Costs one extra CSR copy plus `O(n)` state maps.
+pub fn compile_with_delta<D, F>(
+    db: &Database,
+    query: &ConjunctiveQuery,
+    weight_fn: F,
+) -> Result<Compiled<D>, EngineError>
+where
+    D: Dioid<V = OrderedF64>,
+    F: Fn(RowRef<'_>) -> f64,
+{
+    validate(db, query)?;
+    let join_tree = gyo::join_tree(query.atoms())
+        .ok_or_else(|| EngineError::UnsupportedCyclicQuery(query.to_string()))?;
+    compile_over_tree_inner(db, query, &join_tree, weight_fn, true)
 }
 
 /// Compile an acyclic full CQ over an explicitly provided join tree (used by
@@ -91,9 +150,27 @@ where
     D: Dioid<V = OrderedF64>,
     F: Fn(RowRef<'_>) -> f64,
 {
+    compile_over_tree_inner(db, query, join_tree, weight_fn, false)
+}
+
+fn compile_over_tree_inner<D, F>(
+    db: &Database,
+    query: &ConjunctiveQuery,
+    join_tree: &JoinTree,
+    weight_fn: F,
+    retain_delta: bool,
+) -> Result<Compiled<D>, EngineError>
+where
+    D: Dioid<V = OrderedF64>,
+    F: Fn(RowRef<'_>) -> f64,
+{
     let atoms = query.atoms();
     let order = join_tree.traversal_order();
     let mut builder = TdpBuilder::<D>::new();
+    builder.retain_topology(retain_delta);
+    // Delta bookkeeping, filled only when `retain_delta` (see DeltaSupport).
+    let mut parent_link: Vec<Option<AtomLink>> = vec![None; atoms.len()];
+    let mut tree_children: Vec<Vec<usize>> = vec![Vec::new(); atoms.len()];
 
     // Stage id of each atom's (output) stage, indexed by atom index.
     let mut stage_of_atom: Vec<Option<StageId>> = vec![None; atoms.len()];
@@ -165,6 +242,24 @@ where
             builder.connect(pstate, vnode);
         }
         debug_assert_eq!(states_of_atom[parent_idx].len(), parent_relation.len());
+        if retain_delta {
+            // Re-key the group-indexed vnodes by join-key value: group ids
+            // are an artifact of this index build and would not survive a
+            // delta, key values do.
+            let vnode_by_key = vnode_of_group
+                .iter()
+                .enumerate()
+                .filter_map(|(g, v)| v.map(|v| (parent_index.group(g).0.to_vec(), v)))
+                .collect();
+            parent_link[atom_idx] = Some(AtomLink {
+                parent_atom: parent_idx,
+                parent_positions: parent_positions.clone(),
+                child_positions: child_positions.clone(),
+                value_stage,
+                vnode_by_key,
+            });
+            tree_children[parent_idx].push(atom_idx);
+        }
 
         // Child tuples connect below the value node of their key (tuples with
         // keys that never occur on the parent side are dropped here — the
@@ -240,12 +335,24 @@ where
         })
         .collect::<Result<Vec<_>, _>>()?;
 
+    let delta = retain_delta.then(|| DeltaSupport {
+        order: order.to_vec(),
+        stage_of_atom: stage_of_atom
+            .iter()
+            .map(|s| s.expect("every atom was visited"))
+            .collect(),
+        parent_link,
+        children: tree_children,
+        states: states_of_atom,
+    });
+
     Ok(Compiled {
         instance,
         output_atoms,
         atom_relations: atoms.iter().map(|a| a.relation.clone()).collect(),
         head_vars,
         var_sources,
+        delta,
     })
 }
 
@@ -253,6 +360,12 @@ impl<D: Dioid<V = OrderedF64>> Compiled<D> {
     /// The atoms encoded by the instance's output stages, in serial order.
     pub fn output_atoms(&self) -> &[usize] {
         &self.output_atoms
+    }
+
+    /// Whether the plan carries the tuple↔state bookkeeping needed by
+    /// [`crate::refresh`] (compiled through [`compile_with_delta`]).
+    pub fn supports_refresh(&self) -> bool {
+        self.delta.is_some()
     }
 
     /// The query's head variables.

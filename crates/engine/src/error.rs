@@ -41,6 +41,11 @@ pub enum EngineError {
     },
     /// The textual query could not be parsed.
     Parse(ParseError),
+    /// Delta maintenance ([`crate::PreparedQuery::refresh`]) was requested
+    /// for a plan that cannot be patched in place: compiled without delta
+    /// support, cycle-decomposed, or carrying selection-pushdown scratch
+    /// relations. The caller should recompile from scratch instead.
+    RefreshUnsupported(String),
     /// A chaos-testing failpoint fired on the preparation path (see
     /// [`anyk_core::faults`]); never produced unless a fault plan is armed.
     Fault(anyk_core::faults::Injected),
@@ -81,6 +86,9 @@ impl fmt::Display for EngineError {
                  relation `{relation}` (string constants need a dictionary-encoded \
                  text column, integer constants a raw-id column)"
             ),
+            EngineError::RefreshUnsupported(why) => {
+                write!(f, "plan cannot be delta-maintained ({why}); recompile instead")
+            }
             EngineError::Parse(e) => write!(f, "{e}"),
             EngineError::Fault(e) => write!(f, "{e}"),
             EngineError::Internal(what) => {

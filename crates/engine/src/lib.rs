@@ -21,6 +21,11 @@
 //!   same machinery: an owning, `Send + Sync` compiled plan shared behind an
 //!   `Arc`, plus per-session resumable cursors that pull ranked answers in
 //!   pages bit-identical to the one-shot stream ([`prepared`]);
+//! * `refresh` (internal) — delta maintenance: a plan compiled with delta
+//!   support ([`PreparedQuery::prepare_delta`]) is patched under a
+//!   [`DeltaBatch`](anyk_storage::DeltaBatch) ([`PreparedQuery::refresh`])
+//!   instead of recompiled, re-sweeping only the dirty cone of the
+//!   bottom-up phase;
 //! * baselines used by the paper's evaluation: [`yannakakis`] (Batch),
 //!   [`naive_sql`] (a generic hash-join + sort engine standing in for the
 //!   PostgreSQL comparison of Fig. 14), [`wcoj`] (a Generic-Join–style
@@ -43,6 +48,7 @@ pub mod prepared;
 pub mod projection;
 mod ranked;
 pub mod rankjoin;
+mod refresh;
 mod select;
 pub mod wcoj;
 pub mod yannakakis;

@@ -56,7 +56,7 @@ use crate::ranked::{AnswerStream, Plan};
 use anyk_core::{AnyKAlgorithm, MemoryStats};
 use anyk_query::ConjunctiveQuery;
 use anyk_query::RankingFunction;
-use anyk_storage::Database;
+use anyk_storage::{Database, DeltaBatch};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -118,7 +118,21 @@ impl PreparedQuery {
         query: &ConjunctiveQuery,
         ranking: RankingFunction,
     ) -> Result<Self, EngineError> {
-        Self::build(db, query.clone(), ranking, &[])
+        Self::build(db, query.clone(), ranking, &[], false)
+    }
+
+    /// Like [`PreparedQuery::prepare`], additionally retaining the
+    /// bookkeeping that lets [`PreparedQuery::refresh`] patch the plan under
+    /// a [`DeltaBatch`] instead of recompiling (one extra CSR copy plus
+    /// `O(n)` tuple→state maps). Cycle plans and plans with
+    /// selection-pushdown scratch relations silently skip the bookkeeping —
+    /// check [`PreparedQuery::supports_refresh`].
+    pub fn prepare_delta(
+        db: Arc<Database>,
+        query: &ConjunctiveQuery,
+        ranking: RankingFunction,
+    ) -> Result<Self, EngineError> {
+        Self::build(db, query.clone(), ranking, &[], true)
     }
 
     /// Compile and preprocess a [`QuerySpec`](anyk_query::QuerySpec):
@@ -130,7 +144,17 @@ impl PreparedQuery {
     /// those attributes per cursor ([`PreparedQuery::cursor_with_limit`]).
     pub fn from_spec(db: Arc<Database>, spec: &anyk_query::QuerySpec) -> Result<Self, EngineError> {
         let query = spec.to_query()?;
-        Self::build(db, query, spec.ranking, &spec.predicates)
+        Self::build(db, query, spec.ranking, &spec.predicates, false)
+    }
+
+    /// [`PreparedQuery::from_spec`] with delta-maintenance bookkeeping; see
+    /// [`PreparedQuery::prepare_delta`].
+    pub fn from_spec_delta(
+        db: Arc<Database>,
+        spec: &anyk_query::QuerySpec,
+    ) -> Result<Self, EngineError> {
+        let query = spec.to_query()?;
+        Self::build(db, query, spec.ranking, &spec.predicates, true)
     }
 
     /// Parse `text` in the query language and prepare it; see
@@ -144,11 +168,15 @@ impl PreparedQuery {
         query: ConjunctiveQuery,
         ranking: RankingFunction,
         predicates: &[anyk_query::Predicate],
+        retain_delta: bool,
     ) -> Result<Self, EngineError> {
         let effective = crate::select::rewrite_selections(&db, &query, predicates)?;
         let plan = match &effective {
+            // Selection-pushdown plans compile over scratch relation copies
+            // that a delta cannot be mapped onto; they recompile on
+            // ingestion, so the bookkeeping would be dead weight.
             Some((scratch, rewritten)) => Plan::prepare(scratch, rewritten, ranking)?,
-            None => Plan::prepare(&db, &query, ranking)?,
+            None => Plan::prepare_opts(&db, &query, ranking, retain_delta)?,
         };
         Ok(PreparedQuery {
             db,
@@ -192,6 +220,45 @@ impl PreparedQuery {
     /// The exact number of answers, computed without enumerating them.
     pub fn count_answers(&self) -> u128 {
         self.plan.count_answers()
+    }
+
+    /// Whether [`PreparedQuery::refresh`] can patch this plan under a
+    /// [`DeltaBatch`]: compiled through [`PreparedQuery::prepare_delta`] /
+    /// [`PreparedQuery::from_spec_delta`], acyclic, and free of
+    /// selection-pushdown scratch relations.
+    pub fn supports_refresh(&self) -> bool {
+        self.effective.is_none() && self.plan.supports_refresh()
+    }
+
+    /// Delta-maintain the plan: a **new** prepared query answering the same
+    /// query over `new_db`, which must be this plan's snapshot plus `batch`
+    /// (the output of
+    /// [`Database::apply_delta`](anyk_storage::Database::apply_delta)).
+    ///
+    /// Only the dirty cone of the bottom-up phase is re-swept (see
+    /// [`anyk_core::tdp::apply_patch`]); the ranked streams of the result
+    /// are bit-identical to recompiling from scratch over `new_db`. The
+    /// original plan is untouched — open cursors keep streaming their
+    /// pinned snapshot (a hard requirement: cursors hold self-references
+    /// into the plan, so prepared queries are never mutated in place).
+    pub fn refresh(
+        &self,
+        new_db: Arc<Database>,
+        batch: &DeltaBatch,
+    ) -> Result<PreparedQuery, EngineError> {
+        if self.effective.is_some() {
+            return Err(EngineError::RefreshUnsupported(
+                "plans with selection-pushdown scratch relations recompile on ingestion".into(),
+            ));
+        }
+        let (plan, _stats) = self.plan.refresh(&new_db, batch, self.ranking)?;
+        Ok(PreparedQuery {
+            db: new_db,
+            query: self.query.clone(),
+            effective: None,
+            ranking: self.ranking,
+            plan,
+        })
     }
 
     /// A decoder mapping this query's answers back to original strings

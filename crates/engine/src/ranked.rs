@@ -11,7 +11,7 @@ use anyk_core::{
 };
 use anyk_query::ConjunctiveQuery;
 use anyk_query::RankingFunction;
-use anyk_storage::{Database, RowRef, Value};
+use anyk_storage::{Database, DeltaBatch, RowRef, Value};
 
 /// A full conjunctive query prepared for ranked enumeration.
 ///
@@ -226,21 +226,41 @@ impl Plan {
         query: &ConjunctiveQuery,
         ranking: RankingFunction,
     ) -> Result<Self, EngineError> {
+        Self::prepare_opts(db, query, ranking, false)
+    }
+
+    /// [`Plan::prepare`] with an explicit choice about delta support:
+    /// `retain_delta` compiles acyclic plans through
+    /// [`compile_with_delta`], enabling [`Plan::refresh`] at the cost of one
+    /// extra CSR copy plus `O(n)` tuple→state maps. Cycle plans ignore the
+    /// flag (they recompile from scratch on ingestion).
+    pub(crate) fn prepare_opts(
+        db: &Database,
+        query: &ConjunctiveQuery,
+        ranking: RankingFunction,
+        retain_delta: bool,
+    ) -> Result<Self, EngineError> {
         anyk_core::faults::check("engine.compile")?;
         crate::compile::validate(db, query)?;
         if query.is_acyclic() {
             if ranking.is_bottleneck() {
-                Ok(Plan::AcyclicBottleneck(compile_with::<MinMaxDioid, _>(
-                    db,
-                    query,
-                    |t| ranking.encode(t.weight()),
-                )?))
+                let c = if retain_delta {
+                    crate::compile::compile_with_delta::<MinMaxDioid, _>(db, query, |t| {
+                        ranking.encode(t.weight())
+                    })?
+                } else {
+                    compile_with::<MinMaxDioid, _>(db, query, |t| ranking.encode(t.weight()))?
+                };
+                Ok(Plan::AcyclicBottleneck(c))
             } else {
-                Ok(Plan::AcyclicSum(compile_with::<TropicalMin, _>(
-                    db,
-                    query,
-                    |t| ranking.encode(t.weight()),
-                )?))
+                let c = if retain_delta {
+                    crate::compile::compile_with_delta::<TropicalMin, _>(db, query, |t| {
+                        ranking.encode(t.weight())
+                    })?
+                } else {
+                    compile_with::<TropicalMin, _>(db, query, |t| ranking.encode(t.weight()))?
+                };
+                Ok(Plan::AcyclicSum(c))
             }
         } else {
             let combine = ranking.combine_fn();
@@ -294,6 +314,44 @@ impl Plan {
     /// Whether the plan uses the cycle decomposition.
     pub(crate) fn is_decomposed(&self) -> bool {
         matches!(self, Plan::CycleSum(_) | Plan::CycleBottleneck(_))
+    }
+
+    /// Whether [`Plan::refresh`] can patch this plan in place (acyclic and
+    /// compiled with delta support).
+    pub(crate) fn supports_refresh(&self) -> bool {
+        match self {
+            Plan::AcyclicSum(c) => c.supports_refresh(),
+            Plan::AcyclicBottleneck(c) => c.supports_refresh(),
+            Plan::CycleSum(_) | Plan::CycleBottleneck(_) => false,
+        }
+    }
+
+    /// Delta-maintain the plan: produce a new plan answering the same query
+    /// over `new_db`, which must be the plan's snapshot plus `batch` (see
+    /// [`crate::refresh`]). Returns the refreshed plan and the core patch
+    /// statistics (how local the dirty-cone re-sweep was).
+    pub(crate) fn refresh(
+        &self,
+        new_db: &Database,
+        batch: &DeltaBatch,
+        ranking: RankingFunction,
+    ) -> Result<(Self, anyk_core::tdp::PatchStats), EngineError> {
+        anyk_core::faults::check("engine.refresh")?;
+        match self {
+            Plan::AcyclicSum(c) => {
+                let (c, stats) =
+                    crate::refresh::refresh_compiled(c, new_db, batch, &|w| ranking.encode(w))?;
+                Ok((Plan::AcyclicSum(c), stats))
+            }
+            Plan::AcyclicBottleneck(c) => {
+                let (c, stats) =
+                    crate::refresh::refresh_compiled(c, new_db, batch, &|w| ranking.encode(w))?;
+                Ok((Plan::AcyclicBottleneck(c), stats))
+            }
+            Plan::CycleSum(_) | Plan::CycleBottleneck(_) => Err(EngineError::RefreshUnsupported(
+                "cycle-decomposed plans are rebuilt from their bag databases".into(),
+            )),
+        }
     }
 
     /// The exact number of answers, without enumerating them.

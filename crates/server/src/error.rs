@@ -59,6 +59,10 @@ pub enum ServiceError {
     /// A previous page pull on this session panicked; the session was
     /// isolated and its state discarded. Other sessions are unaffected.
     SessionPoisoned(SessionId),
+    /// A delta batch could not be applied to the current snapshot (unknown
+    /// relation, arity mismatch, delete id out of range). Validation runs
+    /// before any work, so the served snapshot is untouched.
+    Delta(anyk_storage::DeltaError),
     /// A chaos-testing failpoint fired on the serving path (see
     /// [`crate::faults`]); never produced unless a fault plan is armed.
     Fault(anyk_core::faults::Injected),
@@ -94,6 +98,7 @@ impl std::fmt::Display for ServiceError {
                 f,
                 "{id} was poisoned by a panic in an earlier page pull and is closed"
             ),
+            ServiceError::Delta(e) => write!(f, "delta batch rejected: {e}"),
             ServiceError::Fault(e) => write!(f, "{e}"),
             ServiceError::Panicked { context } => {
                 write!(f, "request panicked (isolated): {context}")
@@ -107,6 +112,7 @@ impl std::error::Error for ServiceError {
         match self {
             ServiceError::Engine(e) => Some(e),
             ServiceError::Parse(e) => Some(e),
+            ServiceError::Delta(e) => Some(e),
             ServiceError::Fault(e) => Some(e),
             _ => None,
         }
@@ -130,6 +136,12 @@ impl From<EngineError> for ServiceError {
 impl From<ParseError> for ServiceError {
     fn from(e: ParseError) -> Self {
         ServiceError::Parse(e)
+    }
+}
+
+impl From<anyk_storage::DeltaError> for ServiceError {
+    fn from(e: anyk_storage::DeltaError) -> Self {
+        ServiceError::Delta(e)
     }
 }
 

@@ -90,6 +90,19 @@ pub(crate) struct GovState {
     pub plan_hits: u64,
     pub plan_misses: u64,
     pub plan_evictions: u64,
+    // Snapshot lifecycle (see `crate::service` — rotation & delta
+    // ingestion). `snapshot_resident_units` and `active_generations` are
+    // gauges: they rise when a generation is installed and fall when the
+    // retired snapshot's last pinned session ends and its `Snapshot` wrapper
+    // drops. The rest are lifetime counters.
+    pub snapshot_resident_units: u64,
+    pub active_generations: usize,
+    pub current_generation: u64,
+    pub snapshots_retired: u64,
+    pub generations_rotated: u64,
+    pub deltas_ingested: u64,
+    pub plans_refreshed: u64,
+    pub plans_recompiled: u64,
     // Connection-level counters, bumped by the TCP transport
     // (`crate::net::AnyKServer`). They live in the same state block as the
     // session counters so one `metrics()` snapshot covers the whole stack
@@ -224,6 +237,27 @@ impl Governor {
         self.with(|s| {
             s.pages_served += 1;
             s.answers_served += answers as u64;
+        });
+    }
+
+    /// Account a newly installed snapshot generation holding `units`
+    /// resident tuples.
+    pub fn install_snapshot(&self, generation: u64, units: u64) {
+        self.with(|s| {
+            s.snapshot_resident_units += units;
+            s.active_generations += 1;
+            s.current_generation = generation;
+        });
+    }
+
+    /// Release a retired snapshot's residency — called from
+    /// `Snapshot::drop`, i.e. when the last session pinning the generation
+    /// ends (or immediately on rotation if nothing pinned it).
+    pub fn retire_snapshot(&self, units: u64) {
+        self.with(|s| {
+            s.snapshot_resident_units -= units;
+            s.active_generations -= 1;
+            s.snapshots_retired += 1;
         });
     }
 

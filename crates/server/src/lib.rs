@@ -127,6 +127,51 @@
 //!   bit-identically. The caller gets [`ServiceError::Panicked`] with the
 //!   panic message.
 //!
+//! ## Snapshot rotation & delta ingestion
+//!
+//! The service never mutates the data it serves. [`QueryService::over`]
+//! **seals** the database it is handed — any leftover mutable handle that
+//! tries [`Database::add`](anyk_storage::Database::add) afterwards panics
+//! instead of swapping a relation under live sessions — and new data only
+//! ever enters as a **new generation**:
+//!
+//! ```text
+//!            over(db)                 ingest(batch) / rotate(db)
+//!   [unsealed db] ──▶ gen 0 (sealed) ─────────────▶ gen 1 (sealed) ──▶ …
+//!                        ▲ current                     ▲ current
+//!                        │                             │
+//!            sessions opened before the edit stay      │ new sessions,
+//!            *pinned* to gen 0 and stream it to        │ new plans
+//!            the end, bit-identically                  │
+//!                        │                             │
+//!                        ▼ last pinned session ends    │
+//!                  gen 0 retired: snapshot dropped,    │
+//!                  residency returned to the Governor  │
+//! ```
+//!
+//! * **Generation pinning**: [`QueryService::open_session`] binds the
+//!   session to the snapshot current *at open*; rotation never perturbs an
+//!   in-flight stream ([`SessionStatus::generation`] says which one).
+//!   A retired snapshot is dropped with its **last** pinned session, and
+//!   its tuple residency ([`ServiceMetrics::snapshot_resident_units`],
+//!   [`ServiceMetrics::active_generations`]) is released then.
+//! * **Plan cache keying**: cached plans are keyed by
+//!   `(generation, plan_key)`, so a rotated snapshot can never serve a
+//!   stale plan — and neither can the storage-level index cache, whose
+//!   entries carry the generation too.
+//! * **Delta ingestion** ([`QueryService::ingest`]): a
+//!   [`DeltaBatch`](anyk_storage::DeltaBatch) of per-relation deletes and
+//!   inserts is validated, applied to a **copy** of the current snapshot,
+//!   and served as the next generation. Cached delta-capable plans are
+//!   carried forward by re-sweeping only the **dirty cone** of the
+//!   bottom-up DP (a small fraction of a full compile); the rest are
+//!   recompiled. Either way the differential guarantee holds: every ranked
+//!   stream from a delta-maintained instance is **bit-identical** to one
+//!   from a from-scratch rebuild, across all six any-k algorithms.
+//! * **Wholesale rotation** ([`QueryService::rotate`]) swaps in unrelated
+//!   data: the plan cache starts cold, pinned sessions still finish their
+//!   old generation.
+//!
 //! ## Tuning the governor
 //!
 //! * `max_sessions` bounds *suspended state*: each open session parks its
@@ -230,3 +275,7 @@ pub use anyk_core::faults;
 // without depending on anyk-engine / anyk-query directly.
 pub use anyk_engine::{Answer, AnswerCursor, CancellationToken, Page, PreparedQuery};
 pub use anyk_query::{ParseError, QuerySpec};
+
+// Re-exported so ingestion callers can build delta batches without
+// depending on anyk-storage directly.
+pub use anyk_storage::{DeltaBatch, DeltaError, RelationDelta};

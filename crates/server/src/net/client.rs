@@ -6,8 +6,9 @@
 //! [`ClientConfig::max_backoff`], at most [`ClientConfig::max_retries`]
 //! attempts). A server shedding at its connection cap answers the dial with
 //! an `Overloaded` frame carrying `retry_after`; the client honours that
-//! hint — sleeping `max(hint, next_backoff)` — so a shedding server is never
-//! hammered faster than it asked to be.
+//! hint — sleeping `max(hint, next_backoff)`, floored at
+//! [`MIN_RETRY_SLEEP`] — so a shedding server is never hammered faster than
+//! it asked to be, even if it hints `retry_after = 0`.
 //!
 //! Reconnecting does **not** resurrect sessions: session handles live on
 //! one connection, and the server closes them when the connection dies.
@@ -27,9 +28,22 @@ use super::protocol::{
     DEFAULT_MAX_FRAME_BYTES,
 };
 use anyk_engine::Page;
+use anyk_storage::DeltaBatch;
 use std::io;
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
+
+/// Floor on every retry sleep. A server may hint `retry_after = 0`
+/// (e.g. "retry immediately once a slot frees"), and a zero-configured
+/// `initial_backoff` would otherwise turn that into a hot redial loop — a
+/// shed client busy-hammering the very server that asked it to back off.
+pub const MIN_RETRY_SLEEP: Duration = Duration::from_millis(1);
+
+/// The sleep before a retry: the server's hint or our own backoff, whichever
+/// asks for longer, but never below [`MIN_RETRY_SLEEP`].
+fn retry_sleep(hint: Duration, backoff: Duration) -> Duration {
+    hint.max(backoff).max(MIN_RETRY_SLEEP)
+}
 
 /// Tuning for [`AnyKClient`]. Defaults suit tests: fast initial backoff,
 /// bounded total retry effort.
@@ -152,7 +166,7 @@ impl AnyKClient {
         let mut last_err: Option<io::Error> = None;
         for attempt in 0..self.cfg.max_retries.max(1) {
             if attempt > 0 {
-                std::thread::sleep(backoff);
+                std::thread::sleep(retry_sleep(Duration::ZERO, backoff));
                 backoff = (backoff * 2).min(self.cfg.max_backoff);
             }
             match self.dial() {
@@ -237,7 +251,8 @@ impl AnyKClient {
 
     /// Open a paged enumeration session. Retries `Overloaded` sheds up to
     /// `max_retries` times, honouring the server's `retry_after` hint
-    /// (sleeping `max(hint, next_backoff)` per attempt).
+    /// (sleeping `max(hint, next_backoff)` per attempt, never below
+    /// [`MIN_RETRY_SLEEP`] — a `retry_after = 0` hint must not hot-loop).
     pub fn open_session(&mut self, text: &str) -> Result<RemoteSession, ClientError> {
         let mut backoff = self.cfg.initial_backoff;
         let mut attempt = 0;
@@ -259,12 +274,23 @@ impl AnyKClient {
                     // frame; admission-control sheds keep it open. Redial
                     // either way — reconnecting is cheap and uniform.
                     self.disconnect();
-                    std::thread::sleep(retry_after.max(backoff));
+                    std::thread::sleep(retry_sleep(retry_after, backoff));
                     backoff = (backoff * 2).min(self.cfg.max_backoff);
                 }
                 Response::Err(e) => return Err(ClientError::Remote(e)),
                 other => return Err(unexpected("SessionOpened", &other)),
             }
+        }
+    }
+
+    /// Apply a delta batch to the server's current snapshot: the server
+    /// rotates in a new generation and returns its id. Sessions opened
+    /// before the ingest keep streaming from their pinned snapshot.
+    pub fn ingest(&mut self, batch: &DeltaBatch) -> Result<u64, ClientError> {
+        match self.call(&Request::Ingest(batch.clone()))? {
+            Response::Ingested(generation) => Ok(generation),
+            Response::Err(e) => Err(ClientError::Remote(e)),
+            other => Err(unexpected("Ingested", &other)),
         }
     }
 
@@ -328,4 +354,31 @@ impl AnyKClient {
 
 fn unexpected(wanted: &str, got: &Response) -> ClientError {
     ClientError::Protocol(format!("expected {wanted}, got {:?}", got.status()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: a server hinting `retry_after = 0` (shed, but "retry as
+    /// soon as you like") combined with a zero initial backoff used to make
+    /// shed clients redial in a hot loop. The sleep is now floored.
+    #[test]
+    fn zero_retry_hint_never_hot_loops() {
+        assert!(retry_sleep(Duration::ZERO, Duration::ZERO) >= MIN_RETRY_SLEEP);
+        assert_eq!(retry_sleep(Duration::ZERO, Duration::ZERO), MIN_RETRY_SLEEP);
+    }
+
+    #[test]
+    fn retry_sleep_takes_the_longer_of_hint_and_backoff() {
+        let hint = Duration::from_millis(50);
+        let backoff = Duration::from_millis(20);
+        assert_eq!(retry_sleep(hint, backoff), hint);
+        assert_eq!(retry_sleep(backoff, hint), hint);
+        // Sub-floor values on both sides still get the floor.
+        assert_eq!(
+            retry_sleep(Duration::from_micros(5), Duration::from_micros(7)),
+            MIN_RETRY_SLEEP
+        );
+    }
 }

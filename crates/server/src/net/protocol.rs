@@ -42,16 +42,24 @@
 //! | `0x04` | `NextPage` | `u64` session, `u32` page size |
 //! | `0x05` | `Cancel` | `u64` session |
 //! | `0x06` | `Close` | `u64` session |
+//! | `0x07` | `Ingest` | delta batch (see below) |
 //!
 //! Session ids are **per-connection** handles issued by `OpenSession`; a
 //! connection can only address sessions it opened itself, so one client can
 //! never cancel or read another's stream.
 //!
+//! An `Ingest` payload is a [`DeltaBatch`]: `u16` relation count, then per
+//! relation `u16` name length + UTF-8 name, `u32` delete count + `u64` per
+//! deleted tuple id, `u32` insert count + per inserted tuple `u16` arity,
+//! arity × `u64` values, `u64` weight bits. Weights travel as bit patterns,
+//! so the server ingests exactly the tuples the client built.
+//!
 //! # Response statuses
 //!
 //! Success (`0x80..`): `Pong` (empty), `Prepared` (canonical plan key,
 //! UTF-8), `SessionOpened` (`u64` id), `Page` (`u8` done, `u32` count,
-//! `count` × answer), `Cancelled` (empty), `Closed` (`u8` existed).
+//! `count` × answer), `Cancelled` (empty), `Closed` (`u8` existed),
+//! `Ingested` (`u64` new generation id).
 //!
 //! An answer is `u64` weight bits, `u16` arity, arity × `u64` values,
 //! `u16` witness count, count × (`u32` atom index, `u64` tuple id) — the
@@ -65,6 +73,7 @@
 
 use crate::error::{OverloadReason, ServiceError};
 use anyk_engine::{Answer, Page};
+use anyk_storage::{DeltaBatch, RelationDelta, Tuple};
 use std::io::{self, Read, Write};
 use std::time::Duration;
 
@@ -93,6 +102,9 @@ pub enum OpCode {
     Cancel = 0x05,
     /// Close a session; answered with `Closed`.
     Close = 0x06,
+    /// Apply a delta batch, rotating the served snapshot; answered with
+    /// `Ingested`.
+    Ingest = 0x07,
 }
 
 impl OpCode {
@@ -104,6 +116,7 @@ impl OpCode {
             0x04 => OpCode::NextPage,
             0x05 => OpCode::Cancel,
             0x06 => OpCode::Close,
+            0x07 => OpCode::Ingest,
             _ => return None,
         })
     }
@@ -122,6 +135,7 @@ pub enum StatusCode {
     Page = 0x83,
     Cancelled = 0x84,
     Closed = 0x85,
+    Ingested = 0x86,
     ErrProtocol = 0xC0,
     ErrUnsupportedVersion = 0xC1,
     ErrFrameTooLarge = 0xC2,
@@ -135,6 +149,7 @@ pub enum StatusCode {
     ErrSessionPoisoned = 0xCA,
     ErrFault = 0xCB,
     ErrPanicked = 0xCC,
+    ErrDelta = 0xCD,
 }
 
 impl StatusCode {
@@ -146,6 +161,7 @@ impl StatusCode {
             0x83 => StatusCode::Page,
             0x84 => StatusCode::Cancelled,
             0x85 => StatusCode::Closed,
+            0x86 => StatusCode::Ingested,
             0xC0 => StatusCode::ErrProtocol,
             0xC1 => StatusCode::ErrUnsupportedVersion,
             0xC2 => StatusCode::ErrFrameTooLarge,
@@ -159,13 +175,14 @@ impl StatusCode {
             0xCA => StatusCode::ErrSessionPoisoned,
             0xCB => StatusCode::ErrFault,
             0xCC => StatusCode::ErrPanicked,
+            0xCD => StatusCode::ErrDelta,
             _ => return None,
         })
     }
 }
 
 /// A decoded request frame.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Liveness probe.
     Ping,
@@ -184,6 +201,9 @@ pub enum Request {
     Cancel(u64),
     /// Close session `session`, releasing its state.
     Close(u64),
+    /// Apply a delta batch: the served snapshot rotates to a new generation
+    /// while open sessions keep streaming their pinned one.
+    Ingest(DeltaBatch),
 }
 
 /// A decoded response frame.
@@ -204,6 +224,8 @@ pub enum Response {
         /// Whether the handle named a live session.
         existed: bool,
     },
+    /// The delta batch was applied; carries the new generation id.
+    Ingested(u64),
     /// Typed failure; see [`WireError`].
     Err(WireError),
 }
@@ -253,6 +275,9 @@ pub enum WireError {
     Fault(String),
     /// [`ServiceError::Panicked`]: the panic was contained server-side.
     Panicked(String),
+    /// [`ServiceError::Delta`], as its display string: the batch was
+    /// rejected up front and the served snapshot is unchanged.
+    Delta(String),
 }
 
 impl std::fmt::Display for WireError {
@@ -284,6 +309,7 @@ impl std::fmt::Display for WireError {
             WireError::SessionPoisoned(s) => write!(f, "session {s} was poisoned"),
             WireError::Fault(site) => write!(f, "injected fault at failpoint `{site}`"),
             WireError::Panicked(c) => write!(f, "request panicked server-side (isolated): {c}"),
+            WireError::Delta(m) => write!(f, "delta batch rejected: {m}"),
         }
     }
 }
@@ -430,6 +456,55 @@ fn decode_answer(r: &mut PayloadReader<'_>) -> Result<Answer, WireError> {
     Ok(Answer::new(weight, values, witness))
 }
 
+fn encode_batch(buf: &mut Vec<u8>, batch: &DeltaBatch) {
+    put_u16(buf, batch.relations.len() as u16);
+    for delta in &batch.relations {
+        put_u16(buf, delta.relation.len() as u16);
+        buf.extend_from_slice(delta.relation.as_bytes());
+        put_u32(buf, delta.deletes.len() as u32);
+        for &tid in &delta.deletes {
+            put_u64(buf, tid as u64);
+        }
+        put_u32(buf, delta.inserts.len() as u32);
+        for tuple in &delta.inserts {
+            put_u16(buf, tuple.arity() as u16);
+            for &v in tuple.values() {
+                put_u64(buf, v);
+            }
+            put_u64(buf, tuple.weight().to_bits());
+        }
+    }
+}
+
+fn decode_batch(r: &mut PayloadReader<'_>) -> Result<DeltaBatch, WireError> {
+    let nrelations = r.u16()? as usize;
+    let mut relations = Vec::with_capacity(nrelations.min(64));
+    for _ in 0..nrelations {
+        let name_len = r.u16()? as usize;
+        let name = String::from_utf8(r.take(name_len)?.to_vec())
+            .map_err(|_| WireError::Protocol("relation name is not valid UTF-8".into()))?;
+        let mut delta = RelationDelta::new(name);
+        let ndeletes = r.u32()? as usize;
+        delta.deletes.reserve(ndeletes.min(1 << 16));
+        for _ in 0..ndeletes {
+            delta.deletes.push(r.u64()? as usize);
+        }
+        let ninserts = r.u32()? as usize;
+        delta.inserts.reserve(ninserts.min(1 << 16));
+        for _ in 0..ninserts {
+            let arity = r.u16()? as usize;
+            let mut values = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                values.push(r.u64()?);
+            }
+            let weight = f64::from_bits(r.u64()?);
+            delta.inserts.push(Tuple::new(values, weight));
+        }
+        relations.push(delta);
+    }
+    Ok(DeltaBatch { relations })
+}
+
 impl Request {
     /// The frame kind byte of this request.
     pub fn opcode(&self) -> OpCode {
@@ -440,6 +515,7 @@ impl Request {
             Request::NextPage { .. } => OpCode::NextPage,
             Request::Cancel(_) => OpCode::Cancel,
             Request::Close(_) => OpCode::Close,
+            Request::Ingest(_) => OpCode::Ingest,
         }
     }
 
@@ -454,6 +530,7 @@ impl Request {
                 put_u32(buf, *page_size);
             }
             Request::Cancel(s) | Request::Close(s) => put_u64(buf, *s),
+            Request::Ingest(batch) => encode_batch(buf, batch),
         }
     }
 
@@ -472,6 +549,7 @@ impl Request {
             },
             OpCode::Cancel => Request::Cancel(r.u64()?),
             OpCode::Close => Request::Close(r.u64()?),
+            OpCode::Ingest => Request::Ingest(decode_batch(&mut r)?),
         };
         r.finish()?;
         Ok(req)
@@ -488,6 +566,7 @@ impl Response {
             Response::Page(_) => StatusCode::Page,
             Response::Cancelled => StatusCode::Cancelled,
             Response::Closed { .. } => StatusCode::Closed,
+            Response::Ingested(_) => StatusCode::Ingested,
             Response::Err(e) => match e {
                 WireError::Protocol(_) => StatusCode::ErrProtocol,
                 WireError::UnsupportedVersion { .. } => StatusCode::ErrUnsupportedVersion,
@@ -502,6 +581,7 @@ impl Response {
                 WireError::SessionPoisoned(_) => StatusCode::ErrSessionPoisoned,
                 WireError::Fault(_) => StatusCode::ErrFault,
                 WireError::Panicked(_) => StatusCode::ErrPanicked,
+                WireError::Delta(_) => StatusCode::ErrDelta,
             },
         }
     }
@@ -519,6 +599,7 @@ impl Response {
                 }
             }
             Response::Closed { existed } => buf.push(*existed as u8),
+            Response::Ingested(generation) => put_u64(buf, *generation),
             Response::Err(e) => match e {
                 WireError::ShuttingDown => unreachable!("handled above"),
                 WireError::Protocol(d) => buf.extend_from_slice(d.as_bytes()),
@@ -538,6 +619,7 @@ impl Response {
                 }
                 WireError::Fault(site) => buf.extend_from_slice(site.as_bytes()),
                 WireError::Panicked(c) => buf.extend_from_slice(c.as_bytes()),
+                WireError::Delta(m) => buf.extend_from_slice(m.as_bytes()),
             },
         }
     }
@@ -566,6 +648,7 @@ impl Response {
             StatusCode::Closed => Response::Closed {
                 existed: r.u8()? != 0,
             },
+            StatusCode::Ingested => Response::Ingested(r.u64()?),
             StatusCode::ErrProtocol => Response::Err(WireError::Protocol(r.rest_utf8()?)),
             StatusCode::ErrUnsupportedVersion => {
                 Response::Err(WireError::UnsupportedVersion { supported: r.u8()? })
@@ -591,6 +674,7 @@ impl Response {
             StatusCode::ErrSessionPoisoned => Response::Err(WireError::SessionPoisoned(r.u64()?)),
             StatusCode::ErrFault => Response::Err(WireError::Fault(r.rest_utf8()?)),
             StatusCode::ErrPanicked => Response::Err(WireError::Panicked(r.rest_utf8()?)),
+            StatusCode::ErrDelta => Response::Err(WireError::Delta(r.rest_utf8()?)),
         };
         r.finish()?;
         Ok(resp)
@@ -616,6 +700,7 @@ impl Response {
             ServiceError::SessionPoisoned(_) => WireError::SessionPoisoned(session),
             ServiceError::Fault(i) => WireError::Fault(i.site.to_string()),
             ServiceError::Panicked { context } => WireError::Panicked(context.clone()),
+            ServiceError::Delta(e) => WireError::Delta(e.to_string()),
         })
     }
 }
@@ -826,6 +911,38 @@ mod tests {
     }
 
     #[test]
+    fn ingest_frames_roundtrip_bit_identically() {
+        roundtrip_request(Request::Ingest(DeltaBatch::new()));
+        let batch = DeltaBatch::new()
+            .delete("R1", 3)
+            .delete("R1", usize::MAX)
+            .insert("R2", Tuple::new(vec![10, 7], 0.5))
+            // Awkward weights must survive bit-exactly, like answers do.
+            .insert("R2", Tuple::new(vec![u64::MAX], -0.0))
+            .insert("S", Tuple::new(vec![], f64::MAX));
+        let req = Request::Ingest(batch.clone());
+        let mut payload = Vec::new();
+        req.encode_payload(&mut payload);
+        match Request::decode(OpCode::Ingest as u8, &payload).unwrap() {
+            Request::Ingest(back) => {
+                assert_eq!(back, batch);
+                let weights = |b: &DeltaBatch| -> Vec<u64> {
+                    b.relations
+                        .iter()
+                        .flat_map(|d| d.inserts.iter().map(|t| t.weight().to_bits()))
+                        .collect()
+                };
+                assert_eq!(weights(&back), weights(&batch), "bit-identical weights");
+            }
+            other => panic!("decoded {other:?}"),
+        }
+        roundtrip_response(Response::Ingested(42));
+        roundtrip_response(Response::Err(WireError::Delta(
+            "delta names unknown relation `Nope`".into(),
+        )));
+    }
+
+    #[test]
     fn responses_roundtrip_including_answers_bit_identically() {
         roundtrip_response(Response::Pong);
         roundtrip_response(Response::Prepared("Q(v0, v1) :- R(v0, v1)".into()));
@@ -988,6 +1105,10 @@ mod tests {
             (
                 ServiceError::Fault(anyk_core::faults::Injected { site: "net.read" }),
                 StatusCode::ErrFault,
+            ),
+            (
+                ServiceError::Delta(anyk_storage::DeltaError::UnknownRelation("Nope".into())),
+                StatusCode::ErrDelta,
             ),
         ];
         for (err, status) in cases {

@@ -513,6 +513,10 @@ impl Connection<'_> {
                     .unwrap_or(false);
                 Response::Closed { existed }
             }
+            Request::Ingest(batch) => match svc.ingest(&batch) {
+                Ok(generation) => Response::Ingested(generation),
+                Err(e) => Response::from_service_error(&e, 0),
+            },
         }
     }
 

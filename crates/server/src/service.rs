@@ -7,7 +7,7 @@ use crate::governor::{Governor, GovernorConfig, SessionOutcome};
 use anyk_core::AnyKAlgorithm;
 use anyk_engine::{Answer, AnswerCursor, AnswerDecoder, Page, PreparedQuery, RankingFunction};
 use anyk_query::{ConjunctiveQuery, QuerySpec};
-use anyk_storage::{Database, IndexCacheStats};
+use anyk_storage::{Database, DeltaBatch, IndexCacheStats};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -137,6 +137,63 @@ pub struct ServiceMetrics {
     /// Connections retired by a graceful transport shutdown after their
     /// in-flight work drained.
     pub connections_drained_on_shutdown: u64,
+    /// Gauge: generation id of the snapshot serving new sessions.
+    pub current_generation: u64,
+    /// Gauge: snapshot generations currently alive — the serving one plus
+    /// any retired generations kept alive by sessions still pinned to them.
+    pub active_generations: u64,
+    /// Gauge: tuples resident across all live snapshot generations.
+    pub snapshot_resident_units: u64,
+    /// Retired generations fully released: rotated away *and* their last
+    /// pinned session has ended, so their residency dropped to zero.
+    pub snapshots_retired: u64,
+    /// Wholesale snapshot replacements ([`QueryService::rotate`]).
+    pub generations_rotated: u64,
+    /// Delta batches applied ([`QueryService::ingest`]).
+    pub deltas_ingested: u64,
+    /// Cached plans carried across an ingestion by delta refresh — the
+    /// bottom-up DP re-swept only its dirty cone instead of recompiling.
+    pub plans_refreshed: u64,
+    /// Cached plans carried across an ingestion by full recompilation
+    /// (selection-pushdown and cycle plans cannot be delta-refreshed).
+    pub plans_recompiled: u64,
+}
+
+/// One served database generation: the sealed snapshot plus its governor
+/// accounting. Sessions pin the `Arc<Snapshot>` they were opened against,
+/// so a rotated-away generation stays resident exactly as long as a session
+/// still streams from it; when the last pin drops, this wrapper's `Drop`
+/// returns the generation's residency to the governor.
+pub(crate) struct Snapshot {
+    generation: u64,
+    db: Arc<Database>,
+    /// Resident tuples charged against `snapshot_resident_units` for this
+    /// generation's lifetime.
+    units: u64,
+    gov: Arc<Governor>,
+}
+
+impl Snapshot {
+    /// Wrap a sealed database as the next served generation, charging its
+    /// residency to the governor.
+    fn install(db: Arc<Database>, gov: &Arc<Governor>) -> Arc<Snapshot> {
+        debug_assert!(db.is_sealed(), "served snapshots are always sealed");
+        let units: u64 = db.relations().map(|r| r.len() as u64).sum();
+        let generation = db.generation();
+        gov.install_snapshot(generation, units);
+        Arc::new(Snapshot {
+            generation,
+            db,
+            units,
+            gov: Arc::clone(gov),
+        })
+    }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        self.gov.retire_snapshot(self.units);
+    }
 }
 
 /// The lifecycle state of a session; see the state diagram in the
@@ -169,29 +226,40 @@ pub struct SessionStatus {
     pub algorithm: AnyKAlgorithm,
     /// Where the session is in its lifecycle.
     pub state: SessionState,
+    /// The snapshot generation the session is pinned to. Rotation never
+    /// moves an open session: it streams its pinned generation to the end.
+    pub generation: u64,
 }
 
 /// The algorithm driving a session when the request does not pin one (the
 /// paper's overall-best anyK-part variant).
 pub const DEFAULT_ALGORITHM: AnyKAlgorithm = AnyKAlgorithm::Take2;
 
-/// Key of the prepared-plan cache: [`QuerySpec::plan_key`], the canonical
-/// spec text (variables alpha-renamed, predicates sorted) with the
-/// execution attributes (algorithm, limit) stripped. Alpha-equivalent
+/// Key of the prepared-plan cache: the snapshot generation the plan was
+/// compiled (or refreshed) over, plus [`QuerySpec::plan_key`] — the
+/// canonical spec text (variables alpha-renamed, predicates sorted) with
+/// the execution attributes (algorithm, limit) stripped. Alpha-equivalent
 /// requests — text or struct, `R(x,y),S(y,z)` or `R(a,b),S(b,c)` — share
-/// one compiled plan.
-type PlanKey = String;
+/// one compiled plan; the generation half guarantees a rotated snapshot can
+/// never serve a plan compiled over different data.
+type PlanKey = (u64, String);
 
 /// One memoised plan plus its recency tick (atomic so cache hits can
 /// refresh recency under the read lock; used for LRU eviction).
 struct PlanEntry {
     plan: Arc<PreparedQuery>,
+    /// The plan's spec, execution attributes stripped — kept so ingestion
+    /// can recompile plans that cannot be delta-refreshed.
+    spec: QuerySpec,
     last_used: AtomicU64,
 }
 
 /// A live session: the cursor plus its governance bookkeeping.
 struct ActiveSession {
     cursor: AnswerCursor,
+    /// The generation the session streams from. The `Arc` is the pin: a
+    /// retired generation's accounting is released by its last pin dropping.
+    snapshot: Arc<Snapshot>,
     /// MEM(k) units currently charged against the governor's budget for
     /// this session (re-charged to the live footprint after every page).
     charged_units: u64,
@@ -228,12 +296,13 @@ impl SessionEnd {
 
 enum SlotState {
     Active(ActiveSession),
-    /// The cursor (and its enumeration memory) is gone; only the facts a
-    /// status call needs survive.
+    /// The cursor (and its enumeration memory, and its snapshot pin) is
+    /// gone; only the facts a status call needs survive.
     Ended {
         end: SessionEnd,
         served: usize,
         algorithm: AnyKAlgorithm,
+        generation: u64,
     },
 }
 
@@ -243,11 +312,16 @@ struct Slot {
 
 impl Slot {
     /// Transition Active → Ended, returning the active half (whose drop —
-    /// in the caller, outside any registry lock — frees the cursor).
-    /// Panics if the slot already ended; callers check first.
+    /// in the caller, outside any registry lock — frees the cursor and
+    /// releases the snapshot pin). Panics if the slot already ended;
+    /// callers check first.
     fn end(&mut self, end: SessionEnd) -> ActiveSession {
-        let (served, algorithm) = match &self.state {
-            SlotState::Active(a) => (a.cursor.served(), a.cursor.algorithm()),
+        let (served, algorithm, generation) = match &self.state {
+            SlotState::Active(a) => (
+                a.cursor.served(),
+                a.cursor.algorithm(),
+                a.snapshot.generation,
+            ),
             SlotState::Ended { .. } => unreachable!("slot ended twice"),
         };
         let prev = std::mem::replace(
@@ -256,6 +330,7 @@ impl Slot {
                 end,
                 served,
                 algorithm,
+                generation,
             },
         );
         match prev {
@@ -286,7 +361,15 @@ type SessionShard = RwLock<HashMap<u64, Arc<SessionSlot>>>;
 /// session serialise (each page is still an atomic, contiguous chunk of the
 /// session's ranked stream).
 pub struct QueryService {
-    db: Arc<Database>,
+    /// The snapshot serving *new* sessions. Swapped wholesale by
+    /// [`QueryService::ingest`]/[`QueryService::rotate`]; readers clone the
+    /// `Arc` and release the lock immediately, so rotation never blocks
+    /// behind a long-running request.
+    current: RwLock<Arc<Snapshot>>,
+    /// Serialises rotation and ingestion: generations advance one at a
+    /// time, and plan migration for generation *g* finishes before *g + 1*
+    /// can begin.
+    rotation: Mutex<()>,
     plans: RwLock<HashMap<PlanKey, PlanEntry>>,
     /// Single-flight guards for plan compilation: one mutex per key being
     /// compiled right now. A stampede of requests for the same new plan
@@ -297,7 +380,7 @@ pub struct QueryService {
     plan_clock: AtomicU64,
     session_shards: Vec<SessionShard>,
     next_session: AtomicU64,
-    governor: Governor,
+    governor: Arc<Governor>,
     clock: Arc<dyn Clock>,
 }
 
@@ -344,6 +427,13 @@ impl QueryService {
     /// Build a service over an already-shared snapshot (e.g. several
     /// services — future shards — over one database).
     ///
+    /// The snapshot is **sealed** here: once a database is served, any
+    /// remaining mutable handle that tries [`Database::add`] panics instead
+    /// of swapping a relation under live sessions. New data enters through
+    /// [`QueryService::ingest`] (delta batches) or [`QueryService::rotate`]
+    /// (wholesale replacement), both of which install a *new* sealed
+    /// generation and leave this one untouched.
+    ///
     /// # Panics
     /// Panics if `config.index_cache_capacity` is set: a shared snapshot's
     /// cache cannot be re-bounded, and silently dropping a configured
@@ -358,24 +448,38 @@ impl QueryService {
              wrapping it in an Arc (or use QueryService::with_config)"
         );
         let shards = config.session_shards.max(1);
+        let governor = Arc::new(Governor::new(config.governor));
+        db.seal();
+        let current = Snapshot::install(db, &governor);
         QueryService {
-            db,
+            current: RwLock::new(current),
+            rotation: Mutex::new(()),
             plans: RwLock::new(HashMap::new()),
             plan_flights: Mutex::new(HashMap::new()),
             plan_cache_capacity: config.plan_cache_capacity.max(1),
             plan_clock: AtomicU64::new(0),
             session_shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
             next_session: AtomicU64::new(0),
-            governor: Governor::new(config.governor),
+            governor,
             clock: config
                 .clock
                 .unwrap_or_else(|| Arc::new(MonotonicClock::new())),
         }
     }
 
-    /// The shared database snapshot.
-    pub fn database(&self) -> &Arc<Database> {
-        &self.db
+    /// The database snapshot currently serving new sessions (sealed;
+    /// rotation installs a new snapshot rather than mutating this one).
+    pub fn database(&self) -> Arc<Database> {
+        Arc::clone(&self.current_snapshot().db)
+    }
+
+    /// The generation id of the snapshot currently serving new sessions.
+    pub fn current_generation(&self) -> u64 {
+        self.current_snapshot().generation
+    }
+
+    fn current_snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&lock!(self.current.read()))
     }
 
     /// Compile `query` under `ranking`, or return the memoised plan if an
@@ -411,20 +515,34 @@ impl QueryService {
 
     /// Compile `spec` — selection predicates pushed down to filtered
     /// relation copies — or return the memoised plan if a request with the
-    /// same [`QuerySpec::plan_key`] was prepared before (the spec's
-    /// `algorithm` and `limit` are per-session attributes and do not
-    /// fragment the cache). Compilation runs *outside* the plan-cache lock,
-    /// so preparing distinct queries proceeds in parallel; a stampede on
-    /// the *same* key is single-flighted — one thread compiles (one cache
-    /// miss), the rest wait on its flight lock and take the cached plan (a
-    /// hit each). The cache is LRU-bounded
-    /// ([`ServiceConfig::plan_cache_capacity`]); an evicted plan stays alive
-    /// for the sessions already holding it and is simply recompiled if the
-    /// query comes back. A panic during compilation (e.g. an injected
-    /// fault) is contained: it surfaces as [`ServiceError::Panicked`],
-    /// nothing is cached, and waiting threads retry the compile themselves.
+    /// same [`QuerySpec::plan_key`] was prepared before over the *current
+    /// generation* (the spec's `algorithm` and `limit` are per-session
+    /// attributes and do not fragment the cache; the generation half of the
+    /// key means a rotated snapshot can never serve a stale plan).
+    /// Compilation runs *outside* the plan-cache lock, so preparing
+    /// distinct queries proceeds in parallel; a stampede on the *same* key
+    /// is single-flighted — one thread compiles (one cache miss), the rest
+    /// wait on its flight lock and take the cached plan (a hit each). The
+    /// cache is LRU-bounded ([`ServiceConfig::plan_cache_capacity`]); an
+    /// evicted plan stays alive for the sessions already holding it and is
+    /// simply recompiled if the query comes back. A panic during
+    /// compilation (e.g. an injected fault) is contained: it surfaces as
+    /// [`ServiceError::Panicked`], nothing is cached, and waiting threads
+    /// retry the compile themselves.
     pub fn prepare_spec(&self, spec: &QuerySpec) -> Result<Arc<PreparedQuery>, ServiceError> {
-        let key: PlanKey = spec.plan_key();
+        self.prepare_on(&self.current_snapshot(), spec)
+    }
+
+    /// [`QueryService::prepare_spec`] against an explicit snapshot — the
+    /// open path captures the snapshot once so the plan, the session's pin,
+    /// and the cache key all agree on the generation even if a rotation
+    /// lands mid-open.
+    fn prepare_on(
+        &self,
+        snap: &Arc<Snapshot>,
+        spec: &QuerySpec,
+    ) -> Result<Arc<PreparedQuery>, ServiceError> {
+        let key: PlanKey = (snap.generation, spec.plan_key());
         if let Some(plan) = self.cached_plan(&key) {
             return Ok(plan);
         }
@@ -440,8 +558,10 @@ impl QueryService {
             return Ok(plan);
         }
         self.governor.with(|s| s.plan_misses += 1);
+        // Compile with delta support so ingestion can carry the plan to the
+        // next generation by patching its dirty cone instead of recompiling.
         let compiled = catch_panic("plan preparation", || {
-            PreparedQuery::from_spec(Arc::clone(&self.db), &spec.without_execution_attrs())
+            PreparedQuery::from_spec_delta(Arc::clone(&snap.db), &spec.without_execution_attrs())
         })
         .and_then(|r| r.map_err(ServiceError::from));
         let prepared = match compiled {
@@ -459,6 +579,7 @@ impl QueryService {
             let tick = self.plan_clock.fetch_add(1, Ordering::Relaxed) + 1;
             let entry = plans.entry(key.clone()).or_insert_with(|| PlanEntry {
                 plan: prepared,
+                spec: spec.without_execution_attrs(),
                 last_used: AtomicU64::new(0),
             });
             *entry.last_used.get_mut() = tick;
@@ -481,6 +602,115 @@ impl QueryService {
         Ok(out)
     }
 
+    /// Apply `batch` to the current snapshot and serve the result as the
+    /// next generation. Returns the new generation id.
+    ///
+    /// The old snapshot is untouched: sessions pinned to it keep streaming
+    /// bit-identical ranked answers to the end, and its residency is
+    /// released when the last pinned session ends. Cached plans are carried
+    /// forward — delta-refreshable plans are patched (the bottom-up DP
+    /// re-sweeps only the dirty cone of the edits, a small fraction of full
+    /// compile + preprocessing), the rest (selection-pushdown, cycles) are
+    /// recompiled over the new snapshot. Either way the migrated plan is
+    /// equivalent to a from-scratch rebuild: every ranked stream drawn from
+    /// it is bit-identical to one compiled fresh over the new data.
+    ///
+    /// A rejected batch ([`ServiceError::Delta`]: unknown relation, arity
+    /// mismatch, delete out of range) changes nothing — validation runs
+    /// before any snapshot work.
+    pub fn ingest(&self, batch: &DeltaBatch) -> Result<u64, ServiceError> {
+        catch_panic("delta ingestion", || {
+            let _rotating = lock!(self.rotation.lock());
+            let old = self.current_snapshot();
+            let new_db = old.db.apply_delta(batch)?;
+            new_db.seal();
+            let new_db = Arc::new(new_db);
+            let generation = new_db.generation();
+            self.migrate_plans(old.generation, &new_db, generation, batch);
+            let snapshot = Snapshot::install(Arc::clone(&new_db), &self.governor);
+            self.governor.with(|s| s.deltas_ingested += 1);
+            *lock!(self.current.write()) = snapshot;
+            Ok(generation)
+        })?
+    }
+
+    /// Replace the served database wholesale with `db`, the next
+    /// generation (sealed here; its generation id is assigned by the
+    /// service). Existing sessions keep streaming their pinned generation;
+    /// new sessions see only `db`. Unlike [`QueryService::ingest`], cached
+    /// plans cannot be carried — the new data bears no known relationship
+    /// to the old — so the plan cache starts cold. Returns the new
+    /// generation id.
+    pub fn rotate(&self, mut db: Database) -> u64 {
+        let _rotating = lock!(self.rotation.lock());
+        let old = self.current_snapshot();
+        let generation = old.generation + 1;
+        db.set_generation(generation);
+        db.seal();
+        lock!(self.plans.write()).clear();
+        let snapshot = Snapshot::install(Arc::new(db), &self.governor);
+        self.governor.with(|s| s.generations_rotated += 1);
+        *lock!(self.current.write()) = snapshot;
+        generation
+    }
+
+    /// Carry the plan cache across an ingestion, re-keying every entry from
+    /// `old_generation` to `generation`. Refresh where the plan supports
+    /// it, recompile where it does not; a plan that fails either way (or a
+    /// stale entry from an even older generation, unreachable by lookups)
+    /// is dropped and simply recompiled on demand if its query returns.
+    fn migrate_plans(
+        &self,
+        old_generation: u64,
+        new_db: &Arc<Database>,
+        generation: u64,
+        batch: &DeltaBatch,
+    ) {
+        let entries: Vec<(PlanKey, PlanEntry)> = lock!(self.plans.write()).drain().collect();
+        let mut migrated = Vec::with_capacity(entries.len());
+        for ((entry_generation, key), entry) in entries {
+            if entry_generation != old_generation {
+                continue;
+            }
+            let refreshed = if entry.plan.supports_refresh() {
+                catch_panic("plan refresh", || {
+                    entry.plan.refresh(Arc::clone(new_db), batch)
+                })
+                .ok()
+                .and_then(Result::ok)
+            } else {
+                None
+            };
+            let plan = match refreshed {
+                Some(p) => {
+                    self.governor.with(|s| s.plans_refreshed += 1);
+                    Arc::new(p)
+                }
+                None => {
+                    let recompiled = catch_panic("plan recompile", || {
+                        PreparedQuery::from_spec_delta(Arc::clone(new_db), &entry.spec)
+                    });
+                    match recompiled {
+                        Ok(Ok(p)) => {
+                            self.governor.with(|s| s.plans_recompiled += 1);
+                            Arc::new(p)
+                        }
+                        _ => continue,
+                    }
+                }
+            };
+            migrated.push((
+                (generation, key),
+                PlanEntry {
+                    plan,
+                    spec: entry.spec,
+                    last_used: entry.last_used,
+                },
+            ));
+        }
+        lock!(self.plans.write()).extend(migrated);
+    }
+
     /// Open a session over `query` with the default ranking
     /// ([`RankingFunction::SumAscending`]).
     pub fn open_session(
@@ -500,8 +730,9 @@ impl QueryService {
     ) -> Result<SessionId, ServiceError> {
         catch_panic("session open", || {
             self.admit_open()?;
-            let prepared = self.prepare(query, ranking)?;
-            self.install_session(&prepared, algorithm, None)
+            let snap = self.current_snapshot();
+            let prepared = self.prepare_on(&snap, &QuerySpec::from_query(query, ranking))?;
+            self.install_session(snap, &prepared, algorithm, None)
         })?
     }
 
@@ -525,15 +756,18 @@ impl QueryService {
     pub fn open_session_spec(&self, spec: &QuerySpec) -> Result<SessionId, ServiceError> {
         catch_panic("session open", || {
             self.admit_open()?;
-            let prepared = self.prepare_spec(spec)?;
+            let snap = self.current_snapshot();
+            let prepared = self.prepare_on(&snap, spec)?;
             let algorithm = spec.algorithm.unwrap_or(DEFAULT_ALGORITHM);
-            self.install_session(&prepared, algorithm, spec.limit)
+            self.install_session(snap, &prepared, algorithm, spec.limit)
         })?
     }
 
     /// Open a session over an explicitly prepared plan (e.g. one prepared
     /// ahead of a traffic spike, or obtained from [`QueryService::prepare`]).
-    /// Subject to admission control like every other open.
+    /// Subject to admission control like every other open. The session is
+    /// accounted against the *current* generation; the plan itself keeps
+    /// whatever snapshot it was compiled over alive regardless.
     pub fn open_prepared(
         &self,
         prepared: &Arc<PreparedQuery>,
@@ -541,7 +775,7 @@ impl QueryService {
     ) -> Result<SessionId, ServiceError> {
         catch_panic("session open", || {
             self.admit_open()?;
-            self.install_session(prepared, algorithm, None)
+            self.install_session(self.current_snapshot(), prepared, algorithm, None)
         })?
     }
 
@@ -556,6 +790,7 @@ impl QueryService {
 
     fn install_session(
         &self,
+        snapshot: Arc<Snapshot>,
         prepared: &Arc<PreparedQuery>,
         algorithm: AnyKAlgorithm,
         limit: Option<usize>,
@@ -574,6 +809,7 @@ impl QueryService {
             inner: Mutex::new(Slot {
                 state: SlotState::Active(ActiveSession {
                     cursor,
+                    snapshot,
                     charged_units: units,
                     opened_nanos: now,
                     last_used_nanos: now,
@@ -795,16 +1031,19 @@ impl QueryService {
                 } else {
                     SessionState::Active
                 },
+                generation: a.snapshot.generation,
             },
             SlotState::Ended {
                 end,
                 served,
                 algorithm,
+                generation,
             } => SessionStatus {
                 served: *served,
                 done: true,
                 algorithm: *algorithm,
                 state: end.state(),
+                generation: *generation,
             },
         })
     }
@@ -891,12 +1130,20 @@ impl QueryService {
             net_read_timeouts: s.net_read_timeouts,
             net_write_timeouts: s.net_write_timeouts,
             connections_drained_on_shutdown: s.connections_drained_on_shutdown,
+            current_generation: s.current_generation,
+            active_generations: s.active_generations as u64,
+            snapshot_resident_units: s.snapshot_resident_units,
+            snapshots_retired: s.snapshots_retired,
+            generations_rotated: s.generations_rotated,
+            deltas_ingested: s.deltas_ingested,
+            plans_refreshed: s.plans_refreshed,
+            plans_recompiled: s.plans_recompiled,
         }
     }
 
-    /// Hit/miss/eviction counters of the shared snapshot's index cache.
+    /// Hit/miss/eviction counters of the current snapshot's index cache.
     pub fn index_cache_stats(&self) -> IndexCacheStats {
-        self.db.index_cache_stats()
+        self.current_snapshot().db.index_cache_stats()
     }
 
     /// The governor, for sibling modules (the TCP transport records its
@@ -1059,6 +1306,7 @@ mod tests {
                 done: false,
                 algorithm: AnyKAlgorithm::Recursive,
                 state: SessionState::Active,
+                generation: 0,
             }
         );
         service.next_page(id, 2).unwrap();
@@ -1369,5 +1617,178 @@ mod tests {
         assert!(m.peak_mem_resident_units >= m.mem_resident_units);
         service.close_session(id);
         assert_eq!(service.metrics().mem_resident_units, 0);
+    }
+
+    /// Deletes R1's (2, 20) edge and adds a (10, 7) edge to R2 — the path
+    /// query's answer set goes from 3 to 4.
+    fn path_delta() -> DeltaBatch {
+        DeltaBatch::new()
+            .delete("R1", 1)
+            .insert("R2", anyk_storage::Tuple::new(vec![10, 7], 0.5))
+    }
+
+    #[test]
+    fn serving_seals_the_snapshot() {
+        let db = Arc::new(path_db());
+        assert!(!db.is_sealed());
+        let service = QueryService::over(Arc::clone(&db), ServiceConfig::default());
+        assert!(db.is_sealed(), "over() seals the snapshot it serves");
+        drop(service);
+        assert!(db.is_sealed(), "sealing is permanent");
+    }
+
+    /// Regression: a caller holding a mutable handle used to be able to swap
+    /// a relation out from under live sessions after handing the database to
+    /// a service — silently serving torn data. Mutation now panics instead.
+    #[test]
+    #[should_panic(expected = "sealed")]
+    fn mutating_a_served_snapshot_panics_instead_of_tearing_sessions() {
+        let db = Arc::new(path_db());
+        let service = QueryService::over(Arc::clone(&db), ServiceConfig::default());
+        drop(service);
+        // Even with the service gone the seal stands; the only unique handle
+        // left must still refuse mutation.
+        let mut db = Arc::try_unwrap(db).expect("last handle");
+        db.add(Relation::new("R3", 2));
+    }
+
+    #[test]
+    fn ingest_rotates_the_generation_and_pins_existing_sessions() {
+        let service = QueryService::new(path_db());
+        let query = QueryBuilder::path(2).build();
+        assert_eq!(service.current_generation(), 0);
+
+        let old_session = service.open_session(&query, AnyKAlgorithm::Take2).unwrap();
+        let first = service.next_page(old_session, 1).unwrap().answers;
+
+        let generation = service.ingest(&path_delta()).unwrap();
+        assert_eq!(generation, 1);
+        assert_eq!(service.current_generation(), 1);
+        assert_eq!(service.metrics().deltas_ingested, 1);
+
+        // The old session keeps streaming its pinned generation-0 snapshot.
+        assert_eq!(service.session_status(old_session).unwrap().generation, 0);
+        let mut old_stream = first;
+        loop {
+            let page = service.next_page(old_session, 10).unwrap();
+            old_stream.extend(page.answers);
+            if page.done {
+                break;
+            }
+        }
+        let baseline: Vec<Answer> = QueryService::new(path_db())
+            .prepare(&query, RankingFunction::SumAscending)
+            .unwrap()
+            .enumerate(AnyKAlgorithm::Take2)
+            .collect();
+        assert_eq!(old_stream, baseline, "pinned stream is bit-identical");
+
+        // A new session sees the delta-maintained data, bit-identical to a
+        // from-scratch service over the rebuilt database.
+        let new_session = service.open_session(&query, AnyKAlgorithm::Take2).unwrap();
+        assert_eq!(service.session_status(new_session).unwrap().generation, 1);
+        let fresh = service.next_page(new_session, 100).unwrap().answers;
+        let rebuilt_db = path_db().apply_delta(&path_delta()).unwrap();
+        let rebuilt: Vec<Answer> = QueryService::new(rebuilt_db)
+            .prepare(&query, RankingFunction::SumAscending)
+            .unwrap()
+            .enumerate(AnyKAlgorithm::Take2)
+            .collect();
+        assert_eq!(fresh.len(), 4, "delete killed one path, insert added two");
+        assert_eq!(fresh, rebuilt, "delta-maintained ≡ from-scratch rebuild");
+    }
+
+    #[test]
+    fn ingest_refreshes_cached_plans_in_place() {
+        let service = QueryService::new(path_db());
+        let query = QueryBuilder::path(2).build();
+        service
+            .prepare(&query, RankingFunction::SumAscending)
+            .unwrap();
+        assert_eq!(service.metrics().plan_misses, 1);
+
+        service.ingest(&path_delta()).unwrap();
+        let m = service.metrics();
+        assert_eq!(m.plans_refreshed, 1, "delta-capable plan was patched");
+        assert_eq!(m.plans_recompiled, 0);
+
+        // The migrated plan serves the new generation without a fresh
+        // compile: opening the same query is a cache hit, not a miss.
+        let id = service.open_session(&query, AnyKAlgorithm::Lazy).unwrap();
+        assert_eq!(service.metrics().plan_misses, 1, "no recompilation");
+        let page = service.next_page(id, 100).unwrap();
+        assert_eq!(page.answers.len(), 4);
+    }
+
+    #[test]
+    fn retired_snapshots_release_residency_with_their_last_session() {
+        let service = QueryService::new(path_db());
+        let query = QueryBuilder::path(2).build();
+        let pinned = service.open_session(&query, AnyKAlgorithm::Take2).unwrap();
+
+        let before = service.metrics();
+        assert_eq!(before.active_generations, 1);
+        assert_eq!(before.snapshot_resident_units, 5, "3 + 2 tuples");
+
+        service.ingest(&path_delta()).unwrap();
+        let during = service.metrics();
+        assert_eq!(
+            during.active_generations, 2,
+            "old generation held by its pinned session (and its plan)"
+        );
+        assert_eq!(during.snapshot_resident_units, 5 + 5, "2 R1 + 3 R2 new");
+        assert_eq!(during.snapshots_retired, 0);
+
+        // Closing the last pinned session retires generation 0 and returns
+        // its residency to the governor.
+        service.close_session(pinned);
+        let after = service.metrics();
+        assert_eq!(after.active_generations, 1);
+        assert_eq!(after.snapshot_resident_units, 5);
+        assert_eq!(after.snapshots_retired, 1);
+        assert_eq!(after.mem_resident_units, 0);
+    }
+
+    #[test]
+    fn rotate_replaces_the_snapshot_and_colds_the_plan_cache() {
+        let service = QueryService::new(path_db());
+        let query = QueryBuilder::path(2).build();
+        service
+            .prepare(&query, RankingFunction::SumAscending)
+            .unwrap();
+        assert_eq!(service.prepared_count(), 1);
+
+        let mut replacement = Database::new();
+        let mut r1 = Relation::new("R1", 2);
+        r1.push_edge(7, 70, 1.0);
+        let mut r2 = Relation::new("R2", 2);
+        r2.push_edge(70, 8, 1.0);
+        replacement.add(r1);
+        replacement.add(r2);
+
+        let generation = service.rotate(replacement);
+        assert_eq!(generation, 1);
+        assert_eq!(service.current_generation(), 1);
+        assert_eq!(service.prepared_count(), 0, "no stale plans survive");
+        assert_eq!(service.metrics().generations_rotated, 1);
+        assert!(service.database().is_sealed());
+
+        let id = service.open_session(&query, AnyKAlgorithm::Eager).unwrap();
+        let page = service.next_page(id, 10).unwrap();
+        assert_eq!(page.answers.len(), 1);
+        assert_eq!(page.answers[0].values(), &[7, 70, 8]);
+    }
+
+    #[test]
+    fn a_rejected_delta_changes_nothing() {
+        let service = QueryService::new(path_db());
+        let bad = DeltaBatch::new().delete("Nope", 0);
+        let err = service.ingest(&bad).unwrap_err();
+        assert!(matches!(err, ServiceError::Delta(_)));
+        assert!(err.to_string().contains("Nope"));
+        let m = service.metrics();
+        assert_eq!(service.current_generation(), 0, "generation unchanged");
+        assert_eq!(m.deltas_ingested, 0);
+        assert_eq!(m.active_generations, 1);
     }
 }

@@ -13,7 +13,7 @@ use anyk_server::{
     Answer, Clock, GovernorConfig, ManualClock, OverloadReason, QueryService, ServiceConfig,
     ServiceError, ServiceMetrics, SessionId, SessionState,
 };
-use anyk_storage::{Database, Relation};
+use anyk_storage::{Database, DeltaBatch, Relation, Tuple};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use std::sync::{Arc, Mutex, Once};
 use std::time::Duration;
@@ -445,6 +445,194 @@ fn random_kill_cancel_fault_schedules_leak_nothing() {
         assert_eq!(n, expected, "{algorithm:?}: exact stream after chaos");
         service.close_session(id);
     }
+}
+
+/// A random but always-valid delta against `db`: one delete and a couple of
+/// in-domain inserts per touched relation (the generator's join columns
+/// live in 1..=4 for `n = 40`, so inserts keep joining).
+fn random_batch(db: &Database, rng: &mut SmallRng) -> DeltaBatch {
+    let names: Vec<String> = db.relations().map(|r| r.name().to_string()).collect();
+    let mut batch = DeltaBatch::new();
+    for name in names {
+        if rng.gen_bool(0.5) {
+            continue;
+        }
+        let len = db.expect(&name).len();
+        batch = batch.delete(&name, rng.gen_range(0..len));
+        for _ in 0..rng.gen_range(1usize..4) {
+            let values = vec![rng.gen_range(1u64..=4), rng.gen_range(1u64..=4)];
+            let weight = rng.gen_range(0..10_000) as f64 / 100.0;
+            batch = batch.insert(&name, Tuple::new(values, weight));
+        }
+    }
+    if batch.is_empty() {
+        // Never hand the service a no-op round; always edit something.
+        batch = batch.delete("R2", rng.gen_range(0..db.expect("R2").len()));
+    }
+    batch
+}
+
+/// Rotation + ingestion under concurrency: each round opens 8 paging
+/// sessions, edits the served snapshot out from under them (delta ingest,
+/// or a wholesale rotate on the last round), then drives the old crew to
+/// random fates — stream-to-exhaustion, cancel, or kill — on concurrent
+/// threads. Sessions that finish must stream **bit-identical** to their
+/// pinned pre-edit snapshot; sessions opened after the edit must stream
+/// bit-identical to a from-scratch service over an independently maintained
+/// shadow copy (the delta ≡ rebuild guarantee). Every retired generation
+/// must release its residency, MEM must return to zero, and a sweep with
+/// generous deadlines must reap nothing.
+#[test]
+fn rotation_and_ingestion_under_concurrent_chaos_pin_generations() {
+    let _serial = serial();
+    const ROUNDS: usize = 4;
+    const CREW: usize = 8;
+    let clock = Arc::new(ManualClock::new());
+    let service = Arc::new(QueryService::with_config(
+        wide_path_db(31),
+        ServiceConfig {
+            governor: GovernorConfig {
+                session_ttl: Some(Duration::from_secs(3_600)),
+                idle_timeout: Some(Duration::from_secs(3_600)),
+                ..GovernorConfig::default()
+            },
+            clock: Some(Arc::clone(&clock) as Arc<dyn Clock>),
+            ..ServiceConfig::default()
+        },
+    ));
+    // The shadow replays every edit independently; comparing streams against
+    // a service built fresh over it is the delta-vs-rebuild differential.
+    let mut shadow = wide_path_db(31);
+    let mut rng = SmallRng::seed_from_u64(0x0DE1_7A01);
+
+    for round in 0..ROUNDS {
+        let oracle = QueryService::new(shadow.clone());
+        let generation_before = service.current_generation();
+        let mut crew: Vec<(SessionId, AnyKAlgorithm, Vec<Answer>)> = Vec::new();
+        for i in 0..CREW {
+            let algorithm = ALGORITHMS[(round + i) % ALGORITHMS.len()];
+            let algo_name = format!("{algorithm:?}").to_lowercase();
+            let text = format!("{WIDE_QUERY} via {algo_name}");
+            let id = service.open_session_text(&text).unwrap();
+            let first = service.next_page(id, rng.gen_range(1usize..8)).unwrap();
+            crew.push((id, algorithm, first.answers));
+        }
+
+        // Edit the served snapshot while all 8 sessions are mid-stream.
+        if round == ROUNDS - 1 {
+            let replacement = wide_path_db(100 + round as u64);
+            shadow = replacement.clone();
+            assert_eq!(service.rotate(replacement), generation_before + 1);
+        } else {
+            let batch = random_batch(&shadow, &mut rng);
+            shadow = shadow.apply_delta(&batch).unwrap();
+            assert_eq!(service.ingest(&batch).unwrap(), generation_before + 1);
+        }
+        assert_eq!(service.current_generation(), generation_before + 1);
+
+        // With generous deadlines nothing is expired; the sweep must not
+        // reap sessions merely because their generation was rotated away.
+        clock.advance(Duration::from_secs(5));
+        assert_eq!(service.sweep_expired(), 0, "round {round}: nothing stale");
+
+        std::thread::scope(|scope| {
+            for (id, algorithm, first) in crew.drain(..) {
+                let svc = &service;
+                let oracle = &oracle;
+                let fate = rng.gen_range(0..4u32);
+                let mut rng = SmallRng::seed_from_u64(rng.gen());
+                scope.spawn(move || {
+                    assert_eq!(
+                        svc.session_status(id).unwrap().generation,
+                        generation_before,
+                        "{algorithm:?}: session stays pinned to its snapshot"
+                    );
+                    match fate {
+                        0 | 1 => {
+                            // Stream to exhaustion across the edit.
+                            let mut got = first;
+                            loop {
+                                let page = svc.next_page(id, rng.gen_range(1usize..16)).unwrap();
+                                got.extend(page.answers);
+                                if page.done {
+                                    break;
+                                }
+                            }
+                            let expected: Vec<Answer> = oracle
+                                .prepare_text(WIDE_QUERY)
+                                .unwrap()
+                                .enumerate(algorithm)
+                                .collect();
+                            assert_eq!(
+                                got, expected,
+                                "{algorithm:?}: pinned stream bit-identical across the edit"
+                            );
+                            svc.close_session(id);
+                        }
+                        2 => {
+                            svc.cancel_session(id).unwrap();
+                            svc.close_session(id);
+                        }
+                        _ => {
+                            // Kill: drop the session cold, mid-stream.
+                            svc.close_session(id);
+                        }
+                    }
+                });
+            }
+        });
+
+        // The whole pre-edit crew is gone: its generation must have retired
+        // and returned both its snapshot residency and its MEM(k).
+        let m = service.metrics();
+        assert_eq!(
+            m.active_generations, 1,
+            "round {round}: old generation freed"
+        );
+        assert_eq!(m.mem_resident_units, 0, "round {round}");
+        assert_eq!(m.snapshots_retired as usize, round + 1, "round {round}");
+
+        // A fresh session sees exactly what a from-scratch rebuild serves.
+        let algorithm = ALGORITHMS[round % ALGORITHMS.len()];
+        let algo_name = format!("{algorithm:?}").to_lowercase();
+        let text = format!("{WIDE_QUERY} via {algo_name}");
+        let id = service.open_session_text(&text).unwrap();
+        let mut got = Vec::new();
+        loop {
+            let page = service.next_page(id, 16).unwrap();
+            got.extend(page.answers);
+            if page.done {
+                break;
+            }
+        }
+        let rebuilt = QueryService::new(shadow.clone());
+        let expected: Vec<Answer> = rebuilt
+            .prepare_text(WIDE_QUERY)
+            .unwrap()
+            .enumerate(algorithm)
+            .collect();
+        assert_eq!(
+            got, expected,
+            "round {round}, {algorithm:?}: delta-maintained ≡ from-scratch rebuild"
+        );
+        service.close_session(id);
+    }
+
+    let m = service.metrics();
+    let current_units: u64 = shadow.relations().map(|r| r.len() as u64).sum();
+    assert_eq!(service.tracked_sessions(), 0, "no session leaks");
+    assert_eq!(m.mem_resident_units, 0);
+    assert_eq!(m.active_generations, 1);
+    assert_eq!(m.snapshot_resident_units, current_units);
+    assert_eq!(m.snapshots_retired as usize, ROUNDS);
+    assert_eq!(m.deltas_ingested as usize, ROUNDS - 1);
+    assert_eq!(m.generations_rotated, 1);
+    assert!(
+        m.plans_refreshed >= 1,
+        "at least one ingest carried the cached plan by delta refresh"
+    );
+    assert_eq!(service.sweep_expired(), 0, "final sweep reaps nothing");
+    assert_metrics_consistent(&service);
 }
 
 /// Deadlines under an injected clock: TTL and idle expiry both reap, and

@@ -24,11 +24,33 @@
 //! built from). Cloning a database clones the cache too — the `Arc`ed indexes
 //! themselves are shared, which is sound because they are immutable and the
 //! cloned relations are bit-identical.
+//!
+//! ## Snapshots: generations and sealing
+//!
+//! A database that a query service hands out as a read snapshot must never
+//! mutate under its readers. Two mechanisms enforce and track this:
+//!
+//! * **Sealing** ([`Database::seal`]) — a sealed database rejects
+//!   [`Database::add`] / [`Database::add_shared`] with a panic. Serving code
+//!   seals every snapshot it publishes; the only way forward from a sealed
+//!   snapshot is a *new* database via [`Database::apply_delta`] (or an
+//!   unsealed [`Clone`]).
+//! * **Generations** ([`Database::generation`]) — a monotone id stamped into
+//!   every index-cache key, so two snapshots that reuse the same relation
+//!   *slot* across a rotation can never serve each other's indexes, even if
+//!   cache state leaks across via clones.
+//!
+//! [`Database::apply_delta`] is the copy-on-write ingestion path: it builds a
+//! new database with the batch's edits applied (untouched relations
+//! `Arc`-shared, touched relations rebuilt once), bumps the generation, and
+//! re-keys surviving cache entries so untouched-slot indexes stay warm.
 
+use crate::delta::{DeltaBatch, DeltaError};
 use crate::index::HashIndex;
 use crate::index_cache::{default_index_cache_capacity, IndexCache, IndexCacheStats};
 use crate::relation::Relation;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// An in-memory database: an ordered catalog of relations addressed by name.
@@ -39,12 +61,19 @@ use std::sync::Arc;
 /// touch), shares the columnar data instead of copying it. The sharing is
 /// sound because stored relations are immutable — mutation happens on an
 /// owned [`Relation`] before [`Database::add`] hands it over.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Database {
     relations: Vec<Arc<Relation>>,
     by_name: HashMap<String, usize>,
-    /// Memoised hash indexes per (relation slot, key columns).
+    /// Memoised hash indexes per (generation, relation slot, key columns).
     index_cache: IndexCache,
+    /// Monotone snapshot id; bumped by [`Database::apply_delta`] and stamped
+    /// into every index-cache key.
+    generation: u64,
+    /// Once set, structural mutation ([`Database::add`]/
+    /// [`Database::add_shared`]) panics. `&self` so a served `Arc<Database>`
+    /// can be sealed in place.
+    sealed: AtomicBool,
 }
 
 impl Default for Database {
@@ -53,6 +82,24 @@ impl Default for Database {
             relations: Vec::new(),
             by_name: HashMap::new(),
             index_cache: IndexCache::new(default_index_cache_capacity()),
+            generation: 0,
+            sealed: AtomicBool::new(false),
+        }
+    }
+}
+
+impl Clone for Database {
+    /// Clones are **unsealed**: a clone is a fresh private copy (relations
+    /// `Arc`-shared, cache warm but independent), so the original's
+    /// served-snapshot protection does not transfer. The generation carries
+    /// over — the clone still describes the same data version.
+    fn clone(&self) -> Self {
+        Database {
+            relations: self.relations.clone(),
+            by_name: self.by_name.clone(),
+            index_cache: self.index_cache.clone(),
+            generation: self.generation,
+            sealed: AtomicBool::new(false),
         }
     }
 }
@@ -66,6 +113,11 @@ impl Database {
     /// Add a relation. If a relation with the same name exists it is
     /// replaced (and its slot reused), mirroring `CREATE OR REPLACE TABLE`.
     /// Replacing drops every cached index of the old relation.
+    ///
+    /// # Panics
+    /// Panics if the database is [sealed](Database::seal) — a served
+    /// snapshot must not mutate under live readers; ingest through
+    /// [`Database::apply_delta`] instead.
     pub fn add(&mut self, relation: Relation) {
         self.add_shared(Arc::new(relation));
     }
@@ -73,8 +125,16 @@ impl Database {
     /// Add an already-shared relation without copying its data — e.g. to
     /// register another database's relation in a scratch database (the
     /// selection-pushdown pass shares every unfiltered relation this way).
-    /// Same replace semantics as [`Database::add`].
+    /// Same replace semantics (and same sealed-snapshot panic) as
+    /// [`Database::add`].
     pub fn add_shared(&mut self, relation: Arc<Relation>) {
+        assert!(
+            !self.is_sealed(),
+            "cannot mutate a sealed database snapshot (relation `{}`): \
+             served snapshots are immutable — ingest a DeltaBatch via \
+             `Database::apply_delta` to produce a new generation instead",
+            relation.name()
+        );
         match self.by_name.get(relation.name()) {
             Some(&idx) => {
                 self.relations[idx] = relation;
@@ -86,6 +146,93 @@ impl Database {
                 self.relations.push(relation);
             }
         }
+    }
+
+    /// Seal the database: any further [`Database::add`] /
+    /// [`Database::add_shared`] panics. Takes `&self` so serving code can
+    /// seal a snapshot already shared behind an `Arc`. Sealing is
+    /// irreversible for this instance; [`Clone`] yields an unsealed copy.
+    pub fn seal(&self) {
+        self.sealed.store(true, Ordering::Release);
+    }
+
+    /// Whether this database has been [sealed](Database::seal).
+    pub fn is_sealed(&self) -> bool {
+        self.sealed.load(Ordering::Acquire)
+    }
+
+    /// This snapshot's generation id (see the module docs). Fresh databases
+    /// start at 0; [`Database::apply_delta`] bumps it by one,
+    /// [`Database::set_generation`] sets it outright (rotation to an
+    /// unrelated snapshot).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Stamp this database with generation `generation`, re-keying any
+    /// already-cached indexes so they stay warm under the new id. Used when
+    /// rotating a freshly built database into a serving slot whose
+    /// generation counter has moved past the default 0.
+    pub fn set_generation(&mut self, generation: u64) {
+        let old = self.generation;
+        self.generation = generation;
+        self.index_cache.rekey_generation(old, generation);
+    }
+
+    /// Copy-on-write delta ingestion: a **new** database with `batch`
+    /// applied. The receiver (typically a sealed, served snapshot) is not
+    /// touched. In the result:
+    ///
+    /// * untouched relations are `Arc`-shared with the source;
+    /// * each touched relation is rebuilt once via
+    ///   [`Relation::apply_delta`] (survivors keep their order, inserts
+    ///   appended — see [`crate::delta`] for the tuple-id remapping rule);
+    /// * the generation is the source's plus one;
+    /// * index-cache entries for untouched slots stay warm (re-keyed to the
+    ///   new generation); entries for touched slots are dropped.
+    ///
+    /// The whole batch is validated up front, so `Err` means nothing was
+    /// built. The result is unsealed — the caller seals it when serving it.
+    pub fn apply_delta(&self, batch: &DeltaBatch) -> Result<Database, DeltaError> {
+        for delta in &batch.relations {
+            let rel = self
+                .get(&delta.relation)
+                .ok_or_else(|| DeltaError::UnknownRelation(delta.relation.clone()))?;
+            for tuple in &delta.inserts {
+                if tuple.values().len() != rel.arity() {
+                    return Err(DeltaError::ArityMismatch {
+                        relation: delta.relation.clone(),
+                        expected: rel.arity(),
+                        got: tuple.values().len(),
+                    });
+                }
+            }
+            if let Some(&tid) = delta.deletes.iter().max() {
+                if tid >= rel.len() {
+                    return Err(DeltaError::DeleteOutOfRange {
+                        relation: delta.relation.clone(),
+                        tid,
+                        len: rel.len(),
+                    });
+                }
+            }
+        }
+        let mut next = self.clone(); // unsealed, relations shared, cache warm
+        for delta in &batch.relations {
+            if delta.is_empty() {
+                continue;
+            }
+            let rel = self.expect(&delta.relation);
+            let patched = rel.apply_delta(&delta.sorted_deletes(), &delta.inserts);
+            // add_shared drops the touched slot's cache entries (all
+            // generations of it — invalidate_slot is generation-blind).
+            next.add_shared(Arc::new(patched));
+        }
+        next.generation = self.generation + 1;
+        // Untouched-slot entries survive under the new generation id.
+        next.index_cache
+            .rekey_generation(self.generation, next.generation);
+        Ok(next)
     }
 
     /// Look up a relation by name.
@@ -123,7 +270,7 @@ impl Database {
             .get(name)
             .unwrap_or_else(|| panic!("relation `{name}` not found in database"));
         self.index_cache
-            .get_or_build((slot, key_columns.to_vec()), || {
+            .get_or_build((self.generation, slot, key_columns.to_vec()), || {
                 HashIndex::build(&self.relations[slot], key_columns)
             })
     }
@@ -384,6 +531,154 @@ mod tests {
         assert_eq!(after.entries, 2);
         assert_eq!(after.capacity, 8);
         assert!(after.hit_ratio() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sealed")]
+    fn sealed_database_rejects_mutation() {
+        // Regression for the mutate-while-serving hole: before sealing,
+        // replacing a relation on a served snapshot silently invalidated
+        // cached indexes under live readers. Now it is a typed panic.
+        let mut db = Database::new();
+        let mut r = Relation::new("R", 1);
+        r.push(Tuple::unweighted(vec![1]));
+        db.add(r);
+        db.seal();
+        let mut r2 = Relation::new("R", 1);
+        r2.push(Tuple::unweighted(vec![2]));
+        db.add(r2); // must panic, not replace
+    }
+
+    #[test]
+    fn seal_works_through_a_shared_handle_and_clones_are_unsealed() {
+        let mut db = Database::new();
+        db.add(Relation::new("R", 1));
+        let shared = Arc::new(db);
+        shared.seal(); // &self sealing, as a query service does at over()
+        assert!(shared.is_sealed());
+        let copy = shared.as_ref().clone();
+        assert!(!copy.is_sealed(), "clones start unsealed");
+    }
+
+    #[test]
+    fn apply_delta_builds_a_new_generation_without_touching_the_source() {
+        let mut db = Database::new();
+        let mut r = Relation::new("R", 2);
+        r.push(Tuple::new(vec![1, 10], 1.0));
+        r.push(Tuple::new(vec![2, 20], 2.0));
+        r.push(Tuple::new(vec![3, 30], 3.0));
+        db.add(r);
+        let mut s = Relation::new("S", 1);
+        s.push(Tuple::new(vec![9], 9.0));
+        db.add(s);
+        db.seal();
+
+        let batch = crate::delta::DeltaBatch::new()
+            .delete("R", 1)
+            .insert("R", Tuple::new(vec![4, 40], 4.0));
+        let next = db.apply_delta(&batch).expect("valid batch");
+
+        // Source untouched, sealed, generation 0.
+        assert_eq!(db.generation(), 0);
+        assert_eq!(db.expect("R").len(), 3);
+        // New snapshot: generation bumped, unsealed, survivors compacted.
+        assert_eq!(next.generation(), 1);
+        assert!(!next.is_sealed());
+        let r = next.expect("R");
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.tuple(0).values_vec(), vec![1, 10]);
+        assert_eq!(r.tuple(1).values_vec(), vec![3, 30], "shifted past delete");
+        assert_eq!(r.tuple(2).values_vec(), vec![4, 40], "insert appended");
+        // Untouched relation is shared, not copied.
+        assert!(Arc::ptr_eq(
+            &db.get_shared("S").unwrap(),
+            &next.get_shared("S").unwrap()
+        ));
+    }
+
+    #[test]
+    fn apply_delta_validates_before_building() {
+        let mut db = Database::new();
+        let mut r = Relation::new("R", 2);
+        r.push(Tuple::new(vec![1, 10], 1.0));
+        db.add(r);
+
+        let unknown = crate::delta::DeltaBatch::new().delete("Q", 0);
+        assert!(matches!(
+            db.apply_delta(&unknown),
+            Err(DeltaError::UnknownRelation(name)) if name == "Q"
+        ));
+        let bad_arity = crate::delta::DeltaBatch::new().insert("R", Tuple::new(vec![1], 0.0));
+        assert!(matches!(
+            db.apply_delta(&bad_arity),
+            Err(DeltaError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            })
+        ));
+        let oob = crate::delta::DeltaBatch::new().delete("R", 5);
+        assert!(matches!(
+            db.apply_delta(&oob),
+            Err(DeltaError::DeleteOutOfRange { tid: 5, len: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn apply_delta_keeps_untouched_slot_indexes_warm_and_drops_touched() {
+        let mut db = Database::new();
+        let mut r = Relation::new("R", 2);
+        r.push_edge(1, 10, 0.0);
+        db.add(r);
+        let mut s = Relation::new("S", 2);
+        s.push_edge(7, 70, 0.0);
+        db.add(s);
+        let r_index = db.index("R", &[0]);
+        let s_index = db.index("S", &[0]);
+        assert_eq!(db.cached_indexes(), 2);
+
+        let batch = crate::delta::DeltaBatch::new().insert("R", Tuple::new(vec![2, 20], 0.0));
+        let next = db.apply_delta(&batch).expect("valid batch");
+
+        // Touched slot (R) dropped; untouched slot (S) carried warm across
+        // the generation bump — same Arc, no rebuild.
+        assert_eq!(next.cached_indexes(), 1);
+        let s_again = next.index("S", &[0]);
+        assert!(Arc::ptr_eq(&s_index, &s_again), "S stayed warm");
+        let r_fresh = next.index("R", &[0]);
+        assert!(!Arc::ptr_eq(&r_index, &r_fresh), "R was rebuilt");
+        assert_eq!(r_fresh.lookup1(1), &[0]);
+        assert_eq!(r_fresh.lookup1(2), &[1]);
+        // The source database's own cache still serves its generation.
+        assert!(Arc::ptr_eq(&db.index("R", &[0]), &r_index));
+    }
+
+    #[test]
+    fn generation_keys_prevent_stale_index_reuse_across_rotation() {
+        // Regression for slot reuse across rotations: slot indices restart
+        // from 0 in a rebuilt database, so without the generation in the
+        // cache key a warm clone of the old cache could serve generation-0
+        // indexes for generation-1 data.
+        let mut db = Database::new();
+        let mut r = Relation::new("R", 2);
+        r.push_edge(1, 10, 0.0);
+        db.add(r);
+        let old_index = db.index("R", &[0]);
+        assert_eq!(old_index.lookup1(1), &[0]);
+
+        // Rotate: same slot layout, different contents, warm cache clone.
+        let mut rotated = db.clone();
+        let mut r2 = Relation::new("R", 2);
+        r2.push_edge(2, 20, 0.0);
+        rotated.add(r2); // invalidates the touched slot...
+        rotated.set_generation(db.generation() + 1); // ...and re-keys the rest
+
+        let fresh = rotated.index("R", &[0]);
+        assert!(!Arc::ptr_eq(&old_index, &fresh), "not the stale index");
+        assert!(fresh.lookup1(1).is_empty());
+        assert_eq!(fresh.lookup1(2), &[0]);
+        // And the original still serves its own generation unharmed.
+        assert!(Arc::ptr_eq(&db.index("R", &[0]), &old_index));
     }
 
     #[test]

@@ -36,9 +36,15 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-/// Cache key: (relation slot, key columns). The slot — not the name — keys
-/// the cache so that replacement invalidation is a simple retain.
-pub(crate) type IndexKey = (usize, Vec<usize>);
+/// Cache key: (snapshot generation, relation slot, key columns). The slot —
+/// not the name — keys the cache so that replacement invalidation is a
+/// simple retain. The **generation** guards against slot reuse across
+/// snapshot rotations: two databases derived from one another (a
+/// copy-on-write snapshot and its delta-patched successor) reuse the same
+/// slot index for different relation contents, so a cache shared — or
+/// warm-cloned — between them must never serve generation-g data to a
+/// generation-g' request.
+pub(crate) type IndexKey = (u64, usize, Vec<usize>);
 
 /// Default number of cached indexes when neither `ANYK_INDEX_CACHE_CAP` nor
 /// [`Database::set_index_cache_capacity`](crate::Database::set_index_cache_capacity)
@@ -267,11 +273,43 @@ impl IndexCache {
         }
     }
 
-    /// Drop every cached index of relation slot `slot` (replacement
-    /// invalidation; not counted as eviction).
+    /// Drop every cached index of relation slot `slot`, across **all**
+    /// generations (replacement invalidation; not counted as eviction).
+    /// Invalidation is generation-blind on purpose: a replace means the slot
+    /// holds new data, and no generation may keep serving indexes of the
+    /// contents the slot held before.
     pub(crate) fn invalidate_slot(&self, slot: usize) {
         for shard in &self.shards {
-            write_shard(shard).retain(|&(s, _), _| s != slot);
+            write_shard(shard).retain(|&(_, s, _), _| s != slot);
+        }
+    }
+
+    /// Re-key every entry of generation `old_gen` to `new_gen` (moving the
+    /// entry, which may land in a different shard). Used by delta ingestion:
+    /// the patched snapshot's warm-cloned cache keeps the untouched slots'
+    /// indexes valid under the *new* generation, while the touched slots
+    /// were already dropped by [`IndexCache::invalidate_slot`].
+    pub(crate) fn rekey_generation(&self, old_gen: u64, new_gen: u64) {
+        if old_gen == new_gen {
+            return;
+        }
+        let mut moved: Vec<(IndexKey, Entry)> = Vec::new();
+        for shard in &self.shards {
+            let mut guard = write_shard(shard);
+            let keys: Vec<IndexKey> = guard
+                .keys()
+                .filter(|&&(g, _, _)| g == old_gen)
+                .cloned()
+                .collect();
+            for key in keys {
+                if let Some(entry) = guard.remove(&key) {
+                    moved.push(((new_gen, key.1, key.2), entry));
+                }
+            }
+        }
+        for (key, entry) in moved {
+            let shard = self.shard_of(&key);
+            write_shard(&self.shards[shard]).insert(key, entry);
         }
     }
 
@@ -336,20 +374,74 @@ mod tests {
     }
 
     #[test]
+    fn generation_in_the_key_separates_rotated_snapshots() {
+        // Regression for slot reuse across rotations: the same (slot, cols)
+        // under a different generation must miss, never serve the old
+        // generation's index.
+        let cache = IndexCache::new(8);
+        let old = edge_relation(2);
+        let new = edge_relation(5);
+        let g0 = cache.get_or_build((0, 0, vec![0]), || index_of(&old));
+        let g1 = cache.get_or_build((1, 0, vec![0]), || index_of(&new));
+        assert!(!Arc::ptr_eq(&g0, &g1), "generation 1 built fresh");
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(g0.lookup1(4), &[] as &[crate::TupleId]);
+        assert_eq!(g1.lookup1(4), &[4]);
+        // Both generations stay independently cached.
+        assert!(Arc::ptr_eq(
+            &g0,
+            &cache.get_or_build((0, 0, vec![0]), || index_of(&old))
+        ));
+        assert!(Arc::ptr_eq(
+            &g1,
+            &cache.get_or_build((1, 0, vec![0]), || index_of(&new))
+        ));
+    }
+
+    #[test]
+    fn rekey_generation_moves_entries_and_preserves_handles() {
+        let cache = IndexCache::new(8);
+        let r = edge_relation(3);
+        let a = cache.get_or_build((0, 0, vec![0]), || index_of(&r));
+        let b = cache.get_or_build((0, 1, vec![0]), || index_of(&r));
+        let other = cache.get_or_build((5, 2, vec![0]), || index_of(&r));
+        cache.rekey_generation(0, 7);
+        // Old keys gone, new keys hit with the same Arcs; foreign
+        // generations untouched.
+        assert!(Arc::ptr_eq(
+            &a,
+            &cache.get_or_build((7, 0, vec![0]), || index_of(&r))
+        ));
+        assert!(Arc::ptr_eq(
+            &b,
+            &cache.get_or_build((7, 1, vec![0]), || index_of(&r))
+        ));
+        assert!(Arc::ptr_eq(
+            &other,
+            &cache.get_or_build((5, 2, vec![0]), || index_of(&r))
+        ));
+        assert_eq!(cache.stats().entries, 3, "rekey neither grows nor drops");
+        let miss_count_before = cache.stats().misses;
+        let rebuilt = cache.get_or_build((0, 0, vec![0]), || index_of(&r));
+        assert!(!Arc::ptr_eq(&a, &rebuilt), "old generation key is gone");
+        assert_eq!(cache.stats().misses, miss_count_before + 1);
+    }
+
+    #[test]
     fn capacity_one_is_a_single_slot_lru() {
         let cache = IndexCache::new(1);
         let r = edge_relation(3);
-        let a = cache.get_or_build((0, vec![0]), || index_of(&r));
-        let a2 = cache.get_or_build((0, vec![0]), || index_of(&r));
+        let a = cache.get_or_build((0, 0, vec![0]), || index_of(&r));
+        let a2 = cache.get_or_build((0, 0, vec![0]), || index_of(&r));
         assert!(Arc::ptr_eq(&a, &a2), "hit");
-        let _b = cache.get_or_build((0, vec![1]), || HashIndex::build(&r, &[1]));
+        let _b = cache.get_or_build((0, 0, vec![1]), || HashIndex::build(&r, &[1]));
         let stats = cache.stats();
         assert_eq!(stats.entries, 1, "bounded to capacity");
         assert_eq!(stats.evictions, 1, "LRU entry evicted");
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 2);
         // Re-requesting the evicted key rebuilds (a fresh Arc).
-        let a3 = cache.get_or_build((0, vec![0]), || index_of(&r));
+        let a3 = cache.get_or_build((0, 0, vec![0]), || index_of(&r));
         assert!(!Arc::ptr_eq(&a, &a3));
         assert_eq!(cache.stats().misses, 3);
         // The evicted handle still describes its snapshot.
@@ -362,7 +454,7 @@ mod tests {
             let cache = IndexCache::new(cap);
             let r = edge_relation(4);
             for slot in 0..40 {
-                cache.get_or_build((slot, vec![0]), || index_of(&r));
+                cache.get_or_build((0, slot, vec![0]), || index_of(&r));
                 assert!(
                     cache.len() <= cap,
                     "cap {cap}: {} entries after insert {slot}",
@@ -382,7 +474,7 @@ mod tests {
         let r = edge_relation(4);
         for round in 0..3 {
             for slot in 0..30 {
-                cache.get_or_build((slot, vec![0]), || index_of(&r));
+                cache.get_or_build((0, slot, vec![0]), || index_of(&r));
             }
             assert_eq!(cache.len(), 30, "round {round}");
         }
@@ -398,15 +490,15 @@ mod tests {
         // entry *not* touched most recently.
         let cache = IndexCache::new(1);
         let r = edge_relation(2);
-        cache.get_or_build((0, vec![0]), || index_of(&r));
-        cache.get_or_build((0, vec![0]), || index_of(&r)); // refresh
-        cache.get_or_build((1, vec![0]), || index_of(&r)); // evicts (0, [0])
+        cache.get_or_build((0, 0, vec![0]), || index_of(&r));
+        cache.get_or_build((0, 0, vec![0]), || index_of(&r)); // refresh
+        cache.get_or_build((0, 1, vec![0]), || index_of(&r)); // evicts (0, [0])
         let stats = cache.stats();
         assert_eq!(stats.entries, 1);
         assert_eq!(stats.evictions, 1);
         // (1, [0]) survives: requesting it again is a hit.
         let hits_before = cache.stats().hits;
-        cache.get_or_build((1, vec![0]), || index_of(&r));
+        cache.get_or_build((0, 1, vec![0]), || index_of(&r));
         assert_eq!(cache.stats().hits, hits_before + 1);
     }
 
@@ -415,7 +507,7 @@ mod tests {
         let mut cache = IndexCache::new(8);
         let r = edge_relation(2);
         for slot in 0..6 {
-            cache.get_or_build((slot, vec![0]), || index_of(&r));
+            cache.get_or_build((0, slot, vec![0]), || index_of(&r));
         }
         assert_eq!(cache.len(), 6);
         cache.set_capacity(2);
@@ -423,8 +515,8 @@ mod tests {
         assert_eq!(cache.len(), 2);
         // The two most recently used keys (slots 4, 5) survive.
         let hits_before = cache.stats().hits;
-        cache.get_or_build((4, vec![0]), || index_of(&r));
-        cache.get_or_build((5, vec![0]), || index_of(&r));
+        cache.get_or_build((0, 4, vec![0]), || index_of(&r));
+        cache.get_or_build((0, 5, vec![0]), || index_of(&r));
         assert_eq!(cache.stats().hits, hits_before + 2);
     }
 
@@ -444,9 +536,9 @@ mod tests {
     fn invalidation_is_not_counted_as_eviction() {
         let cache = IndexCache::new(8);
         let r = edge_relation(2);
-        cache.get_or_build((0, vec![0]), || index_of(&r));
-        cache.get_or_build((0, vec![1]), || HashIndex::build(&r, &[1]));
-        cache.get_or_build((1, vec![0]), || index_of(&r));
+        cache.get_or_build((0, 0, vec![0]), || index_of(&r));
+        cache.get_or_build((0, 0, vec![1]), || HashIndex::build(&r, &[1]));
+        cache.get_or_build((0, 1, vec![0]), || index_of(&r));
         cache.invalidate_slot(0);
         let stats = cache.stats();
         assert_eq!(stats.entries, 1);

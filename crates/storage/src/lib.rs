@@ -16,9 +16,12 @@
 //!   to dense ids on push and decode on read while everything below the
 //!   columns stays integer-only;
 //! * [`Database`] — a catalog of relations addressed by name, memoising
-//!   [`HashIndex`]es per (relation, key columns) in a sharded, LRU-bounded
-//!   [`index_cache`] (readers concurrent, bound configurable, counters
-//!   exposed) and invalidating entries when a relation is replaced;
+//!   [`HashIndex`]es per (generation, relation slot, key columns) in a
+//!   sharded, LRU-bounded [`index_cache`] (readers concurrent, bound
+//!   configurable, counters exposed) and invalidating entries when a
+//!   relation is replaced; snapshots can be **sealed** against mutation and
+//!   advanced copy-on-write via [`delta`] batches
+//!   ([`Database::apply_delta`]), which bump a monotone generation id;
 //! * [`HashIndex`] — the linear-time-buildable, constant-time-lookup join
 //!   index assumed by the cost model of §2.3, built by sequential column
 //!   scans;
@@ -29,6 +32,7 @@
 #![warn(rust_2018_idioms)]
 
 mod database;
+pub mod delta;
 pub mod dictionary;
 mod index;
 pub mod index_cache;
@@ -37,6 +41,7 @@ pub mod stats;
 mod tuple;
 
 pub use database::Database;
+pub use delta::{DeltaBatch, DeltaError, RelationDelta, TidRemap};
 pub use dictionary::{ColumnType, Dictionary, Field, Schema};
 pub use index::HashIndex;
 pub use index_cache::{IndexCacheStats, DEFAULT_INDEX_CACHE_CAPACITY};

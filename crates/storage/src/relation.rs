@@ -371,6 +371,45 @@ impl Relation {
         out
     }
 
+    /// A copy of this relation with the tuples in `deletes` removed and
+    /// `inserts` appended, under the same name. Survivors keep their
+    /// relative order, so a surviving tuple's new id is its old id minus
+    /// the number of deleted ids below it; inserts take the ids past the
+    /// survivors. The schema (and thus any column dictionaries) is shared
+    /// with the original.
+    ///
+    /// `deletes` must be sorted ascending, deduplicated, and in bounds
+    /// (callers go through [`Database::apply_delta`](crate::Database::apply_delta),
+    /// which validates; see [`crate::delta::RelationDelta::sorted_deletes`]).
+    ///
+    /// # Panics
+    /// Panics if an inserted tuple's arity does not match the relation's.
+    pub fn apply_delta(&self, deletes: &[TupleId], inserts: &[Tuple]) -> Relation {
+        debug_assert!(deletes.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(deletes.last().is_none_or(|&d| d < self.len()));
+        let survivors = self.len() - deletes.len();
+        let mut out = Relation::with_schema_capacity(
+            self.name.clone(),
+            self.schema.clone(),
+            survivors + inserts.len(),
+        );
+        let mut next_delete = deletes.iter().peekable();
+        for id in 0..self.len() {
+            if next_delete.peek() == Some(&&id) {
+                next_delete.next();
+                continue;
+            }
+            for (dst, src) in out.columns.iter_mut().zip(&self.columns) {
+                dst.push(src[id]);
+            }
+            out.weights.push(self.weights[id]);
+        }
+        for tuple in inserts {
+            out.push(tuple.clone());
+        }
+        out
+    }
+
     /// Total weight of all tuples (handy for sanity checks in tests).
     pub fn total_weight(&self) -> f64 {
         self.weights.iter().sum()

@@ -142,7 +142,7 @@ fn main() {
                     x3 = 7 rank by sum desc limit 3";
     let (_, top) = run_text_client(&int_service, filtered).unwrap();
     let spec: QuerySpec = filtered.parse().unwrap();
-    let oracle = naive_sql::join_and_sort_spec(int_service.database(), &spec).unwrap();
+    let oracle = naive_sql::join_and_sort_spec(&int_service.database(), &spec).unwrap();
     assert!(top.len() <= 3, "limit 3 honored");
     assert_eq!(top.len(), oracle.len().min(3));
     for (a, b) in top.iter().zip(&oracle) {
