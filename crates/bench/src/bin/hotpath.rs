@@ -31,6 +31,15 @@
 //! dirty-cone re-sweep behind `QueryService::ingest`) versus a full
 //! recompile over the same post-edit data, reporting the refresh speedup.
 //!
+//! An `obs` scenario prices the observability layer itself: TT(1000) on the
+//! path-4 paged cursor with per-answer delay recording on versus off
+//! (`anyk_obs::set_recording`), interleaved best-of-N so thermal drift hits
+//! both sides equally. `overhead_pct` is the cost of leaving recording on —
+//! the budget is a few percent. The `net4` scenario additionally scrapes the
+//! server's Stats opcode after its run and embeds the per-plan delay
+//! percentiles and the prep-phase breakdown (index build / compile /
+//! bottom-up) the wire reported.
+//!
 //! Writes `BENCH_hotpath.json` (override with `ANYK_HOTPATH_OUT`) so the
 //! perf trajectory of the enumeration hot loops is recorded in-repo. If
 //! `ANYK_HOTPATH_BASELINE` names an existing JSON file (a previous run, e.g.
@@ -47,7 +56,10 @@ use anyk_datagen::{cycles, rng, text, uniform};
 use anyk_engine::{PreparedQuery, RankedQuery};
 use anyk_query::{parse_query, QueryBuilder, QuerySpec, RankingFunction};
 use anyk_server::net::{AnyKClient, AnyKServer, ClientConfig, NetConfig};
-use anyk_server::{GovernorConfig, QueryService, ServiceConfig, ServiceError};
+use anyk_server::{
+    set_recording, GovernorConfig, HistogramSummary, Phase, PlanSummaries, QueryService,
+    ServiceConfig, ServiceError,
+};
 use anyk_storage::{Database, DeltaBatch, Tuple};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -327,6 +339,14 @@ struct NetRun {
     pages_per_sec: f64,
     p50_ms: f64,
     p99_ms: f64,
+    /// The workload plan's TTF/delay/page distributions as the server's
+    /// Stats opcode reported them after the run — the wire-scraped
+    /// counterpart to the client-side latencies above.
+    plan_stats: PlanSummaries,
+    /// Process-wide prep-phase accumulators from the same scrape:
+    /// `(phase name, fire count, total ms)` for the preprocessing pipeline.
+    /// Cumulative across every scenario the bench ran before this one.
+    prep_phases: Vec<(&'static str, u64, f64)>,
 }
 
 /// `net4`: the wire-transport counterpart to the `service` scenario. One
@@ -376,7 +396,28 @@ fn run_net(w: &Workload, scale: Scale) -> NetRun {
         client.close(session).expect("close over tcp");
     }
     let wall = start.elapsed().as_secs_f64();
+    // One Stats round-trip before shutdown: the scrape every dashboard
+    // would make, here doubling as bench output.
+    let stats = client.stats().expect("stats over tcp");
     server.shutdown();
+    let key = w.spec.plan_key();
+    let plan_stats = stats
+        .plans
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, s)| *s)
+        .expect("the benched plan has distributions");
+    let prep_phases = [Phase::IndexBuild, Phase::Compile, Phase::BottomUp]
+        .into_iter()
+        .map(|p| {
+            let s = stats.phases.iter().find(|s| s.phase == p);
+            (
+                p.name(),
+                s.map_or(0, |s| s.count),
+                s.map_or(0.0, |s| s.total_nanos as f64 / 1e6),
+            )
+        })
+        .collect();
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     NetRun {
         sessions,
@@ -386,6 +427,8 @@ fn run_net(w: &Workload, scale: Scale) -> NetRun {
         pages_per_sec: latencies.len() as f64 / wall,
         p50_ms: percentile(&latencies, 0.50),
         p99_ms: percentile(&latencies, 0.99),
+        plan_stats,
+        prep_phases,
     }
 }
 
@@ -571,6 +614,75 @@ fn run_delta(w: &Workload) -> DeltaRun {
     }
 }
 
+struct ObsRun {
+    on_ms: f64,
+    off_ms: f64,
+    overhead_pct: f64,
+    ttf_ns: u64,
+    delay: HistogramSummary,
+}
+
+/// Interleaved repetitions per recording state in the `obs` scenario (far
+/// more than [`REPEATS`]: the measured effect is a few percent — smaller
+/// than run-to-run scheduler noise — so both best-ofs need a deep pool to
+/// converge on their true floors).
+const OBS_REPEATS: usize = 25;
+
+/// `obs`: the price of leaving per-answer delay recording on. TT(`LIMIT`)
+/// through the paged cursor — the path that carries a [`DelayRecorder`]
+/// (one monotonic-clock read per answer into a local log-bucketed
+/// histogram) — measured with the process-wide switch on versus off,
+/// interleaved so drift hits both sides equally. The "on" side's best run
+/// also reports the delay distribution it recorded: the observability
+/// layer measuring its own overhead run.
+///
+/// [`DelayRecorder`]: anyk_obs::DelayRecorder
+fn run_obs(w: &Workload) -> ObsRun {
+    let prepared =
+        Arc::new(PreparedQuery::from_spec(Arc::new(w.db.clone()), &w.spec).expect("plan"));
+    let tt_limit = || {
+        let mut cursor = prepared.cursor(AnyKAlgorithm::Take2);
+        let mut buf = Vec::with_capacity(SERVICE_PAGE_SIZE);
+        let t = Instant::now();
+        let mut served = 0usize;
+        loop {
+            let done = cursor.next_page_into(SERVICE_PAGE_SIZE, &mut buf);
+            served += buf.len();
+            if done || served >= LIMIT {
+                break;
+            }
+        }
+        let elapsed = t.elapsed().as_secs_f64() * 1e3;
+        let recorded = cursor
+            .ttf_nanos()
+            .zip(cursor.delay_histogram().map(|h| h.summary()));
+        (elapsed, recorded)
+    };
+    let mut on_best = f64::MAX;
+    let mut off_best = f64::MAX;
+    let mut best_recorded = None;
+    for _ in 0..OBS_REPEATS {
+        set_recording(true);
+        let (elapsed, recorded) = tt_limit();
+        if elapsed < on_best {
+            on_best = elapsed;
+            best_recorded = recorded;
+        }
+        set_recording(false);
+        let (elapsed, _) = tt_limit();
+        off_best = off_best.min(elapsed);
+    }
+    set_recording(true);
+    let (ttf_ns, delay) = best_recorded.expect("recording was on");
+    ObsRun {
+        on_ms: on_best,
+        off_ms: off_best,
+        overhead_pct: (on_best - off_best) / off_best * 100.0,
+        ttf_ns,
+        delay,
+    }
+}
+
 fn main() {
     let scale = Scale::from_env();
     let mut json = String::from("{\n");
@@ -652,6 +764,16 @@ fn main() {
                 .map(|&k| format!("\"{}\": {}", k, ms(trace.tt(k))))
                 .collect();
             let _ = write!(json, "\"tt_ms\": {{{}}}, ", tt.join(", "));
+            // Per-answer delay percentiles through the shared log-bucketed
+            // histogram (`anyk_obs`) — the same bucket math the service's
+            // Stats opcode reports, so bench and production percentiles are
+            // directly comparable.
+            let delay = trace.delay_histogram().summary();
+            let _ = write!(
+                json,
+                "\"delay_ns\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}, ",
+                delay.p50, delay.p90, delay.p99, delay.max
+            );
             // MEM(k) snapshot after LIMIT results: successor-structure table
             // and prefix-arena sizes (null for non-anyK-part algorithms).
             match prepared.mem_profile(alg, LIMIT) {
@@ -762,8 +884,49 @@ fn main() {
     );
     let _ = writeln!(json, "    \"pages_per_sec\": {:.1},", net.pages_per_sec);
     let _ = writeln!(json, "    \"page_p50_ms\": {:.4},", net.p50_ms);
-    let _ = writeln!(json, "    \"page_p99_ms\": {:.4}", net.p99_ms);
-    json.push_str("  }");
+    let _ = writeln!(json, "    \"page_p99_ms\": {:.4},", net.p99_ms);
+    // What the server's Stats opcode said about the same run: per-plan
+    // delay/TTF percentiles (nanoseconds) and the prep-phase breakdown
+    // (process-wide accumulators, cumulative over the scenarios above).
+    println!(
+        "  stats scrape: ttf_p50 {}ns  delay p50 {}ns p99 {}ns  ({} delays recorded)",
+        net.plan_stats.ttf.p50,
+        net.plan_stats.delay.p50,
+        net.plan_stats.delay.p99,
+        net.plan_stats.delay.count
+    );
+    for (name, count, total_ms) in &net.prep_phases {
+        println!("  phase {name:<12} count {count:>6}  total {total_ms:>10.3}ms");
+    }
+    json.push_str("    \"stats\": {\n");
+    let _ = writeln!(
+        json,
+        "      \"plan_ttf_p50_ns\": {},",
+        net.plan_stats.ttf.p50
+    );
+    let _ = writeln!(
+        json,
+        "      \"plan_delay_p50_ns\": {},",
+        net.plan_stats.delay.p50
+    );
+    let _ = writeln!(
+        json,
+        "      \"plan_delay_p99_ns\": {},",
+        net.plan_stats.delay.p99
+    );
+    let _ = writeln!(
+        json,
+        "      \"plan_delay_count\": {},",
+        net.plan_stats.delay.count
+    );
+    json.push_str("      \"prep_phase_ms\": {");
+    for (pi, (name, _, total_ms)) in net.prep_phases.iter().enumerate() {
+        if pi > 0 {
+            json.push_str(", ");
+        }
+        let _ = write!(json, "\"{name}\": {total_ms:.3}");
+    }
+    json.push_str("}\n    }\n  }");
 
     // Net overload scenario: shedding measured from the far side of the
     // socket — shed rate should match the in-process overload run, page
@@ -815,6 +978,36 @@ fn main() {
         delta.rebuild_prep_ms
     );
     let _ = writeln!(json, "    \"refresh_speedup\": {:.2}", delta.speedup);
+    json.push_str("  }");
+
+    // Obs scenario: recording on vs off on the paged cursor — the cost of
+    // leaving the delay instrumentation enabled in production.
+    let obs_workload = *service_workloads
+        .first()
+        .expect("at least one service workload");
+    let obs = run_obs(obs_workload);
+    println!("== obs (tt({LIMIT}) recording on vs off, best of {OBS_REPEATS}) ==");
+    println!(
+        "  {:<10} on {:>8.4}ms  off {:>8.4}ms  overhead {:>+6.2}%",
+        obs_workload.name, obs.on_ms, obs.off_ms, obs.overhead_pct
+    );
+    println!(
+        "  recorded: ttf {}ns  delay p50 {}ns p90 {}ns p99 {}ns max {}ns",
+        obs.ttf_ns, obs.delay.p50, obs.delay.p90, obs.delay.p99, obs.delay.max
+    );
+    json.push_str(",\n  \"obs\": {\n");
+    let _ = writeln!(json, "    \"workload\": \"{}\",", obs_workload.name);
+    let _ = writeln!(json, "    \"algorithm\": \"Take2\",");
+    let _ = writeln!(json, "    \"page_size\": {SERVICE_PAGE_SIZE},");
+    let _ = writeln!(json, "    \"repeats\": {OBS_REPEATS},");
+    let _ = writeln!(json, "    \"tt1000_recording_on_ms\": {:.4},", obs.on_ms);
+    let _ = writeln!(json, "    \"tt1000_recording_off_ms\": {:.4},", obs.off_ms);
+    let _ = writeln!(json, "    \"overhead_pct\": {:.2},", obs.overhead_pct);
+    let _ = writeln!(json, "    \"ttf_ns\": {},", obs.ttf_ns);
+    let _ = writeln!(json, "    \"delay_p50_ns\": {},", obs.delay.p50);
+    let _ = writeln!(json, "    \"delay_p90_ns\": {},", obs.delay.p90);
+    let _ = writeln!(json, "    \"delay_p99_ns\": {},", obs.delay.p99);
+    let _ = writeln!(json, "    \"delay_max_ns\": {}", obs.delay.max);
     json.push_str("  }");
 
     if let Ok(path) = std::env::var("ANYK_HOTPATH_BASELINE") {

@@ -113,6 +113,7 @@ unsafe fn eval_node<D: Dioid>(
 /// is bit-identical for every count.
 pub(crate) fn run_with_threads<D: Dioid>(instance: &mut TdpInstance<D>, threads: usize) {
     crate::faults::checkpoint("core.bottom_up");
+    let _span = anyk_obs::phase::span(anyk_obs::Phase::BottomUp);
     let num_nodes = instance.nodes.len();
     let mut subtree_opt = vec![D::zero(); num_nodes];
     let mut branch_opt: Vec<D::V> = vec![D::zero(); instance.num_slot_ids()];

@@ -54,6 +54,7 @@ use crate::answer::Answer;
 use crate::error::EngineError;
 use crate::ranked::{AnswerStream, Plan};
 use anyk_core::{AnyKAlgorithm, MemoryStats};
+use anyk_obs::{Clock, DelayRecorder, HistogramSnapshot, MonotonicClock, PlanObs};
 use anyk_query::ConjunctiveQuery;
 use anyk_query::RankingFunction;
 use anyk_storage::{Database, DeltaBatch};
@@ -357,6 +358,11 @@ pub struct AnswerCursor {
     cancel: CancellationToken,
     /// Set once a page pull observed the tripped token and stopped early.
     cancelled: bool,
+    /// Per-answer delay instrumentation (`None` when recording is switched
+    /// off, see [`anyk_obs::set_recording`]): one clock read plus a few
+    /// plain integer adds per answer, flushed to shared per-plan histograms
+    /// at page boundaries.
+    recorder: Option<Box<DelayRecorder>>,
     owner: Arc<PreparedQuery>,
 }
 
@@ -373,6 +379,12 @@ impl AnswerCursor {
         // every use and the `'static` lifetime is a private fiction that
         // cannot escape.
         let iter: Box<dyn AnswerStream + 'static> = unsafe { std::mem::transmute(iter) };
+        let recorder = anyk_obs::recording_enabled().then(|| {
+            Box::new(DelayRecorder::new(
+                Arc::new(MonotonicClock::new()) as Arc<dyn Clock>,
+                None,
+            ))
+        });
         AnswerCursor {
             iter,
             algorithm,
@@ -381,6 +393,7 @@ impl AnswerCursor {
             done: limit == Some(0),
             cancel: CancellationToken::new(),
             cancelled: false,
+            recorder,
             owner,
         }
     }
@@ -428,6 +441,32 @@ impl AnswerCursor {
         self.iter.live_mem()
     }
 
+    /// Replace the cursor's delay instrumentation: record against `clock`
+    /// (the service's injectable clock, so `ManualClock` tests script exact
+    /// delays) and flush into `plan`'s shared per-plan histograms at page
+    /// boundaries. The TTF reference point is *this call*, so attach before
+    /// the first page pull. Respects the process-wide recording switch —
+    /// a no-op (clearing any default recorder) when recording is off.
+    pub fn enable_recording(&mut self, clock: Arc<dyn Clock>, plan: Option<Arc<PlanObs>>) {
+        self.recorder =
+            anyk_obs::recording_enabled().then(|| Box::new(DelayRecorder::new(clock, plan)));
+    }
+
+    /// The per-answer delay distribution recorded so far, in the shared
+    /// log-bucketed histogram type (the first answer's delay is its TTF,
+    /// matching [`anyk_core::metrics::EnumerationTrace`] semantics). `None`
+    /// when recording is switched off.
+    pub fn delay_histogram(&self) -> Option<HistogramSnapshot> {
+        self.recorder.as_deref().map(DelayRecorder::delays)
+    }
+
+    /// Nanoseconds from recorder attachment (cursor open, unless
+    /// [`AnswerCursor::enable_recording`] re-armed it) to the first answer.
+    /// `None` before the first answer or when recording is off.
+    pub fn ttf_nanos(&self) -> Option<u64> {
+        self.recorder.as_deref().and_then(DelayRecorder::ttf_nanos)
+    }
+
     /// Pull the next page of up to `page_size` answers.
     pub fn next_page(&mut self, page_size: usize) -> Page {
         let mut answers = Vec::new();
@@ -455,7 +494,12 @@ impl AnswerCursor {
             }
             anyk_core::faults::checkpoint("engine.page");
             match self.iter.next() {
-                Some(answer) => out.push(answer),
+                Some(answer) => {
+                    if let Some(r) = self.recorder.as_deref_mut() {
+                        r.observe_answer();
+                    }
+                    out.push(answer);
+                }
                 None => {
                     self.done = true;
                     break;
@@ -469,6 +513,11 @@ impl AnswerCursor {
             }
         }
         self.served += out.len();
+        // Page boundary: push this page's delay counts to the shared
+        // per-plan histograms (cold path; no-op without a plan sink).
+        if let Some(r) = self.recorder.as_deref_mut() {
+            r.flush();
+        }
         self.done
     }
 }
@@ -599,6 +648,37 @@ mod tests {
         let mut recombined = first.answers;
         recombined.extend(rest.answers);
         assert_eq!(recombined, one_shot);
+    }
+
+    #[test]
+    fn cursor_records_exact_delays_on_manual_clock() {
+        use anyk_obs::ManualClock;
+        use std::time::Duration;
+
+        let p = prepared();
+        let clock = Arc::new(ManualClock::new());
+        let plan = Arc::new(PlanObs::default());
+        let mut cursor = p.cursor(AnyKAlgorithm::Take2);
+        cursor.enable_recording(clock.clone() as Arc<dyn Clock>, Some(Arc::clone(&plan)));
+
+        // The manual clock only moves between pages here (the expansion
+        // loop itself reads a frozen clock), so the first page's three
+        // answers arrive at delays 5ms, 0, 0.
+        clock.advance(Duration::from_millis(5));
+        let page = cursor.next_page(10);
+        assert_eq!(page.answers.len(), 3);
+
+        assert_eq!(cursor.ttf_nanos(), Some(5_000_000));
+        let d = cursor.delay_histogram().expect("recording is on");
+        assert_eq!(d.count(), 3);
+        assert_eq!(d.sum(), 5_000_000);
+        assert_eq!(d.max(), 5_000_000);
+
+        // Page boundary flushed into the shared per-plan histograms.
+        assert_eq!(plan.ttf.snapshot().count(), 1);
+        let shared = plan.delay.snapshot();
+        assert_eq!(shared.count(), 3);
+        assert_eq!(shared.sum(), 5_000_000);
     }
 
     #[test]

@@ -241,6 +241,7 @@ impl Plan {
         retain_delta: bool,
     ) -> Result<Self, EngineError> {
         anyk_core::faults::check("engine.compile")?;
+        let _span = anyk_obs::phase::span(anyk_obs::Phase::Compile);
         crate::compile::validate(db, query)?;
         if query.is_acyclic() {
             if ranking.is_bottleneck() {
@@ -337,6 +338,7 @@ impl Plan {
         ranking: RankingFunction,
     ) -> Result<(Self, anyk_core::tdp::PatchStats), EngineError> {
         anyk_core::faults::check("engine.refresh")?;
+        let _span = anyk_obs::phase::span(anyk_obs::Phase::Refresh);
         match self {
             Plan::AcyclicSum(c) => {
                 let (c, stats) =

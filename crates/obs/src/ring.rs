@@ -1,0 +1,161 @@
+//! Bounded per-session event rings for post-mortem debugging.
+//!
+//! Every session keeps its last *N* lifecycle events (open, page pulls,
+//! cancellation, expiry, poison, sheds) with timestamps from the service's
+//! injectable [`crate::Clock`]. The ring is plain data — it lives inside the
+//! session's registry slot, which is already mutex-guarded — so pushing an
+//! event is a couple of stores, and a misbehaving session's recent history
+//! can be dumped after it has ended (the ring migrates into the session's
+//! tombstone).
+
+/// One kind of session-lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// Session admitted and opened (detail: charged MEM units).
+    Open = 0,
+    /// One page pull completed (detail: answers returned).
+    Page = 1,
+    /// Session cancelled by the client (detail: answers served in total).
+    Cancel = 2,
+    /// Session reaped by TTL or idle deadline (detail: answers served).
+    Expire = 3,
+    /// A page pull panicked; session poisoned (detail: answers served).
+    Poison = 4,
+    /// A page pull was shed by admission control (detail: unused, 0).
+    Shed = 5,
+    /// Session closed (detail: answers served in total).
+    Close = 6,
+}
+
+impl EventKind {
+    /// Stable snake_case name for rendering.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Open => "open",
+            EventKind::Page => "page",
+            EventKind::Cancel => "cancel",
+            EventKind::Expire => "expire",
+            EventKind::Poison => "poison",
+            EventKind::Shed => "shed",
+            EventKind::Close => "close",
+        }
+    }
+}
+
+/// One recorded session event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Clock reading when the event happened ([`crate::Clock::now_nanos`]).
+    pub at_nanos: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Kind-specific payload (see [`EventKind`] docs).
+    pub detail: u64,
+}
+
+/// A fixed-capacity ring of the most recent [`Event`]s.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: Vec<Event>,
+    cap: usize,
+    /// Next write position once the ring is full.
+    next: usize,
+    /// Events ever pushed (≥ `buf.len()`; the difference is what was
+    /// overwritten).
+    total: u64,
+}
+
+impl EventRing {
+    /// A ring keeping the last `capacity` events; `capacity == 0` disables
+    /// recording entirely (every push is a no-op).
+    pub fn new(capacity: usize) -> Self {
+        EventRing {
+            buf: Vec::with_capacity(capacity.min(1024)),
+            cap: capacity,
+            next: 0,
+            total: 0,
+        }
+    }
+
+    /// Record an event, evicting the oldest if full.
+    pub fn record(&mut self, at_nanos: u64, kind: EventKind, detail: u64) {
+        if self.cap == 0 {
+            return;
+        }
+        let e = Event {
+            at_nanos,
+            kind,
+            detail,
+        };
+        if self.buf.len() < self.cap {
+            self.buf.push(e);
+        } else {
+            self.buf[self.next] = e;
+            self.next = (self.next + 1) % self.cap;
+        }
+        self.total += 1;
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        if self.buf.len() == self.cap && self.cap > 0 {
+            out.extend_from_slice(&self.buf[self.next..]);
+            out.extend_from_slice(&self.buf[..self.next]);
+        } else {
+            out.extend_from_slice(&self.buf);
+        }
+        out
+    }
+
+    /// Events ever recorded, including overwritten ones.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_most_recent_in_order() {
+        let mut r = EventRing::new(3);
+        for i in 0..5u64 {
+            r.record(i, EventKind::Page, i * 10);
+        }
+        let ev = r.events();
+        assert_eq!(r.total(), 5);
+        assert_eq!(ev.len(), 3);
+        assert_eq!(
+            ev.iter().map(|e| e.at_nanos).collect::<Vec<_>>(),
+            vec![2, 3, 4],
+            "oldest first, oldest two evicted"
+        );
+    }
+
+    #[test]
+    fn partial_ring_preserves_insertion_order() {
+        let mut r = EventRing::new(8);
+        r.record(1, EventKind::Open, 0);
+        r.record(2, EventKind::Page, 7);
+        let ev = r.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].kind, EventKind::Open);
+        assert_eq!(ev[1].detail, 7);
+    }
+
+    #[test]
+    fn zero_capacity_disables_recording() {
+        let mut r = EventRing::new(0);
+        r.record(1, EventKind::Open, 0);
+        assert_eq!(r.total(), 0);
+        assert!(r.events().is_empty());
+    }
+}

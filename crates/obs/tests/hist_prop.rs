@@ -1,0 +1,107 @@
+//! Property tests for the log-bucketed histogram against a naive
+//! sorted-vec oracle: percentiles must land within one bucket of the exact
+//! sample, and merging must be associative (bucket-wise addition).
+
+use anyk_obs::hist::{bucket_high, bucket_index, bucket_low, LatencyHistogram};
+use anyk_obs::HistogramSnapshot;
+use proptest::prelude::*;
+
+/// Exact percentile on raw samples, same rank convention as the histogram:
+/// the `ceil(q·n)`-th smallest sample (1-based, clamped to [1, n]).
+fn oracle_percentile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let n = sorted.len() as f64;
+    let rank = ((q * n).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn snapshot_of(samples: &[u64]) -> HistogramSnapshot {
+    let h = LatencyHistogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Mixed-magnitude sample strategy: exact-range values, microsecond-ish,
+/// and second-ish values, so both linear and log buckets are exercised.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec((0u64..3u64, 0u64..5_000_000_000u64), 1..400).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(band, v)| match band {
+                0 => v % 64,
+                1 => v % 100_000,
+                _ => v,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn percentiles_match_oracle_within_one_bucket(samples in samples()) {
+        let snap = snapshot_of(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(snap.count(), samples.len() as u64);
+        prop_assert_eq!(snap.max(), *sorted.last().unwrap());
+        for &q in &[0.01, 0.25, 0.50, 0.90, 0.99, 1.0] {
+            let exact = oracle_percentile(&sorted, q);
+            let approx = snap.percentile(q);
+            // Same rank convention on both sides, so the approximation is
+            // the midpoint of the exact sample's bucket (clamped to max):
+            // the error is bounded by that bucket's width.
+            let idx = bucket_index(exact);
+            let width = bucket_high(idx) - bucket_low(idx);
+            let err = approx.abs_diff(exact);
+            prop_assert!(
+                err <= width.max(1),
+                "q={} exact={} approx={} err={} > bucket width {}",
+                q, exact, approx, err, width
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_matches_concatenation(
+        a in samples(),
+        b in samples(),
+        c in samples(),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        // (a ∪ b) ∪ c == a ∪ (b ∪ c)
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+
+        // …and both equal the histogram of the concatenated samples.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        let direct = snapshot_of(&all);
+        prop_assert_eq!(&left, &direct);
+
+        // Percentiles of the merged snapshot still track the oracle.
+        all.sort_unstable();
+        let exact = oracle_percentile(&all, 0.99);
+        let idx = bucket_index(exact);
+        let width = bucket_high(idx) - bucket_low(idx);
+        prop_assert!(left.percentile(0.99).abs_diff(exact) <= width.max(1));
+    }
+
+    #[test]
+    fn bucket_index_is_monotone(a in proptest::arbitrary::any::<u64>(), b in proptest::arbitrary::any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+        // Every value sits inside its own bucket's bounds.
+        let idx = bucket_index(a);
+        prop_assert!(bucket_low(idx) <= a && a <= bucket_high(idx));
+    }
+}

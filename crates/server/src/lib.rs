@@ -248,6 +248,60 @@
 //!   cleanly, torn, timed-out, or shed — so the Governor's MEM gauge
 //!   returns to zero when the clients go away. Reconnecting clients re-open
 //!   and re-enumerate (determinism makes the replay bit-identical).
+//!
+//! ## Observing the service
+//!
+//! The paper's contract is stated in *per-answer time*: TTF (time to first
+//! answer), TT(k), and a bounded delay between consecutive results. The
+//! observability layer (crate `anyk-obs`, re-exported here) measures exactly
+//! those quantities in production, cheaply enough to leave on:
+//!
+//! * **Delay histograms** — every cursor carries a
+//!   [`DelayRecorder`](anyk_obs::DelayRecorder): one monotonic-clock read
+//!   per answer into a cursor-local, allocation-free log-bucketed histogram
+//!   (~2.5 % relative error), flushed into shared lock-free per-plan
+//!   atomics at page boundaries. The per-plan distributions — TTF,
+//!   inter-answer delay, and page service latency, keyed by
+//!   [`QuerySpec::plan_key`] — are what
+//!   [`QueryService::stats_snapshot`] reports as [`PlanSummaries`]:
+//!   plot `delay.p99` against the theoretical `O(log n)` delay bound and a
+//!   regression is a dashboard artifact, not a bisection. In-process
+//!   callers get the same distribution per cursor via
+//!   [`AnswerCursor::delay_histogram`].
+//! * **Phase spans** — the expensive one-off phases (index build, plan
+//!   compile, bottom-up sweep, delta refresh, snapshot rotation, wire
+//!   read/write) accumulate `(count, total, max)` into process-wide
+//!   [`PhaseSnapshot`]s, so a scrape separates *preprocessing* cost from
+//!   *enumeration* cost — the paper's central distinction. Note that
+//!   `wire_read` spans cover the blocking wait for the next request, so
+//!   they include client think time by design: the figure bounds how long
+//!   workers sit in reads, not pure socket cost.
+//! * **Session traces** — each session keeps a bounded [`EventRing`]
+//!   (capacity [`ServiceConfig::session_event_capacity`]; 0 disables) of
+//!   lifecycle [`Event`]s: open, every page pull, shed pulls, and its
+//!   terminal cancel/expire/poison/close, timestamped by the injectable
+//!   [`Clock`]. The ring migrates into the session's tombstone, so
+//!   [`QueryService::session_trace`] answers "what happened to session X?"
+//!   *after* it died. Size the ring to your paging pattern: pages dominate,
+//!   so ~2× the expected pulls per session keeps whole lifecycles.
+//! * **The Stats opcode** — `0x08` on the wire returns a versioned
+//!   [`StatsSnapshot`]: every [`ServiceMetrics`] counter, the phase table,
+//!   the service-wide page-latency summary, and the per-plan distributions,
+//!   all scraped in one request ([`net::AnyKClient::stats`]). The
+//!   `generation` field comes from the same critical section as the
+//!   counters, so a scrape racing [`QueryService::rotate`] still describes
+//!   one consistent generation. [`StatsSnapshot::render_prometheus`] turns
+//!   a snapshot into the Prometheus text format for scrape-style pipelines.
+//! * **The recording switch** — [`set_recording`]`(false)` turns the
+//!   per-answer clock reads and histogram stores off process-wide (session
+//!   event rings and plain counters stay on). The overhead benchmark keeps
+//!   recording honest: enabled-vs-disabled on the hot path must stay within
+//!   a few percent.
+//!
+//! [`DelayRecorder`]: anyk_obs::DelayRecorder
+//! [`EventRing`]: anyk_obs::EventRing
+//! [`AnswerCursor::delay_histogram`]: anyk_engine::AnswerCursor::delay_histogram
+//! [`QuerySpec::plan_key`]: anyk_query::QuerySpec::plan_key
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -257,6 +311,7 @@ mod error;
 mod governor;
 pub mod net;
 mod service;
+mod stats;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use error::{OverloadReason, ServiceError};
@@ -264,6 +319,15 @@ pub use governor::GovernorConfig;
 pub use service::{
     QueryService, ServiceConfig, ServiceMetrics, SessionId, SessionState, SessionStatus,
     DEFAULT_ALGORITHM,
+};
+pub use stats::{StatsSnapshot, STATS_VERSION};
+
+// Re-exported so stats/trace consumers can name the observability types
+// (histogram summaries, phase timings, session events, the recording
+// switch) without depending on anyk-obs directly.
+pub use anyk_obs::{
+    recording_enabled, set_recording, Event, EventKind, HistogramSummary, Phase, PhaseSnapshot,
+    PlanSummaries,
 };
 
 // The failpoint registry lives in anyk-core (the bottom of the crate DAG,

@@ -283,6 +283,20 @@ impl AnyKClient {
         }
     }
 
+    /// Scrape the server's observability snapshot: atomic service counters,
+    /// phase timings, and per-plan TTF / delay / page-latency percentiles.
+    /// Feed it to [`StatsSnapshot::render_prometheus`] for scrape-style
+    /// consumers.
+    ///
+    /// [`StatsSnapshot::render_prometheus`]: crate::StatsSnapshot::render_prometheus
+    pub fn stats(&mut self) -> Result<crate::StatsSnapshot, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(stats) => Ok(*stats),
+            Response::Err(e) => Err(ClientError::Remote(e)),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
     /// Apply a delta batch to the server's current snapshot: the server
     /// rotates in a new generation and returns its id. Sessions opened
     /// before the ingest keep streaming from their pinned snapshot.

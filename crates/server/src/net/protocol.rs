@@ -43,6 +43,7 @@
 //! | `0x05` | `Cancel` | `u64` session |
 //! | `0x06` | `Close` | `u64` session |
 //! | `0x07` | `Ingest` | delta batch (see below) |
+//! | `0x08` | `Stats` | empty |
 //!
 //! Session ids are **per-connection** handles issued by `OpenSession`; a
 //! connection can only address sessions it opened itself, so one client can
@@ -59,7 +60,13 @@
 //! Success (`0x80..`): `Pong` (empty), `Prepared` (canonical plan key,
 //! UTF-8), `SessionOpened` (`u64` id), `Page` (`u8` done, `u32` count,
 //! `count` × answer), `Cancelled` (empty), `Closed` (`u8` existed),
-//! `Ingested` (`u64` new generation id).
+//! `Ingested` (`u64` new generation id), `Stats` (a versioned
+//! [`StatsSnapshot`]: `u32` layout version, `u64` generation, `u16` metric
+//! count + that many `u64` counters in [`ServiceMetrics::fields`] order,
+//! `u8` phase count + per phase `u8` id and `u64` count/total/max nanos,
+//! one 6 × `u64` page-latency summary, `u16` plan count + per plan a
+//! length-prefixed UTF-8 key and three 6 × `u64` summaries —
+//! count/sum/max/p50/p90/p99 — for TTF, delay, and page latency).
 //!
 //! An answer is `u64` weight bits, `u16` arity, arity × `u64` values,
 //! `u16` witness count, count × (`u32` atom index, `u64` tuple id) — the
@@ -72,7 +79,10 @@
 //! well-behaved clients back off exactly as in-process callers do.
 
 use crate::error::{OverloadReason, ServiceError};
+use crate::service::ServiceMetrics;
+use crate::stats::{StatsSnapshot, STATS_VERSION};
 use anyk_engine::{Answer, Page};
+use anyk_obs::{HistogramSummary, Phase, PhaseSnapshot, PlanSummaries};
 use anyk_storage::{DeltaBatch, RelationDelta, Tuple};
 use std::io::{self, Read, Write};
 use std::time::Duration;
@@ -105,6 +115,9 @@ pub enum OpCode {
     /// Apply a delta batch, rotating the served snapshot; answered with
     /// `Ingested`.
     Ingest = 0x07,
+    /// Scrape the observability surface (counters, phase timings, per-plan
+    /// latency percentiles); answered with `Stats`.
+    Stats = 0x08,
 }
 
 impl OpCode {
@@ -117,6 +130,7 @@ impl OpCode {
             0x05 => OpCode::Cancel,
             0x06 => OpCode::Close,
             0x07 => OpCode::Ingest,
+            0x08 => OpCode::Stats,
             _ => return None,
         })
     }
@@ -136,6 +150,7 @@ pub enum StatusCode {
     Cancelled = 0x84,
     Closed = 0x85,
     Ingested = 0x86,
+    Stats = 0x87,
     ErrProtocol = 0xC0,
     ErrUnsupportedVersion = 0xC1,
     ErrFrameTooLarge = 0xC2,
@@ -162,6 +177,7 @@ impl StatusCode {
             0x84 => StatusCode::Cancelled,
             0x85 => StatusCode::Closed,
             0x86 => StatusCode::Ingested,
+            0x87 => StatusCode::Stats,
             0xC0 => StatusCode::ErrProtocol,
             0xC1 => StatusCode::ErrUnsupportedVersion,
             0xC2 => StatusCode::ErrFrameTooLarge,
@@ -204,6 +220,8 @@ pub enum Request {
     /// Apply a delta batch: the served snapshot rotates to a new generation
     /// while open sessions keep streaming their pinned one.
     Ingest(DeltaBatch),
+    /// Scrape the service's observability snapshot.
+    Stats,
 }
 
 /// A decoded response frame.
@@ -226,6 +244,8 @@ pub enum Response {
     },
     /// The delta batch was applied; carries the new generation id.
     Ingested(u64),
+    /// One consistent observability scrape; see [`StatsSnapshot`].
+    Stats(Box<StatsSnapshot>),
     /// Typed failure; see [`WireError`].
     Err(WireError),
 }
@@ -505,6 +525,109 @@ fn decode_batch(r: &mut PayloadReader<'_>) -> Result<DeltaBatch, WireError> {
     Ok(DeltaBatch { relations })
 }
 
+fn encode_summary(buf: &mut Vec<u8>, s: &HistogramSummary) {
+    put_u64(buf, s.count);
+    put_u64(buf, s.sum);
+    put_u64(buf, s.max);
+    put_u64(buf, s.p50);
+    put_u64(buf, s.p90);
+    put_u64(buf, s.p99);
+}
+
+fn decode_summary(r: &mut PayloadReader<'_>) -> Result<HistogramSummary, WireError> {
+    Ok(HistogramSummary {
+        count: r.u64()?,
+        sum: r.u64()?,
+        max: r.u64()?,
+        p50: r.u64()?,
+        p90: r.u64()?,
+        p99: r.u64()?,
+    })
+}
+
+fn encode_stats(buf: &mut Vec<u8>, s: &StatsSnapshot) {
+    put_u32(buf, s.version);
+    put_u64(buf, s.generation);
+    let fields = s.metrics.fields();
+    put_u16(buf, fields.len() as u16);
+    for (_, value) in fields {
+        put_u64(buf, value);
+    }
+    buf.push(s.phases.len() as u8);
+    for p in &s.phases {
+        buf.push(p.phase as u8);
+        put_u64(buf, p.count);
+        put_u64(buf, p.total_nanos);
+        put_u64(buf, p.max_nanos);
+    }
+    encode_summary(buf, &s.page_latency);
+    put_u16(buf, s.plans.len() as u16);
+    for (key, sums) in &s.plans {
+        put_u16(buf, key.len() as u16);
+        buf.extend_from_slice(key.as_bytes());
+        encode_summary(buf, &sums.ttf);
+        encode_summary(buf, &sums.delay);
+        encode_summary(buf, &sums.page);
+    }
+}
+
+fn decode_stats(r: &mut PayloadReader<'_>) -> Result<StatsSnapshot, WireError> {
+    let version = r.u32()?;
+    if version != STATS_VERSION {
+        return Err(WireError::Protocol(format!(
+            "unsupported stats layout version {version} (expected {STATS_VERSION})"
+        )));
+    }
+    let generation = r.u64()?;
+    let nmetrics = r.u16()? as usize;
+    if nmetrics != ServiceMetrics::FIELD_COUNT {
+        return Err(WireError::Protocol(format!(
+            "stats frame carries {nmetrics} metrics (expected {})",
+            ServiceMetrics::FIELD_COUNT
+        )));
+    }
+    let mut values = [0u64; ServiceMetrics::FIELD_COUNT];
+    for v in values.iter_mut() {
+        *v = r.u64()?;
+    }
+    let metrics = ServiceMetrics::from_values(&values);
+    let nphases = r.u8()? as usize;
+    let mut phases = Vec::with_capacity(nphases.min(64));
+    for _ in 0..nphases {
+        let id = r.u8()?;
+        let phase = Phase::from_u8(id)
+            .ok_or_else(|| WireError::Protocol(format!("unknown phase id {id}")))?;
+        phases.push(PhaseSnapshot {
+            phase,
+            count: r.u64()?,
+            total_nanos: r.u64()?,
+            max_nanos: r.u64()?,
+        });
+    }
+    let page_latency = decode_summary(r)?;
+    let nplans = r.u16()? as usize;
+    let mut plans = Vec::with_capacity(nplans.min(1 << 10));
+    for _ in 0..nplans {
+        let key_len = r.u16()? as usize;
+        let key = String::from_utf8(r.take(key_len)?.to_vec())
+            .map_err(|_| WireError::Protocol("plan key is not valid UTF-8".into()))?;
+        let sums = PlanSummaries {
+            ttf: decode_summary(r)?,
+            delay: decode_summary(r)?,
+            page: decode_summary(r)?,
+        };
+        plans.push((key, sums));
+    }
+    Ok(StatsSnapshot {
+        version,
+        generation,
+        metrics,
+        phases,
+        page_latency,
+        plans,
+    })
+}
+
 impl Request {
     /// The frame kind byte of this request.
     pub fn opcode(&self) -> OpCode {
@@ -516,12 +639,13 @@ impl Request {
             Request::Cancel(_) => OpCode::Cancel,
             Request::Close(_) => OpCode::Close,
             Request::Ingest(_) => OpCode::Ingest,
+            Request::Stats => OpCode::Stats,
         }
     }
 
     fn encode_payload(&self, buf: &mut Vec<u8>) {
         match self {
-            Request::Ping => {}
+            Request::Ping | Request::Stats => {}
             Request::Prepare(text) | Request::OpenSession(text) => {
                 buf.extend_from_slice(text.as_bytes())
             }
@@ -550,6 +674,7 @@ impl Request {
             OpCode::Cancel => Request::Cancel(r.u64()?),
             OpCode::Close => Request::Close(r.u64()?),
             OpCode::Ingest => Request::Ingest(decode_batch(&mut r)?),
+            OpCode::Stats => Request::Stats,
         };
         r.finish()?;
         Ok(req)
@@ -567,6 +692,7 @@ impl Response {
             Response::Cancelled => StatusCode::Cancelled,
             Response::Closed { .. } => StatusCode::Closed,
             Response::Ingested(_) => StatusCode::Ingested,
+            Response::Stats(_) => StatusCode::Stats,
             Response::Err(e) => match e {
                 WireError::Protocol(_) => StatusCode::ErrProtocol,
                 WireError::UnsupportedVersion { .. } => StatusCode::ErrUnsupportedVersion,
@@ -600,6 +726,7 @@ impl Response {
             }
             Response::Closed { existed } => buf.push(*existed as u8),
             Response::Ingested(generation) => put_u64(buf, *generation),
+            Response::Stats(stats) => encode_stats(buf, stats),
             Response::Err(e) => match e {
                 WireError::ShuttingDown => unreachable!("handled above"),
                 WireError::Protocol(d) => buf.extend_from_slice(d.as_bytes()),
@@ -649,6 +776,7 @@ impl Response {
                 existed: r.u8()? != 0,
             },
             StatusCode::Ingested => Response::Ingested(r.u64()?),
+            StatusCode::Stats => Response::Stats(Box::new(decode_stats(&mut r)?)),
             StatusCode::ErrProtocol => Response::Err(WireError::Protocol(r.rest_utf8()?)),
             StatusCode::ErrUnsupportedVersion => {
                 Response::Err(WireError::UnsupportedVersion { supported: r.u8()? })
@@ -977,6 +1105,139 @@ mod tests {
             }
             other => panic!("decoded {other:?}"),
         }
+    }
+
+    fn sample_stats() -> StatsSnapshot {
+        StatsSnapshot {
+            version: STATS_VERSION,
+            generation: 9,
+            metrics: ServiceMetrics {
+                sessions_opened: 4,
+                answers_served: 123,
+                current_generation: 9,
+                ..Default::default()
+            },
+            phases: vec![
+                PhaseSnapshot {
+                    phase: Phase::Compile,
+                    count: 2,
+                    total_nanos: 1_000_000,
+                    max_nanos: 700_000,
+                },
+                PhaseSnapshot {
+                    phase: Phase::WireWrite,
+                    count: 40,
+                    total_nanos: 90_000,
+                    max_nanos: 9_000,
+                },
+            ],
+            page_latency: HistogramSummary {
+                count: 12,
+                sum: 360_000,
+                max: 90_000,
+                p50: 25_000,
+                p90: 70_000,
+                p99: 90_000,
+            },
+            plans: vec![
+                (
+                    "Q(v0, v1) :- R(v0, v1) rank by sum".to_owned(),
+                    PlanSummaries {
+                        ttf: HistogramSummary {
+                            count: 4,
+                            sum: 4_000,
+                            max: 2_000,
+                            p50: 900,
+                            p90: 1_900,
+                            p99: 2_000,
+                        },
+                        delay: HistogramSummary {
+                            count: 123,
+                            sum: 500_000,
+                            max: 50_000,
+                            p50: 3_000,
+                            p90: 20_000,
+                            p99: 48_000,
+                        },
+                        page: HistogramSummary::default(),
+                    },
+                ),
+                ("Q(v0) :- S(v0, v0)".to_owned(), PlanSummaries::default()),
+            ],
+        }
+    }
+
+    #[test]
+    fn stats_requests_and_responses_roundtrip_byte_exactly() {
+        roundtrip_request(Request::Stats);
+        let stats = sample_stats();
+        let resp = Response::Stats(Box::new(stats.clone()));
+        let mut payload = Vec::new();
+        resp.encode_payload(&mut payload);
+        // Byte-exact: re-encoding the decoded snapshot reproduces the
+        // original payload bit for bit.
+        match Response::decode(StatusCode::Stats as u8, &payload).unwrap() {
+            Response::Stats(back) => {
+                assert_eq!(*back, stats);
+                let mut re = Vec::new();
+                Response::Stats(back).encode_payload(&mut re);
+                assert_eq!(re, payload, "byte-exact round trip");
+            }
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_stats_frames_are_typed_errors() {
+        let mut payload = Vec::new();
+        Response::Stats(Box::new(sample_stats())).encode_payload(&mut payload);
+        // Truncations at every prefix must be typed protocol errors — never
+        // a panic, never a silent partial decode.
+        for cut in 0..payload.len() {
+            assert!(
+                matches!(
+                    Response::decode(StatusCode::Stats as u8, &payload[..cut]),
+                    Err(WireError::Protocol(_))
+                ),
+                "truncation at {cut} bytes must fail typed"
+            );
+        }
+        // Trailing garbage is rejected by the strict reader.
+        let mut oversize = payload.clone();
+        oversize.push(0);
+        assert!(matches!(
+            Response::decode(StatusCode::Stats as u8, &oversize),
+            Err(WireError::Protocol(_))
+        ));
+        // A stats request opcode carries no payload; any body is an error.
+        assert!(matches!(
+            Request::decode(OpCode::Stats as u8, &[1]),
+            Err(WireError::Protocol(_))
+        ));
+        // Unknown layout version.
+        let mut bad_version = payload.clone();
+        bad_version[..4].copy_from_slice(&99u32.to_be_bytes());
+        assert!(matches!(
+            Response::decode(StatusCode::Stats as u8, &bad_version),
+            Err(WireError::Protocol(_))
+        ));
+        // Metric-count mismatch (claims one fewer metric than the layout).
+        let mut bad_count = payload.clone();
+        let count_off = 4 + 8;
+        bad_count[count_off..count_off + 2]
+            .copy_from_slice(&((ServiceMetrics::FIELD_COUNT as u16) - 1).to_be_bytes());
+        assert!(matches!(
+            Response::decode(StatusCode::Stats as u8, &bad_count),
+            Err(WireError::Protocol(_))
+        ));
+        // Unknown phase id.
+        let mut bad_phase = payload.clone();
+        let phase_ids_off = count_off + 2 + 8 * ServiceMetrics::FIELD_COUNT + 1;
+        bad_phase[phase_ids_off] = 0xEE;
+        assert!(matches!(
+            Response::decode(StatusCode::Stats as u8, &bad_phase),
+            Err(WireError::Protocol(_))
+        ));
     }
 
     #[test]

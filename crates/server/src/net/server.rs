@@ -421,7 +421,14 @@ impl Connection<'_> {
                 >= deadline.as_nanos().min(u64::MAX as u128) as u64
         };
         let max = self.shared.cfg.max_frame_bytes;
-        match read_frame(&mut self.stream, max, &mut self.scratch, &exceeded) {
+        // Phase note: the span covers the blocking wait for the next
+        // request too, so `wire_read` time includes client idle/think time
+        // — it bounds how long workers sit in reads, not pure socket cost.
+        let read = {
+            let _span = anyk_obs::phase::span(anyk_obs::Phase::WireRead);
+            read_frame(&mut self.stream, max, &mut self.scratch, &exceeded)
+        };
+        match read {
             // Chaos site, checked as the read completes (a worker parked in
             // a blocking read sees a plan armed meanwhile): the received
             // frame is discarded as if the read had failed, the client gets
@@ -517,6 +524,7 @@ impl Connection<'_> {
                 Ok(generation) => Response::Ingested(generation),
                 Err(e) => Response::from_service_error(&e, 0),
             },
+            Request::Stats => Response::Stats(Box::new(svc.stats_snapshot())),
         }
     }
 
@@ -542,6 +550,7 @@ impl Connection<'_> {
             // connection drops exactly as if the peer vanished mid-reply.
             return Err(io::Error::other("injected net.write fault"));
         }
+        let _span = anyk_obs::phase::span(anyk_obs::Phase::WireWrite);
         match write_frame(&mut self.stream, &self.frame) {
             Ok(()) => Ok(()),
             Err(e) => {

@@ -4,8 +4,10 @@
 use crate::clock::{Clock, MonotonicClock};
 use crate::error::ServiceError;
 use crate::governor::{Governor, GovernorConfig, SessionOutcome};
+use crate::stats::{StatsSnapshot, STATS_VERSION};
 use anyk_core::AnyKAlgorithm;
 use anyk_engine::{Answer, AnswerCursor, AnswerDecoder, Page, PreparedQuery, RankingFunction};
+use anyk_obs::{Event, EventKind, EventRing, LatencyHistogram, PlanObs, PlanRegistry};
 use anyk_query::{ConjunctiveQuery, QuerySpec};
 use anyk_storage::{Database, DeltaBatch, IndexCacheStats};
 use std::collections::hash_map::DefaultHasher;
@@ -65,6 +67,11 @@ pub struct ServiceConfig {
     /// process-monotonic clock; tests inject a
     /// [`ManualClock`](crate::ManualClock) to make expiry deterministic.
     pub clock: Option<Arc<dyn Clock>>,
+    /// Events retained in each session's post-mortem ring
+    /// ([`QueryService::session_trace`]): open, page pulls, shed pulls, and
+    /// how the session ended, oldest evicted first. `0` disables the rings
+    /// entirely (every push becomes a no-op).
+    pub session_event_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -75,6 +82,7 @@ impl Default for ServiceConfig {
             plan_cache_capacity: 32,
             governor: GovernorConfig::default(),
             clock: None,
+            session_event_capacity: 32,
         }
     }
 }
@@ -157,6 +165,90 @@ pub struct ServiceMetrics {
     /// Cached plans carried across an ingestion by full recompilation
     /// (selection-pushdown and cycle plans cannot be delta-refreshed).
     pub plans_recompiled: u64,
+}
+
+impl ServiceMetrics {
+    /// Number of entries [`ServiceMetrics::fields`] yields — the implicit
+    /// schema of stats wire frames (guarded by
+    /// [`crate::stats::STATS_VERSION`]: adding a field bumps the version).
+    pub const FIELD_COUNT: usize = 28;
+
+    /// Every counter and gauge as `(name, value)`, in declaration order.
+    /// This is the single source of the stats wire layout and the
+    /// Prometheus rendering, so the three views can never skew.
+    pub fn fields(&self) -> [(&'static str, u64); Self::FIELD_COUNT] {
+        [
+            ("sessions_opened", self.sessions_opened),
+            ("sessions_closed", self.sessions_closed),
+            ("sessions_shed", self.sessions_shed),
+            ("sessions_expired", self.sessions_expired),
+            ("sessions_cancelled", self.sessions_cancelled),
+            ("sessions_poisoned", self.sessions_poisoned),
+            ("pages_served", self.pages_served),
+            ("answers_served", self.answers_served),
+            ("plan_hits", self.plan_hits),
+            ("plan_misses", self.plan_misses),
+            ("plan_evictions", self.plan_evictions),
+            ("active_sessions", self.active_sessions),
+            ("pages_in_flight", self.pages_in_flight),
+            ("mem_resident_units", self.mem_resident_units),
+            ("peak_mem_resident_units", self.peak_mem_resident_units),
+            ("connections_accepted", self.connections_accepted),
+            (
+                "connections_shed_at_accept",
+                self.connections_shed_at_accept,
+            ),
+            ("net_read_timeouts", self.net_read_timeouts),
+            ("net_write_timeouts", self.net_write_timeouts),
+            (
+                "connections_drained_on_shutdown",
+                self.connections_drained_on_shutdown,
+            ),
+            ("current_generation", self.current_generation),
+            ("active_generations", self.active_generations),
+            ("snapshot_resident_units", self.snapshot_resident_units),
+            ("snapshots_retired", self.snapshots_retired),
+            ("generations_rotated", self.generations_rotated),
+            ("deltas_ingested", self.deltas_ingested),
+            ("plans_refreshed", self.plans_refreshed),
+            ("plans_recompiled", self.plans_recompiled),
+        ]
+    }
+
+    /// Rebuild a snapshot from [`ServiceMetrics::fields`]-ordered values
+    /// (the wire decoder's inverse of `fields`).
+    pub fn from_values(values: &[u64; Self::FIELD_COUNT]) -> Self {
+        ServiceMetrics {
+            sessions_opened: values[0],
+            sessions_closed: values[1],
+            sessions_shed: values[2],
+            sessions_expired: values[3],
+            sessions_cancelled: values[4],
+            sessions_poisoned: values[5],
+            pages_served: values[6],
+            answers_served: values[7],
+            plan_hits: values[8],
+            plan_misses: values[9],
+            plan_evictions: values[10],
+            active_sessions: values[11],
+            pages_in_flight: values[12],
+            mem_resident_units: values[13],
+            peak_mem_resident_units: values[14],
+            connections_accepted: values[15],
+            connections_shed_at_accept: values[16],
+            net_read_timeouts: values[17],
+            net_write_timeouts: values[18],
+            connections_drained_on_shutdown: values[19],
+            current_generation: values[20],
+            active_generations: values[21],
+            snapshot_resident_units: values[22],
+            snapshots_retired: values[23],
+            generations_rotated: values[24],
+            deltas_ingested: values[25],
+            plans_refreshed: values[26],
+            plans_recompiled: values[27],
+        }
+    }
 }
 
 /// One served database generation: the sealed snapshot plus its governor
@@ -265,6 +357,13 @@ struct ActiveSession {
     charged_units: u64,
     opened_nanos: u64,
     last_used_nanos: u64,
+    /// Bounded post-mortem trace of lifecycle events
+    /// ([`ServiceConfig::session_event_capacity`]); migrates into the
+    /// tombstone when the session ends.
+    ring: EventRing,
+    /// The plan-wide observation block page latencies are recorded into
+    /// (the cursor's delay recorder flushes into the same block).
+    obs: Arc<PlanObs>,
 }
 
 /// How a session stopped being active (the tombstone kept in its slot so
@@ -292,17 +391,27 @@ impl SessionEnd {
             SessionEnd::Poisoned => SessionState::Poisoned,
         }
     }
+
+    fn event_kind(self) -> EventKind {
+        match self {
+            SessionEnd::Expired => EventKind::Expire,
+            SessionEnd::Cancelled => EventKind::Cancel,
+            SessionEnd::Poisoned => EventKind::Poison,
+        }
+    }
 }
 
 enum SlotState {
     Active(ActiveSession),
     /// The cursor (and its enumeration memory, and its snapshot pin) is
-    /// gone; only the facts a status call needs survive.
+    /// gone; only the facts a status call needs — plus the event ring for
+    /// post-mortems — survive.
     Ended {
         end: SessionEnd,
         served: usize,
         algorithm: AnyKAlgorithm,
         generation: u64,
+        ring: EventRing,
     },
 }
 
@@ -313,17 +422,20 @@ struct Slot {
 impl Slot {
     /// Transition Active → Ended, returning the active half (whose drop —
     /// in the caller, outside any registry lock — frees the cursor and
-    /// releases the snapshot pin). Panics if the slot already ended;
-    /// callers check first.
-    fn end(&mut self, end: SessionEnd) -> ActiveSession {
-        let (served, algorithm, generation) = match &self.state {
+    /// releases the snapshot pin). The event ring migrates into the
+    /// tombstone, stamped with the terminal event. Panics if the slot
+    /// already ended; callers check first.
+    fn end(&mut self, end: SessionEnd, at_nanos: u64) -> ActiveSession {
+        let (served, algorithm, generation, mut ring) = match &mut self.state {
             SlotState::Active(a) => (
                 a.cursor.served(),
                 a.cursor.algorithm(),
                 a.snapshot.generation,
+                std::mem::replace(&mut a.ring, EventRing::new(0)),
             ),
             SlotState::Ended { .. } => unreachable!("slot ended twice"),
         };
+        ring.record(at_nanos, end.event_kind(), served as u64);
         let prev = std::mem::replace(
             &mut self.state,
             SlotState::Ended {
@@ -331,6 +443,7 @@ impl Slot {
                 served,
                 algorithm,
                 generation,
+                ring,
             },
         );
         match prev {
@@ -382,6 +495,12 @@ pub struct QueryService {
     next_session: AtomicU64,
     governor: Arc<Governor>,
     clock: Arc<dyn Clock>,
+    /// Per-plan TTF/delay/page-latency distributions, keyed by canonical
+    /// plan key (the same key the plan cache uses, generation stripped).
+    plan_obs: PlanRegistry,
+    /// Service-wide page latency distribution across all plans.
+    page_hist: LatencyHistogram,
+    session_event_capacity: usize,
 }
 
 /// A poisoned lock only means a panic elsewhere; the maps/sessions are
@@ -464,6 +583,9 @@ impl QueryService {
             clock: config
                 .clock
                 .unwrap_or_else(|| Arc::new(MonotonicClock::new())),
+            plan_obs: PlanRegistry::new(),
+            page_hist: LatencyHistogram::new(),
+            session_event_capacity: config.session_event_capacity,
         }
     }
 
@@ -621,6 +743,7 @@ impl QueryService {
     pub fn ingest(&self, batch: &DeltaBatch) -> Result<u64, ServiceError> {
         catch_panic("delta ingestion", || {
             let _rotating = lock!(self.rotation.lock());
+            let _span = anyk_obs::phase::span(anyk_obs::Phase::Rotation);
             let old = self.current_snapshot();
             let new_db = old.db.apply_delta(batch)?;
             new_db.seal();
@@ -643,6 +766,7 @@ impl QueryService {
     /// generation id.
     pub fn rotate(&self, mut db: Database) -> u64 {
         let _rotating = lock!(self.rotation.lock());
+        let _span = anyk_obs::phase::span(anyk_obs::Phase::Rotation);
         let old = self.current_snapshot();
         let generation = old.generation + 1;
         db.set_generation(generation);
@@ -731,8 +855,9 @@ impl QueryService {
         catch_panic("session open", || {
             self.admit_open()?;
             let snap = self.current_snapshot();
-            let prepared = self.prepare_on(&snap, &QuerySpec::from_query(query, ranking))?;
-            self.install_session(snap, &prepared, algorithm, None)
+            let spec = QuerySpec::from_query(query, ranking);
+            let prepared = self.prepare_on(&snap, &spec)?;
+            self.install_session(snap, &prepared, algorithm, None, spec.plan_key())
         })?
     }
 
@@ -759,7 +884,7 @@ impl QueryService {
             let snap = self.current_snapshot();
             let prepared = self.prepare_on(&snap, spec)?;
             let algorithm = spec.algorithm.unwrap_or(DEFAULT_ALGORITHM);
-            self.install_session(snap, &prepared, algorithm, spec.limit)
+            self.install_session(snap, &prepared, algorithm, spec.limit, spec.plan_key())
         })?
     }
 
@@ -775,7 +900,11 @@ impl QueryService {
     ) -> Result<SessionId, ServiceError> {
         catch_panic("session open", || {
             self.admit_open()?;
-            self.install_session(self.current_snapshot(), prepared, algorithm, None)
+            // The ahead-of-time path skipped the spec; rebuild the canonical
+            // key so its sessions share a distribution with text/struct
+            // opens of the same query.
+            let key = QuerySpec::from_query(prepared.query(), prepared.ranking()).plan_key();
+            self.install_session(self.current_snapshot(), prepared, algorithm, None, key)
         })?
     }
 
@@ -794,8 +923,9 @@ impl QueryService {
         prepared: &Arc<PreparedQuery>,
         algorithm: AnyKAlgorithm,
         limit: Option<usize>,
+        plan_key: String,
     ) -> Result<SessionId, ServiceError> {
-        let cursor = catch_panic("cursor construction", || {
+        let mut cursor = catch_panic("cursor construction", || {
             prepared.cursor_with_limit(algorithm, limit)
         })?;
         let units = self.charge_for(&cursor);
@@ -803,6 +933,13 @@ impl QueryService {
         // section; a shed here drops the cursor before it served anything.
         self.governor.commit_session(units)?;
         let now = self.clock.now_nanos();
+        let obs = self.plan_obs.handle(&plan_key);
+        // Re-arm the cursor's delay recorder on the *service's* clock and
+        // plan sink (its default recorder measures against a private
+        // monotonic clock and flushes nowhere).
+        cursor.enable_recording(Arc::clone(&self.clock), Some(Arc::clone(&obs)));
+        let mut ring = EventRing::new(self.session_event_capacity);
+        ring.record(now, EventKind::Open, units);
         let id = SessionId(self.next_session.fetch_add(1, Ordering::Relaxed) + 1);
         let slot = Arc::new(SessionSlot {
             cancel: cursor.cancel_token().clone(),
@@ -813,6 +950,8 @@ impl QueryService {
                     charged_units: units,
                     opened_nanos: now,
                     last_used_nanos: now,
+                    ring,
+                    obs,
                 }),
             }),
         });
@@ -900,7 +1039,13 @@ impl QueryService {
         out: &mut Vec<Answer>,
     ) -> Result<bool, ServiceError> {
         anyk_core::faults::check("server.page")?;
-        let _permit = self.governor.acquire_page()?;
+        let _permit = match self.governor.acquire_page() {
+            Ok(permit) => permit,
+            Err(err) => {
+                self.note_shed_page(id);
+                return Err(err);
+            }
+        };
         let slot = self.session(id)?;
         let mut guard = lock!(slot.inner.lock());
         if let SlotState::Ended { end, .. } = &guard.state {
@@ -909,7 +1054,7 @@ impl QueryService {
         let now = self.clock.now_nanos();
         let expired = matches!(&guard.state, SlotState::Active(a) if self.past_deadline(a, now));
         if expired {
-            let active = guard.end(SessionEnd::Expired);
+            let active = guard.end(SessionEnd::Expired, now);
             self.governor
                 .release_session(active.charged_units, SessionOutcome::Expired);
             return Err(ServiceError::SessionExpired(id));
@@ -926,19 +1071,20 @@ impl QueryService {
                 // *inside* the slot mutex, so no lock is poisoned and no
                 // other session noticed.
                 out.clear();
-                let active = guard.end(SessionEnd::Poisoned);
+                let active = guard.end(SessionEnd::Poisoned, self.clock.now_nanos());
                 self.governor
                     .release_session(old_units, SessionOutcome::Poisoned);
                 drop(active);
                 Err(err)
             }
             Ok(done) => {
+                let served_at = self.observe_page(active, now, out.len());
                 if active.cursor.is_cancelled() {
                     // The token tripped mid-pull: serve the partial page
                     // (its answers are valid and in order), then retire the
                     // session.
                     self.governor.record_page(out.len());
-                    let active = guard.end(SessionEnd::Cancelled);
+                    let active = guard.end(SessionEnd::Cancelled, served_at);
                     self.governor
                         .release_session(old_units, SessionOutcome::Cancelled);
                     drop(active);
@@ -951,6 +1097,38 @@ impl QueryService {
                 self.governor.record_page(out.len());
                 Ok(done)
             }
+        }
+    }
+
+    /// Record one completed page pull into the session's event ring and —
+    /// when recording is on — the service-wide and per-plan page-latency
+    /// histograms. Returns the completion timestamp so callers can reuse
+    /// the reading.
+    fn observe_page(&self, active: &mut ActiveSession, started_nanos: u64, answers: usize) -> u64 {
+        let finished = self.clock.now_nanos();
+        active
+            .ring
+            .record(finished, EventKind::Page, answers as u64);
+        if anyk_obs::recording_enabled() {
+            let elapsed = finished.saturating_sub(started_nanos);
+            self.page_hist.record(elapsed);
+            active.obs.page.record(elapsed);
+        }
+        finished
+    }
+
+    /// A page pull was shed by the in-flight cap: leave a breadcrumb in the
+    /// session's ring (best effort — skipped if the slot is busy, since a
+    /// shed must never queue behind the very pull that crowded it out).
+    fn note_shed_page(&self, id: SessionId) {
+        let Ok(slot) = self.session(id) else { return };
+        let mut guard = match slot.inner.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => return,
+        };
+        if let SlotState::Active(a) = &mut guard.state {
+            a.ring.record(self.clock.now_nanos(), EventKind::Shed, 0);
         }
     }
 
@@ -969,7 +1147,7 @@ impl QueryService {
         let mut guard = lock!(slot.inner.lock());
         match &guard.state {
             SlotState::Active(_) => {
-                let active = guard.end(SessionEnd::Cancelled);
+                let active = guard.end(SessionEnd::Cancelled, self.clock.now_nanos());
                 self.governor
                     .release_session(active.charged_units, SessionOutcome::Cancelled);
                 Ok(())
@@ -1005,7 +1183,7 @@ impl QueryService {
                 };
                 if matches!(&guard.state, SlotState::Active(a) if self.past_deadline(a, now)) {
                     slot.cancel.cancel();
-                    let active = guard.end(SessionEnd::Expired);
+                    let active = guard.end(SessionEnd::Expired, now);
                     self.governor
                         .release_session(active.charged_units, SessionOutcome::Expired);
                     reaped += 1;
@@ -1038,6 +1216,7 @@ impl QueryService {
                 served,
                 algorithm,
                 generation,
+                ..
             } => SessionStatus {
                 served: *served,
                 done: true,
@@ -1078,7 +1257,7 @@ impl QueryService {
         slot.cancel.cancel();
         let mut guard = lock!(slot.inner.lock());
         if matches!(guard.state, SlotState::Active(_)) {
-            let active = guard.end(SessionEnd::Cancelled);
+            let active = guard.end(SessionEnd::Cancelled, self.clock.now_nanos());
             self.governor
                 .release_session(active.charged_units, SessionOutcome::Closed);
         }
@@ -1144,6 +1323,40 @@ impl QueryService {
     /// Hit/miss/eviction counters of the current snapshot's index cache.
     pub fn index_cache_stats(&self) -> IndexCacheStats {
         self.current_snapshot().db.index_cache_stats()
+    }
+
+    /// Everything the stats endpoint reports, in one pass: the atomic
+    /// [`ServiceMetrics`] snapshot, the process-wide phase timings, the
+    /// service-wide page-latency summary, and the per-plan TTF / delay /
+    /// page distributions (sorted by plan key). The reported `generation`
+    /// comes from the same governor critical section as the counters, so a
+    /// concurrent rotation can never produce a snapshot whose counters and
+    /// generation disagree.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        let metrics = self.metrics();
+        StatsSnapshot {
+            version: STATS_VERSION,
+            generation: metrics.current_generation,
+            metrics,
+            phases: anyk_obs::phase::snapshot_phases(),
+            page_latency: self.page_hist.summary(),
+            plans: self.plan_obs.summaries(),
+        }
+    }
+
+    /// The retained lifecycle events of session `id`, oldest first — open,
+    /// page pulls (detail: answers returned), shed pulls, and how the
+    /// session ended. Works on ended-but-not-closed sessions too: the ring
+    /// migrates into the tombstone. Capacity is
+    /// [`ServiceConfig::session_event_capacity`]; closing the session
+    /// discards the trace with the slot.
+    pub fn session_trace(&self, id: SessionId) -> Result<Vec<Event>, ServiceError> {
+        let slot = self.session(id)?;
+        let guard = lock!(slot.inner.lock());
+        Ok(match &guard.state {
+            SlotState::Active(a) => a.ring.events(),
+            SlotState::Ended { ring, .. } => ring.events(),
+        })
     }
 
     /// The governor, for sibling modules (the TCP transport records its
@@ -1790,5 +2003,126 @@ mod tests {
         assert_eq!(service.current_generation(), 0, "generation unchanged");
         assert_eq!(m.deltas_ingested, 0);
         assert_eq!(m.active_generations, 1);
+    }
+
+    #[test]
+    fn session_traces_record_lifecycle_with_injected_timestamps() {
+        let clock = Arc::new(ManualClock::new());
+        let service = QueryService::with_config(
+            path_db(),
+            ServiceConfig {
+                clock: Some(Arc::clone(&clock) as Arc<dyn Clock>),
+                session_event_capacity: 8,
+                ..ServiceConfig::default()
+            },
+        );
+        let query = QueryBuilder::path(2).build();
+        let id = service.open_session(&query, AnyKAlgorithm::Take2).unwrap();
+        clock.advance(Duration::from_millis(5));
+        service.next_page(id, 2).unwrap();
+        clock.advance(Duration::from_millis(7));
+        service.cancel_session(id).unwrap();
+
+        let trace = service.session_trace(id).unwrap();
+        let kinds: Vec<EventKind> = trace.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![EventKind::Open, EventKind::Page, EventKind::Cancel]
+        );
+        let open_at = trace[0].at_nanos;
+        assert!(trace[0].detail > 0, "open detail carries charged MEM units");
+        assert_eq!(trace[1].at_nanos - open_at, 5_000_000);
+        assert_eq!(trace[1].detail, 2, "page detail counts answers returned");
+        assert_eq!(trace[2].at_nanos - open_at, 12_000_000);
+        assert_eq!(trace[2].detail, 2, "terminal detail counts answers served");
+
+        // The trace survives in the tombstone for post-mortems; reclaiming
+        // the id finally forgets it.
+        assert_eq!(
+            service.session_status(id).unwrap().state,
+            SessionState::Cancelled
+        );
+        service.close_session(id);
+        assert!(matches!(
+            service.session_trace(id),
+            Err(ServiceError::UnknownSession(_))
+        ));
+    }
+
+    #[test]
+    fn session_event_rings_evict_oldest_and_can_be_disabled() {
+        let query = QueryBuilder::path(2).build();
+
+        let bounded = QueryService::with_config(
+            path_db(),
+            ServiceConfig {
+                session_event_capacity: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        let id = bounded.open_session(&query, AnyKAlgorithm::Lazy).unwrap();
+        for _ in 0..3 {
+            bounded.next_page(id, 1).unwrap();
+        }
+        let trace = bounded.session_trace(id).unwrap();
+        assert_eq!(trace.len(), 2, "ring keeps only the most recent events");
+        assert!(trace.iter().all(|e| e.kind == EventKind::Page));
+
+        let disabled = QueryService::with_config(
+            path_db(),
+            ServiceConfig {
+                session_event_capacity: 0,
+                ..ServiceConfig::default()
+            },
+        );
+        let id = disabled.open_session(&query, AnyKAlgorithm::Lazy).unwrap();
+        disabled.next_page(id, 1).unwrap();
+        assert!(
+            disabled.session_trace(id).unwrap().is_empty(),
+            "capacity 0 disables tracing without failing the call"
+        );
+    }
+
+    #[test]
+    fn stats_snapshots_report_one_consistent_generation_under_rotation() {
+        let service = Arc::new(QueryService::new(path_db()));
+        let query = QueryBuilder::path(2).build();
+        let id = service.open_session(&query, AnyKAlgorithm::Take2).unwrap();
+        service.next_page(id, 10).unwrap();
+
+        const ROTATIONS: u64 = 50;
+        std::thread::scope(|scope| {
+            let svc = Arc::clone(&service);
+            let rotator = scope.spawn(move || {
+                for _ in 0..ROTATIONS {
+                    svc.rotate(path_db());
+                }
+            });
+            let mut last = 0u64;
+            while !rotator.is_finished() {
+                let s = service.stats_snapshot();
+                assert_eq!(s.version, STATS_VERSION);
+                assert_eq!(
+                    s.generation, s.metrics.current_generation,
+                    "generation and counters come from one critical section"
+                );
+                assert!(s.generation >= last, "generation never goes backwards");
+                last = s.generation;
+            }
+            rotator.join().unwrap();
+        });
+
+        let settled = service.stats_snapshot();
+        assert_eq!(settled.generation, ROTATIONS);
+        assert_eq!(settled.metrics.generations_rotated, ROTATIONS);
+        assert!(settled.page_latency.count >= 1, "page latency was recorded");
+        let key = QuerySpec::from_query(&query, RankingFunction::SumAscending).plan_key();
+        let plan = settled
+            .plans
+            .iter()
+            .find(|(k, _)| *k == key)
+            .expect("per-plan distributions keyed by canonical plan key");
+        assert!(plan.1.ttf.count >= 1, "TTF flushed at the page boundary");
+        assert!(plan.1.delay.count >= 1, "per-answer delays flushed");
     }
 }

@@ -384,6 +384,24 @@ fn raw_byte_attacks_get_typed_errors_or_clean_drops_and_leak_nothing() {
         s.write_all(&next).unwrap();
         drop(s);
     }
+    // 10. Stats requests are bodyless: a trailing byte is a typed protocol
+    //     error, while a bare raw-byte Stats frame gets a real snapshot.
+    {
+        let mut s = connect();
+        s.write_all(&raw_frame(1, 0x08, 0, &[0])).unwrap();
+        match decode_raw_response(&mut s) {
+            Some(Response::Err(WireError::Protocol(_))) => {}
+            other => panic!("expected ErrProtocol, got {other:?}"),
+        }
+        let mut s = connect();
+        s.write_all(&raw_frame(1, 0x08, 0, &[])).unwrap();
+        match decode_raw_response(&mut s) {
+            Some(Response::Stats(stats)) => {
+                assert_eq!(stats.version, anyk_server::STATS_VERSION)
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+    }
 
     assert_server_healthy(&server, &service);
     let m = service.metrics();
@@ -461,6 +479,70 @@ fn shutdown_rejects_new_connections_and_queued_ones_get_shutting_down() {
     );
     // The old connection is closed too.
     assert!(client.ping().is_err());
+}
+
+#[test]
+fn stats_over_tcp_report_delay_percentiles_for_a_live_workload() {
+    let (service, mut server) = start_server(NetConfig::default());
+    let mut client = quick_client(&server);
+
+    // Drive a real ranked stream to exhaustion, then scrape.
+    let text = format!("{QUERY} via take2");
+    let session = client.open_session(&text).unwrap();
+    let mut pages = 0u64;
+    let mut answers = 0u64;
+    loop {
+        let page = client.next_page(session, 16).unwrap();
+        pages += 1;
+        answers += page.answers.len() as u64;
+        if page.done {
+            break;
+        }
+    }
+    client.close(session).unwrap();
+    assert!(answers > 16, "workload streamed more than one page");
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.version, anyk_server::STATS_VERSION);
+    assert_eq!(stats.generation, 0);
+    assert_eq!(stats.metrics, service.metrics(), "wire scrape ≡ in-process");
+    assert!(stats.metrics.answers_served >= answers);
+    assert!(stats.page_latency.count >= pages, "every pull was timed");
+
+    // The prep pipeline and the wire itself left phase timings behind.
+    let phase = |p| stats.phases.iter().find(|s| s.phase == p);
+    for p in [
+        anyk_server::Phase::Compile,
+        anyk_server::Phase::WireRead,
+        anyk_server::Phase::WireWrite,
+    ] {
+        let s = phase(p).unwrap_or_else(|| panic!("no {} phase timing", p.name()));
+        assert!(s.count >= 1, "{} never fired", p.name());
+        assert!(s.total_nanos >= s.max_nanos);
+    }
+
+    // The tentpole claim: per-plan TTF and per-answer delay percentiles,
+    // keyed by the canonical plan key, served over TCP.
+    let key = QuerySpec::parse(&text).unwrap().plan_key();
+    let (_, sums) = stats
+        .plans
+        .iter()
+        .find(|(k, _)| *k == key)
+        .expect("plan distributions keyed by canonical plan key");
+    assert_eq!(sums.ttf.count, 1, "one session, one TTF");
+    assert!(sums.ttf.max > 0);
+    assert_eq!(sums.delay.count, answers, "one delay sample per answer");
+    assert!(sums.delay.p50 <= sums.delay.p90 && sums.delay.p90 <= sums.delay.p99);
+    assert!(sums.delay.p99 <= sums.delay.max && sums.delay.max > 0);
+    assert!(sums.page.count >= pages);
+
+    // And the text rendering carries the same surface for scrapers.
+    let prom = stats.render_prometheus();
+    assert!(prom.contains("anyk_plan_delay_nanos{plan="));
+    assert!(prom.contains("anyk_phase_count{phase=\"wire_read\"}"));
+    assert!(prom.contains("anyk_page_latency_nanos_count"));
+
+    server.shutdown();
 }
 
 #[test]

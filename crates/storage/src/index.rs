@@ -97,6 +97,7 @@ impl HashIndex {
     pub fn build(relation: &Relation, key_columns: &[usize]) -> Self {
         // Chaos-testing hook; a no-op unless a fault plan is armed.
         anyk_core::faults::checkpoint("storage.index_build");
+        let _span = anyk_obs::phase::span(anyk_obs::Phase::IndexBuild);
         for &c in key_columns {
             assert!(
                 c < relation.arity(),

@@ -30,6 +30,7 @@
 pub use anyk_core as core;
 pub use anyk_datagen as datagen;
 pub use anyk_engine as engine;
+pub use anyk_obs as obs;
 pub use anyk_query as query;
 pub use anyk_server as server;
 pub use anyk_storage as storage;
