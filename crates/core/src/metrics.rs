@@ -124,28 +124,6 @@ impl EnumerationTrace {
     }
 }
 
-/// Convenience: run `iter`, pulling at most `limit` items (or all if `None`),
-/// and return the trace together with the number of items produced.
-#[deprecated(
-    since = "0.1.0",
-    note = "bench-only duplicate of the serving-path instrumentation; drive an \
-            `EnumerationTrace` (or read `AnswerCursor::delay_histogram`) directly"
-)]
-pub fn trace_enumeration<I: Iterator>(iter: I, limit: Option<usize>) -> (EnumerationTrace, usize) {
-    let mut trace = EnumerationTrace::new();
-    let mut produced = 0;
-    for _item in iter {
-        trace.record();
-        produced += 1;
-        if let Some(l) = limit {
-            if produced >= l {
-                break;
-            }
-        }
-    }
-    (trace, produced)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,10 +221,20 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_helper_still_traces() {
-        let (trace, n) = trace_enumeration(0..5, Some(3));
-        assert_eq!(n, 3);
+    fn driving_a_trace_over_an_iterator_counts_and_limits() {
+        // What the retired `trace_enumeration` helper did, written directly
+        // against the surviving API: pull an iterator, record each item,
+        // stop at the limit.
+        let mut trace = EnumerationTrace::new();
+        let mut produced = 0;
+        for _ in 0..5 {
+            if produced >= 3 {
+                break;
+            }
+            trace.record();
+            produced += 1;
+        }
+        assert_eq!(produced, 3);
         assert_eq!(trace.count(), 3);
     }
 }

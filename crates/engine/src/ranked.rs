@@ -1,7 +1,7 @@
 //! The user-facing ranked-enumeration API.
 
 use crate::answer::Answer;
-use crate::compile::{compile_with, Compiled};
+use crate::compile::Compiled;
 use crate::cycle;
 use crate::error::EngineError;
 use anyk_core::dioid::{Dioid, MinMaxDioid, OrderedF64, TropicalMin};
@@ -226,41 +226,44 @@ impl Plan {
         query: &ConjunctiveQuery,
         ranking: RankingFunction,
     ) -> Result<Self, EngineError> {
-        Self::prepare_opts(db, query, ranking, false)
+        Self::prepare_opts(db, query, ranking, false, None)
     }
 
-    /// [`Plan::prepare`] with an explicit choice about delta support:
-    /// `retain_delta` compiles acyclic plans through
+    /// [`Plan::prepare`] with an explicit choice about delta support and
+    /// worker sizing: `retain_delta` compiles acyclic plans through
     /// [`compile_with_delta`], enabling [`Plan::refresh`] at the cost of one
-    /// extra CSR copy plus `O(n)` tuple→state maps. Cycle plans ignore the
-    /// flag (they recompile from scratch on ingestion).
+    /// extra CSR copy plus `O(n)` tuple→state maps (cycle plans ignore the
+    /// flag — they recompile from scratch on ingestion); `threads` pins the
+    /// bottom-up sweep's worker count (`None` = the `ANYK_THREADS` env
+    /// default).
     pub(crate) fn prepare_opts(
         db: &Database,
         query: &ConjunctiveQuery,
         ranking: RankingFunction,
         retain_delta: bool,
+        threads: Option<usize>,
     ) -> Result<Self, EngineError> {
         anyk_core::faults::check("engine.compile")?;
         let _span = anyk_obs::phase::span(anyk_obs::Phase::Compile);
         crate::compile::validate(db, query)?;
         if query.is_acyclic() {
             if ranking.is_bottleneck() {
-                let c = if retain_delta {
-                    crate::compile::compile_with_delta::<MinMaxDioid, _>(db, query, |t| {
-                        ranking.encode(t.weight())
-                    })?
-                } else {
-                    compile_with::<MinMaxDioid, _>(db, query, |t| ranking.encode(t.weight()))?
-                };
+                let c = crate::compile::compile_with_opts::<MinMaxDioid, _>(
+                    db,
+                    query,
+                    |t| ranking.encode(t.weight()),
+                    retain_delta,
+                    threads,
+                )?;
                 Ok(Plan::AcyclicBottleneck(c))
             } else {
-                let c = if retain_delta {
-                    crate::compile::compile_with_delta::<TropicalMin, _>(db, query, |t| {
-                        ranking.encode(t.weight())
-                    })?
-                } else {
-                    compile_with::<TropicalMin, _>(db, query, |t| ranking.encode(t.weight()))?
-                };
+                let c = crate::compile::compile_with_opts::<TropicalMin, _>(
+                    db,
+                    query,
+                    |t| ranking.encode(t.weight()),
+                    retain_delta,
+                    threads,
+                )?;
                 Ok(Plan::AcyclicSum(c))
             }
         } else {
@@ -271,11 +274,13 @@ impl Plan {
                 Ok(Plan::CycleBottleneck(Self::compile_trees::<MinMaxDioid>(
                     trees,
                     &original_head,
+                    threads,
                 )?))
             } else {
                 Ok(Plan::CycleSum(Self::compile_trees::<TropicalMin>(
                     trees,
                     &original_head,
+                    threads,
                 )?))
             }
         }
@@ -284,13 +289,19 @@ impl Plan {
     fn compile_trees<D: Dioid<V = OrderedF64>>(
         trees: Vec<cycle::DecomposedTree>,
         original_head: &[String],
+        threads: Option<usize>,
     ) -> Result<Vec<CycleTreePlan<D>>, EngineError> {
         trees
             .into_iter()
             .map(|tree| {
                 // Bag weights are already encoded by the decomposition.
-                let compiled =
-                    compile_with::<D, _>(&tree.database, &tree.query, |t: RowRef<'_>| t.weight())?;
+                let compiled = crate::compile::compile_with_opts::<D, _>(
+                    &tree.database,
+                    &tree.query,
+                    |t: RowRef<'_>| t.weight(),
+                    false,
+                    threads,
+                )?;
                 let tree_head = tree.query.head_variables();
                 let head_perm = original_head
                     .iter()

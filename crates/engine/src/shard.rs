@@ -1,0 +1,973 @@
+//! Sharded preparation and enumeration: hash-partitioned per-shard T-DP
+//! with a ranked k-way merge.
+//!
+//! The paper's TTF guarantee is dominated by the `O(n)` preprocessing sweep
+//! over one monolithic T-DP instance. [`ShardedPreparedQuery`] splits that
+//! cost: the database is hash-partitioned on a **shard variable** — a join
+//! variable chosen so that the partition is *co-partitioning* (every
+//! relation binding the variable is split on the columns binding it, every
+//! other relation is replicated) — and one full [`PreparedQuery`] is
+//! compiled + preprocessed per shard **in parallel** under
+//! [`std::thread::scope`]. Because every answer binds the shard variable to
+//! exactly one value, and all tuples joinable on that value land in the same
+//! shard, the per-shard answer sets are **disjoint** and their union is
+//! exactly the unsharded answer set.
+//!
+//! [`ShardedCursor`] then merges the per-shard ranked streams through the
+//! [`UnionEnumerator`] discipline (the paper's UT-DP union of §5.2, reused
+//! here as a shard merge): each shard stream arrives in non-decreasing
+//! encoded-weight order, so a k-way heap on the key
+//! `(encoded weight, head values)` yields a globally ranked stream that is
+//! bit-identical to the unsharded [`PreparedQuery`] stream whenever answer
+//! weights are distinct. Under exact weight ties the merge orders by head
+//! values — a deterministic total order independent of shard count — whereas
+//! a single instance's tie order is an algorithm artifact; both streams
+//! enumerate the same tie *set*.
+//!
+//! Witnesses survive sharding: per-shard answers carry shard-local tuple
+//! ids, which the cursor translates back to the unsharded id space through
+//! the partition's tid maps ([`anyk_storage::ShardSpec::tid_maps`]), so a
+//! merged answer is indistinguishable from its unsharded twin.
+
+use crate::answer::Answer;
+use crate::error::EngineError;
+use crate::prepared::{CancellationToken, Page, PrepareOptions, PreparedQuery};
+use anyk_core::dioid::OrderedF64;
+use anyk_core::{AnyKAlgorithm, MemoryStats, UnionEnumerator};
+use anyk_obs::{Clock, DelayRecorder, HistogramSnapshot, MonotonicClock, PlanObs};
+use anyk_query::{ConjunctiveQuery, RankingFunction};
+use anyk_storage::{Database, DeltaBatch, ShardSpec, TupleId, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A conjunctive query hash-partitioned into co-partitioned shards, each
+/// compiled and preprocessed into its own [`PreparedQuery`] (in parallel),
+/// ready to enumerate through a ranked k-way merge ([`ShardedCursor`]).
+///
+/// `Send + Sync` like [`PreparedQuery`]: wrap in an `Arc`, open cursors from
+/// any number of threads.
+pub struct ShardedPreparedQuery {
+    /// The unsharded base snapshot the partition was taken from.
+    db: Arc<Database>,
+    query: ConjunctiveQuery,
+    ranking: RankingFunction,
+    /// The routing spec (shard count + per-relation key columns), kept for
+    /// delta routing ([`ShardedPreparedQuery::refresh`]).
+    spec: ShardSpec,
+    /// The join variable the partition hashes on.
+    shard_var: String,
+    shards: Vec<Arc<PreparedQuery>>,
+    /// `witness_maps[shard][atom]`: shard-local → global tuple-id map for
+    /// atoms over partitioned relations, `None` (identity) for replicated
+    /// ones.
+    witness_maps: Vec<Vec<Option<Arc<Vec<TupleId>>>>>,
+}
+
+/// Pick the shard variable and build the routing spec for `query`.
+///
+/// A variable `v` is eligible when (a) every atom binding `v` binds it at
+/// exactly one position, and (b) for each relation, either *no* atom over it
+/// binds `v`, or *every* atom over it binds `v` at the same column — the
+/// condition under which partitioning the relation on that column keeps all
+/// of its uses consistent. Among eligible variables the one bound by the
+/// most atoms wins (best data split), ties broken lexicographically so the
+/// choice is deterministic.
+fn derive_spec(
+    query: &ConjunctiveQuery,
+    shards: usize,
+) -> Result<(ShardSpec, String), EngineError> {
+    let atoms = query.atoms();
+    // Best candidate so far: (atoms bound, variable, per-relation column).
+    type Candidate = (usize, String, Vec<(String, usize)>);
+    let mut best: Option<Candidate> = None;
+    for var in query.variables() {
+        // Per relation: the column every atom over it binds `var` at
+        // (`Some(col)`), or `None` if its atoms do not bind `var`. A
+        // conflict disqualifies the variable.
+        let mut col_of: Vec<(String, Option<usize>)> = Vec::new();
+        let mut bound_atoms = 0usize;
+        let mut ok = true;
+        for atom in atoms {
+            let positions: Vec<usize> = atom
+                .variables
+                .iter()
+                .enumerate()
+                .filter_map(|(i, x)| (*x == var).then_some(i))
+                .collect();
+            if positions.len() > 1 {
+                ok = false; // R(x, x): no single routing column
+                break;
+            }
+            let col = positions.first().copied();
+            if col.is_some() {
+                bound_atoms += 1;
+            }
+            match col_of.iter_mut().find(|(name, _)| *name == atom.relation) {
+                Some((_, existing)) => {
+                    if *existing != col {
+                        ok = false; // same relation, inconsistent binding
+                        break;
+                    }
+                }
+                None => col_of.push((atom.relation.clone(), col)),
+            }
+        }
+        if !ok || bound_atoms == 0 {
+            continue;
+        }
+        let partitioned: Vec<(String, usize)> = col_of
+            .into_iter()
+            .filter_map(|(name, col)| col.map(|c| (name, c)))
+            .collect();
+        let better = match &best {
+            None => true,
+            Some((n, v, _)) => bound_atoms > *n || (bound_atoms == *n && var < *v),
+        };
+        if better {
+            best = Some((bound_atoms, var, partitioned));
+        }
+    }
+    let Some((_, var, partitioned)) = best else {
+        return Err(EngineError::ShardingUnsupported(
+            "no join variable admits a consistent co-partitioning".into(),
+        ));
+    };
+    let mut spec = ShardSpec::new(shards);
+    for (relation, col) in partitioned {
+        spec = spec.partition_by(relation, vec![col]);
+    }
+    Ok((spec, var))
+}
+
+impl ShardedPreparedQuery {
+    /// Partition `db` into `shards` co-partitioned shard databases and
+    /// compile + preprocess one [`PreparedQuery`] per shard in parallel.
+    ///
+    /// `options.threads` is the **total** bottom-up worker budget: each
+    /// shard's sweep runs with `max(1, total / shards)` workers so the
+    /// scoped shard threads do not oversubscribe the machine (`None` =
+    /// the `ANYK_THREADS` env default).
+    pub fn prepare(
+        db: Arc<Database>,
+        query: &ConjunctiveQuery,
+        ranking: RankingFunction,
+        shards: usize,
+        options: PrepareOptions,
+    ) -> Result<Self, EngineError> {
+        Self::build(db, query.clone(), ranking, shards, options)
+    }
+
+    /// Prepare a [`QuerySpec`](anyk_query::QuerySpec) sharded; execution
+    /// attributes (`algorithm`, `limit`, `shards`) are left to the caller,
+    /// like [`PreparedQuery::from_spec`]. Specs with selection predicates
+    /// are rejected ([`EngineError::ShardingUnsupported`]): predicate
+    /// pushdown compiles over filtered scratch copies whose tuple ids have
+    /// no stable correspondence to the unsharded plan's, so the
+    /// bit-identity guarantee could not cover witnesses.
+    pub fn from_spec(
+        db: Arc<Database>,
+        spec: &anyk_query::QuerySpec,
+        shards: usize,
+        options: PrepareOptions,
+    ) -> Result<Self, EngineError> {
+        if !spec.predicates.is_empty() {
+            return Err(EngineError::ShardingUnsupported(
+                "selection predicates are not supported on sharded plans".into(),
+            ));
+        }
+        let query = spec.to_query()?;
+        Self::build(db, query, spec.ranking, shards, options)
+    }
+
+    fn build(
+        db: Arc<Database>,
+        query: ConjunctiveQuery,
+        ranking: RankingFunction,
+        shards: usize,
+        options: PrepareOptions,
+    ) -> Result<Self, EngineError> {
+        anyk_core::faults::check("engine.shard")?;
+        let (spec, shard_var) = derive_spec(&query, shards.max(1))?;
+        let shard_dbs = {
+            let _span = anyk_obs::phase::span(anyk_obs::Phase::ShardPartition);
+            db.partition(&spec)
+                .map_err(|e| EngineError::ShardingUnsupported(e.to_string()))?
+        };
+
+        // Local→global tuple-id maps, per partitioned relation, per shard.
+        let mut maps_by_rel: HashMap<String, Vec<Arc<Vec<TupleId>>>> = HashMap::new();
+        for (name, _) in spec.partitioned() {
+            let rel = db
+                .get(name)
+                .expect("spec was validated against this database");
+            let maps = spec
+                .tid_maps(rel)
+                .expect("listed relations are partitioned");
+            maps_by_rel.insert(name.clone(), maps.into_iter().map(Arc::new).collect());
+        }
+        let witness_maps: Vec<Vec<Option<Arc<Vec<TupleId>>>>> = (0..spec.shards())
+            .map(|s| {
+                query
+                    .atoms()
+                    .iter()
+                    .map(|a| maps_by_rel.get(&a.relation).map(|m| Arc::clone(&m[s])))
+                    .collect()
+            })
+            .collect();
+
+        // Parallel per-shard prepare: each shard gets an equal slice of the
+        // bottom-up worker budget.
+        let total_threads = options
+            .threads
+            .unwrap_or_else(anyk_core::tdp::default_bottom_up_threads);
+        let per_shard = PrepareOptions {
+            retain_delta: options.retain_delta,
+            threads: Some((total_threads / spec.shards()).max(1)),
+        };
+        let query_ref = &query;
+        let prepared: Result<Vec<Arc<PreparedQuery>>, EngineError> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shard_dbs
+                .into_iter()
+                .map(|sdb| {
+                    scope.spawn(move || {
+                        let _span = anyk_obs::phase::span(anyk_obs::Phase::ShardPrep);
+                        PreparedQuery::prepare_opts(Arc::new(sdb), query_ref, ranking, per_shard)
+                            .map(Arc::new)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                .collect()
+        });
+        Ok(ShardedPreparedQuery {
+            db,
+            query,
+            ranking,
+            spec,
+            shard_var,
+            shards: prepared?,
+            witness_maps,
+        })
+    }
+
+    /// The unsharded base snapshot the partition was taken from.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The query this plan answers.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.query
+    }
+
+    /// The ranking function in effect.
+    pub fn ranking(&self) -> RankingFunction {
+        self.ranking
+    }
+
+    /// The number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The join variable the partition hashes on.
+    pub fn shard_variable(&self) -> &str {
+        &self.shard_var
+    }
+
+    /// The per-shard prepared plans, in shard order (the serving layer uses
+    /// these for per-shard MEM accounting and diagnostics).
+    pub fn shard_plans(&self) -> &[Arc<PreparedQuery>] {
+        &self.shards
+    }
+
+    /// The exact number of answers: the per-shard counts summed (the shard
+    /// answer sets are disjoint).
+    pub fn count_answers(&self) -> u128 {
+        self.shards.iter().map(|s| s.count_answers()).sum()
+    }
+
+    /// A decoder for this query's answers, built over the unsharded base
+    /// snapshot (shards share its dictionaries, so one decoder covers all).
+    pub fn decoder(&self) -> crate::AnswerDecoder {
+        crate::AnswerDecoder::for_query(&self.db, &self.query)
+    }
+
+    /// Whether [`ShardedPreparedQuery::refresh`] can patch every shard's
+    /// plan in place under a delta batch.
+    pub fn supports_refresh(&self) -> bool {
+        self.shards.iter().all(|s| s.supports_refresh())
+    }
+
+    /// MEM(k) upper bound for the whole sharded enumeration: each shard
+    /// profiled to `k` on its own, summed — what the merge would touch if
+    /// every shard had to be driven `k` deep. `None` for `Recursive` and
+    /// `Batch` (see [`PreparedQuery::mem_profile`]).
+    pub fn mem_profile(&self, algorithm: AnyKAlgorithm, k: usize) -> Option<MemoryStats> {
+        let mut total = MemoryStats::default();
+        let mut any = false;
+        for shard in &self.shards {
+            if let Some(m) = shard.mem_profile(algorithm, k) {
+                total.absorb(&m);
+                any = true;
+            }
+        }
+        any.then_some(total)
+    }
+
+    /// Delta-maintain every shard: route `batch` to the shards with
+    /// [`ShardSpec::split_batch`] (consistent with the base partition, so
+    /// each row lands with its join partners) and refresh each shard's plan
+    /// against its slice. `new_db` must be this plan's base snapshot plus
+    /// `batch`; the result's shard snapshots carry `new_db`'s generation.
+    ///
+    /// Like [`PreparedQuery::refresh`], the original is untouched — open
+    /// sharded cursors keep streaming their pinned shard snapshots.
+    pub fn refresh(
+        &self,
+        new_db: Arc<Database>,
+        batch: &DeltaBatch,
+    ) -> Result<ShardedPreparedQuery, EngineError> {
+        let parts = self
+            .spec
+            .split_batch(&self.db, batch)
+            .map_err(|e| EngineError::Internal(format!("shard delta routing failed: {e}")))?;
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for (shard, part) in self.shards.iter().zip(&parts) {
+            let mut sdb = shard
+                .database()
+                .apply_delta(part)
+                .map_err(|e| EngineError::Internal(format!("shard delta apply failed: {e}")))?;
+            sdb.set_generation(new_db.generation());
+            shards.push(Arc::new(shard.refresh(Arc::new(sdb), part)?));
+        }
+        // Re-derive the tid maps over the post-delta global relations: the
+        // deterministic routing guarantees the shard-local orders replayed
+        // here match what `apply_delta` produced shard-side.
+        let mut maps_by_rel: HashMap<String, Vec<Arc<Vec<TupleId>>>> = HashMap::new();
+        for (name, _) in self.spec.partitioned() {
+            let rel = new_db
+                .get(name)
+                .ok_or_else(|| EngineError::UnknownRelation(name.clone()))?;
+            let maps = self
+                .spec
+                .tid_maps(rel)
+                .expect("listed relations are partitioned");
+            maps_by_rel.insert(name.clone(), maps.into_iter().map(Arc::new).collect());
+        }
+        let witness_maps = (0..self.spec.shards())
+            .map(|s| {
+                self.query
+                    .atoms()
+                    .iter()
+                    .map(|a| maps_by_rel.get(&a.relation).map(|m| Arc::clone(&m[s])))
+                    .collect()
+            })
+            .collect();
+        Ok(ShardedPreparedQuery {
+            db: new_db,
+            query: self.query.clone(),
+            ranking: self.ranking,
+            spec: self.spec.clone(),
+            shard_var: self.shard_var.clone(),
+            shards,
+            witness_maps,
+        })
+    }
+
+    /// Open a merged enumeration cursor; see [`PreparedQuery::cursor`] for
+    /// the `&Arc<Self>` receiver rationale.
+    pub fn cursor(self: &Arc<Self>, algorithm: AnyKAlgorithm) -> ShardedCursor {
+        ShardedCursor::new(Arc::clone(self), algorithm, None)
+    }
+
+    /// Like [`ShardedPreparedQuery::cursor`], ending the merged stream after
+    /// `limit` answers.
+    pub fn cursor_with_limit(
+        self: &Arc<Self>,
+        algorithm: AnyKAlgorithm,
+        limit: Option<usize>,
+    ) -> ShardedCursor {
+        ShardedCursor::new(Arc::clone(self), algorithm, limit)
+    }
+}
+
+impl std::fmt::Debug for ShardedPreparedQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedPreparedQuery")
+            .field("query", &self.query.to_string())
+            .field("ranking", &self.ranking)
+            .field("shards", &self.shards.len())
+            .field("shard_var", &self.shard_var)
+            .finish()
+    }
+}
+
+/// Merge key: encoded weight first (ascending in every ranking's encoding),
+/// head values second — a total order on answers that does not depend on
+/// how the data was sharded.
+type MergeKey = (OrderedF64, Vec<Value>);
+
+/// One shard's ranked stream, keyed for the merge heap and with witnesses
+/// translated back to global tuple ids.
+struct ShardStream {
+    inner: Box<dyn crate::AnswerStream + 'static>,
+    /// Per atom: shard-local → global tid map (`None` = identity).
+    remap: Vec<Option<Arc<Vec<TupleId>>>>,
+    ranking: RankingFunction,
+}
+
+impl Iterator for ShardStream {
+    type Item = (MergeKey, Answer);
+    fn next(&mut self) -> Option<Self::Item> {
+        let a = self.inner.next()?;
+        let witness = a
+            .witness()
+            .iter()
+            .map(|&(atom, tid)| match &self.remap[atom] {
+                Some(map) => (atom, map[tid]),
+                None => (atom, tid),
+            })
+            .collect();
+        let values = a.values().to_vec();
+        let key = (
+            OrderedF64::from(self.ranking.encode(a.weight())),
+            values.clone(),
+        );
+        Some((key, Answer::new(a.weight(), values, witness)))
+    }
+}
+
+/// A resumable, pageable enumeration session over a [`ShardedPreparedQuery`]:
+/// the per-shard any-k iterators plus the k-way merge heap, parked between
+/// page pulls. Mirrors [`AnswerCursor`](crate::AnswerCursor) — `Send`,
+/// cancellable between answers, delay-recordable at the merged level (the
+/// per-shard streams do not record; a merged answer is one answer).
+pub struct ShardedCursor {
+    // Field order is load-bearing: `merge` holds streams borrowing from the
+    // plans behind `owner` and must drop first (fields drop in declaration
+    // order).
+    merge: UnionEnumerator<MergeKey, Answer, ShardStream>,
+    algorithm: AnyKAlgorithm,
+    served: usize,
+    remaining: Option<usize>,
+    done: bool,
+    cancel: CancellationToken,
+    cancelled: bool,
+    recorder: Option<Box<DelayRecorder>>,
+    owner: Arc<ShardedPreparedQuery>,
+}
+
+impl ShardedCursor {
+    fn new(
+        owner: Arc<ShardedPreparedQuery>,
+        algorithm: AnyKAlgorithm,
+        limit: Option<usize>,
+    ) -> Self {
+        let sources: Vec<ShardStream> = owner
+            .shards
+            .iter()
+            .zip(&owner.witness_maps)
+            .map(|(shard, remap)| {
+                let iter: Box<dyn crate::AnswerStream + '_> = shard.enumerate(algorithm);
+                // SAFETY: same fiction as `AnswerCursor::new` — the stream
+                // borrows only from the `PreparedQuery` heap allocations
+                // behind the `Arc`s held (transitively) by `owner`, which
+                // never move and are never mutated. The cursor stores
+                // `owner` after `merge` so every stream drops before the
+                // plans it borrows, and the streams are never handed out.
+                let iter: Box<dyn crate::AnswerStream + 'static> =
+                    unsafe { std::mem::transmute(iter) };
+                ShardStream {
+                    inner: iter,
+                    remap: remap.clone(),
+                    ranking: owner.ranking,
+                }
+            })
+            .collect();
+        let recorder = anyk_obs::recording_enabled().then(|| {
+            Box::new(DelayRecorder::new(
+                Arc::new(MonotonicClock::new()) as Arc<dyn Clock>,
+                None,
+            ))
+        });
+        ShardedCursor {
+            // Shard streams are disjoint (co-partitioning), so no dedup.
+            merge: UnionEnumerator::new(sources),
+            algorithm,
+            served: 0,
+            remaining: limit,
+            done: limit == Some(0),
+            cancel: CancellationToken::new(),
+            cancelled: false,
+            recorder,
+            owner,
+        }
+    }
+
+    /// The sharded plan this cursor enumerates.
+    pub fn prepared(&self) -> &Arc<ShardedPreparedQuery> {
+        &self.owner
+    }
+
+    /// The any-k algorithm driving every shard stream.
+    pub fn algorithm(&self) -> AnyKAlgorithm {
+        self.algorithm
+    }
+
+    /// Answers served so far across all pages.
+    pub fn served(&self) -> usize {
+        self.served
+    }
+
+    /// True once the merged stream has been exhausted.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// The cursor's cancellation token; see
+    /// [`AnswerCursor::cancel_token`](crate::AnswerCursor::cancel_token).
+    pub fn cancel_token(&self) -> &CancellationToken {
+        &self.cancel
+    }
+
+    /// True once a page pull observed a tripped token and ended the stream
+    /// early.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled
+    }
+
+    /// The live MEM(k) footprint summed across every shard's enumeration
+    /// structures — the figure a serving layer charges the session
+    /// (per-shard MEM summed, plus nothing for the merge heap itself, which
+    /// holds at most one answer per shard). `None` when no shard reports
+    /// (`Recursive`, `Batch`).
+    pub fn memory_stats(&self) -> Option<MemoryStats> {
+        let mut total = MemoryStats::default();
+        let mut any = false;
+        for source in self.merge.sources() {
+            if let Some(m) = source.inner.live_mem() {
+                total.absorb(&m);
+                any = true;
+            }
+        }
+        any.then_some(total)
+    }
+
+    /// Replace the cursor's delay instrumentation; see
+    /// [`AnswerCursor::enable_recording`](crate::AnswerCursor::enable_recording).
+    pub fn enable_recording(&mut self, clock: Arc<dyn Clock>, plan: Option<Arc<PlanObs>>) {
+        self.recorder =
+            anyk_obs::recording_enabled().then(|| Box::new(DelayRecorder::new(clock, plan)));
+    }
+
+    /// The merged stream's per-answer delay distribution; see
+    /// [`AnswerCursor::delay_histogram`](crate::AnswerCursor::delay_histogram).
+    pub fn delay_histogram(&self) -> Option<HistogramSnapshot> {
+        self.recorder.as_deref().map(DelayRecorder::delays)
+    }
+
+    /// Nanoseconds to the merged stream's first answer; see
+    /// [`AnswerCursor::ttf_nanos`](crate::AnswerCursor::ttf_nanos).
+    pub fn ttf_nanos(&self) -> Option<u64> {
+        self.recorder.as_deref().and_then(DelayRecorder::ttf_nanos)
+    }
+
+    /// Pull the next page of up to `page_size` merged answers.
+    pub fn next_page(&mut self, page_size: usize) -> Page {
+        let mut answers = Vec::new();
+        let done = self.next_page_into(page_size, &mut answers);
+        Page { answers, done }
+    }
+
+    /// Pull the next page into `out` (cleared first); returns `true` when
+    /// the merged stream is exhausted. Identical contract to
+    /// [`AnswerCursor::next_page_into`](crate::AnswerCursor::next_page_into).
+    pub fn next_page_into(&mut self, page_size: usize, out: &mut Vec<Answer>) -> bool {
+        out.clear();
+        if self.done {
+            return true;
+        }
+        let quota = match self.remaining {
+            Some(r) => page_size.min(r),
+            None => page_size,
+        };
+        while out.len() < quota {
+            if self.cancel.is_cancelled() {
+                self.cancelled = true;
+                self.done = true;
+                break;
+            }
+            anyk_core::faults::checkpoint("engine.page");
+            match self.merge.next() {
+                Some((_, answer)) => {
+                    if let Some(r) = self.recorder.as_deref_mut() {
+                        r.observe_answer();
+                    }
+                    out.push(answer);
+                }
+                None => {
+                    self.done = true;
+                    break;
+                }
+            }
+        }
+        if let Some(r) = &mut self.remaining {
+            *r -= out.len();
+            if *r == 0 {
+                self.done = true;
+            }
+        }
+        self.served += out.len();
+        if let Some(r) = self.recorder.as_deref_mut() {
+            r.flush();
+        }
+        self.done
+    }
+}
+
+impl std::fmt::Debug for ShardedCursor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCursor")
+            .field("algorithm", &self.algorithm)
+            .field("shards", &self.owner.shards.len())
+            .field("served", &self.served)
+            .field("done", &self.done)
+            .finish()
+    }
+}
+
+// The serving layer shares sharded plans across threads and parks sharded
+// cursors in its session table exactly like unsharded ones.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
+    assert_send_sync::<ShardedPreparedQuery>();
+    assert_send::<ShardedCursor>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anyk_query::QueryBuilder;
+    use anyk_storage::{Relation, Tuple};
+
+    /// xorshift64* — deterministic test randomness without a dependency.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+        /// Globally distinct weights → a unique ranked order (bit-identity
+        /// is well-defined).
+        fn weight(&mut self, used: &mut std::collections::HashSet<u64>) -> f64 {
+            loop {
+                let w = self.next() % 1_000_000;
+                if used.insert(w) {
+                    return w as f64 / 64.0;
+                }
+            }
+        }
+    }
+
+    fn path_db(n: u64, seed: u64) -> Arc<Database> {
+        let mut rng = Rng(seed);
+        let mut used = std::collections::HashSet::new();
+        let mut db = Database::new();
+        let mut r1 = Relation::new("R1", 2);
+        let mut r2 = Relation::new("R2", 2);
+        for i in 0..n {
+            r1.push_edge(i, i % 13, rng.weight(&mut used));
+            r2.push_edge(i % 13, i, rng.weight(&mut used));
+            if i % 3 == 0 {
+                r2.push_edge(i % 13, i + n, rng.weight(&mut used));
+            }
+        }
+        db.add(r1);
+        db.add(r2);
+        Arc::new(db)
+    }
+
+    fn assert_bit_identical(db: &Arc<Database>, query: &ConjunctiveQuery, shards: usize) {
+        let flat = Arc::new(
+            PreparedQuery::prepare(Arc::clone(db), query, RankingFunction::SumAscending).unwrap(),
+        );
+        let sharded = Arc::new(
+            ShardedPreparedQuery::prepare(
+                Arc::clone(db),
+                query,
+                RankingFunction::SumAscending,
+                shards,
+                PrepareOptions::default(),
+            )
+            .unwrap(),
+        );
+        assert_eq!(sharded.count_answers(), flat.count_answers());
+        for alg in AnyKAlgorithm::ALL {
+            let reference: Vec<Answer> = flat.enumerate(alg).collect();
+            for page_size in [1, 3, 1000] {
+                let mut cursor = sharded.cursor(alg);
+                let mut merged = Vec::new();
+                loop {
+                    let page = cursor.next_page(page_size);
+                    merged.extend(page.answers);
+                    if page.done {
+                        break;
+                    }
+                }
+                assert_eq!(merged, reference, "algorithm {alg}, page size {page_size}");
+                assert_eq!(cursor.served(), reference.len());
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_path_stream_is_bit_identical_for_every_algorithm_and_page_size() {
+        let db = path_db(60, 7);
+        let query = QueryBuilder::path(2).build();
+        for shards in [1, 2, 4, 7] {
+            assert_bit_identical(&db, &query, shards);
+        }
+    }
+
+    #[test]
+    fn sharded_star_stream_is_bit_identical() {
+        let mut rng = Rng(11);
+        let mut used = std::collections::HashSet::new();
+        let mut db = Database::new();
+        for name in ["S1", "S2", "S3"] {
+            let mut r = Relation::new(name, 2);
+            for i in 0..40u64 {
+                r.push_edge(i % 9, i, rng.weight(&mut used));
+            }
+            db.add(r);
+        }
+        let db = Arc::new(db);
+        let query = QueryBuilder::new()
+            .atom("S1", &["x", "a"])
+            .atom("S2", &["x", "b"])
+            .atom("S3", &["x", "c"])
+            .build();
+        assert_bit_identical(&db, &query, 4);
+    }
+
+    #[test]
+    fn sharded_cycle_stream_matches_unsharded_answers() {
+        // 4-cycle: decomposed plans drop witnesses; weights collide across
+        // trees, so compare the ranked weight sequence and the answer set.
+        let mut db = Database::new();
+        for i in 1..=4 {
+            let mut r = Relation::new(format!("R{i}"), 2);
+            for j in 1..=6u64 {
+                r.push_edge(0, j, (i as f64) + (j as f64) / 10.0);
+                r.push_edge(j, 0, (i as f64) * 2.0 + (j as f64) / 10.0);
+            }
+            db.add(r);
+        }
+        let db = Arc::new(db);
+        let query = QueryBuilder::cycle(4).build();
+        let flat = Arc::new(
+            PreparedQuery::prepare(Arc::clone(&db), &query, RankingFunction::SumAscending).unwrap(),
+        );
+        let sharded = Arc::new(
+            ShardedPreparedQuery::prepare(
+                Arc::clone(&db),
+                &query,
+                RankingFunction::SumAscending,
+                3,
+                PrepareOptions::default(),
+            )
+            .unwrap(),
+        );
+        let reference: Vec<Answer> = flat.enumerate(AnyKAlgorithm::Take2).collect();
+        let merged = {
+            let mut cursor = sharded.cursor(AnyKAlgorithm::Take2);
+            let mut out = Vec::new();
+            loop {
+                let page = cursor.next_page(64);
+                out.extend(page.answers);
+                if page.done {
+                    break;
+                }
+            }
+            out
+        };
+        assert_eq!(merged.len(), reference.len());
+        for (m, r) in merged.iter().zip(&reference) {
+            assert!((m.weight() - r.weight()).abs() < 1e-9);
+        }
+        let key = |a: &Answer| (a.values().to_vec(), (a.weight() * 1e6).round() as i64);
+        let mut ms: Vec<_> = merged.iter().map(key).collect();
+        let mut rs: Vec<_> = reference.iter().map(key).collect();
+        ms.sort();
+        rs.sort();
+        assert_eq!(ms, rs);
+    }
+
+    #[test]
+    fn witnesses_are_remapped_to_global_tuple_ids() {
+        let db = path_db(30, 3);
+        let query = QueryBuilder::path(2).build();
+        let flat = Arc::new(
+            PreparedQuery::prepare(Arc::clone(&db), &query, RankingFunction::SumAscending).unwrap(),
+        );
+        let sharded = Arc::new(
+            ShardedPreparedQuery::prepare(
+                Arc::clone(&db),
+                &query,
+                RankingFunction::SumAscending,
+                4,
+                PrepareOptions::default(),
+            )
+            .unwrap(),
+        );
+        let reference: Vec<Answer> = flat.enumerate(AnyKAlgorithm::Lazy).collect();
+        let merged = sharded
+            .cursor(AnyKAlgorithm::Lazy)
+            .next_page(10_000)
+            .answers;
+        for (m, r) in merged.iter().zip(&reference) {
+            assert_eq!(m.witness(), r.witness());
+            // A witness is only meaningful if it resolves in the *global*
+            // database to tuples consistent with the answer values.
+            for &(atom, tid) in m.witness() {
+                let rel = &query.atoms()[atom].relation;
+                assert!(tid < db.expect(rel).len());
+            }
+        }
+    }
+
+    #[test]
+    fn limits_cancellation_and_empty_shards_behave_like_answer_cursor() {
+        let db = path_db(40, 19);
+        let query = QueryBuilder::path(2).build();
+        // More shards than join values → some shards are empty.
+        let sharded = Arc::new(
+            ShardedPreparedQuery::prepare(
+                Arc::clone(&db),
+                &query,
+                RankingFunction::SumAscending,
+                32,
+                PrepareOptions::default(),
+            )
+            .unwrap(),
+        );
+        let total = sharded.count_answers() as usize;
+        assert!(total > 5);
+
+        let mut limited = sharded.cursor_with_limit(AnyKAlgorithm::Eager, Some(5));
+        let page = limited.next_page(100);
+        assert_eq!(page.answers.len(), 5);
+        assert!(page.done);
+
+        let mut zero = sharded.cursor_with_limit(AnyKAlgorithm::Eager, Some(0));
+        assert!(zero.is_done());
+        assert!(zero.next_page(10).answers.is_empty());
+
+        let mut cur = sharded.cursor(AnyKAlgorithm::Take2);
+        cur.cancel_token().clone().cancel();
+        let page = cur.next_page(100);
+        assert!(page.answers.is_empty());
+        assert!(page.done);
+        assert!(cur.is_cancelled());
+    }
+
+    #[test]
+    fn sharded_refresh_matches_rebuild_and_unsharded_refresh() {
+        let db = path_db(25, 5);
+        let query = QueryBuilder::path(2).build();
+        let options = PrepareOptions {
+            retain_delta: true,
+            threads: None,
+        };
+        let sharded = Arc::new(
+            ShardedPreparedQuery::prepare(
+                Arc::clone(&db),
+                &query,
+                RankingFunction::SumAscending,
+                3,
+                options,
+            )
+            .unwrap(),
+        );
+        assert!(sharded.supports_refresh());
+        let batch = DeltaBatch::new()
+            .delete("R1", 2)
+            .delete("R2", 7)
+            .insert("R1", Tuple::new(vec![100, 4], 0.015625))
+            .insert("R2", Tuple::new(vec![4, 900], 0.03125));
+        let new_db = Arc::new(db.apply_delta(&batch).unwrap());
+        let refreshed = Arc::new(sharded.refresh(Arc::clone(&new_db), &batch).unwrap());
+        let rebuilt = Arc::new(
+            PreparedQuery::prepare(Arc::clone(&new_db), &query, RankingFunction::SumAscending)
+                .unwrap(),
+        );
+        for alg in AnyKAlgorithm::ALL {
+            let want: Vec<Answer> = rebuilt.enumerate(alg).collect();
+            let got = refreshed.cursor(alg).next_page(100_000).answers;
+            assert_eq!(got, want, "algorithm {alg}");
+        }
+        for shard in refreshed.shard_plans() {
+            assert_eq!(shard.database().generation(), new_db.generation());
+        }
+    }
+
+    #[test]
+    fn self_join_and_predicates_are_rejected_cleanly() {
+        let mut db = Database::new();
+        let mut r = Relation::new("R", 2);
+        r.push_edge(1, 1, 1.0);
+        db.add(r);
+        // R(x, x): the only variable binds one atom twice.
+        let q = QueryBuilder::new().atom("R", &["x", "x"]).build();
+        assert!(matches!(
+            ShardedPreparedQuery::prepare(
+                Arc::new(db),
+                &q,
+                RankingFunction::SumAscending,
+                2,
+                PrepareOptions::default(),
+            ),
+            Err(EngineError::ShardingUnsupported(_))
+        ));
+
+        let db = path_db(10, 1);
+        let spec = anyk_query::QuerySpec::parse("Q(x, y, z) :- R1(x, y), R2(y, z), y = 3").unwrap();
+        assert!(matches!(
+            ShardedPreparedQuery::from_spec(db, &spec, 2, PrepareOptions::default()),
+            Err(EngineError::ShardingUnsupported(_))
+        ));
+    }
+
+    #[test]
+    fn shard_variable_choice_is_deterministic_and_consistent() {
+        let db = path_db(10, 2);
+        let query = QueryBuilder::path(2).build();
+        let (spec, var) = derive_spec(&query, 4).unwrap();
+        // path(2): R1(x1, x2), R2(x2, x3); x2 binds both atoms.
+        assert_eq!(var, "x2");
+        assert_eq!(spec.columns_for("R1"), Some(&[1][..]));
+        assert_eq!(spec.columns_for("R2"), Some(&[0][..]));
+        assert!(db.partition(&spec).is_ok());
+
+        // A relation used both with and without the candidate variable
+        // cannot be partitioned on it: E(a, b), E(b, c) conflicts for every
+        // variable (b binds col 1 in one atom, col 0 in the other; a and c
+        // bind one atom each but E's other atom doesn't bind them).
+        let q = QueryBuilder::new()
+            .atom("E", &["a", "b"])
+            .atom("E", &["b", "c"])
+            .build();
+        assert!(matches!(
+            derive_spec(&q, 2),
+            Err(EngineError::ShardingUnsupported(_))
+        ));
+    }
+}

@@ -1,0 +1,153 @@
+//! Property tests for sharded enumeration: for random databases and random
+//! shard counts, the hash-partitioned per-shard T-DP merged through the
+//! ranked union must reproduce the unsharded stream — across all six any-k
+//! algorithms, with shard counts exceeding the number of distinct shard-key
+//! values (empty shards) and with deliberately tied weights.
+
+use std::sync::Arc;
+
+use anyk_core::AnyKAlgorithm;
+use anyk_engine::{Answer, PrepareOptions, PreparedQuery, RankingFunction, ShardedPreparedQuery};
+use anyk_query::QueryBuilder;
+use anyk_storage::{Database, Relation, Value};
+use proptest::prelude::*;
+
+/// xorshift64* — the same deterministic generator the unit tests use, so
+/// failures reproduce from (rows, seed) alone.
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// A two-hop path instance. `tie_every` folds weights into a small set of
+/// buckets so ties occur across shards; `0` keeps them globally distinct.
+fn path_db(rows: u64, seed: u64, tie_every: u64) -> Arc<Database> {
+    let mut rng = Rng(seed | 1);
+    let mut used = std::collections::HashSet::new();
+    let mut weight = |rng: &mut Rng| loop {
+        let w = rng.next() % 1_000_000;
+        if tie_every > 0 {
+            return (w % tie_every) as f64 / 8.0;
+        }
+        if used.insert(w) {
+            return w as f64 / 64.0;
+        }
+    };
+    let mut db = Database::new();
+    let mut r1 = Relation::new("R1", 2);
+    let mut r2 = Relation::new("R2", 2);
+    for i in 0..rows {
+        let w1 = weight(&mut rng);
+        r1.push_edge(i, i % 13, w1);
+        let w2 = weight(&mut rng);
+        r2.push_edge(i % 13, i, w2);
+        if i % 3 == 0 {
+            let w3 = weight(&mut rng);
+            r2.push_edge(i % 13, i + rows, w3);
+        }
+    }
+    db.add(r1);
+    db.add(r2);
+    Arc::new(db)
+}
+
+/// Drain a sharded cursor page by page.
+fn drain(sharded: &Arc<ShardedPreparedQuery>, alg: AnyKAlgorithm, page_size: usize) -> Vec<Answer> {
+    let mut cursor = sharded.cursor(alg);
+    let mut merged = Vec::new();
+    loop {
+        let page = cursor.next_page(page_size);
+        merged.extend(page.answers);
+        if page.done {
+            break;
+        }
+    }
+    merged
+}
+
+/// Order-insensitive fingerprint for tie robustness: weight bits plus values.
+fn fingerprint(answers: &[Answer]) -> Vec<(u64, Vec<Value>)> {
+    let mut keys: Vec<(u64, Vec<Value>)> = answers
+        .iter()
+        .map(|a| (a.weight().to_bits(), a.values().to_vec()))
+        .collect();
+    keys.sort();
+    keys
+}
+
+proptest! {
+    // Each case prepares 1 + 1 plans and enumerates 6 algorithms, so keep
+    // the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Distinct weights: the merged stream is bit-identical to the
+    /// unsharded stream for every algorithm, including shard counts larger
+    /// than the 13 distinct shard-key values (some shards empty).
+    #[test]
+    fn sharded_stream_is_bit_identical_for_random_dbs(
+        rows in 4u64..48,
+        seed in 1u64..1 << 48,
+        shards in 1usize..17,
+        page_idx in 0usize..3,
+    ) {
+        let page_size = [1usize, 5, 1000][page_idx];
+        let db = path_db(rows, seed, 0);
+        let query = QueryBuilder::path(2).build();
+        let flat = PreparedQuery::prepare(
+            Arc::clone(&db), &query, RankingFunction::SumAscending,
+        ).unwrap();
+        let sharded = Arc::new(ShardedPreparedQuery::prepare(
+            Arc::clone(&db), &query, RankingFunction::SumAscending,
+            shards, PrepareOptions::default(),
+        ).unwrap());
+        prop_assert_eq!(sharded.count_answers(), flat.count_answers());
+        for alg in AnyKAlgorithm::ALL {
+            let reference: Vec<Answer> = flat.enumerate(alg).collect();
+            let merged = drain(&sharded, alg, page_size);
+            prop_assert_eq!(&merged, &reference, "algorithm {}", alg);
+        }
+    }
+
+    /// Tied weights across shards: the ranked weight sequence and the
+    /// answer multiset still agree (order within a tie is the merge's
+    /// value-ordered choice, so bitwise stream equality is not required).
+    #[test]
+    fn tied_weights_preserve_weight_sequence_and_answer_set(
+        rows in 4u64..32,
+        seed in 1u64..1 << 48,
+        shards in 2usize..9,
+        tie_every in 1u64..5,
+    ) {
+        let db = path_db(rows, seed, tie_every);
+        let query = QueryBuilder::path(2).build();
+        let flat = PreparedQuery::prepare(
+            Arc::clone(&db), &query, RankingFunction::SumAscending,
+        ).unwrap();
+        let sharded = Arc::new(ShardedPreparedQuery::prepare(
+            Arc::clone(&db), &query, RankingFunction::SumAscending,
+            shards, PrepareOptions::default(),
+        ).unwrap());
+        for alg in AnyKAlgorithm::ALL {
+            let reference: Vec<Answer> = flat.enumerate(alg).collect();
+            let merged = drain(&sharded, alg, 7);
+            let ref_weights: Vec<u64> =
+                reference.iter().map(|a| a.weight().to_bits()).collect();
+            let got_weights: Vec<u64> =
+                merged.iter().map(|a| a.weight().to_bits()).collect();
+            prop_assert_eq!(&got_weights, &ref_weights, "weight sequence, {}", alg);
+            prop_assert_eq!(
+                fingerprint(&merged),
+                fingerprint(&reference),
+                "answer multiset, {}",
+                alg
+            );
+        }
+    }
+}

@@ -18,6 +18,7 @@
 //! predicate := var "=" constant | constant "=" var
 //! constant  := nat | string
 //! clause    := "rank" "by" ranking | "via" algorithm | "limit" nat
+//!            | "shards" nat
 //! ranking   := "sum" [ "asc" | "desc" ] | "bottleneck" [ "asc" ]
 //! algorithm := "eager" | "lazy" | "all" | "take2" | "recursive" | "batch"
 //! var       := ident
@@ -404,6 +405,7 @@ pub fn parse_query(text: &str) -> Result<QuerySpec, ParseError> {
     let mut ranking: Option<RankingFunction> = None;
     let mut algorithm = None;
     let mut limit = None;
+    let mut shards = None;
     loop {
         let offset = p.offset();
         if p.eat_ident("rank") {
@@ -470,6 +472,20 @@ pub fn parse_query(text: &str) -> Result<QuerySpec, ParseError> {
                     ));
                 }
             }
+        } else if p.eat_ident("shards") {
+            if shards.is_some() {
+                return Err(ParseError::new(offset, "duplicate `shards` clause"));
+            }
+            let which = p.offset();
+            match p.next("a shard count")? {
+                Tok::Int(v) => shards = Some(*v as usize),
+                other => {
+                    return Err(ParseError::new(
+                        which,
+                        format!("expected a shard count, found {}", other.describe()),
+                    ));
+                }
+            }
         } else {
             break;
         }
@@ -531,6 +547,7 @@ pub fn parse_query(text: &str) -> Result<QuerySpec, ParseError> {
         ranking: ranking.unwrap_or_default(),
         algorithm,
         limit,
+        shards,
     };
 
     // The same checks as `QuerySpec::validate`, but each failure points at
@@ -625,6 +642,27 @@ mod tests {
         assert_eq!(a.ranking, RankingFunction::SumDescending);
         assert_eq!(a.algorithm, Some(AnyKAlgorithm::Lazy));
         assert_eq!(a.limit, Some(5));
+    }
+
+    #[test]
+    fn shards_clause_parses_round_trips_and_rejects_duplicates() {
+        let s = parse_query("Q(x) :- R(x, y) via lazy shards 4 limit 5").unwrap();
+        assert_eq!(s.shards, Some(4));
+        assert_eq!(s.to_text(), "Q(x) :- R(x, y) via lazy limit 5 shards 4");
+        assert_eq!(parse_query(&s.to_text()).unwrap(), s);
+        // Execution attribute: stripped from the plan key like limit/via.
+        assert_eq!(
+            s.plan_key(),
+            parse_query("Q(x) :- R(x, y)").unwrap().plan_key()
+        );
+        assert!(parse_query("Q(x) :- R(x, y) shards 2 shards 4")
+            .unwrap_err()
+            .message
+            .contains("duplicate `shards`"));
+        assert!(parse_query("Q(x) :- R(x, y) shards lots")
+            .unwrap_err()
+            .message
+            .contains("shard count"));
     }
 
     #[test]

@@ -155,6 +155,11 @@ pub struct QuerySpec {
     /// Stop after this many ranked answers (execution attribute: not part of
     /// [`QuerySpec::plan_key`]).
     pub limit: Option<usize>,
+    /// Prepare the plan hash-partitioned into this many shards, overriding
+    /// the serving layer's default (execution attribute: not part of
+    /// [`QuerySpec::plan_key`]; how — or whether — it is honoured is the
+    /// execution layer's choice).
+    pub shards: Option<usize>,
 }
 
 impl QuerySpec {
@@ -168,6 +173,7 @@ impl QuerySpec {
             ranking: RankingFunction::SumAscending,
             algorithm: None,
             limit: None,
+            shards: None,
         }
     }
 
@@ -182,6 +188,7 @@ impl QuerySpec {
             ranking,
             algorithm: None,
             limit: None,
+            shards: None,
         }
     }
 
@@ -279,6 +286,7 @@ impl QuerySpec {
             ranking: self.ranking,
             algorithm: self.algorithm,
             limit: self.limit,
+            shards: self.shards,
         }
     }
 
@@ -302,6 +310,9 @@ impl QuerySpec {
         if let Some(limit) = self.limit {
             out.push_str(&format!(" limit {limit}"));
         }
+        if let Some(shards) = self.shards {
+            out.push_str(&format!(" shards {shards}"));
+        }
         out
     }
 
@@ -320,12 +331,13 @@ impl QuerySpec {
         self.without_execution_attrs().canonical_text()
     }
 
-    /// A copy with the execution attributes (algorithm, limit) cleared —
-    /// the part of the request that determines the compiled plan.
+    /// A copy with the execution attributes (algorithm, limit, shards)
+    /// cleared — the part of the request that determines the compiled plan.
     pub fn without_execution_attrs(&self) -> QuerySpec {
         QuerySpec {
             algorithm: None,
             limit: None,
+            shards: None,
             ..self.clone()
         }
     }
@@ -382,9 +394,10 @@ mod tests {
         s.ranking = RankingFunction::SumDescending;
         s.algorithm = Some(AnyKAlgorithm::Take2);
         s.limit = Some(1000);
+        s.shards = Some(4);
         assert_eq!(
             s.to_text(),
-            "Q(x, y, z) :- R(x, y), S(y, z), y = 7 rank by sum desc via take2 limit 1000"
+            "Q(x, y, z) :- R(x, y), S(y, z), y = 7 rank by sum desc via take2 limit 1000 shards 4"
         );
     }
 

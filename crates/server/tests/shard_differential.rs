@@ -1,0 +1,297 @@
+//! Differential suite for sharded serving: a service configured to shard
+//! its plans must stay answer-for-answer interchangeable with an unsharded
+//! service and with a rebuild from scratch, *across randomized delta
+//! ingestion*. Each round applies the same random [`DeltaBatch`] to a
+//! sharded service (per-shard refresh), an unsharded service (single-plan
+//! refresh), and a fresh service over the post-delta snapshot (rebuild),
+//! then compares the three ranked streams bit-for-bit — weights, values,
+//! witnesses, and order. Weights are random and distinct, so the ranked
+//! order is unique and the comparison is exact.
+//!
+//! CI runs this file twice: once with `ANYK_THREADS=1` (serial per-shard
+//! preprocessing) and once at the machine default, so the merge cannot hide
+//! a thread-count-dependent ordering bug.
+
+use anyk_server::{Answer, QueryService, ServiceConfig, SessionId};
+use anyk_storage::{Database, DeltaBatch, Relation, Tuple, Value};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+const QUERY: &str = "Q(x, y, z) :- R1(x, y), R2(y, z)";
+
+/// Deterministic xorshift64* so failures reproduce from the seed alone.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Globally distinct random weights — the ranked order is unique, so any
+/// divergence between the three streams is a real bug, not a tie artifact.
+struct Weights {
+    rng: Rng,
+    used: HashSet<u64>,
+}
+
+impl Weights {
+    fn new(seed: u64) -> Self {
+        Weights {
+            rng: Rng::new(seed),
+            used: HashSet::new(),
+        }
+    }
+
+    fn next(&mut self) -> f64 {
+        loop {
+            let raw = self.rng.below(1 << 40);
+            if self.used.insert(raw) {
+                return raw as f64 / 1024.0;
+            }
+        }
+    }
+}
+
+/// The shared base instance. Deterministic in `seed`, so calling it three
+/// times yields three bit-identical databases (the services cannot share
+/// one — each owns its copy and ingests independently).
+fn base_db(seed: u64, rows: u64, fanout: u64) -> Database {
+    let mut weights = Weights::new(seed);
+    let mut rng = Rng::new(seed ^ 0x9E37_79B9);
+    let mut db = Database::new();
+    let mut r1 = Relation::new("R1", 2);
+    let mut r2 = Relation::new("R2", 2);
+    for _ in 0..rows {
+        r1.push_edge(rng.below(fanout), rng.below(fanout), weights.next());
+        r2.push_edge(rng.below(fanout), rng.below(fanout), weights.next());
+    }
+    db.add(r1);
+    db.add(r2);
+    db
+}
+
+/// A random batch over the current snapshot: per relation, delete a few
+/// live tuples and insert a few random ones over the same key domain (some
+/// join, some dangle).
+fn random_batch(db: &Database, weights: &mut Weights, fanout: u64, edits: usize) -> DeltaBatch {
+    let mut rng = Rng::new(weights.rng.next());
+    let mut batch = DeltaBatch::new();
+    for rel in db.relations() {
+        let mut deleted = HashSet::new();
+        for _ in 0..edits {
+            if !rel.is_empty() {
+                let tid = rng.below(rel.len() as u64) as usize;
+                if deleted.insert(tid) {
+                    batch = batch.delete(rel.name(), tid);
+                }
+            }
+            batch = batch.insert(
+                rel.name(),
+                Tuple::new(
+                    vec![rng.below(fanout) as Value, rng.below(fanout) as Value],
+                    weights.next(),
+                ),
+            );
+        }
+    }
+    batch
+}
+
+/// Open a session for [`QUERY`] and drain it at the given page size.
+fn drain(service: &QueryService, page_size: usize) -> Vec<Answer> {
+    let id: SessionId = service.open_session_text(QUERY).expect("open session");
+    let mut answers = Vec::new();
+    loop {
+        let page = service.next_page(id, page_size).expect("page pull");
+        answers.extend(page.answers);
+        if page.done {
+            break;
+        }
+    }
+    service.close_session(id);
+    answers
+}
+
+#[test]
+fn sharded_ingest_matches_unsharded_ingest_and_rebuild_across_rounds() {
+    const SEED: u64 = 0x5A4D;
+    const ROWS: u64 = 60;
+    const FANOUT: u64 = 11;
+
+    let sharded = QueryService::with_config(
+        base_db(SEED, ROWS, FANOUT),
+        ServiceConfig {
+            shards: Some(3),
+            ..ServiceConfig::default()
+        },
+    );
+    let plain = QueryService::with_config(base_db(SEED, ROWS, FANOUT), ServiceConfig::default());
+
+    // Populate both plan caches *before* the first delta, so every later
+    // round exercises the refresh path rather than a cold compile.
+    let first_sharded = drain(&sharded, 7);
+    let first_plain = drain(&plain, 7);
+    assert_eq!(first_sharded, first_plain, "pre-ingest streams diverged");
+    assert!(
+        !first_sharded.is_empty(),
+        "base instance produced no answers — the differential would be vacuous"
+    );
+    assert_eq!(
+        sharded.metrics().sharded_sessions_opened,
+        1,
+        "the sharded service must actually shard this query"
+    );
+
+    // Our own snapshot chain mirrors the deltas for the rebuild reference.
+    let mut snap = Arc::new(base_db(SEED, ROWS, FANOUT));
+    let mut weights = Weights::new(SEED ^ 0xD1F);
+    // Burn the rows the base builder consumed so batch weights stay
+    // distinct from base weights.
+    for _ in 0..2 * ROWS {
+        weights.next();
+    }
+
+    for (round, &page_size) in [1usize, 3, 64, 7].iter().enumerate() {
+        let batch = random_batch(&snap, &mut weights, FANOUT, 6);
+        snap = Arc::new(snap.apply_delta(&batch).expect("apply delta"));
+
+        let a = sharded.ingest(&batch).expect("sharded ingest");
+        let b = plain.ingest(&batch).expect("plain ingest");
+        assert_eq!(a, b, "round {round}: generations diverged");
+        assert_eq!(a, snap.generation(), "round {round}: snapshot chain off");
+
+        let rebuild = QueryService::over(Arc::clone(&snap), ServiceConfig::default());
+        let from_sharded = drain(&sharded, page_size);
+        let from_plain = drain(&plain, page_size);
+        let from_rebuild = drain(&rebuild, page_size);
+        assert_eq!(
+            from_sharded, from_plain,
+            "round {round}: sharded ingest diverged from unsharded ingest"
+        );
+        assert_eq!(
+            from_plain, from_rebuild,
+            "round {round}: refreshed plans diverged from a from-scratch rebuild"
+        );
+    }
+
+    // Ingestion must have *refreshed* the sharded plan each round, never
+    // fallen back to recompiling it.
+    let m = sharded.metrics();
+    assert_eq!(m.plans_refreshed, 4, "one refresh per ingest round");
+    assert_eq!(
+        m.plans_recompiled, 0,
+        "refresh never fell back to recompile"
+    );
+    assert_eq!(
+        m.sharded_sessions_opened, 5,
+        "every drain of the sharded service used the sharded plan"
+    );
+}
+
+#[test]
+fn spec_level_shards_survive_ingest_rounds_too() {
+    // Same differential, but the sharding comes from the query text
+    // (`shards 4`) against a service with no default shards — the other
+    // half of the configuration surface.
+    const SEED: u64 = 0xBEE;
+    const ROWS: u64 = 40;
+    const FANOUT: u64 = 9;
+    let sharded_text = format!("{QUERY} shards 4");
+
+    let service = QueryService::with_config(base_db(SEED, ROWS, FANOUT), ServiceConfig::default());
+    let mut snap = Arc::new(base_db(SEED, ROWS, FANOUT));
+    let mut weights = Weights::new(SEED ^ 0xF00D);
+    for _ in 0..2 * ROWS {
+        weights.next();
+    }
+
+    let drain_text = |svc: &QueryService, text: &str, page: usize| {
+        let id = svc.open_session_text(text).expect("open");
+        let mut out = Vec::new();
+        loop {
+            let p = svc.next_page(id, page).expect("page");
+            out.extend(p.answers);
+            if p.done {
+                break;
+            }
+        }
+        svc.close_session(id);
+        out
+    };
+
+    // Warm both plans (sharded and unsharded live side by side in one
+    // cache under distinct keys).
+    let warm_sharded = drain_text(&service, &sharded_text, 5);
+    let warm_plain = drain_text(&service, QUERY, 5);
+    assert_eq!(warm_sharded, warm_plain);
+    assert!(service.metrics().sharded_sessions_opened >= 1);
+
+    for round in 0..3 {
+        let batch = random_batch(&snap, &mut weights, FANOUT, 5);
+        snap = Arc::new(snap.apply_delta(&batch).expect("apply delta"));
+        service.ingest(&batch).expect("ingest");
+
+        let rebuild = QueryService::over(Arc::clone(&snap), ServiceConfig::default());
+        let s = drain_text(&service, &sharded_text, 4);
+        let u = drain_text(&service, QUERY, 4);
+        let r = drain_text(&rebuild, QUERY, 4);
+        assert_eq!(s, u, "round {round}: spec-sharded diverged from unsharded");
+        assert_eq!(u, r, "round {round}: refreshed diverged from rebuild");
+    }
+}
+
+#[test]
+fn concurrent_sharded_sessions_stream_bit_identically() {
+    // Eight threads share one sharded plan, each draining its own session
+    // at a different page size (including 1, so some merges advance one
+    // answer at a time while siblings pull big pages). Every stream must
+    // equal the unsharded reference bit-for-bit, and the MEM gauge must
+    // return to zero when the crowd is gone.
+    const SEED: u64 = 0xC0C0;
+    const ROWS: u64 = 80;
+    const FANOUT: u64 = 13;
+
+    let sharded = QueryService::with_config(
+        base_db(SEED, ROWS, FANOUT),
+        ServiceConfig {
+            shards: Some(4),
+            ..ServiceConfig::default()
+        },
+    );
+    let reference = drain(
+        &QueryService::with_config(base_db(SEED, ROWS, FANOUT), ServiceConfig::default()),
+        17,
+    );
+    assert!(!reference.is_empty(), "vacuous instance");
+
+    let page_sizes = [1usize, 2, 3, 5, 8, 13, 64, 1000];
+    std::thread::scope(|scope| {
+        for &page_size in &page_sizes {
+            let sharded = &sharded;
+            let reference = &reference;
+            scope.spawn(move || {
+                let got = drain(sharded, page_size);
+                assert_eq!(&got, reference, "page size {page_size}");
+            });
+        }
+    });
+
+    let m = sharded.metrics();
+    assert_eq!(m.sharded_sessions_opened, page_sizes.len() as u64);
+    assert_eq!(m.active_sessions, 0, "every session closed");
+    assert_eq!(m.mem_resident_units, 0, "MEM gauge back to zero");
+}

@@ -1,0 +1,486 @@
+//! Hash partitioning: splitting a [`Database`] into co-partitioned shards.
+//!
+//! A [`ShardSpec`] names the relations to partition and, per relation, the
+//! key columns to hash. [`Database::partition`] then produces one database
+//! per shard in which
+//!
+//! * every **partitioned** relation holds exactly the tuples whose key
+//!   columns hash to that shard, in their original relative order;
+//! * every **other** relation is replicated by `Arc`-sharing the columnar
+//!   data (no copy);
+//! * schemas — and therefore column dictionaries — are shared with the
+//!   source, so shard-local encodings stay join- and decode-compatible;
+//! * the source's generation id is propagated, so generation-keyed caches
+//!   distinguish shard snapshots across rotations exactly like the
+//!   unsharded database.
+//!
+//! The routing function is a deterministic mix of the key column values
+//! ([`ShardSpec::shard_of`]): independent of process, thread count, and
+//! insertion order, so a [`DeltaBatch`] split today routes a tuple to the
+//! same shard its siblings landed in at partition time
+//! ([`ShardSpec::split_batch`]). **Co-partitioning** is the invariant the
+//! engine builds on: when every relation that binds a join variable is
+//! partitioned on the columns binding it, all tuples that can join on one
+//! value of that variable land in the same shard, so per-shard answer
+//! streams are disjoint and their union is the unsharded answer set.
+
+use crate::delta::{DeltaBatch, DeltaError, RelationDelta};
+use crate::relation::Relation;
+use crate::tuple::{TupleId, Value};
+use crate::Database;
+
+/// How to split a database into hash shards: the shard count plus, per
+/// partitioned relation, the key columns whose values route each tuple.
+/// Relations not listed are replicated to every shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    shards: usize,
+    /// `(relation name, key columns)`, one entry per partitioned relation.
+    partitioned: Vec<(String, Vec<usize>)>,
+}
+
+/// Why a [`ShardSpec`] cannot be applied to a database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// The spec partitions a relation the database does not have.
+    UnknownRelation(String),
+    /// A key column is past the relation's arity.
+    ColumnOutOfRange {
+        /// The partitioned relation.
+        relation: String,
+        /// The out-of-range key column.
+        column: usize,
+        /// The relation's arity.
+        arity: usize,
+    },
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::UnknownRelation(name) => {
+                write!(f, "shard spec partitions unknown relation `{name}`")
+            }
+            ShardError::ColumnOutOfRange {
+                relation,
+                column,
+                arity,
+            } => write!(
+                f,
+                "shard spec hashes column {column} of `{relation}`, which has arity {arity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// SplitMix64 finalizer: a fast, well-mixed 64-bit permutation. Fixed
+/// constants, no process-local state — routing must be reproducible across
+/// runs so delta batches keep landing where the base partition put their
+/// join partners.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl ShardSpec {
+    /// A spec with `shards` shards (clamped to ≥ 1) and no partitioned
+    /// relations yet.
+    pub fn new(shards: usize) -> Self {
+        ShardSpec {
+            shards: shards.max(1),
+            partitioned: Vec::new(),
+        }
+    }
+
+    /// Builder-style: partition `relation` by hashing `columns`. Listing a
+    /// relation twice replaces its columns.
+    pub fn partition_by(mut self, relation: impl Into<String>, columns: Vec<usize>) -> Self {
+        let relation = relation.into();
+        if let Some(entry) = self
+            .partitioned
+            .iter_mut()
+            .find(|(name, _)| *name == relation)
+        {
+            entry.1 = columns;
+        } else {
+            self.partitioned.push((relation, columns));
+        }
+        self
+    }
+
+    /// The number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The key columns `relation` is partitioned on, or `None` if it is
+    /// replicated.
+    pub fn columns_for(&self, relation: &str) -> Option<&[usize]> {
+        self.partitioned
+            .iter()
+            .find(|(name, _)| name == relation)
+            .map(|(_, cols)| cols.as_slice())
+    }
+
+    /// Every `(relation, key columns)` pair the spec partitions.
+    pub fn partitioned(&self) -> &[(String, Vec<usize>)] {
+        &self.partitioned
+    }
+
+    /// The shard the key values `keys` route to. The hash folds the values
+    /// in column order, so two relations partitioned on columns that bind
+    /// the same join variable agree on the shard of every joinable pair.
+    pub fn shard_of(&self, keys: impl IntoIterator<Item = Value>) -> usize {
+        let mut h = 0xA0B7_2594_8F1C_55D3u64;
+        for v in keys {
+            h = mix(h ^ mix(v));
+        }
+        (h % self.shards as u64) as usize
+    }
+
+    /// The shard a full row of `relation` routes to: `Some(shard)` for a
+    /// partitioned relation, `None` for a replicated one.
+    pub fn route_row(&self, relation: &str, values: &[Value]) -> Option<usize> {
+        let cols = self.columns_for(relation)?;
+        Some(self.shard_of(cols.iter().map(|&c| values[c])))
+    }
+
+    /// The shard of every tuple of `rel`, in tuple-id order, or `None` if
+    /// the relation is replicated.
+    pub fn route_relation(&self, rel: &Relation) -> Option<Vec<usize>> {
+        let cols = self.columns_for(rel.name())?;
+        let mut out = Vec::with_capacity(rel.len());
+        for id in 0..rel.len() {
+            out.push(self.shard_of(cols.iter().map(|&c| rel.column(c)[id])));
+        }
+        Some(out)
+    }
+
+    /// Per shard, the **global** tuple ids of `rel` that land in it, in
+    /// order — i.e. shard-local id `i` of shard `s` is global id
+    /// `maps[s][i]`. `None` for a replicated relation (local ids are global
+    /// ids there). Engines carrying tuple ids across a partition use this
+    /// to translate shard-local ids back to the unsharded id space.
+    pub fn tid_maps(&self, rel: &Relation) -> Option<Vec<Vec<TupleId>>> {
+        let routes = self.route_relation(rel)?;
+        let mut maps = vec![Vec::new(); self.shards];
+        for (tid, &shard) in routes.iter().enumerate() {
+            maps[shard].push(tid);
+        }
+        Some(maps)
+    }
+
+    /// Check the spec against `db`: every partitioned relation must exist
+    /// and every key column must be in range.
+    pub fn validate(&self, db: &Database) -> Result<(), ShardError> {
+        for (name, cols) in &self.partitioned {
+            let rel = db
+                .get(name)
+                .ok_or_else(|| ShardError::UnknownRelation(name.clone()))?;
+            for &c in cols {
+                if c >= rel.arity() {
+                    return Err(ShardError::ColumnOutOfRange {
+                        relation: name.clone(),
+                        column: c,
+                        arity: rel.arity(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Split `batch` into one batch per shard, routed consistently with
+    /// [`Database::partition`] over `db` (the **pre-delta** snapshot):
+    ///
+    /// * inserts into a partitioned relation go to the shard their key
+    ///   columns hash to;
+    /// * deletes are translated from global tuple ids to shard-local ids by
+    ///   replaying the routing over the current relation;
+    /// * edits to replicated relations are copied into every shard's batch.
+    ///
+    /// Relative order within each shard's delta matches the global batch,
+    /// so applying shard batch `s` to shard database `s` yields exactly the
+    /// partition of the globally delta-applied database.
+    pub fn split_batch(
+        &self,
+        db: &Database,
+        batch: &DeltaBatch,
+    ) -> Result<Vec<DeltaBatch>, DeltaError> {
+        let mut out = vec![DeltaBatch::new(); self.shards];
+        for delta in &batch.relations {
+            let rel = db
+                .get(&delta.relation)
+                .ok_or_else(|| DeltaError::UnknownRelation(delta.relation.clone()))?;
+            let Some(cols) = self.columns_for(&delta.relation) else {
+                // Replicated relation: every shard sees the same edits.
+                for shard in &mut out {
+                    shard.relations.push(delta.clone());
+                }
+                continue;
+            };
+            let mut parts: Vec<RelationDelta> = (0..self.shards)
+                .map(|_| RelationDelta::new(delta.relation.clone()))
+                .collect();
+            // Deletes: replay the routing over the pre-delta relation,
+            // counting per-shard local ids as we go.
+            let deletes = delta.sorted_deletes();
+            if let Some(&max) = deletes.last() {
+                if max >= rel.len() {
+                    return Err(DeltaError::DeleteOutOfRange {
+                        relation: delta.relation.clone(),
+                        tid: max,
+                        len: rel.len(),
+                    });
+                }
+            }
+            let mut next_delete = deletes.iter().peekable();
+            let mut local = vec![0 as TupleId; self.shards];
+            for tid in 0..rel.len() {
+                let shard = self.shard_of(cols.iter().map(|&c| rel.column(c)[tid]));
+                if next_delete.peek() == Some(&&tid) {
+                    next_delete.next();
+                    parts[shard].deletes.push(local[shard]);
+                }
+                local[shard] += 1;
+            }
+            // Inserts: route by key hash, preserving batch order per shard.
+            for tuple in &delta.inserts {
+                if tuple.values().len() != rel.arity() {
+                    return Err(DeltaError::ArityMismatch {
+                        relation: delta.relation.clone(),
+                        expected: rel.arity(),
+                        got: tuple.values().len(),
+                    });
+                }
+                let shard = self.shard_of(cols.iter().map(|&c| tuple.values()[c]));
+                parts[shard].inserts.push(tuple.clone());
+            }
+            for (shard, part) in out.iter_mut().zip(parts) {
+                shard.relations.push(part);
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Database {
+    /// Split this database into [`ShardSpec::shards`] databases: partitioned
+    /// relations are hash-split by their key columns, everything else is
+    /// replicated by sharing the columnar data (see the [module
+    /// docs](self)). The shards are unsealed, carry the source's generation,
+    /// and share schemas (hence dictionaries) with the source.
+    pub fn partition(&self, spec: &ShardSpec) -> Result<Vec<Database>, ShardError> {
+        spec.validate(self)?;
+        let mut shards: Vec<Database> = (0..spec.shards()).map(|_| Database::new()).collect();
+        for rel in self.relations() {
+            match spec.route_relation(rel) {
+                Some(routes) => {
+                    let mut parts: Vec<Relation> = (0..spec.shards())
+                        .map(|_| Relation::with_schema(rel.name(), rel.schema().clone()))
+                        .collect();
+                    for (tid, &shard) in routes.iter().enumerate() {
+                        let row = rel.tuple(tid);
+                        let values: Vec<Value> = row.values().collect();
+                        parts[shard].push_row(&values, row.weight());
+                    }
+                    for (shard, part) in shards.iter_mut().zip(parts) {
+                        shard.add(part);
+                    }
+                }
+                None => {
+                    let shared = self
+                        .get_shared(rel.name())
+                        .expect("relation came from this database");
+                    for shard in &mut shards {
+                        shard.add_shared(std::sync::Arc::clone(&shared));
+                    }
+                }
+            }
+        }
+        for shard in &mut shards {
+            shard.set_generation(self.generation());
+        }
+        Ok(shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+    use crate::Schema;
+
+    fn edge_db(n: u64) -> Database {
+        let mut db = Database::new();
+        let mut r = Relation::new("R", 2);
+        let mut s = Relation::new("S", 2);
+        for i in 0..n {
+            r.push_edge(i, i % 7, i as f64);
+            s.push_edge(i % 7, i, (i + n) as f64);
+        }
+        let mut w = Relation::new("W", 1);
+        w.push(Tuple::new(vec![42], 1.0));
+        db.add(r);
+        db.add(s);
+        db.add(w);
+        db
+    }
+
+    #[test]
+    fn partition_is_a_disjoint_cover_in_original_order() {
+        let db = edge_db(50);
+        let spec = ShardSpec::new(4)
+            .partition_by("R", vec![1])
+            .partition_by("S", vec![0]);
+        let shards = db.partition(&spec).unwrap();
+        assert_eq!(shards.len(), 4);
+        // Every R tuple lands in exactly one shard, in original order.
+        let mut seen: Vec<Vec<Value>> = Vec::new();
+        for shard in &shards {
+            for row in shard.expect("R").tuples() {
+                seen.push(row.values_vec());
+            }
+        }
+        assert_eq!(seen.len(), 50, "disjoint cover");
+        // Co-partitioning: R.col1 and S.col0 bind the same join value, so
+        // every tuple sits in the shard its key hashes to — a joinable pair
+        // can never be split across shards.
+        for (s, shard) in shards.iter().enumerate() {
+            for &k in shard.expect("R").column(1) {
+                assert_eq!(spec.shard_of([k]), s);
+            }
+            for &k in shard.expect("S").column(0) {
+                assert_eq!(spec.shard_of([k]), s);
+            }
+        }
+        // Replicated relation is Arc-shared, not copied.
+        for shard in &shards {
+            assert!(std::sync::Arc::ptr_eq(
+                &db.get_shared("W").unwrap(),
+                &shard.get_shared("W").unwrap()
+            ));
+        }
+    }
+
+    #[test]
+    fn partition_propagates_generation_and_shares_dictionaries() {
+        let mut db = Database::new();
+        let mut r = Relation::with_schema("F", Schema::text_shared(2));
+        r.push_text_edge("alice", "bob", 1.0);
+        r.push_text_edge("carol", "bob", 2.0);
+        db.add(r);
+        db.set_generation(9);
+        let spec = ShardSpec::new(2).partition_by("F", vec![0]);
+        let shards = db.partition(&spec).unwrap();
+        for shard in &shards {
+            assert_eq!(shard.generation(), 9);
+            assert!(std::sync::Arc::ptr_eq(
+                db.expect("F").dictionary(0).unwrap(),
+                shard.expect("F").dictionary(0).unwrap()
+            ));
+        }
+        // Decoding works shard-locally through the shared dictionary.
+        let total: usize = shards.iter().map(|s| s.expect("F").len()).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_validated() {
+        let db = edge_db(10);
+        let spec = ShardSpec::new(3).partition_by("R", vec![1]);
+        let a = spec.route_relation(db.expect("R")).unwrap();
+        let b = spec.route_relation(db.expect("R")).unwrap();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&s| s < 3));
+        assert_eq!(spec.route_relation(db.expect("W")), None, "replicated");
+        assert_eq!(spec.route_row("R", &[5, 3]), Some(spec.shard_of([3])));
+
+        let unknown = ShardSpec::new(2).partition_by("Q", vec![0]);
+        assert!(matches!(
+            db.partition(&unknown),
+            Err(ShardError::UnknownRelation(name)) if name == "Q"
+        ));
+        let oob = ShardSpec::new(2).partition_by("R", vec![5]);
+        assert!(matches!(
+            db.partition(&oob),
+            Err(ShardError::ColumnOutOfRange {
+                column: 5,
+                arity: 2,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn tid_maps_translate_local_ids_back_to_global() {
+        let db = edge_db(20);
+        let spec = ShardSpec::new(3).partition_by("R", vec![1]);
+        let maps = spec.tid_maps(db.expect("R")).unwrap();
+        let shards = db.partition(&spec).unwrap();
+        for (s, shard) in shards.iter().enumerate() {
+            let part = shard.expect("R");
+            assert_eq!(part.len(), maps[s].len());
+            for (local, &global) in maps[s].iter().enumerate() {
+                assert_eq!(
+                    part.tuple(local).values_vec(),
+                    db.expect("R").tuple(global).values_vec()
+                );
+                assert_eq!(
+                    part.tuple(local).weight(),
+                    db.expect("R").tuple(global).weight()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_batch_routes_edits_with_their_partition() {
+        let db = edge_db(30);
+        let spec = ShardSpec::new(4)
+            .partition_by("R", vec![1])
+            .partition_by("S", vec![0]);
+        let batch = DeltaBatch::new()
+            .delete("R", 3)
+            .delete("R", 17)
+            .insert("R", Tuple::new(vec![100, 5], 0.5))
+            .insert("S", Tuple::new(vec![5, 100], 0.25))
+            .insert("W", Tuple::new(vec![7], 0.0));
+        let parts = spec.split_batch(&db, &batch).unwrap();
+        assert_eq!(parts.len(), 4);
+
+        // Ground truth: global apply then partition ≡ per-shard apply.
+        let applied = db.apply_delta(&batch).unwrap();
+        let expected = applied.partition(&spec).unwrap();
+        let shards = db.partition(&spec).unwrap();
+        for (s, shard) in shards.iter().enumerate() {
+            let patched = shard.apply_delta(&parts[s]).unwrap();
+            for name in ["R", "S", "W"] {
+                let got = patched.expect(name);
+                let want = expected[s].expect(name);
+                assert_eq!(got.len(), want.len(), "shard {s} relation {name}");
+                for id in 0..got.len() {
+                    assert_eq!(got.tuple(id).values_vec(), want.tuple(id).values_vec());
+                    assert_eq!(got.tuple(id).weight(), want.tuple(id).weight());
+                }
+            }
+        }
+
+        // Errors mirror the apply path's validation.
+        let bad = DeltaBatch::new().delete("R", 999);
+        assert!(matches!(
+            spec.split_batch(&db, &bad),
+            Err(DeltaError::DeleteOutOfRange { tid: 999, .. })
+        ));
+        let unknown = DeltaBatch::new().delete("Nope", 0);
+        assert!(matches!(
+            spec.split_batch(&db, &unknown),
+            Err(DeltaError::UnknownRelation(_))
+        ));
+    }
+}
